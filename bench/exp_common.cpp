@@ -1,0 +1,62 @@
+#include "exp_common.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+namespace ixp::expcommon {
+
+Context Context::create(const std::string& experiment) {
+  Context ctx;
+  ctx.volume = 1.0 / 256.0;
+  if (const char* env = std::getenv("IXPSCOPE_VOLUME")) {
+    const double v = std::atof(env);
+    if (v > 0.0 && v <= 1.0) ctx.volume = v;
+  }
+  ctx.quick = std::getenv("IXPSCOPE_QUICK") != nullptr;
+  ctx.cfg = ctx.quick ? gen::ScaleConfig::test()
+                      : gen::ScaleConfig::bench(ctx.volume);
+
+  util::print_banner(std::cout, experiment);
+  std::cout << "scale: " << (ctx.quick ? "QUICK (test preset)" : "bench")
+            << "  volume=" << (ctx.quick ? 0.0 : ctx.volume)
+            << "  weekly-server-target=" << util::compact(static_cast<double>(
+                   ctx.cfg.weekly_server_ips))
+            << " (paper: 1.5M)"
+            << "  ases=" << util::compact(static_cast<double>(ctx.cfg.as_count))
+            << "  prefixes=" << util::compact(static_cast<double>(ctx.cfg.prefix_count))
+            << "\n";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ctx.model = std::make_unique<gen::InternetModel>(ctx.cfg);
+  ctx.workload = std::make_unique<gen::Workload>(*ctx.model);
+  std::vector<net::Asn> members;
+  for (const auto* m : ctx.model->ixp().members_at(ctx.cfg.last_week))
+    members.push_back(m->asn);
+  ctx.locality = ctx.model->as_graph().classify(members);
+  const auto t1 = std::chrono::steady_clock::now();
+  std::cout << "model: " << ctx.model->servers().size() << " servers, "
+            << ctx.model->orgs().size() << " orgs, built in "
+            << std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0).count()
+            << " ms\n";
+  return ctx;
+}
+
+core::WeeklyReport Context::run_week(int week) const {
+  core::VantagePoint vp{model->ixp(),   model->routing(), model->geo_db(),
+                        locality,       model->dns_db(),
+                        dns::PublicSuffixList::builtin(), model->root_store()};
+  vp.begin_week(week);
+  (void)workload->generate_week(
+      week, [&vp](const sflow::FlowSample& sample) { vp.observe(sample); });
+  return vp.end_week([this, week](net::Ipv4Addr addr, int times) {
+    return model->fetch_chains(addr, times, week);
+  });
+}
+
+std::string Context::scaled_row(double measured, double paper, double scale) {
+  return util::compact(measured) + "  (paper " + util::compact(paper) +
+         ", at this scale ~" + util::compact(paper * scale) + ")";
+}
+
+}  // namespace ixp::expcommon

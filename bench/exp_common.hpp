@@ -1,0 +1,53 @@
+// Shared scaffolding for the exp_* experiment binaries.
+//
+// Each binary reproduces one table or figure of the paper. The synthetic
+// Internet runs at a configurable fraction of the paper's measured
+// volumes:
+//   IXPSCOPE_VOLUME=<double>   population/traffic scale (default 1/256)
+//   IXPSCOPE_QUICK=1           tiny test-scale run (smoke mode)
+// Every binary prints the scale header so the "measured" columns can be
+// compared against the paper's absolute numbers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/vantage_point.hpp"
+#include "gen/internet.hpp"
+#include "gen/workload.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace ixp::expcommon {
+
+struct Context {
+  gen::ScaleConfig cfg;
+  std::unique_ptr<gen::InternetModel> model;
+  std::unique_ptr<gen::Workload> workload;
+  std::unordered_map<net::Asn, net::Locality> locality;
+  double volume = 1.0;   // population scale vs. paper
+  bool quick = false;
+
+  /// Builds the model per environment configuration and prints the
+  /// scale banner for `experiment`.
+  static Context create(const std::string& experiment);
+
+  /// Runs the full measurement pipeline for one week.
+  [[nodiscard]] core::WeeklyReport run_week(int week) const;
+
+  /// Server-population scale vs. the paper's 1.5M weekly server IPs.
+  [[nodiscard]] double server_scale() const {
+    return static_cast<double>(cfg.weekly_server_ips) / 1'500'000.0;
+  }
+  /// Traffic/IP scale vs. the paper's volumes.
+  [[nodiscard]] double ip_scale() const {
+    return static_cast<double>(cfg.background_ip_pool) / 200'000'000.0;
+  }
+
+  /// Formats "<measured>  (paper: <paper>, scaled: <paper x scale>)".
+  [[nodiscard]] static std::string scaled_row(double measured, double paper,
+                                              double scale);
+};
+
+}  // namespace ixp::expcommon

@@ -1,0 +1,83 @@
+// Micro-benchmarks: the per-sample measurement hot path — HTTP string
+// matching and the filter+dissect pipeline.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "classify/dissector.hpp"
+#include "classify/http_matcher.hpp"
+#include "classify/peering_filter.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ixp;
+
+void BM_HttpMatchRequest(benchmark::State& state) {
+  const std::string payload =
+      "GET /content/12345 HTTP/1.1\r\nHost: www.example.com\r\nAccept: */*\r\n";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify::HttpMatcher::match(payload));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HttpMatchRequest);
+
+void BM_HttpMatchResponse(benchmark::State& state) {
+  const std::string payload =
+      "HTTP/1.1 200 OK\r\nServer: nginx\r\nContent-Type: text/html\r\n";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify::HttpMatcher::match(payload));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HttpMatchResponse);
+
+void BM_HttpMatchMiss(benchmark::State& state) {
+  std::string payload(74, '\0');
+  util::Rng rng{1};
+  for (auto& c : payload) c = static_cast<char>(rng.next_below(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify::HttpMatcher::match(payload));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HttpMatchMiss);
+
+void BM_FilterAndDissect(benchmark::State& state) {
+  fabric::Ixp ixp;
+  fabric::Member a;
+  a.asn = net::Asn{100};
+  ixp.add_member(a);
+  fabric::Member b;
+  b.asn = net::Asn{200};
+  ixp.add_member(b);
+
+  const char payload[] = "GET / HTTP/1.1\r\nHost: bench.example.com\r\n";
+  std::vector<std::byte> data(sizeof payload - 1);
+  std::memcpy(data.data(), payload, data.size());
+  sflow::FrameSpec spec;
+  spec.src_mac = fabric::Ixp::port_mac_for(net::Asn{100});
+  spec.dst_mac = fabric::Ixp::port_mac_for(net::Asn{200});
+  spec.src_ip = net::Ipv4Addr{10, 0, 0, 1};
+  spec.dst_ip = net::Ipv4Addr{10, 0, 0, 2};
+  spec.src_port = 43210;
+  spec.dst_port = 80;
+  sflow::FlowSample sample;
+  sample.sampling_rate = 16384;
+  sample.frame = sflow::build_tcp_frame(spec, data, 600);
+
+  const classify::PeeringFilter filter{ixp, 45};
+  classify::FilterCounters counters;
+  classify::TrafficDissector dissector;
+  for (auto _ : state) {
+    const auto peering = filter.filter(sample, counters);
+    if (peering) dissector.ingest(*peering);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FilterAndDissect);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Micro-benchmarks: §5.1 clustering throughput over synthetic metadata
+// pools of increasing size.
+#include <benchmark/benchmark.h>
+
+#include "core/org_clusterer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ixp;
+
+struct Fixture {
+  dns::ZoneDatabase db;
+  std::vector<classify::ServerMetadata> metadata;
+
+  explicit Fixture(std::size_t servers) {
+    util::Rng rng{11};
+    constexpr std::size_t kOrgs = 64;
+    for (std::size_t o = 0; o < kOrgs; ++o) {
+      const auto domain = *dns::DnsName::parse("org" + std::to_string(o) + ".com");
+      db.add_soa(domain, domain);
+    }
+    metadata.reserve(servers);
+    for (std::size_t s = 0; s < servers; ++s) {
+      classify::ServerMetadata md;
+      md.addr = net::Ipv4Addr{static_cast<std::uint32_t>(0x0a000000 + s)};
+      const std::size_t org = rng.next_below(kOrgs);
+      const std::string domain = "org" + std::to_string(org) + ".com";
+      const double kind = rng.next_double();
+      if (kind < 0.75) {
+        md.hostname = *dns::DnsName::parse("s" + std::to_string(s) + "." + domain);
+        md.soa_authority = *dns::DnsName::parse(domain);
+        if (rng.next_bool(0.3))
+          md.uris = {*dns::Uri::parse("www." + domain)};
+      } else if (kind < 0.95) {
+        md.uris = {*dns::Uri::parse("www." + domain)};
+      } else {
+        md.soa_authority = *dns::DnsName::parse(domain);  // partial only
+      }
+      metadata.push_back(std::move(md));
+    }
+  }
+};
+
+void BM_ClusterServers(benchmark::State& state) {
+  const Fixture fixture{static_cast<std::size_t>(state.range(0))};
+  const core::OrgClusterer clusterer{fixture.db,
+                                     dns::PublicSuffixList::builtin()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clusterer.cluster(fixture.metadata));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ClusterServers)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_ClusterIpsOnlyVote(benchmark::State& state) {
+  const Fixture fixture{static_cast<std::size_t>(state.range(0))};
+  const core::OrgClusterer clusterer{
+      fixture.db, dns::PublicSuffixList::builtin(),
+      core::ClusterOptions{core::VoteKey::kIpsOnly, 3}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clusterer.cluster(fixture.metadata));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ClusterIpsOnlyVote)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Micro-benchmarks: longest-prefix-match structures (DESIGN.md ablation
+// #4 — pooled binary trie vs. the length-indexed hash-table LPM).
+#include <benchmark/benchmark.h>
+
+#include "net/prefix_trie.hpp"
+#include "net/routing_table.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ixp;
+
+std::vector<net::Ipv4Prefix> make_prefixes(std::size_t n, std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<net::Ipv4Prefix> prefixes;
+  prefixes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto length = static_cast<std::uint8_t>(rng.next_in(12, 24));
+    prefixes.emplace_back(net::Ipv4Addr{static_cast<std::uint32_t>(rng())},
+                          length);
+  }
+  return prefixes;
+}
+
+void BM_TrieInsert(benchmark::State& state) {
+  const auto prefixes = make_prefixes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    net::PrefixTrie<std::uint32_t> trie;
+    for (std::size_t i = 0; i < prefixes.size(); ++i)
+      trie.insert(prefixes[i], static_cast<std::uint32_t>(i));
+    benchmark::DoNotOptimize(trie.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TrieInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_TrieLookup(benchmark::State& state) {
+  const auto prefixes = make_prefixes(static_cast<std::size_t>(state.range(0)), 1);
+  net::PrefixTrie<std::uint32_t> trie;
+  for (std::size_t i = 0; i < prefixes.size(); ++i)
+    trie.insert(prefixes[i], static_cast<std::uint32_t>(i));
+  util::Rng rng{2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trie.lookup_ptr(net::Ipv4Addr{static_cast<std::uint32_t>(rng())}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrieLookup)->Arg(1000)->Arg(100000)->Arg(400000);
+
+void BM_LengthIndexedLookup(benchmark::State& state) {
+  const auto prefixes = make_prefixes(static_cast<std::size_t>(state.range(0)), 1);
+  net::LengthIndexedLpm<std::uint32_t> lpm;
+  for (std::size_t i = 0; i < prefixes.size(); ++i)
+    lpm.insert(prefixes[i], static_cast<std::uint32_t>(i));
+  util::Rng rng{2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lpm.lookup(net::Ipv4Addr{static_cast<std::uint32_t>(rng())}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LengthIndexedLookup)->Arg(1000)->Arg(100000)->Arg(400000);
+
+void BM_RoutingTableRouteOf(benchmark::State& state) {
+  const auto prefixes = make_prefixes(400000, 3);
+  net::RoutingTable table;
+  for (std::size_t i = 0; i < prefixes.size(); ++i)
+    table.announce(prefixes[i], net::Asn{static_cast<std::uint32_t>(i)});
+  util::Rng rng{4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.route_of(net::Ipv4Addr{static_cast<std::uint32_t>(rng())}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoutingTableRouteOf);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Micro-benchmarks: sFlow wire codecs and sampling (DESIGN.md ablation
+// #1 — binomial flow thinning vs. exact per-packet Bernoulli sampling).
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "sflow/datagram.hpp"
+#include "sflow/frame.hpp"
+#include "sflow/sampler.hpp"
+
+namespace {
+
+using namespace ixp;
+
+sflow::FrameSpec spec() {
+  sflow::FrameSpec s;
+  s.src_mac = sflow::MacAddr::from_id(1);
+  s.dst_mac = sflow::MacAddr::from_id(2);
+  s.src_ip = net::Ipv4Addr{10, 0, 0, 1};
+  s.dst_ip = net::Ipv4Addr{192, 0, 2, 7};
+  s.src_port = 80;
+  s.dst_port = 45678;
+  return s;
+}
+
+void BM_BuildTcpFrame(benchmark::State& state) {
+  const char payload[] = "HTTP/1.1 200 OK\r\nServer: bench\r\n";
+  std::vector<std::byte> data(sizeof payload - 1);
+  std::memcpy(data.data(), payload, data.size());
+  const auto s = spec();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sflow::build_tcp_frame(s, data, 1400));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BuildTcpFrame);
+
+void BM_ParseFrame(benchmark::State& state) {
+  const auto frame = sflow::build_tcp_frame(spec(), {}, 1400);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sflow::parse_frame(frame));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseFrame);
+
+void BM_Ipv4Checksum(benchmark::State& state) {
+  std::array<std::byte, 20> header{};
+  sflow::Ipv4Header h;
+  h.total_length = 1500;
+  h.src = net::Ipv4Addr{10, 1, 2, 3};
+  h.dst = net::Ipv4Addr{10, 4, 5, 6};
+  h.serialize(header);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sflow::Ipv4Header::checksum(header));
+  }
+}
+BENCHMARK(BM_Ipv4Checksum);
+
+void BM_DatagramRoundTrip(benchmark::State& state) {
+  sflow::Datagram d;
+  d.agent = net::Ipv4Addr{172, 16, 0, 1};
+  for (int i = 0; i < 32; ++i) {
+    sflow::FlowSample sample;
+    sample.sampling_rate = 16384;
+    sample.frame = sflow::build_tcp_frame(spec(), {}, 1400);
+    d.samples.push_back(sample);
+  }
+  for (auto _ : state) {
+    const auto bytes = sflow::encode(d);
+    benchmark::DoNotOptimize(sflow::decode(bytes));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_DatagramRoundTrip);
+
+// Ablation #1: the two sampling paths at the paper's 1:16384 rate.
+void BM_SampleFlowBinomial(benchmark::State& state) {
+  const sflow::Sampler sampler;
+  util::Rng rng{7};
+  const auto packets = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample_flow(rng, packets));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SampleFlowBinomial)->Arg(1000)->Arg(100000)->Arg(10000000);
+
+void BM_SamplePerPacketBernoulli(benchmark::State& state) {
+  const sflow::Sampler sampler;
+  util::Rng rng{7};
+  const auto packets = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    std::uint64_t count = 0;
+    for (std::uint64_t p = 0; p < packets; ++p)
+      count += sampler.sample_packet(rng) ? 1 : 0;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SamplePerPacketBernoulli)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

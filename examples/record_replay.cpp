@@ -1,0 +1,68 @@
+// record_replay: persist a week of sFlow to a trace file, then run the
+// measurement pipeline from the recording — the generate-once /
+// analyze-many workflow (and the ingestion path for converted real
+// collector dumps).
+//
+//   ./record_replay [trace_path=/tmp/ixpscope_week45.trace]
+#include <fstream>
+#include <iostream>
+
+#include "core/vantage_point.hpp"
+#include "gen/internet.hpp"
+#include "gen/workload.hpp"
+#include "sflow/trace.hpp"
+#include "util/format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ixp;
+  const std::string path =
+      argc > 1 ? argv[1] : "/tmp/ixpscope_week45.trace";
+
+  const gen::InternetModel model{gen::ScaleConfig::test()};
+  const gen::Workload workload{model};
+
+  // --- record ---------------------------------------------------------------
+  {
+    std::ofstream out{path, std::ios::binary};
+    if (!out) {
+      std::cerr << "cannot open " << path << " for writing\n";
+      return 1;
+    }
+    sflow::TraceWriter writer{out, net::Ipv4Addr{172, 16, 0, 1}, 128};
+    workload.generate_week(
+        45, [&](const sflow::FlowSample& s) { writer.write(s); });
+    writer.flush();
+    std::cout << "recorded " << util::with_thousands(writer.samples_written())
+              << " samples in " << writer.datagrams_written()
+              << " datagrams -> " << path << "\n";
+  }
+
+  // --- replay ---------------------------------------------------------------
+  std::ifstream in{path, std::ios::binary};
+  sflow::TraceReader reader{in};
+  if (!reader.ok()) {
+    std::cerr << "bad trace header\n";
+    return 1;
+  }
+
+  std::vector<net::Asn> members;
+  for (const auto* m : model.ixp().members_at(45)) members.push_back(m->asn);
+  const auto locality = model.as_graph().classify(members);
+  core::VantagePoint vantage{
+      model.ixp(),   model.routing(),  model.geo_db(), locality,
+      model.dns_db(), dns::PublicSuffixList::builtin(), model.root_store()};
+  vantage.begin_week(45);
+  const std::uint64_t replayed =
+      reader.for_each([&](const sflow::FlowSample& s) { vantage.observe(s); });
+  const auto report = vantage.end_week([&](net::Ipv4Addr addr, int times) {
+    return model.fetch_chains(addr, times, 45);
+  });
+
+  std::cout << "replayed " << util::with_thousands(replayed) << " samples ("
+            << (reader.ok() ? "clean" : "TRUNCATED") << ")\n";
+  std::cout << "pipeline on the recording: "
+            << util::with_thousands(report.peering_ips) << " IPs, "
+            << util::with_thousands(report.server_ips) << " server IPs, "
+            << util::bytes(report.peering_bytes()) << " estimated\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "analysis/blind_spots.hpp"
+
+#include <unordered_map>
+
+#include "dns/public_suffix.hpp"
+
+namespace ixp::analysis {
+
+AlexaRecovery alexa_recovery(
+    const gen::InternetModel& model, std::size_t top_n,
+    const std::unordered_set<dns::DnsName>& recovered_domains) {
+  const auto& psl = dns::PublicSuffixList::builtin();
+  AlexaRecovery result;
+  const auto& sites = model.sites();
+  result.considered = std::min(top_n, sites.size());
+  for (std::size_t rank = 0; rank < result.considered; ++rank) {
+    const auto registrable = psl.registrable_domain(sites[rank].domain);
+    const dns::DnsName& key = registrable ? *registrable : sites[rank].domain;
+    if (recovered_domains.count(key) > 0) ++result.recovered;
+  }
+  return result;
+}
+
+SweepResult resolver_sweep(
+    const gen::InternetModel& model,
+    std::span<const dns::Resolver> usable_resolvers,
+    const std::unordered_set<dns::DnsName>& recovered_domains,
+    const std::unordered_set<net::Ipv4Addr>& ixp_server_ips,
+    std::size_t per_site, int week, util::Rng& rng) {
+  const auto& psl = dns::PublicSuffixList::builtin();
+  SweepResult result;
+  if (usable_resolvers.empty()) return result;
+
+  std::unordered_set<net::Ipv4Addr> discovered;
+  const auto& sites = model.sites();
+  for (std::size_t rank = 0; rank < sites.size(); ++rank) {
+    const auto registrable = psl.registrable_domain(sites[rank].domain);
+    const dns::DnsName& key = registrable ? *registrable : sites[rank].domain;
+    if (recovered_domains.count(key) > 0) continue;  // already covered
+    ++result.queried_sites;
+    for (std::size_t q = 0; q < per_site; ++q) {
+      const dns::Resolver& resolver =
+          usable_resolvers[rng.next_below(usable_resolvers.size())];
+      for (const net::Ipv4Addr addr : model.resolve_site(rank, resolver, week))
+        discovered.insert(addr);
+    }
+  }
+
+  result.discovered_ips = discovered.size();
+  for (const net::Ipv4Addr addr : discovered) {
+    if (ixp_server_ips.count(addr) > 0) {
+      ++result.already_seen_at_ixp;
+      continue;
+    }
+    ++result.unseen_at_ixp;
+    if (const auto index = model.server_by_addr(addr)) {
+      const auto reason =
+          static_cast<std::size_t>(model.servers()[*index].blind);
+      result.unseen_by_reason[reason] += 1;
+    }
+  }
+  return result;
+}
+
+FootprintDiscovery discover_org_footprint(
+    const gen::InternetModel& model, std::uint32_t org_index,
+    std::span<const dns::Resolver> usable_resolvers, util::Rng& rng) {
+  (void)rng;
+  FootprintDiscovery result;
+  // Resolver coverage: which ASes and regions can the measurement reach
+  // "from the inside"?
+  std::unordered_set<net::Asn> resolver_ases;
+  std::array<bool, 5> resolver_regions{};
+  for (const dns::Resolver& resolver : usable_resolvers) {
+    resolver_ases.insert(resolver.asn);
+    if (const auto as = model.as_index_of(resolver.asn)) {
+      resolver_regions[static_cast<std::size_t>(
+          geo::region_of(model.ases()[*as].country))] = true;
+    }
+  }
+
+  std::unordered_set<net::Asn> ases;
+  for (const std::uint32_t s : model.org_servers(org_index)) {
+    const gen::ServerRecord& server = model.servers()[s];
+    bool discovered = false;
+    switch (server.blind) {
+      case gen::BlindReason::kNone:
+      case gen::BlindReason::kSmallFarOrg:
+        discovered = true;
+        break;
+      case gen::BlindReason::kPrivateCluster:
+        discovered =
+            resolver_ases.count(model.ases()[server.host_as].asn) > 0;
+        break;
+      case gen::BlindReason::kFarRegion:
+        discovered = resolver_regions[static_cast<std::size_t>(
+            geo::region_of(model.ases()[server.host_as].country))];
+        break;
+      case gen::BlindReason::kErrorHandler:
+        discovered = false;
+        break;
+    }
+    if (!discovered) continue;
+    ++result.servers;
+    ases.insert(model.ases()[server.host_as].asn);
+  }
+  result.ases = ases.size();
+  return result;
+}
+
+}  // namespace ixp::analysis

@@ -1,0 +1,75 @@
+// Blind-spot analyses (§3.3): what the IXP cannot see, and why.
+//
+// Three instruments:
+//   1. Alexa recovery — which share of the top-N popular sites' domains
+//      can be recovered from the URIs observed in the sampled payloads
+//      (paper: ~20% of the top-1M, 63% of the top-10K, 80% of the top-1K).
+//   2. Resolver sweep — active DNS queries through the usable open
+//      resolvers for the *uncovered* domains; discovers server IPs, some
+//      of which the IXP never saw (paper: 600K discovered, 360K already
+//      seen, 240K unseen).
+//   3. Unseen classification — the paper's four categories of servers the
+//      sweep finds but the IXP misses (private clusters, far-region
+//      deployments, invalid-URI handlers, small far orgs).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "dns/resolver.hpp"
+#include "gen/internet.hpp"
+
+namespace ixp::analysis {
+
+struct AlexaRecovery {
+  std::size_t considered = 0;
+  std::size_t recovered = 0;
+  [[nodiscard]] double share() const noexcept {
+    return considered == 0
+               ? 0.0
+               : static_cast<double>(recovered) / static_cast<double>(considered);
+  }
+};
+
+/// Share of the top-`top_n` sites whose registrable domain appears among
+/// the domains recovered from IXP payloads.
+[[nodiscard]] AlexaRecovery alexa_recovery(
+    const gen::InternetModel& model, std::size_t top_n,
+    const std::unordered_set<dns::DnsName>& recovered_domains);
+
+struct SweepResult {
+  std::size_t queried_sites = 0;
+  std::size_t discovered_ips = 0;
+  std::size_t already_seen_at_ixp = 0;
+  std::size_t unseen_at_ixp = 0;
+  /// Unseen IPs by ground-truth reason, indexed by gen::BlindReason
+  /// (kNone = visible servers that simply were not active/sampled).
+  std::array<std::size_t, 5> unseen_by_reason{};
+};
+
+/// Queries every site NOT recovered at the IXP through `per_site` randomly
+/// assigned usable resolvers (the paper assigns 100 per URI) and compares
+/// the discovered server IPs against the IXP's weekly server set.
+[[nodiscard]] SweepResult resolver_sweep(
+    const gen::InternetModel& model,
+    std::span<const dns::Resolver> usable_resolvers,
+    const std::unordered_set<dns::DnsName>& recovered_domains,
+    const std::unordered_set<net::Ipv4Addr>& ixp_server_ips,
+    std::size_t per_site, int week, util::Rng& rng);
+
+/// Targeted footprint discovery for one organization (the paper's Akamai
+/// deep-dive: 28K servers at the IXP vs ~100K through active measurement).
+struct FootprintDiscovery {
+  std::size_t servers = 0;
+  std::size_t ases = 0;
+};
+
+[[nodiscard]] FootprintDiscovery discover_org_footprint(
+    const gen::InternetModel& model, std::uint32_t org_index,
+    std::span<const dns::Resolver> usable_resolvers, util::Rng& rng);
+
+}  // namespace ixp::analysis

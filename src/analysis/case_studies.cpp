@@ -1,0 +1,49 @@
+#include "analysis/case_studies.hpp"
+
+namespace ixp::analysis {
+
+HttpsTrendRow https_trend_row(const core::WeeklyReport& report) {
+  HttpsTrendRow row;
+  row.week = report.week;
+  row.https_servers = report.dissection.https_server_ips;
+  row.all_servers = report.dissection.web_server_ips;
+  row.https_server_share =
+      row.all_servers == 0
+          ? 0.0
+          : static_cast<double>(row.https_servers) /
+                static_cast<double>(row.all_servers);
+  double https_bytes = 0.0;
+  for (const core::ServerObservation& server : report.servers) {
+    if (server.https) https_bytes += server.bytes;
+  }
+  const double peering = report.peering_bytes();
+  // Per-IP byte sums count each sample on both endpoints; halve for a
+  // share of sample bytes.
+  row.https_traffic_share = peering > 0.0 ? https_bytes / (2.0 * peering) : 0.0;
+  return row;
+}
+
+std::vector<DataCenterCount> match_published_ranges(
+    const gen::InternetModel& model, std::uint32_t org_index,
+    const std::unordered_set<net::Ipv4Addr>& observed_servers) {
+  const auto& org = model.orgs()[org_index];
+  std::vector<DataCenterCount> counts;
+  counts.reserve(org.data_centers.size() + 1);
+  for (const auto& dc : org.data_centers)
+    counts.push_back(DataCenterCount{dc.name, 0});
+  counts.push_back(DataCenterCount{"(unmapped)", 0});
+
+  for (const auto& published : model.published_servers(org_index)) {
+    if (observed_servers.count(published.addr) == 0) continue;
+    const std::size_t slot =
+        published.data_center >= 0 &&
+                static_cast<std::size_t>(published.data_center) <
+                    org.data_centers.size()
+            ? static_cast<std::size_t>(published.data_center)
+            : counts.size() - 1;
+    counts[slot].observed_servers += 1;
+  }
+  return counts;
+}
+
+}  // namespace ixp::analysis

@@ -1,0 +1,39 @@
+// Case-study helpers for §4.2: HTTPS adoption, published-range matching
+// (the Amazon-EC2/Netflix expansion and the Hurricane-Sandy analyses),
+// and reseller growth.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/vantage_point.hpp"
+#include "gen/internet.hpp"
+
+namespace ixp::analysis {
+
+/// One week of the HTTPS-adoption trend (§4.2: "a small, yet steady
+/// increase").
+struct HttpsTrendRow {
+  int week = 0;
+  std::size_t https_servers = 0;
+  std::size_t all_servers = 0;
+  double https_server_share = 0.0;
+  double https_traffic_share = 0.0;  // of peering bytes
+};
+
+[[nodiscard]] HttpsTrendRow https_trend_row(const core::WeeklyReport& report);
+
+/// Per-data-center count of published IPs observed as servers this week.
+struct DataCenterCount {
+  std::string name;
+  std::size_t observed_servers = 0;
+};
+
+/// Matches a cloud's published per-DC IP list against the week's observed
+/// server set (the method of both §4.2 cloud analyses).
+[[nodiscard]] std::vector<DataCenterCount> match_published_ranges(
+    const gen::InternetModel& model, std::uint32_t org_index,
+    const std::unordered_set<net::Ipv4Addr>& observed_servers);
+
+}  // namespace ixp::analysis

@@ -1,0 +1,62 @@
+#include "analysis/heterogeneity.hpp"
+
+#include <algorithm>
+
+namespace ixp::analysis {
+
+std::size_t HeterogeneityView::orgs_with_more_than(std::size_t threshold) const {
+  return static_cast<std::size_t>(
+      std::count_if(orgs.begin(), orgs.end(), [threshold](const OrgFootprint& o) {
+        return o.server_ips > threshold;
+      }));
+}
+
+std::size_t HeterogeneityView::ases_hosting_more_than(
+    std::size_t threshold) const {
+  return static_cast<std::size_t>(
+      std::count_if(ases.begin(), ases.end(), [threshold](const AsHosting& a) {
+        return a.orgs > threshold;
+      }));
+}
+
+HeterogeneityView build_heterogeneity(const core::ClusteringResult& clustering,
+                                      const net::RoutingTable& routing) {
+  HeterogeneityView view;
+
+  struct AsAccumulator {
+    std::size_t servers = 0;
+    std::unordered_set<std::string> orgs;
+  };
+  std::unordered_map<net::Asn, AsAccumulator> per_as;
+
+  view.orgs.reserve(clustering.clusters.size());
+  for (const auto& [authority, servers] : clustering.clusters) {
+    OrgFootprint footprint;
+    footprint.authority = authority;
+    footprint.server_ips = servers.size();
+    std::unordered_set<net::Asn> ases;
+    for (const net::Ipv4Addr addr : servers) {
+      const auto origin = routing.origin_of(addr);
+      if (!origin) continue;
+      ases.insert(*origin);
+      AsAccumulator& acc = per_as[*origin];
+      acc.servers += 1;
+      acc.orgs.insert(authority.text());
+    }
+    footprint.ases = ases.size();
+    view.orgs.push_back(std::move(footprint));
+  }
+
+  view.ases.reserve(per_as.size());
+  for (const auto& [asn, acc] : per_as)
+    view.ases.push_back(AsHosting{asn, acc.servers, acc.orgs.size()});
+
+  const auto by_servers_desc = [](const auto& a, const auto& b) {
+    return a.server_ips > b.server_ips;
+  };
+  std::sort(view.orgs.begin(), view.orgs.end(), by_servers_desc);
+  std::sort(view.ases.begin(), view.ases.end(), by_servers_desc);
+  return view;
+}
+
+}  // namespace ixp::analysis

@@ -1,0 +1,48 @@
+// Network heterogenization metrics (§5.2, Figure 6).
+//
+// Two complementary views of the same clustering output:
+//   per organization — how many ASes host its servers (Fig. 6b: Akamai's
+//   28K servers sit in 278 ASes; thousands of smaller orgs span several);
+//   per AS — how many organizations' servers it hosts (Fig. 6c: >500 ASes
+//   host servers of >5 orgs, one hoster AS holds 40K+ servers of 350+).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/org_clusterer.hpp"
+#include "net/routing_table.hpp"
+
+namespace ixp::analysis {
+
+struct OrgFootprint {
+  dns::DnsName authority;
+  std::size_t server_ips = 0;
+  std::size_t ases = 0;
+};
+
+struct AsHosting {
+  net::Asn asn;
+  std::size_t server_ips = 0;
+  std::size_t orgs = 0;
+};
+
+struct HeterogeneityView {
+  std::vector<OrgFootprint> orgs;  // sorted by server_ips descending
+  std::vector<AsHosting> ases;     // sorted by server_ips descending
+
+  /// Orgs with more than `threshold` server IPs.
+  [[nodiscard]] std::size_t orgs_with_more_than(std::size_t threshold) const;
+  /// ASes hosting servers of more than `threshold` distinct orgs.
+  [[nodiscard]] std::size_t ases_hosting_more_than(std::size_t threshold) const;
+};
+
+/// Builds both views from a clustering result, resolving each server IP's
+/// AS through the (public) routing table.
+[[nodiscard]] HeterogeneityView build_heterogeneity(
+    const core::ClusteringResult& clustering, const net::RoutingTable& routing);
+
+}  // namespace ixp::analysis

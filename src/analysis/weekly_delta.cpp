@@ -1,0 +1,65 @@
+#include "analysis/weekly_delta.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ixp::analysis {
+
+WeeklyDelta compare_weeks(const core::WeeklyReport& earlier,
+                          const core::WeeklyReport& later, std::size_t top_n) {
+  WeeklyDelta delta;
+  delta.earlier_week = earlier.week;
+  delta.later_week = later.week;
+
+  std::unordered_set<net::Ipv4Addr> earlier_servers;
+  earlier_servers.reserve(earlier.servers.size());
+  for (const auto& obs : earlier.servers) earlier_servers.insert(obs.addr);
+
+  std::unordered_set<net::Ipv4Addr> later_servers;
+  later_servers.reserve(later.servers.size());
+  for (const auto& obs : later.servers) {
+    later_servers.insert(obs.addr);
+    if (earlier_servers.count(obs.addr) > 0)
+      ++delta.servers_common;
+    else
+      ++delta.servers_gained;
+  }
+  for (const net::Ipv4Addr addr : earlier_servers) {
+    if (later_servers.count(addr) == 0) ++delta.servers_lost;
+  }
+
+  if (earlier.peering_ips > 0) {
+    delta.ip_growth = static_cast<double>(later.peering_ips) /
+                          static_cast<double>(earlier.peering_ips) -
+                      1.0;
+  }
+  const double earlier_bytes = earlier.peering_bytes();
+  if (earlier_bytes > 0.0)
+    delta.traffic_growth = later.peering_bytes() / earlier_bytes - 1.0;
+
+  // Per-AS server-count movement.
+  std::unordered_map<net::Asn, std::int64_t> movement;
+  for (const auto& [asn, tally] : later.by_as) {
+    if (tally.server_ips > 0)
+      movement[asn] += static_cast<std::int64_t>(tally.server_ips);
+  }
+  for (const auto& [asn, tally] : earlier.by_as) {
+    if (tally.server_ips > 0)
+      movement[asn] -= static_cast<std::int64_t>(tally.server_ips);
+  }
+  delta.top_movers.reserve(movement.size());
+  for (const auto& [asn, moved] : movement) {
+    if (moved != 0) delta.top_movers.push_back(AsDelta{asn, moved});
+  }
+  std::sort(delta.top_movers.begin(), delta.top_movers.end(),
+            [](const AsDelta& a, const AsDelta& b) {
+              const auto abs_a = a.server_delta < 0 ? -a.server_delta : a.server_delta;
+              const auto abs_b = b.server_delta < 0 ? -b.server_delta : b.server_delta;
+              if (abs_a != abs_b) return abs_a > abs_b;
+              return a.asn < b.asn;  // deterministic tie-break
+            });
+  if (delta.top_movers.size() > top_n) delta.top_movers.resize(top_n);
+  return delta;
+}
+
+}  // namespace ixp::analysis

@@ -1,0 +1,44 @@
+// Week-over-week comparison of two vantage-point reports.
+//
+// §4.2's method in a reusable form: "subsequent weekly snapshots that
+// differ noticeably may be an indication of some change". The delta
+// quantifies what changed between two weeks — server arrivals/departures
+// (overall and per country), growth of the visible universe, and the
+// biggest per-AS server-count movers — which is exactly how the paper
+// spots the EC2 expansion, the hurricane, and the reseller's growth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/vantage_point.hpp"
+
+namespace ixp::analysis {
+
+struct AsDelta {
+  net::Asn asn;
+  std::int64_t server_delta = 0;  // later minus earlier
+};
+
+struct WeeklyDelta {
+  int earlier_week = 0;
+  int later_week = 0;
+
+  std::size_t servers_gained = 0;  // in later, not in earlier
+  std::size_t servers_lost = 0;    // in earlier, not in later
+  std::size_t servers_common = 0;
+
+  double ip_growth = 0.0;      // later/earlier - 1
+  double traffic_growth = 0.0;
+
+  /// ASes with the largest absolute server-count changes, biggest first.
+  std::vector<AsDelta> top_movers;
+};
+
+/// Computes the delta between two weekly reports (any two weeks; they do
+/// not need to be adjacent). `top_n` bounds the mover list.
+[[nodiscard]] WeeklyDelta compare_weeks(const core::WeeklyReport& earlier,
+                                        const core::WeeklyReport& later,
+                                        std::size_t top_n = 10);
+
+}  // namespace ixp::analysis

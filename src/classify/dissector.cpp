@@ -1,0 +1,151 @@
+#include "classify/dissector.hpp"
+
+#include <algorithm>
+
+namespace ixp::classify {
+
+bool IpActivity::multi_purpose() const noexcept {
+  int purposes = 0;
+  if ((flags & (kSeenPort80 | kSeenPort8080)) != 0) ++purposes;
+  if ((flags & kConfirmedHttps) != 0) ++purposes;
+  if ((flags & kSeenRtmp1935) != 0 && (flags & kSeenHttpServer) != 0) ++purposes;
+  return purposes >= 2;
+}
+
+TrafficDissector::TrafficDissector() {
+  activity_.reserve(1 << 16);
+}
+
+void TrafficDissector::note_host(net::Ipv4Addr server, const std::string& host) {
+  auto& hosts = hosts_[server];
+  if (hosts.size() >= kMaxHostsPerServer) return;
+  if (std::find(hosts.begin(), hosts.end(), host) == hosts.end())
+    hosts.push_back(host);
+}
+
+void TrafficDissector::ingest(const PeeringSample& sample) {
+  const sflow::ParsedFrame& frame = sample.frame;
+  const net::Ipv4Addr src = frame.ip->src;
+  const net::Ipv4Addr dst = frame.ip->dst;
+
+  IpActivity& src_info = activity_[src];
+  IpActivity& dst_info = activity_[dst];
+  src_info.samples += 1;
+  dst_info.samples += 1;
+  src_info.bytes += sample.expanded_bytes;
+  dst_info.bytes += sample.expanded_bytes;
+  total_bytes_ += sample.expanded_bytes;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  bool tcp = false;
+  if (frame.is_tcp()) {
+    src_port = frame.tcp->src_port;
+    dst_port = frame.tcp->dst_port;
+    tcp = true;
+  } else if (frame.is_udp()) {
+    src_port = frame.udp->src_port;
+    dst_port = frame.udp->dst_port;
+  }
+
+  // Port-based candidate evidence (HTTPS cannot be string-matched).
+  if (tcp) {
+    if (src_port == 443) src_info.flags |= kCandidate443;
+    if (dst_port == 443) dst_info.flags |= kCandidate443;
+    if (src_port == 1935) src_info.flags |= kSeenRtmp1935;
+    if (dst_port == 1935) dst_info.flags |= kSeenRtmp1935;
+  }
+
+  if (!tcp || frame.payload.empty()) return;
+
+  const HttpMatch match = HttpMatcher::match(frame.payload);
+  switch (match.indication) {
+    case HttpIndication::kNone:
+      return;
+    case HttpIndication::kRequest: {
+      dst_info.flags |= kSeenHttpServer;
+      if (dst_port == 8080)
+        dst_info.flags |= kSeenPort8080;
+      else
+        dst_info.flags |= kSeenPort80;
+      src_info.flags |= kSeenHttpClient;
+      if (match.host) note_host(dst, *match.host);
+      return;
+    }
+    case HttpIndication::kResponse: {
+      src_info.flags |= kSeenHttpServer;
+      if (src_port == 8080)
+        src_info.flags |= kSeenPort8080;
+      else
+        src_info.flags |= kSeenPort80;
+      dst_info.flags |= kSeenHttpClient;
+      if (match.host) note_host(src, *match.host);
+      return;
+    }
+    case HttpIndication::kHeaderOnly: {
+      // Direction unknown; fall back to the conventional server ports.
+      const bool src_serverish =
+          src_port == 80 || src_port == 8080 || src_port == 443;
+      const bool dst_serverish =
+          dst_port == 80 || dst_port == 8080 || dst_port == 443;
+      if (src_serverish && !dst_serverish) {
+        src_info.flags |= kSeenHttpServer | (src_port == 8080 ? kSeenPort8080
+                                                              : kSeenPort80);
+        dst_info.flags |= kSeenHttpClient;
+      } else if (dst_serverish && !src_serverish) {
+        dst_info.flags |= kSeenHttpServer | (dst_port == 8080 ? kSeenPort8080
+                                                              : kSeenPort80);
+        src_info.flags |= kSeenHttpClient;
+      }
+      return;
+    }
+  }
+}
+
+void TrafficDissector::confirm_https(net::Ipv4Addr addr) {
+  activity_[addr].flags |= kConfirmedHttps;
+}
+
+const std::vector<std::string>& TrafficDissector::hosts_of(
+    net::Ipv4Addr addr) const {
+  static const std::vector<std::string> kEmpty;
+  const auto it = hosts_.find(addr);
+  return it == hosts_.end() ? kEmpty : it->second;
+}
+
+std::vector<net::Ipv4Addr> TrafficDissector::https_candidates() const {
+  std::vector<net::Ipv4Addr> out;
+  for (const auto& [addr, info] : activity_) {
+    if ((info.flags & kCandidate443) != 0) out.push_back(addr);
+  }
+  return out;
+}
+
+std::vector<net::Ipv4Addr> TrafficDissector::web_servers() const {
+  std::vector<net::Ipv4Addr> out;
+  for (const auto& [addr, info] : activity_) {
+    if (info.web_server()) out.push_back(addr);
+  }
+  return out;
+}
+
+DissectionSummary TrafficDissector::summarize() const {
+  DissectionSummary s;
+  s.unique_ips = activity_.size();
+  s.total_bytes = total_bytes_;
+  for (const auto& [addr, info] : activity_) {
+    if (info.http_server()) ++s.http_server_ips;
+    if ((info.flags & kCandidate443) != 0) ++s.https_candidate_ips;
+    if (info.https_server()) ++s.https_server_ips;
+    if (info.web_server()) ++s.web_server_ips;
+    if (info.client()) ++s.client_ips;
+    if (info.web_server() && info.client()) {
+      ++s.dual_role_ips;
+      s.dual_role_server_bytes += info.bytes;
+    }
+    if (info.multi_purpose()) ++s.multi_purpose_ips;
+  }
+  return s;
+}
+
+}  // namespace ixp::classify

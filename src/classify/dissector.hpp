@@ -1,0 +1,103 @@
+// Traffic dissection — the discovery pass over one week of peering
+// samples (§2.2.2).
+//
+// The dissector watches every peering sample, applies the HTTP string
+// matcher to the payload snippets, and accumulates per-IP evidence:
+// who acts as an HTTP server, who as a client, who is a port-443 (HTTPS)
+// candidate, who speaks RTMP, and which Host headers (URIs) each server
+// was asked for. Nothing here consults the ground-truth model — the
+// dissector sees only what the IXP would see.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "classify/http_matcher.hpp"
+#include "classify/peering_filter.hpp"
+#include "net/ipv4.hpp"
+
+namespace ixp::classify {
+
+/// Evidence bits per IP.
+inline constexpr std::uint8_t kSeenHttpServer = 0x01;  // string-match evidence
+inline constexpr std::uint8_t kSeenHttpClient = 0x02;
+inline constexpr std::uint8_t kCandidate443 = 0x04;    // traffic on TCP 443
+inline constexpr std::uint8_t kSeenRtmp1935 = 0x08;    // traffic on TCP 1935
+inline constexpr std::uint8_t kSeenPort80 = 0x10;      // server evidence on 80
+inline constexpr std::uint8_t kSeenPort8080 = 0x20;    // server evidence on 8080
+inline constexpr std::uint8_t kConfirmedHttps = 0x40;  // set by the prober
+
+struct IpActivity {
+  std::uint32_t samples = 0;
+  double bytes = 0.0;  // expanded bytes of samples touching this IP
+  std::uint8_t flags = 0;
+
+  [[nodiscard]] bool http_server() const noexcept {
+    return (flags & kSeenHttpServer) != 0;
+  }
+  [[nodiscard]] bool https_server() const noexcept {
+    return (flags & kConfirmedHttps) != 0;
+  }
+  [[nodiscard]] bool web_server() const noexcept {
+    return http_server() || https_server();
+  }
+  [[nodiscard]] bool client() const noexcept {
+    return (flags & kSeenHttpClient) != 0;
+  }
+  /// Multi-purpose: server activity on more than one of {80/8080, 443, 1935}.
+  [[nodiscard]] bool multi_purpose() const noexcept;
+};
+
+/// Week-level tallies produced by finalize().
+struct DissectionSummary {
+  std::size_t unique_ips = 0;
+  std::size_t http_server_ips = 0;
+  std::size_t https_candidate_ips = 0;
+  std::size_t https_server_ips = 0;  // after the prober confirmed them
+  std::size_t web_server_ips = 0;    // HTTP union HTTPS
+  std::size_t client_ips = 0;
+  std::size_t dual_role_ips = 0;     // server and client
+  std::size_t multi_purpose_ips = 0;
+  double dual_role_server_bytes = 0.0;
+  double total_bytes = 0.0;          // peering bytes (each sample once)
+};
+
+class TrafficDissector {
+ public:
+  TrafficDissector();
+
+  /// Ingests one peering sample (output of PeeringFilter::filter).
+  void ingest(const PeeringSample& sample);
+
+  /// Marks an IP as a confirmed HTTPS server (prober feedback).
+  void confirm_https(net::Ipv4Addr addr);
+
+  [[nodiscard]] const std::unordered_map<net::Ipv4Addr, IpActivity>& activity()
+      const noexcept {
+    return activity_;
+  }
+
+  /// Host headers observed per server IP (capped, deduplicated).
+  [[nodiscard]] const std::vector<std::string>& hosts_of(net::Ipv4Addr addr) const;
+
+  /// All port-443 candidates (input to the HTTPS prober).
+  [[nodiscard]] std::vector<net::Ipv4Addr> https_candidates() const;
+
+  /// All identified web-server IPs (call after confirm_https feedback).
+  [[nodiscard]] std::vector<net::Ipv4Addr> web_servers() const;
+
+  [[nodiscard]] DissectionSummary summarize() const;
+
+ private:
+  static constexpr std::size_t kMaxHostsPerServer = 8;
+
+  void note_host(net::Ipv4Addr server, const std::string& host);
+
+  std::unordered_map<net::Ipv4Addr, IpActivity> activity_;
+  std::unordered_map<net::Ipv4Addr, std::vector<std::string>> hosts_;
+  double total_bytes_ = 0.0;
+};
+
+}  // namespace ixp::classify

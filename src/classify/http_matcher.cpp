@@ -1,0 +1,102 @@
+#include "classify/http_matcher.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace ixp::classify {
+
+namespace {
+
+constexpr std::array<std::string_view, 8> kMethods{
+    "GET ", "HEAD ", "POST ", "PUT ", "DELETE ", "OPTIONS ", "TRACE ", "CONNECT "};
+
+// Header field words per the RFCs / W3C specs the paper cites.
+constexpr std::array<std::string_view, 10> kHeaderFields{
+    "Host:", "Server:", "Content-Type:", "Content-Length:", "User-Agent:",
+    "Accept:", "Set-Cookie:", "Cache-Control:", "Location:",
+    "Access-Control-Allow-Methods:"};
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+/// True when `line` (a request's first line) ends in HTTP/1.0 or HTTP/1.1.
+bool request_line_has_version(std::string_view line) {
+  const std::size_t at = line.rfind("HTTP/1.");
+  if (at == std::string_view::npos) return false;
+  if (at + 8 > line.size()) return false;
+  const char minor = line[at + 7];
+  return minor == '0' || minor == '1';
+}
+
+std::string_view first_line(std::string_view text) {
+  const std::size_t eol = text.find("\r\n");
+  return eol == std::string_view::npos ? text : text.substr(0, eol);
+}
+
+/// Extracts the value following "Host:" up to CRLF (trimmed).
+std::optional<std::string> extract_header(std::string_view text,
+                                          std::string_view field) {
+  const std::size_t at = text.find(field);
+  if (at == std::string_view::npos) return std::nullopt;
+  std::size_t begin = at + field.size();
+  while (begin < text.size() && text[begin] == ' ') ++begin;
+  std::size_t end = begin;
+  while (end < text.size() && text[end] != '\r' && text[end] != '\n') ++end;
+  // A value truncated by the capture boundary is unusable only if empty.
+  if (end == begin) return std::nullopt;
+  return std::string{text.substr(begin, end - begin)};
+}
+
+}  // namespace
+
+HttpMatch HttpMatcher::match(std::string_view payload) {
+  HttpMatch result;
+  if (payload.empty()) return result;
+
+  const std::string_view line = first_line(payload);
+
+  // Pattern 1a: request line "METHOD SP path SP HTTP/1.x".
+  for (const std::string_view method : kMethods) {
+    if (!starts_with(line, method)) continue;
+    if (!request_line_has_version(line)) break;  // e.g. RTSP or truncated
+    result.indication = HttpIndication::kRequest;
+    const std::size_t path_begin = method.size();
+    const std::size_t path_end = line.find(' ', path_begin);
+    if (path_end != std::string_view::npos && path_end > path_begin)
+      result.path = std::string{line.substr(path_begin, path_end - path_begin)};
+    result.host = extract_header(payload, "Host:");
+    return result;
+  }
+
+  // Pattern 1b: response status line "HTTP/1.x NNN".
+  if (starts_with(line, "HTTP/1.") && line.size() >= 12 &&
+      (line[7] == '0' || line[7] == '1') && line[8] == ' ' &&
+      std::isdigit(static_cast<unsigned char>(line[9])) &&
+      std::isdigit(static_cast<unsigned char>(line[10])) &&
+      std::isdigit(static_cast<unsigned char>(line[11]))) {
+    result.indication = HttpIndication::kResponse;
+    result.host = extract_header(payload, "Host:");
+    return result;
+  }
+
+  // Pattern 2: header field words anywhere in the snippet (mid-connection
+  // packets of a header that spans frames).
+  for (const std::string_view field : kHeaderFields) {
+    const std::size_t at = payload.find(field);
+    if (at == std::string_view::npos) continue;
+    // Require begin-of-line to avoid matching random payload bytes.
+    if (at != 0 && payload[at - 1] != '\n') continue;
+    result.indication = HttpIndication::kHeaderOnly;
+    result.host = extract_header(payload, "Host:");
+    return result;
+  }
+  return result;
+}
+
+HttpMatch HttpMatcher::match(std::span<const std::byte> payload) {
+  return match(std::string_view{
+      reinterpret_cast<const char*>(payload.data()), payload.size()});
+}
+
+}  // namespace ixp::classify

@@ -1,0 +1,48 @@
+// HTTP string matching over 128-byte payload snippets (§2.2.2).
+//
+// "We use two different patterns. The first pattern matches the initial
+// line of request and response packets and looks for HTTP method words
+// (e.g., GET, HEAD, POST) and the words HTTP/1.{0,1}. The second pattern
+// applies to header lines in any packet of a connection and relies on
+// commonly used HTTP header field words."
+//
+// The matcher also extracts the Host header when present — that is where
+// the URIs of §2.4 come from.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace ixp::classify {
+
+enum class HttpIndication : std::uint8_t {
+  kNone,        // no HTTP evidence in the snippet
+  kRequest,     // initial request line (sender is a client)
+  kResponse,    // initial response line (sender is a server)
+  kHeaderOnly,  // header field words mid-connection (direction unknown)
+};
+
+struct HttpMatch {
+  HttpIndication indication = HttpIndication::kNone;
+  /// Host header value, when the snippet contains one.
+  std::optional<std::string> host;
+  /// Request path (first line of a request), when present.
+  std::optional<std::string> path;
+};
+
+/// Stateless matcher; safe to share across threads.
+class HttpMatcher {
+ public:
+  /// Scans a captured payload snippet. The snippet may be truncated
+  /// mid-line (sFlow capture boundary) — partial trailing tokens are
+  /// ignored rather than misparsed.
+  [[nodiscard]] static HttpMatch match(std::span<const std::byte> payload);
+
+  /// Convenience overload for text.
+  [[nodiscard]] static HttpMatch match(std::string_view payload);
+};
+
+}  // namespace ixp::classify

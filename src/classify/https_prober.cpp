@@ -1,0 +1,39 @@
+#include "classify/https_prober.hpp"
+
+namespace ixp::classify {
+
+bool HttpsProber::probe_one(net::Ipv4Addr addr,
+                            const ChainFetcher& fetch) const {
+  const std::vector<x509::CertificateChain> fetched = fetch(addr, fetches_);
+  if (fetched.empty()) return false;
+  // Spread the fetch timestamps across the probing window ("we perform
+  // the active measurements several times and check for changes").
+  std::vector<x509::Timestamp> times;
+  times.reserve(fetched.size());
+  for (std::size_t i = 0; i < fetched.size(); ++i)
+    times.push_back(static_cast<x509::Timestamp>(100 + 50 * i));
+  return validator_.validate_stable(fetched, times).ok;
+}
+
+std::vector<net::Ipv4Addr> HttpsProber::probe(
+    std::span<const net::Ipv4Addr> candidates, const ChainFetcher& fetch,
+    ProbeFunnel& funnel) const {
+  std::vector<net::Ipv4Addr> confirmed;
+  funnel.candidates += candidates.size();
+  for (const net::Ipv4Addr addr : candidates) {
+    const std::vector<x509::CertificateChain> fetched = fetch(addr, fetches_);
+    if (fetched.empty()) continue;
+    ++funnel.responded;
+    std::vector<x509::Timestamp> times;
+    times.reserve(fetched.size());
+    for (std::size_t i = 0; i < fetched.size(); ++i)
+      times.push_back(static_cast<x509::Timestamp>(100 + 50 * i));
+    if (validator_.validate_stable(fetched, times).ok) {
+      ++funnel.confirmed;
+      confirmed.push_back(addr);
+    }
+  }
+  return confirmed;
+}
+
+}  // namespace ixp::classify

@@ -1,0 +1,49 @@
+#include "classify/peering_filter.hpp"
+
+namespace ixp::classify {
+
+std::optional<PeeringSample> PeeringFilter::filter(
+    const sflow::FlowSample& sample, FilterCounters& counters) const {
+  const double expanded = static_cast<double>(sample.frame.frame_length) *
+                          static_cast<double>(sample.sampling_rate);
+  const auto account = [&](TrafficClass c) {
+    counters.samples[static_cast<std::size_t>(c)] += 1;
+    counters.bytes[static_cast<std::size_t>(c)] += expanded;
+  };
+
+  const auto parsed = sflow::parse_frame(sample.frame);
+  if (!parsed) {
+    // Unparsable captures are treated as non-IPv4 junk.
+    account(TrafficClass::kNonIpv4);
+    return std::nullopt;
+  }
+
+  // Step 1: IPv4 only.
+  if (!parsed->is_ipv4()) {
+    account(TrafficClass::kNonIpv4);
+    return std::nullopt;
+  }
+
+  // Step 2: member-to-member and not local. Management traffic (the
+  // IXP's own MACs) counts as local.
+  const sflow::MacAddr src = parsed->eth.src;
+  const sflow::MacAddr dst = parsed->eth.dst;
+  const bool local = src == ixp_->management_mac() || dst == ixp_->management_mac();
+  if (local || !ixp_->is_member_port(src, week_) ||
+      !ixp_->is_member_port(dst, week_)) {
+    account(TrafficClass::kNonMemberOrLocal);
+    return std::nullopt;
+  }
+
+  // Step 3: TCP or UDP only.
+  if (!parsed->is_tcp() && !parsed->is_udp()) {
+    account(TrafficClass::kNonTcpUdp);
+    return std::nullopt;
+  }
+
+  account(TrafficClass::kPeering);
+  (parsed->is_tcp() ? counters.tcp_bytes : counters.udp_bytes) += expanded;
+  return PeeringSample{*parsed, expanded};
+}
+
+}  // namespace ixp::classify

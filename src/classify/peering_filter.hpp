@@ -1,0 +1,72 @@
+// The Figure-1 filter cascade.
+//
+// "After removing from the overall traffic, in succession, all non-IPv4
+// traffic (~0.4%), all traffic that is either not member-to-member or
+// stays local (~0.6%), all member-to-member IPv4 traffic that is not TCP
+// or UDP (<0.5%), this peering traffic makes up more than 98.5% of the
+// total traffic."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "fabric/ixp.hpp"
+#include "sflow/datagram.hpp"
+#include "sflow/frame.hpp"
+
+namespace ixp::classify {
+
+enum class TrafficClass : std::uint8_t {
+  kNonIpv4,          // native IPv6, ARP, ...
+  kNonMemberOrLocal, // not member-to-member, or IXP management traffic
+  kNonTcpUdp,        // member-to-member IPv4, but ICMP/GRE/...
+  kPeering,          // the traffic all analyses run on
+};
+
+/// Sample and (expanded) byte tallies per class, plus the TCP/UDP split
+/// of the surviving peering traffic.
+struct FilterCounters {
+  std::uint64_t samples[4] = {0, 0, 0, 0};
+  double bytes[4] = {0, 0, 0, 0};
+  double tcp_bytes = 0.0;
+  double udp_bytes = 0.0;
+
+  [[nodiscard]] std::uint64_t total_samples() const noexcept {
+    return samples[0] + samples[1] + samples[2] + samples[3];
+  }
+  [[nodiscard]] double total_bytes() const noexcept {
+    return bytes[0] + bytes[1] + bytes[2] + bytes[3];
+  }
+  [[nodiscard]] std::uint64_t of(TrafficClass c) const noexcept {
+    return samples[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] double bytes_of(TrafficClass c) const noexcept {
+    return bytes[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Classification result for one sample that survived to peering.
+struct PeeringSample {
+  sflow::ParsedFrame frame;
+  double expanded_bytes = 0.0;  // frame_length x sampling rate
+};
+
+class PeeringFilter {
+ public:
+  /// `week` selects which members are on the fabric.
+  PeeringFilter(const fabric::Ixp& ixp, int week) noexcept
+      : ixp_(&ixp), week_(week) {}
+
+  /// Classifies one sample, updates `counters`, and returns the parsed
+  /// frame when (and only when) it is peering traffic.
+  std::optional<PeeringSample> filter(const sflow::FlowSample& sample,
+                                      FilterCounters& counters) const;
+
+  [[nodiscard]] int week() const noexcept { return week_; }
+
+ private:
+  const fabric::Ixp* ixp_;
+  int week_;
+};
+
+}  // namespace ixp::classify

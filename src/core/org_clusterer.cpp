@@ -1,0 +1,259 @@
+#include "core/org_clusterer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+namespace ixp::core {
+
+namespace {
+
+/// Per-cluster growth state used by the majority vote.
+struct ClusterState {
+  std::size_t ips = 0;
+  std::unordered_set<std::uint32_t> footprint;  // distinct /16s
+
+  [[nodiscard]] double score(VoteKey key) const {
+    const double ip_score = static_cast<double>(ips);
+    if (key == VoteKey::kIpsOnly) return ip_score;
+    return ip_score + 4.0 * static_cast<double>(footprint.size());
+  }
+};
+
+std::uint32_t slash16_of(net::Ipv4Addr addr) { return addr.value() >> 16; }
+
+}  // namespace
+
+/// The observable signals of one server, reduced to authorities.
+struct OrgClusterer::Signals {
+  /// Authority of the *IP* (hostname SOA resolved iteratively).
+  std::optional<dns::DnsName> ip_authority;
+  /// True when ip_authority came from a hostname (step-1 eligible) rather
+  /// than from a bare reverse-zone SOA (step-3 material).
+  bool ip_authority_from_hostname = false;
+  /// Authorities of the *content* (URIs and certificate names).
+  std::vector<dns::DnsName> content_authorities;
+  /// Registrable domain of the hostname itself, when present.
+  std::optional<dns::DnsName> hostname_domain;
+  /// Registrable domains of the content names (parallel to authorities).
+  std::vector<dns::DnsName> content_domains;
+
+  [[nodiscard]] bool empty() const {
+    return !ip_authority && content_authorities.empty();
+  }
+};
+
+ClusteringResult OrgClusterer::cluster(
+    std::span<const classify::ServerMetadata> servers) const {
+  ClusteringResult result;
+  result.by_server.reserve(servers.size());
+
+  // ---- shared-authority detection ------------------------------------------
+  // First pass: how many distinct registrable domains does each SOA
+  // authority answer for across the whole pool? Authorities above the
+  // threshold are shared DNS infrastructure (outsourced-DNS providers,
+  // hosters running tenants' zones); their SOA names the zone operator,
+  // not necessarily the server's administration, so the affected signal
+  // degrades to the name's own registrable domain and the step-2 vote
+  // decides ownership.
+  const auto registrable_of = [&](const dns::DnsName& name)
+      -> std::optional<dns::DnsName> { return psl_->registrable_domain(name); };
+
+  std::unordered_map<dns::DnsName, std::unordered_set<dns::DnsName>>
+      authority_domains;
+  std::unordered_set<dns::DnsName> hostname_backed;  // orgs with own servers
+  const auto note_pair = [&](const dns::DnsName& name) {
+    const auto registrable = registrable_of(name);
+    if (!registrable) return;
+    if (const auto soa = db_->soa_of(*registrable)) {
+      if (soa->authority != *registrable)
+        authority_domains[soa->authority].insert(*registrable);
+    }
+  };
+  for (const classify::ServerMetadata& md : servers) {
+    if (md.hostname) {
+      note_pair(*md.hostname);
+      // Real organizations name servers under their own domains; pure
+      // DNS providers never appear on the hostname side.
+      if (const auto registrable = registrable_of(*md.hostname))
+        hostname_backed.insert(*registrable);
+    }
+    for (const dns::Uri& uri : md.uris) note_pair(uri.host());
+    for (const dns::DnsName& name : md.cert_names) note_pair(name);
+  }
+  const auto is_shared = [&](const dns::DnsName& authority) {
+    if (hostname_backed.count(authority) > 0) return false;
+    const auto it = authority_domains.find(authority);
+    return it != authority_domains.end() &&
+           it->second.size() >= options_.shared_authority_threshold;
+  };
+
+  // ---- derive signals -----------------------------------------------------
+  const auto authority_of_domain =
+      [&](const dns::DnsName& domain) -> dns::DnsName {
+    // The authority of a content domain is its SOA's administrative
+    // domain when one exists (and is not shared infrastructure),
+    // otherwise the registrable domain itself.
+    if (const auto soa = db_->soa_of(domain)) {
+      if (!is_shared(soa->authority)) return soa->authority;
+    }
+    return domain;
+  };
+
+  std::vector<Signals> signals(servers.size());
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const classify::ServerMetadata& md = servers[i];
+    Signals& sig = signals[i];
+    if (md.hostname) sig.hostname_domain = registrable_of(*md.hostname);
+    if (md.soa_authority) {
+      if (md.hostname && is_shared(*md.soa_authority) && sig.hostname_domain) {
+        // The hostname's zone is run by shared infrastructure: identify
+        // the IP by the hostname's own registrable domain instead.
+        sig.ip_authority = *sig.hostname_domain;
+        sig.ip_authority_from_hostname = true;
+      } else {
+        sig.ip_authority = md.soa_authority;
+        sig.ip_authority_from_hostname = md.hostname.has_value();
+      }
+    }
+    const auto add_content = [&](const dns::DnsName& name) {
+      const auto registrable = registrable_of(name);
+      if (!registrable) return;
+      sig.content_domains.push_back(*registrable);
+      sig.content_authorities.push_back(authority_of_domain(*registrable));
+    };
+    for (const dns::Uri& uri : md.uris) add_content(uri.host());
+    for (const dns::DnsName& name : md.cert_names) add_content(name);
+
+    // When the hostname and every content name share one registrable
+    // domain, that domain IS the administrative entity: its SOA merely
+    // tells us who runs its DNS (possibly an outsourced provider), not
+    // who controls IP and content. Collapse the signals onto the domain.
+    if (sig.hostname_domain && !sig.content_domains.empty()) {
+      const bool all_same = std::all_of(
+          sig.content_domains.begin(), sig.content_domains.end(),
+          [&](const dns::DnsName& d) { return d == *sig.hostname_domain; });
+      if (all_same && sig.ip_authority != sig.hostname_domain) {
+        sig.ip_authority = *sig.hostname_domain;
+        sig.ip_authority_from_hostname = true;
+        sig.content_authorities.assign(sig.content_authorities.size(),
+                                       *sig.hostname_domain);
+      }
+    }
+  }
+
+  std::unordered_map<dns::DnsName, ClusterState> state;
+  const auto assign = [&](std::size_t i, const dns::DnsName& authority,
+                          int step) {
+    result.by_server.emplace(servers[i].addr, ClusterAssignment{authority, step});
+    result.clusters[authority].push_back(servers[i].addr);
+    result.step_counts[step] += 1;
+    ClusterState& cluster = state[authority];
+    cluster.ips += 1;
+    cluster.footprint.insert(slash16_of(servers[i].addr));
+  };
+
+  // ---- step 1: IP and content under the same authority --------------------
+  std::vector<std::size_t> remaining;
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const Signals& sig = signals[i];
+    if (sig.empty()) {
+      result.by_server.emplace(servers[i].addr, ClusterAssignment{});
+      result.step_counts[0] += 1;
+      continue;
+    }
+    if (sig.ip_authority && sig.ip_authority_from_hostname) {
+      const bool consistent = std::all_of(
+          sig.content_authorities.begin(), sig.content_authorities.end(),
+          [&](const dns::DnsName& a) { return a == *sig.ip_authority; });
+      if (consistent) {
+        assign(i, *sig.ip_authority, 1);
+        continue;
+      }
+    }
+    remaining.push_back(i);
+  }
+
+  if (options_.max_step < 2) {
+    for (const std::size_t i : remaining) {
+      result.by_server.emplace(servers[i].addr, ClusterAssignment{});
+      result.step_counts[0] += 1;
+    }
+    return result;
+  }
+
+  // ---- steps 2 and 3: majority vote ---------------------------------------
+  // Step 2 first (servers with content signals), then step 3 (partial-SOA
+  // only), so the step-3 vote can lean on everything built before it.
+  const auto majority_vote = [&](std::size_t i) -> std::optional<dns::DnsName> {
+    const Signals& sig = signals[i];
+    // Candidate scores: authorities the server's signals point at (full
+    // weight), the content names' own registrable domains (reduced
+    // weight — an org whose DNS is outsourced is still the org, but the
+    // authority signal is the primary one), and the IP-side authority.
+    std::map<dns::DnsName, double> local;
+    for (const dns::DnsName& authority : sig.content_authorities)
+      local[authority] += 1.0;
+    for (const dns::DnsName& domain : sig.content_domains) {
+      if (std::find(sig.content_authorities.begin(),
+                    sig.content_authorities.end(),
+                    domain) == sig.content_authorities.end())
+        local[domain] += 0.6;
+    }
+    if (sig.ip_authority) local[*sig.ip_authority] += 1.2;
+    if (local.empty()) return std::nullopt;
+
+    const dns::DnsName* best = nullptr;
+    double best_score = -1.0;
+    for (const auto& [candidate, local_score] : local) {
+      double global = 0.0;
+      const auto it = state.find(candidate);
+      if (it != state.end()) global = it->second.score(options_.vote);
+      const double score = local_score + global;
+      // std::map iteration is ordered, so ties resolve to the
+      // lexicographically smaller authority deterministically.
+      if (score > best_score) {
+        best_score = score;
+        best = &candidate;
+      }
+    }
+    return *best;
+  };
+
+  std::vector<std::size_t> partial_only;
+  for (const std::size_t i : remaining) {
+    const Signals& sig = signals[i];
+    const bool has_content = !sig.content_authorities.empty();
+    const bool hostname_backed = sig.ip_authority_from_hostname;
+    if (!has_content && !hostname_backed) {
+      partial_only.push_back(i);  // step-3 material
+      continue;
+    }
+    if (const auto authority = majority_vote(i)) {
+      assign(i, *authority, 2);
+    } else {
+      result.by_server.emplace(servers[i].addr, ClusterAssignment{});
+      result.step_counts[0] += 1;
+    }
+  }
+
+  if (options_.max_step < 3) {
+    for (const std::size_t i : partial_only) {
+      result.by_server.emplace(servers[i].addr, ClusterAssignment{});
+      result.step_counts[0] += 1;
+    }
+    return result;
+  }
+
+  for (const std::size_t i : partial_only) {
+    if (const auto authority = majority_vote(i)) {
+      assign(i, *authority, 3);
+    } else {
+      result.by_server.emplace(servers[i].addr, ClusterAssignment{});
+      result.step_counts[0] += 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace ixp::core

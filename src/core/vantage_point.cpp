@@ -1,0 +1,144 @@
+#include "core/vantage_point.hpp"
+
+namespace ixp::core {
+
+VantagePoint::VantagePoint(
+    const fabric::Ixp& ixp, const net::RoutingTable& routing,
+    const geo::GeoDatabase& geo,
+    const std::unordered_map<net::Asn, net::Locality>& locality,
+    const dns::ZoneDatabase& dns, const dns::PublicSuffixList& psl,
+    const x509::RootStore& roots, VantageOptions options)
+    : ixp_(&ixp),
+      routing_(&routing),
+      geo_(&geo),
+      locality_(&locality),
+      dns_(&dns),
+      psl_(&psl),
+      roots_(&roots),
+      options_(options) {}
+
+void VantagePoint::begin_week(int week) {
+  week_ = week;
+  filter_.emplace(*ixp_, week);
+  dissector_ = std::make_unique<classify::TrafficDissector>();
+  counters_ = classify::FilterCounters{};
+  confirmed_chains_.clear();
+}
+
+void VantagePoint::observe(const sflow::FlowSample& sample) {
+  const auto peering = filter_->filter(sample, counters_);
+  if (peering) dissector_->ingest(*peering);
+}
+
+WeeklyReport VantagePoint::end_week(const classify::ChainFetcher& fetch) {
+  WeeklyReport report;
+  report.week = week_;
+  report.filters = counters_;
+
+  // ---- HTTPS probing -------------------------------------------------------
+  const std::vector<net::Ipv4Addr> candidates = dissector_->https_candidates();
+  classify::HttpsProber prober{*roots_, *psl_, options_.fetches_per_ip};
+  const std::vector<net::Ipv4Addr> confirmed =
+      prober.probe(candidates, fetch, report.https_funnel);
+  for (const net::Ipv4Addr addr : confirmed) {
+    dissector_->confirm_https(addr);
+    auto chains = fetch(addr, 1);
+    if (!chains.empty()) confirmed_chains_.emplace(addr, std::move(chains.front()));
+  }
+  report.dissection = dissector_->summarize();
+
+  // ---- visibility aggregation ---------------------------------------------
+  const auto locality_index = [&](net::Asn asn) -> int {
+    const auto it = locality_->find(asn);
+    if (it == locality_->end()) return 2;  // unknown: global
+    switch (it->second) {
+      case net::Locality::kMember: return 0;
+      case net::Locality::kNear: return 1;
+      default: return 2;
+    }
+  };
+
+  std::unordered_set<net::Ipv4Prefix> peering_prefixes;
+  std::unordered_set<net::Asn> peering_ases;
+  std::unordered_set<geo::CountryCode> peering_countries;
+  std::unordered_set<net::Ipv4Prefix> server_prefixes;
+  std::unordered_set<net::Asn> server_ases;
+  std::unordered_set<geo::CountryCode> server_countries;
+
+  classify::MetadataHarvester harvester{*dns_, *psl_};
+
+  for (const auto& [addr, info] : dissector_->activity()) {
+    ++report.peering_ips;
+    const auto route = routing_->route_of(addr);
+    const auto country = geo_->country_of(addr);
+    const bool server = info.web_server();
+
+    if (route) {
+      peering_prefixes.insert(route->prefix);
+      peering_ases.insert(route->origin);
+      const int li = locality_index(route->origin);
+      report.peering_locality[li].ips += 1;
+      report.peering_locality[li].prefixes.insert(route->prefix);
+      report.peering_locality[li].ases.insert(route->origin);
+      report.peering_locality[li].bytes += info.bytes;
+      AsTally& as_tally = report.by_as[route->origin];
+      as_tally.ips += 1;
+      as_tally.bytes += info.bytes;
+      if (server) {
+        as_tally.server_ips += 1;
+        as_tally.server_bytes += info.bytes;
+        server_prefixes.insert(route->prefix);
+        server_ases.insert(route->origin);
+        report.server_locality[li].ips += 1;
+        report.server_locality[li].prefixes.insert(route->prefix);
+        report.server_locality[li].ases.insert(route->origin);
+        report.server_locality[li].bytes += info.bytes;
+      }
+    }
+    if (country) {
+      peering_countries.insert(*country);
+      CountryTally& tally = report.by_country[*country];
+      tally.ips += 1;
+      tally.bytes += info.bytes;
+      if (server) {
+        tally.server_ips += 1;
+        tally.server_bytes += info.bytes;
+        server_countries.insert(*country);
+      }
+    }
+
+    if (!server) continue;
+    ++report.server_ips;
+    ServerObservation obs;
+    obs.addr = addr;
+    obs.bytes = info.bytes;
+    obs.http = info.http_server();
+    obs.https = info.https_server();
+    obs.rtmp = (info.flags & classify::kSeenRtmp1935) != 0;
+    obs.also_client = info.client();
+    if (route) obs.asn = route->origin;
+    if (country) obs.country = *country;
+
+    const auto chain_it = confirmed_chains_.find(addr);
+    obs.metadata = harvester.harvest(
+        addr, dissector_->hosts_of(addr),
+        chain_it == confirmed_chains_.end() ? nullptr : &chain_it->second);
+    // §2.4 cleaning: a server whose metadata was entirely cleaned away
+    // drops out of the §5 analyses (but still counts as a server IP).
+    if (!obs.metadata.has_any() &&
+        (!dissector_->hosts_of(addr).empty() || dns_->reverse(addr)))
+      ++report.metadata_cleaned_out;
+    report.metadata_coverage.add(obs.metadata);
+    report.servers.push_back(std::move(obs));
+  }
+
+  report.peering_prefixes = peering_prefixes.size();
+  report.peering_ases = peering_ases.size();
+  report.peering_countries = peering_countries.size();
+  report.server_prefixes = server_prefixes.size();
+  report.server_ases = server_ases.size();
+  report.server_countries = server_countries.size();
+  return report;
+}
+
+}  // namespace ixp::core

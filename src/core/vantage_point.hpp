@@ -1,0 +1,146 @@
+// VantagePoint — the top-level measurement façade.
+//
+// Wires the whole pipeline for one observation week: sFlow sample stream
+// -> Figure-1 filter cascade -> traffic dissection -> HTTPS probing ->
+// metadata harvest -> aggregation against public databases (routing
+// table, AS graph locality, geolocation). The output WeeklyReport carries
+// everything the paper's tables and figures need for that week.
+//
+// The VantagePoint never touches generator ground truth: its inputs are
+// the sample stream, active-measurement callbacks, and databases that are
+// public in the real world (RouteViews-style routing, GeoLite-style
+// geolocation, DNS, root certificates).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "classify/dissector.hpp"
+#include "classify/https_prober.hpp"
+#include "classify/metadata.hpp"
+#include "classify/peering_filter.hpp"
+#include "core/org_clusterer.hpp"
+#include "geo/geo_database.hpp"
+#include "net/as_graph.hpp"
+#include "net/routing_table.hpp"
+
+namespace ixp::core {
+
+/// Per-country aggregates (Figure 3, Table 2).
+struct CountryTally {
+  std::size_t ips = 0;
+  double bytes = 0.0;
+  std::size_t server_ips = 0;
+  double server_bytes = 0.0;
+};
+
+/// Per-AS aggregates (Table 2's network columns).
+struct AsTally {
+  std::size_t ips = 0;
+  double bytes = 0.0;
+  std::size_t server_ips = 0;
+  double server_bytes = 0.0;
+};
+
+/// Per-locality aggregates (Table 3).
+struct LocalityTally {
+  std::size_t ips = 0;
+  std::unordered_set<net::Ipv4Prefix> prefixes;
+  std::unordered_set<net::Asn> ases;
+  double bytes = 0.0;
+};
+
+/// One identified server with its observables.
+struct ServerObservation {
+  net::Ipv4Addr addr;
+  double bytes = 0.0;           // expanded bytes the IP "sees"
+  bool http = false;
+  bool https = false;
+  bool rtmp = false;
+  bool also_client = false;
+  std::optional<net::Asn> asn;  // origin AS per the routing table
+  geo::CountryCode country;
+  classify::ServerMetadata metadata;
+};
+
+struct WeeklyReport {
+  int week = 0;
+  classify::FilterCounters filters;
+  classify::DissectionSummary dissection;
+  classify::ProbeFunnel https_funnel;
+  classify::MetadataCoverage metadata_coverage;
+  std::size_t metadata_cleaned_out = 0;  // §2.4 cleaning losses
+
+  // Visibility (Table 1): peering row and server row.
+  std::size_t peering_ips = 0;
+  std::size_t peering_prefixes = 0;
+  std::size_t peering_ases = 0;
+  std::size_t peering_countries = 0;
+  std::size_t server_ips = 0;
+  std::size_t server_prefixes = 0;
+  std::size_t server_ases = 0;
+  std::size_t server_countries = 0;
+
+  std::unordered_map<geo::CountryCode, CountryTally> by_country;
+  std::unordered_map<net::Asn, AsTally> by_as;
+  /// Index 0/1/2 = A(L)/A(M)/A(G); peering and server variants.
+  LocalityTally peering_locality[3];
+  LocalityTally server_locality[3];
+
+  std::vector<ServerObservation> servers;
+
+  [[nodiscard]] double peering_bytes() const noexcept {
+    return filters.bytes_of(classify::TrafficClass::kPeering);
+  }
+};
+
+/// VantagePoint knobs.
+struct VantageOptions {
+  int fetches_per_ip = 3;
+};
+
+class VantagePoint {
+ public:
+  VantagePoint(const fabric::Ixp& ixp, const net::RoutingTable& routing,
+               const geo::GeoDatabase& geo,
+               const std::unordered_map<net::Asn, net::Locality>& locality,
+               const dns::ZoneDatabase& dns, const dns::PublicSuffixList& psl,
+               const x509::RootStore& roots, VantageOptions options = {});
+
+  /// Starts a new observation week; resets per-week state.
+  void begin_week(int week);
+
+  /// Ingests one sFlow sample (call once per sample of the week).
+  void observe(const sflow::FlowSample& sample);
+
+  /// Finishes the week: runs the HTTPS prober via `fetch`, harvests
+  /// metadata, aggregates everything. The returned report is self-contained.
+  [[nodiscard]] WeeklyReport end_week(const classify::ChainFetcher& fetch);
+
+  /// The dissector of the week in progress (for advanced callers).
+  [[nodiscard]] const classify::TrafficDissector& dissector() const {
+    return *dissector_;
+  }
+
+ private:
+  const fabric::Ixp* ixp_;
+  const net::RoutingTable* routing_;
+  const geo::GeoDatabase* geo_;
+  const std::unordered_map<net::Asn, net::Locality>* locality_;
+  const dns::ZoneDatabase* dns_;
+  const dns::PublicSuffixList* psl_;
+  const x509::RootStore* roots_;
+  VantageOptions options_;
+
+  int week_ = 0;
+  std::optional<classify::PeeringFilter> filter_;
+  std::unique_ptr<classify::TrafficDissector> dissector_;
+  classify::FilterCounters counters_;
+  /// Validated chains of confirmed HTTPS servers (leaf names feed §2.4).
+  std::unordered_map<net::Ipv4Addr, x509::CertificateChain> confirmed_chains_;
+};
+
+}  // namespace ixp::core

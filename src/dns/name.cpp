@@ -1,0 +1,75 @@
+#include "dns/name.hpp"
+
+#include <cctype>
+
+namespace ixp::dns {
+
+namespace {
+
+bool valid_label_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-' || c == '_';
+}
+
+}  // namespace
+
+std::optional<DnsName> DnsName::parse(std::string_view text) {
+  if (!text.empty() && text.back() == '.') text.remove_suffix(1);
+  if (text.empty() || text.size() > 253) return std::nullopt;
+
+  std::string normalized;
+  normalized.reserve(text.size());
+  std::size_t labels = 0;
+  std::size_t label_len = 0;
+  for (const char raw : text) {
+    const char c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(raw)));
+    if (c == '.') {
+      if (label_len == 0 || label_len > 63) return std::nullopt;
+      ++labels;
+      label_len = 0;
+      normalized.push_back('.');
+      continue;
+    }
+    if (!valid_label_char(c)) return std::nullopt;
+    ++label_len;
+    normalized.push_back(c);
+  }
+  if (label_len == 0 || label_len > 63) return std::nullopt;
+  ++labels;
+  return DnsName{std::move(normalized), labels};
+}
+
+std::string_view DnsName::label(std::size_t i) const {
+  std::string_view rest = text_;
+  for (std::size_t skipped = 0; skipped < i; ++skipped) {
+    const std::size_t dot = rest.find('.');
+    if (dot == std::string_view::npos) return {};
+    rest.remove_prefix(dot + 1);
+  }
+  const std::size_t dot = rest.find('.');
+  return dot == std::string_view::npos ? rest : rest.substr(0, dot);
+}
+
+std::optional<DnsName> DnsName::parent() const {
+  const std::size_t dot = text_.find('.');
+  if (dot == std::string::npos) return std::nullopt;
+  return DnsName{text_.substr(dot + 1), labels_ - 1};
+}
+
+DnsName DnsName::suffix(std::size_t n) const {
+  if (n >= labels_) return *this;
+  std::string_view rest = text_;
+  for (std::size_t skipped = 0; skipped < labels_ - n; ++skipped) {
+    const std::size_t dot = rest.find('.');
+    rest.remove_prefix(dot + 1);
+  }
+  return DnsName{std::string{rest}, n};
+}
+
+bool DnsName::is_subdomain_of(const DnsName& ancestor) const {
+  if (ancestor.empty() || empty()) return false;
+  if (ancestor.labels_ > labels_) return false;
+  return suffix(ancestor.labels_) == ancestor;
+}
+
+}  // namespace ixp::dns

@@ -1,0 +1,66 @@
+// DNS names.
+//
+// A DnsName is a normalized (lower-case, no trailing dot) sequence of
+// labels. The clustering methodology of §5.1 constantly walks name
+// hierarchies (hostname -> SOA zone -> administrative authority), so the
+// type exposes label-wise parents and subdomain tests.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ixp::dns {
+
+class DnsName {
+ public:
+  DnsName() = default;
+
+  /// Parses and normalizes a presentation-format name ("WWW.Example.COM.").
+  /// Returns nullopt for empty names, empty labels, names > 253 chars,
+  /// labels > 63 chars, or characters outside [a-z0-9-_].
+  [[nodiscard]] static std::optional<DnsName> parse(std::string_view text);
+
+  /// The normalized presentation form ("www.example.com"); empty for the
+  /// default-constructed (invalid) name.
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+  [[nodiscard]] bool empty() const noexcept { return text_.empty(); }
+
+  [[nodiscard]] std::size_t label_count() const noexcept { return labels_; }
+
+  /// The i-th label counting from the leftmost (0 = host label).
+  [[nodiscard]] std::string_view label(std::size_t i) const;
+
+  /// Name with the leftmost label removed ("www.example.com" -> "example.com").
+  /// Returns nullopt when only one label remains.
+  [[nodiscard]] std::optional<DnsName> parent() const;
+
+  /// The trailing `n` labels ("a.b.example.com".suffix(2) == "example.com").
+  /// Requires 1 <= n <= label_count().
+  [[nodiscard]] DnsName suffix(std::size_t n) const;
+
+  /// True when this name equals `ancestor` or is underneath it.
+  [[nodiscard]] bool is_subdomain_of(const DnsName& ancestor) const;
+
+  friend auto operator<=>(const DnsName&, const DnsName&) = default;
+
+ private:
+  explicit DnsName(std::string text, std::size_t labels)
+      : text_(std::move(text)), labels_(labels) {}
+
+  std::string text_;
+  std::size_t labels_ = 0;
+};
+
+}  // namespace ixp::dns
+
+template <>
+struct std::hash<ixp::dns::DnsName> {
+  std::size_t operator()(const ixp::dns::DnsName& name) const noexcept {
+    return std::hash<std::string>{}(name.text());
+  }
+};

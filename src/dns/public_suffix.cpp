@@ -1,0 +1,90 @@
+#include "dns/public_suffix.hpp"
+
+namespace ixp::dns {
+
+namespace {
+
+constexpr const char* kBuiltinSuffixes[] = {
+    // Generic TLDs.
+    "com", "net", "org", "info", "biz", "edu", "gov", "mil", "int",
+    "arpa", "tv", "cc", "io", "me", "co", "tel", "mobi", "name", "pro",
+    "aero", "asia", "cat", "coop", "jobs", "museum", "travel", "xxx",
+    // Country TLDs (directly registrable).
+    "de", "nl", "fr", "it", "es", "pl", "cz", "ch", "at", "be", "dk",
+    "fi", "no", "se", "pt", "gr", "hu", "ie", "lu", "li", "sk", "si",
+    "ro", "bg", "hr", "rs", "lt", "lv", "ee", "is", "mt", "cy", "eu",
+    "us", "ca", "mx", "cl", "pe", "ve", "ec", "su", "kz", "by", "md",
+    "ua", "ge", "am", "az", "vn", "hk", "tw", "sg", "my", "ph", "th",
+    "id", "in", "pk", "lk", "np", "ir", "iq", "sa", "ae", "jo", "lb",
+    "kw", "qa", "bh", "om", "eg", "ma", "dz", "tn", "ng", "ke", "gh",
+    "za", "ws", "to", "fm", "la", "ly", "am", "gg", "je", "im",
+    // Popular ccSLD conventions.
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "net.uk", "ltd.uk",
+    "plc.uk", "sch.uk",
+    "com.au", "net.au", "org.au", "edu.au", "gov.au", "id.au",
+    "co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp", "ad.jp",
+    "com.cn", "net.cn", "org.cn", "edu.cn", "gov.cn", "ac.cn",
+    "com.br", "net.br", "org.br", "gov.br", "edu.br",
+    "co.kr", "ne.kr", "or.kr", "re.kr", "go.kr", "ac.kr",
+    "com.tr", "net.tr", "org.tr", "edu.tr", "gov.tr", "web.tr",
+    "com.ru", "net.ru", "org.ru", "msk.ru", "spb.ru",
+    "co.in", "net.in", "org.in", "gen.in", "firm.in", "ac.in",
+    "com.ar", "net.ar", "org.ar", "edu.ar",
+    "com.mx", "net.mx", "org.mx", "edu.mx",
+    "co.za", "net.za", "org.za", "web.za", "ac.za",
+    "com.sg", "net.sg", "org.sg", "edu.sg",
+    "com.hk", "net.hk", "org.hk", "edu.hk",
+    "com.tw", "net.tw", "org.tw", "edu.tw",
+    "co.il", "net.il", "org.il", "ac.il",
+    "com.ua", "net.ua", "org.ua", "kiev.ua",
+    "com.pl", "net.pl", "org.pl", "edu.pl",
+    "co.nz", "net.nz", "org.nz", "govt.nz", "ac.nz",
+    "com.my", "net.my", "org.my",
+    "co.id", "net.id", "or.id", "web.id", "ac.id",
+    "com.ph", "net.ph", "org.ph",
+    "com.vn", "net.vn", "org.vn",
+    "co.th", "in.th", "or.th", "ac.th",
+    "com.eg", "net.eg", "org.eg",
+    "com.sa", "net.sa", "org.sa",
+    "com.ng", "net.ng", "org.ng",
+    "co.ke", "or.ke", "ne.ke", "ac.ke",
+};
+
+}  // namespace
+
+const PublicSuffixList& PublicSuffixList::builtin() {
+  static const PublicSuffixList list = [] {
+    PublicSuffixList psl;
+    for (const char* suffix : kBuiltinSuffixes) psl.add(suffix);
+    return psl;
+  }();
+  return list;
+}
+
+void PublicSuffixList::add(std::string_view suffix) {
+  if (const auto name = DnsName::parse(suffix)) suffixes_.insert(*name);
+}
+
+bool PublicSuffixList::is_public_suffix(const DnsName& name) const {
+  return suffixes_.count(name) > 0;
+}
+
+std::optional<DnsName> PublicSuffixList::public_suffix_of(
+    const DnsName& name) const {
+  // Longest match: try trailing label counts from longest to shortest.
+  for (std::size_t n = name.label_count(); n >= 1; --n) {
+    const DnsName candidate = name.suffix(n);
+    if (suffixes_.count(candidate) > 0) return candidate;
+  }
+  return std::nullopt;
+}
+
+std::optional<DnsName> PublicSuffixList::registrable_domain(
+    const DnsName& name) const {
+  const auto suffix = public_suffix_of(name);
+  if (!suffix) return std::nullopt;
+  if (suffix->label_count() == name.label_count()) return std::nullopt;
+  return name.suffix(suffix->label_count() + 1);
+}
+
+}  // namespace ixp::dns

@@ -1,0 +1,46 @@
+// Public-suffix handling (publicsuffix.org-style).
+//
+// The paper's HTTPS validation (§2.2.2) keeps only certificates whose
+// subjects have "valid domains and also valid country-code second-level
+// domains (ccSLD)". That check needs a public suffix list: "example.co.uk"
+// is a registrable domain because "co.uk" is a public suffix, while
+// "co.uk" itself is not registrable. The default list bundles the generic
+// TLDs plus the ccSLD conventions of the big country registries.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <unordered_set>
+
+#include "dns/name.hpp"
+
+namespace ixp::dns {
+
+class PublicSuffixList {
+ public:
+  /// Empty list; add suffixes with `add`.
+  PublicSuffixList() = default;
+
+  /// The built-in list (gTLDs + common ccTLDs and their ccSLDs).
+  [[nodiscard]] static const PublicSuffixList& builtin();
+
+  /// Registers a suffix ("com", "co.uk"). Invalid names are ignored.
+  void add(std::string_view suffix);
+
+  [[nodiscard]] bool is_public_suffix(const DnsName& name) const;
+
+  /// Longest public suffix of `name`, or nullopt when no suffix matches.
+  [[nodiscard]] std::optional<DnsName> public_suffix_of(const DnsName& name) const;
+
+  /// The registrable domain (public suffix + one label), the paper's
+  /// "second-level domain". nullopt when `name` has no known suffix or
+  /// *is* a public suffix itself.
+  [[nodiscard]] std::optional<DnsName> registrable_domain(const DnsName& name) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return suffixes_.size(); }
+
+ private:
+  std::unordered_set<DnsName> suffixes_;
+};
+
+}  // namespace ixp::dns

@@ -1,0 +1,58 @@
+#include "dns/resolver.hpp"
+
+#include <unordered_set>
+
+namespace ixp::dns {
+
+ProbeResult ResolverPopulation::probe(const Resolver& resolver,
+                                      const ZoneDatabase& db,
+                                      const DnsName& name) {
+  ProbeResult result;
+  switch (resolver.behavior) {
+    case ResolverBehavior::kClosed:
+      return result;  // no answer at all
+    case ResolverBehavior::kDelegating:
+      result.answered = true;
+      result.answer_correct = !db.resolve(name).empty();
+      result.delegated = true;
+      return result;
+    case ResolverBehavior::kLying: {
+      result.answered = true;
+      result.answer_correct = false;  // NXDOMAIN-redirect style wrong answer
+      return result;
+    }
+    case ResolverBehavior::kOpen: {
+      result.answered = true;
+      result.answer_correct = !db.resolve(name).empty();
+      return result;
+    }
+  }
+  return result;
+}
+
+std::vector<Resolver> ResolverPopulation::usable_resolvers(
+    const ZoneDatabase& db, const DnsName& probe_name) const {
+  std::vector<Resolver> usable;
+  for (const Resolver& resolver : resolvers_) {
+    const ProbeResult result = probe(resolver, db, probe_name);
+    if (result.answered && result.answer_correct && !result.delegated)
+      usable.push_back(resolver);
+  }
+  return usable;
+}
+
+std::vector<net::Ipv4Addr> ResolverPopulation::query(const Resolver& resolver,
+                                                     const ZoneDatabase& db,
+                                                     const DnsName& name) {
+  if (resolver.behavior != ResolverBehavior::kOpen) return {};
+  return db.resolve(name);
+}
+
+std::size_t ResolverPopulation::distinct_ases(
+    const std::vector<Resolver>& resolvers) {
+  std::unordered_set<net::Asn> ases;
+  for (const Resolver& resolver : resolvers) ases.insert(resolver.asn);
+  return ases.size();
+}
+
+}  // namespace ixp::dns

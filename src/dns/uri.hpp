@@ -1,0 +1,50 @@
+// Minimal URI handling.
+//
+// The classifier recovers URIs from the 128-byte payload snippets (Host
+// headers and request lines); the clustering then needs each URI's host
+// and its registrable "authority" domain (§2.4: "the URI as well as the
+// authority associated with the hostname give us hints regarding the
+// organization that is responsible for the content").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dns/name.hpp"
+#include "dns/public_suffix.hpp"
+
+namespace ixp::dns {
+
+class Uri {
+ public:
+  /// Parses "scheme://host[:port][/path]" or a bare "host[/path]".
+  /// The host must be a valid DNS name (IP-literal hosts are rejected:
+  /// they carry no authority information for clustering).
+  [[nodiscard]] static std::optional<Uri> parse(std::string_view text);
+
+  [[nodiscard]] const std::string& scheme() const noexcept { return scheme_; }
+  [[nodiscard]] const DnsName& host() const noexcept { return host_; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// The registrable domain of the host under `psl` — the paper's
+  /// "authority" of the URI.
+  [[nodiscard]] std::optional<DnsName> authority(
+      const PublicSuffixList& psl) const {
+    return psl.registrable_domain(host_);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Uri&, const Uri&) = default;
+
+ private:
+  std::string scheme_;
+  DnsName host_;
+  std::uint16_t port_ = 0;  // 0 = scheme default
+  std::string path_;
+};
+
+}  // namespace ixp::dns

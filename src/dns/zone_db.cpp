@@ -1,0 +1,77 @@
+#include "dns/zone_db.hpp"
+
+namespace ixp::dns {
+
+void ZoneDatabase::add_a(const DnsName& name, net::Ipv4Addr addr) {
+  a_[name].push_back(addr);
+  ++a_count_;
+}
+
+void ZoneDatabase::add_ptr(net::Ipv4Addr addr, const DnsName& hostname) {
+  ptr_.insert_or_assign(addr, hostname);
+}
+
+void ZoneDatabase::add_soa(const DnsName& zone, const DnsName& authority) {
+  soa_.insert_or_assign(zone, authority);
+}
+
+void ZoneDatabase::add_cname(const DnsName& alias, const DnsName& canonical) {
+  cname_.insert_or_assign(alias, canonical);
+}
+
+std::optional<DnsName> ZoneDatabase::cname(const DnsName& alias) const {
+  const auto it = cname_.find(alias);
+  if (it == cname_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<DnsName> ZoneDatabase::canonicalize(const DnsName& name) const {
+  DnsName current = name;
+  // RFC-ish chain bound; also breaks loops.
+  for (int depth = 0; depth < 8; ++depth) {
+    const auto it = cname_.find(current);
+    if (it == cname_.end()) return current;
+    current = it->second;
+  }
+  return std::nullopt;
+}
+
+std::vector<net::Ipv4Addr> ZoneDatabase::resolve(const DnsName& name) const {
+  const auto canonical = canonicalize(name);
+  if (!canonical) return {};
+  const auto it = a_.find(*canonical);
+  return it == a_.end() ? std::vector<net::Ipv4Addr>{} : it->second;
+}
+
+std::optional<DnsName> ZoneDatabase::reverse(net::Ipv4Addr addr) const {
+  const auto it = ptr_.find(addr);
+  if (it == ptr_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<SoaRecord> ZoneDatabase::soa_of(const DnsName& name) const {
+  std::optional<DnsName> current = name;
+  while (current) {
+    const auto it = soa_.find(*current);
+    if (it != soa_.end()) return SoaRecord{*current, it->second};
+    current = current->parent();
+  }
+  return std::nullopt;
+}
+
+void ZoneDatabase::add_reverse_soa(net::Ipv4Addr addr, const DnsName& authority) {
+  reverse_soa_.insert_or_assign(addr, authority);
+}
+
+std::optional<DnsName> ZoneDatabase::reverse_soa(net::Ipv4Addr addr) const {
+  const auto it = reverse_soa_.find(addr);
+  if (it != reverse_soa_.end()) return it->second;
+  // Fall back to the SOA of the PTR hostname when one exists.
+  const auto hostname = reverse(addr);
+  if (!hostname) return std::nullopt;
+  const auto soa = soa_of(*hostname);
+  if (!soa) return std::nullopt;
+  return soa->authority;
+}
+
+}  // namespace ixp::dns

@@ -1,0 +1,93 @@
+// Authoritative DNS database for the synthetic Internet.
+//
+// Section 2.4 of the paper extracts three kinds of DNS meta-data per server
+// IP: the hostname (reverse lookup / PTR), and the Start-of-Authority
+// record, which "relates to the administrative authority and can be
+// resolved iteratively" — walking up the name hierarchy until a zone with
+// an SOA is found. ZoneDatabase implements exactly that: A/PTR records on
+// names/addresses plus SOA records on zone cuts.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "net/ipv4.hpp"
+
+namespace ixp::dns {
+
+/// An SOA record: the zone it sits on plus the administrative authority
+/// (the RNAME's domain, e.g. hostmaster@google.com -> google.com).
+struct SoaRecord {
+  DnsName zone;
+  DnsName authority;
+
+  friend bool operator==(const SoaRecord&, const SoaRecord&) = default;
+};
+
+class ZoneDatabase {
+ public:
+  /// Adds an address record (multiple A records per name are allowed).
+  void add_a(const DnsName& name, net::Ipv4Addr addr);
+
+  /// Adds a CNAME: `alias` resolves via `canonical` (CDN-style delegation,
+  /// e.g. www.shop.com -> shop.com.edgekey.net). One CNAME per alias.
+  void add_cname(const DnsName& alias, const DnsName& canonical);
+
+  /// The canonical name an alias points at, if any.
+  [[nodiscard]] std::optional<DnsName> cname(const DnsName& alias) const;
+
+  /// Follows the CNAME chain from `name` (bounded depth) and returns the
+  /// terminal name. Returns `name` itself when it has no CNAME; nullopt
+  /// on a loop or an over-long chain.
+  [[nodiscard]] std::optional<DnsName> canonicalize(const DnsName& name) const;
+
+  /// Sets the PTR record for an address (one hostname per IP).
+  void add_ptr(net::Ipv4Addr addr, const DnsName& hostname);
+
+  /// Installs an SOA at a zone cut.
+  void add_soa(const DnsName& zone, const DnsName& authority);
+
+  /// Forward resolution: follows CNAME chains, then returns the terminal
+  /// name's A records (empty when unknown or on a CNAME loop).
+  [[nodiscard]] std::vector<net::Ipv4Addr> resolve(const DnsName& name) const;
+
+  /// Reverse lookup; nullopt when the IP has no PTR record — the paper
+  /// notes many server IPs lack one.
+  [[nodiscard]] std::optional<DnsName> reverse(net::Ipv4Addr addr) const;
+
+  /// Iterative SOA resolution: walks from `name` towards the root and
+  /// returns the first zone carrying an SOA. This is how §2.4 finds "a
+  /// common root for organizations that do not use a unified naming
+  /// schema".
+  [[nodiscard]] std::optional<SoaRecord> soa_of(const DnsName& name) const;
+
+  /// SOA of the *reverse* name of an address: the paper notes the SOA is
+  /// often present "even when there is no hostname record available".
+  /// We model this as a per-address authority installed by the hoster.
+  void add_reverse_soa(net::Ipv4Addr addr, const DnsName& authority);
+  [[nodiscard]] std::optional<DnsName> reverse_soa(net::Ipv4Addr addr) const;
+
+  [[nodiscard]] std::size_t a_record_count() const noexcept { return a_count_; }
+  [[nodiscard]] std::size_t ptr_record_count() const noexcept {
+    return ptr_.size();
+  }
+  [[nodiscard]] std::size_t soa_record_count() const noexcept {
+    return soa_.size();
+  }
+  [[nodiscard]] std::size_t cname_record_count() const noexcept {
+    return cname_.size();
+  }
+
+ private:
+  std::unordered_map<DnsName, std::vector<net::Ipv4Addr>> a_;
+  std::unordered_map<DnsName, DnsName> cname_;
+  std::unordered_map<net::Ipv4Addr, DnsName> ptr_;
+  std::unordered_map<DnsName, DnsName> soa_;  // zone -> authority
+  std::unordered_map<net::Ipv4Addr, DnsName> reverse_soa_;
+  std::size_t a_count_ = 0;
+};
+
+}  // namespace ixp::dns

@@ -1,0 +1,968 @@
+// Organization, server, DNS/X.509, site, and resolver construction for
+// InternetModel (split from internet.cpp for readability).
+#include <algorithm>
+#include <cmath>
+
+#include "dns/public_suffix.hpp"
+#include "gen/internet.hpp"
+
+namespace ixp::gen {
+
+namespace {
+
+/// P(stable) per region, calibrated so the stable pool is ~30% of the
+/// weekly server count and DE is ~half of it (Fig. 4a/4b). These are
+/// *universe* fractions; a stable server is active every week while
+/// recurrent/arrival servers are only partially active, which amplifies
+/// the stable share of the weekly pool by ~2.5x.
+double stable_universe_probability(geo::Region region) {
+  switch (region) {
+    case geo::Region::kDE: return 0.290;
+    case geo::Region::kUS: return 0.110;
+    case geo::Region::kRU: return 0.150;
+    case geo::Region::kCN: return 0.014;
+    case geo::Region::kRoW: return 0.066;
+  }
+  return 0.066;
+}
+
+/// Among non-stable servers: probability of being a fresh arrival
+/// (vs. a member of the recurrent reservoir).
+constexpr double kArrivalSplit = 0.52;
+constexpr float kArrivalReactivation = 0.20f;
+
+dns::DnsName name_of(const std::string& text) {
+  const auto parsed = dns::DnsName::parse(text);
+  // All generated names are valid by construction.
+  return parsed ? *parsed : dns::DnsName{};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Organizations and servers
+// ---------------------------------------------------------------------------
+
+void InternetModel::build_orgs_and_servers(util::Rng& rng) {
+  const double weekly = static_cast<double>(cfg_.weekly_server_ips);
+
+  // ASN -> as index.
+  std::unordered_map<std::uint32_t, std::uint32_t> by_asn;
+  for (std::uint32_t i = 0; i < ases_.size(); ++i)
+    by_asn.emplace(ases_[i].asn.value(), i);
+
+  // Eyeball-ish ASes that can host CDN deployments, by locality.
+  std::vector<std::uint32_t> member_eyeballs;
+  std::vector<std::uint32_t> near_eyeballs;
+  std::vector<std::uint32_t> global_hosts;
+  std::vector<std::uint32_t> hoster_ases;       // synthetic hoster ASes
+  std::vector<std::uint32_t> own_as_candidates; // for tail orgs
+  std::vector<std::uint32_t> reseller_customers;
+  for (std::uint32_t i = 0; i < ases_.size(); ++i) {
+    const AsRecord& as = ases_[i];
+    if (as.role == AsRole::kEyeball || as.role == AsRole::kTier1) {
+      if (as.member)
+        member_eyeballs.push_back(i);
+      else if (i < near_end_)
+        near_eyeballs.push_back(i);
+      else
+        global_hosts.push_back(i);
+    }
+    if (as.role == AsRole::kHoster && !as.member) hoster_ases.push_back(i);
+    if (!as.member && (as.role == AsRole::kEnterprise ||
+                       as.role == AsRole::kContent ||
+                       as.role == AsRole::kUniversity ||
+                       as.role == AsRole::kEyeball))
+      own_as_candidates.push_back(i);
+    if (as.role == AsRole::kResellerCustomer) reseller_customers.push_back(i);
+  }
+
+  const auto pick = [&rng](const std::vector<std::uint32_t>& pool) {
+    return pool[rng.next_below(pool.size())];
+  };
+  // Picks an AS from `pool` with room for `needed` more servers; after a
+  // bounded number of tries, settles for the roomiest candidate seen.
+  const auto pick_with_room = [&](const std::vector<std::uint32_t>& pool,
+                                  std::uint64_t needed) {
+    std::uint32_t best = pool[rng.next_below(pool.size())];
+    std::uint64_t best_free = as_capacity_[best] - as_allocated_[best];
+    for (int attempt = 0; attempt < 24 && best_free < needed; ++attempt) {
+      const std::uint32_t candidate = pool[rng.next_below(pool.size())];
+      const std::uint64_t free =
+          as_capacity_[candidate] - as_allocated_[candidate];
+      if (free > best_free) {
+        best = candidate;
+        best_free = free;
+      }
+    }
+    return best;
+  };
+
+  // --- activity assignment helpers -----------------------------------------
+  const auto assign_activity = [&](ServerRecord& server, double stable_p) {
+    if (rng.next_bool(stable_p)) {
+      server.activity = Activity{ActivityKind::kStable, 1.0f, 0};
+      return;
+    }
+    if (rng.next_bool(kArrivalSplit)) {
+      const auto first = static_cast<std::int16_t>(
+          rng.next_in(static_cast<std::uint64_t>(cfg_.first_week + 1),
+                      static_cast<std::uint64_t>(cfg_.last_week)));
+      server.activity = Activity{ActivityKind::kArrival, kArrivalReactivation, first};
+      return;
+    }
+    const float p = static_cast<float>(0.25 + 0.5 * rng.next_double());
+    server.activity = Activity{ActivityKind::kRecurrent, p, 0};
+  };
+
+  const auto region_stable_p = [&](std::uint32_t as_index) {
+    return stable_universe_probability(
+        geo::region_of(ases_[as_index].country));
+  };
+
+  // --- role / TLS / metadata helpers ----------------------------------------
+  const auto assign_roles = [&](ServerRecord& server, const OrgSpec* spec,
+                                double https_f, double rtmp_f, double dual_f) {
+    server.roles = kRoleHttp;
+    if (rng.next_bool(https_f)) {
+      server.roles |= kRoleHttps;
+      if (rng.next_bool(0.15)) server.roles &= ~kRoleHttp;  // HTTPS-only
+      // §4.2 HTTPS growth: a slice of HTTPS servers switch it on during
+      // the measurement period.
+      if (rng.next_bool(0.20)) {
+        server.https_since = static_cast<std::int16_t>(
+            rng.next_in(static_cast<std::uint64_t>(cfg_.first_week + 1),
+                        static_cast<std::uint64_t>(cfg_.last_week)));
+      }
+    }
+    if (rng.next_bool(rtmp_f)) server.roles |= kRoleRtmp;
+    server.dual_role = rng.next_bool(dual_f);
+    if ((server.roles & kRoleHttps) != 0) {
+      const double r = rng.next_double();
+      const bool head_cdn = spec != nullptr && spec->kind == OrgKind::kCdn;
+      const double valid_p = head_cdn ? 0.75 : 0.50;
+      if (r < valid_p)
+        server.tls = TlsBehavior::kValidStable;
+      else if (r < valid_p + 0.30)
+        server.tls = TlsBehavior::kInvalidCert;
+      else if (r < valid_p + 0.42)
+        server.tls = TlsBehavior::kUnstable;
+      else
+        server.tls = TlsBehavior::kSquatter;
+    }
+  };
+
+  const auto assign_metadata = [&](ServerRecord& server, NamingScheme naming,
+                                   OrgKind kind) {
+    switch (naming) {
+      case NamingScheme::kOwnSoa: server.has_ptr = rng.next_bool(0.64); break;
+      case NamingScheme::kOutsourcedSoa: server.has_ptr = rng.next_bool(0.56); break;
+      case NamingScheme::kPartial: server.has_ptr = rng.next_bool(0.08); break;
+    }
+    if (!server.has_ptr) server.has_reverse_soa = rng.next_bool(0.30);
+    double uri_p = 0.22;
+    switch (kind) {
+      case OrgKind::kContent: uri_p = 0.80; break;
+      case OrgKind::kCdn: uri_p = 0.60; break;
+      case OrgKind::kSite: uri_p = 0.48; break;
+      case OrgKind::kStreamer: uri_p = 0.08; break;  // §2.4: streamers
+      case OrgKind::kOneClick: uri_p = 0.62; break;
+      default: uri_p = 0.25; break;
+    }
+    server.serves_uris = rng.next_bool(uri_p);
+  };
+
+  const auto add_server = [&](std::uint32_t org_index, std::uint32_t as_index,
+                              BlindReason blind) -> ServerRecord& {
+    ServerRecord server;
+    server.addr = allocate_server_addr(as_index, rng);
+    server.org = org_index;
+    server.content_org = org_index;
+    server.host_as = as_index;
+    server.blind = blind;
+    server.traffic_weight = static_cast<float>(rng.next_pareto(1.0, 1.3));
+    as_allocated_[as_index] += 1;
+    const auto id = static_cast<std::uint32_t>(servers_.size());
+    server_index_.emplace(server.addr, id);
+    servers_.push_back(server);
+    ++orgs_[org_index].server_count;
+    org_servers_[org_index].push_back(id);
+    return servers_.back();
+  };
+
+  const auto new_org = [&](std::string name, std::string domain, OrgKind kind,
+                           NamingScheme naming,
+                           std::optional<std::uint32_t> home_as) {
+    OrgRecord org;
+    org.name = std::move(name);
+    org.domain = name_of(domain);
+    org.kind = kind;
+    org.naming = naming;
+    org.home_as = home_as;
+    const auto index = static_cast<std::uint32_t>(orgs_.size());
+    org_index_.emplace(org.name, index);
+    orgs_.push_back(std::move(org));
+    org_servers_.emplace_back();
+    return index;
+  };
+
+  // ---------------------------------------------------------------------
+  // 1. Named head organizations.
+  // ---------------------------------------------------------------------
+  double head_weekly_expected = 0.0;
+  for (const OrgSpec& spec : named_org_specs()) {
+    std::optional<std::uint32_t> home;
+    if (spec.home_as) {
+      const auto it = by_asn.find(spec.home_as->value());
+      if (it != by_asn.end()) home = it->second;
+    }
+    const std::uint32_t org_index =
+        new_org(spec.name, spec.name + "." + spec.tld, spec.kind, spec.naming, home);
+    OrgRecord& org = orgs_[org_index];
+    org.named_head = true;
+    org.traffic_share = spec.traffic_share;
+    org.indirect_link_fraction = spec.indirect_link_fraction;
+    org.publishes_server_ips = spec.publishes_server_ips;
+    org.data_centers = spec.data_centers;
+    if (spec.name == "nimbus") sandy_org_ = org_index;
+
+    const auto visible_count = static_cast<std::size_t>(
+        std::max(1.0, spec.visible_server_share * weekly));
+    const auto blind_count = static_cast<std::size_t>(
+        spec.blind_server_share * weekly);
+
+    // Deployment ASes: home first, then eyeballs near the IXP for the
+    // visible spread, far/global hosts for the blind spread.
+    std::vector<std::uint32_t> visible_ases;
+    if (home) visible_ases.push_back(*home);
+    while (visible_ases.size() < std::max<std::size_t>(1, spec.visible_as_spread)) {
+      const bool member_side = rng.next_bool(0.5);
+      visible_ases.push_back(member_side ? pick(member_eyeballs)
+                                         : pick(near_eyeballs));
+    }
+    std::vector<std::uint32_t> blind_ases;
+    for (std::size_t i = 0; i < spec.blind_as_spread; ++i)
+      blind_ases.push_back(rng.next_bool(0.6) ? pick(global_hosts)
+                                              : pick(near_eyeballs));
+
+    for (std::size_t s = 0; s < visible_count; ++s) {
+      // Home AS keeps ~35% of a spread deployment, 100% of a single-AS one.
+      std::uint32_t as_index;
+      if (visible_ases.size() == 1 || rng.next_bool(0.35)) {
+        as_index = visible_ases.front();
+      } else {
+        as_index = visible_ases[1 + rng.next_below(visible_ases.size() - 1)];
+      }
+      ServerRecord& server = add_server(org_index, as_index, BlindReason::kNone);
+      assign_roles(server, &spec, spec.https_fraction, spec.rtmp_fraction,
+                   spec.dual_role_fraction);
+      assign_metadata(server, spec.naming, spec.kind);
+      // Head infrastructure is largely stable.
+      double stable_p = 0.78;
+      if (geo::region_of(ases_[as_index].country) == geo::Region::kCN)
+        stable_p = 0.05;
+      assign_activity(server, stable_p);
+      if (!org.data_centers.empty()) {
+        // Weighted DC assignment.
+        double total = 0.0;
+        for (const auto& dc : org.data_centers) total += dc.weight;
+        double draw = rng.next_double() * total;
+        for (std::size_t d = 0; d < org.data_centers.size(); ++d) {
+          draw -= org.data_centers[d].weight;
+          if (draw <= 0.0) {
+            server.data_center = static_cast<std::int16_t>(d);
+            break;
+          }
+        }
+      }
+      head_weekly_expected += server.activity.kind == ActivityKind::kStable
+                                  ? 1.0
+                                  : static_cast<double>(server.activity.p);
+    }
+    for (std::size_t s = 0; s < blind_count; ++s) {
+      const std::uint32_t as_index =
+          blind_ases.empty() ? pick(global_hosts) : pick(blind_ases);
+      ServerRecord& server = add_server(
+          org_index, as_index,
+          rng.next_bool(0.6) ? BlindReason::kPrivateCluster
+                             : BlindReason::kFarRegion);
+      assign_roles(server, &spec, spec.https_fraction, spec.rtmp_fraction, 0.0);
+      assign_metadata(server, spec.naming, spec.kind);
+      assign_activity(server, 0.6);
+    }
+  }
+
+  // EC2 expansion / Netflix launch (§4.2): late-arrival servers in the
+  // eu-ireland data center during weeks 49-51.
+  if (const auto ec2 = org_by_name("ec2")) {
+    const OrgRecord& org = orgs_[*ec2];
+    std::int16_t ireland = -1;
+    for (std::size_t d = 0; d < org.data_centers.size(); ++d)
+      if (org.data_centers[d].name == "eu-ireland")
+        ireland = static_cast<std::int16_t>(d);
+    for (const std::uint32_t s : org_servers_[*ec2]) {
+      if (servers_[s].data_center != ireland) continue;
+      if (!rng.next_bool(0.70)) continue;
+      servers_[s].activity =
+          Activity{ActivityKind::kArrival, 0.9f,
+                   static_cast<std::int16_t>(49 + rng.next_below(3))};
+    }
+  }
+  if (const auto netflix = org_by_name("netflix")) {
+    std::int16_t ec2_ireland = -1;
+    if (const auto ec2 = org_by_name("ec2")) {
+      const auto& dcs = orgs_[*ec2].data_centers;
+      for (std::size_t d = 0; d < dcs.size(); ++d)
+        if (dcs[d].name == "eu-ireland") ec2_ireland = static_cast<std::int16_t>(d);
+    }
+    for (const std::uint32_t s : org_servers_[*netflix]) {
+      if (!rng.next_bool(0.70)) continue;
+      servers_[s].activity =
+          Activity{ActivityKind::kArrival, 0.95f,
+                   static_cast<std::int16_t>(49 + rng.next_below(3))};
+      // The expansion runs on EC2's Ireland data center (§4.2).
+      servers_[s].data_center = ec2_ireland;
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // 2. Reseller customers (§4.2): server count doubles over the period.
+  // ---------------------------------------------------------------------
+  {
+    const auto total = static_cast<std::size_t>(0.067 * weekly);
+    const std::size_t org_count = std::max<std::size_t>(2, total / 400);
+    for (std::size_t o = 0; o < org_count; ++o) {
+      const std::uint32_t as_index = pick(reseller_customers);
+      const std::uint32_t org_index = new_org(
+          "rsl-customer-" + std::to_string(o),
+          "rslcust" + std::to_string(o) + ".net", OrgKind::kHoster,
+          NamingScheme::kOwnSoa, as_index);
+      orgs_[org_index].traffic_share = 0.0022;
+      const std::size_t servers_here = total / org_count;
+      for (std::size_t s = 0; s < servers_here; ++s) {
+        ServerRecord& server = add_server(org_index, as_index, BlindReason::kNone);
+        assign_roles(server, nullptr, 0.12, 0.0, 0.05);
+        assign_metadata(server, NamingScheme::kOwnSoa, OrgKind::kHoster);
+        // Half present from the start; half arrive uniformly -> doubling.
+        if (rng.next_bool(0.5)) {
+          server.activity = Activity{ActivityKind::kStable, 1.0f, 0};
+        } else {
+          server.activity =
+              Activity{ActivityKind::kArrival, 0.95f,
+                       static_cast<std::int16_t>(rng.next_in(
+                           static_cast<std::uint64_t>(cfg_.first_week + 1),
+                           static_cast<std::uint64_t>(cfg_.last_week)))};
+        }
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // 3. Error-handler servers (§3.3 category 3): a few per ~2% of ASes.
+  // ---------------------------------------------------------------------
+  {
+    const std::uint32_t org_index =
+        new_org("invalid-uri-handlers", "errorpages.net", OrgKind::kSite,
+                NamingScheme::kPartial, std::nullopt);
+    const std::size_t as_samples = std::max<std::size_t>(2, ases_.size() / 50);
+    for (std::size_t i = 0; i < as_samples; ++i) {
+      const auto as_index =
+          static_cast<std::uint32_t>(rng.next_below(ases_.size()));
+      ServerRecord& server =
+          add_server(org_index, as_index, BlindReason::kErrorHandler);
+      assign_metadata(server, NamingScheme::kPartial, OrgKind::kSite);
+      assign_activity(server, 0.5);
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // 4. Tail organizations: hosting tenants and own-AS orgs.
+  // ---------------------------------------------------------------------
+  // Hosting pool: named hoster/cloud orgs by tenant capacity + synthetic
+  // hoster ASes.
+  struct HostSlot {
+    std::uint32_t as_index;
+    std::optional<std::uint32_t> hoster_org;
+  };
+  std::vector<HostSlot> host_slots;
+  std::vector<double> host_weights;
+  for (std::uint32_t o = 0; o < orgs_.size(); ++o) {
+    const OrgRecord& org = orgs_[o];
+    if (!org.named_head || !org.home_as) continue;
+    for (const OrgSpec& spec : named_org_specs()) {
+      if (spec.name == org.name && spec.tenant_capacity > 0.0) {
+        host_slots.push_back(HostSlot{*org.home_as, o});
+        host_weights.push_back(spec.tenant_capacity);
+      }
+    }
+  }
+  for (const std::uint32_t as_index : hoster_ases) {
+    host_slots.push_back(HostSlot{as_index, std::nullopt});
+    host_weights.push_back(25.0 * rng.next_pareto(1.0, 1.4));
+  }
+  const util::WeightedSampler host_sampler{host_weights};
+
+  const std::size_t head_orgs = orgs_.size();
+  const std::size_t tail_orgs =
+      cfg_.org_count > head_orgs ? cfg_.org_count - head_orgs : 16;
+
+  // Expected weekly contribution so far (head ~= expected above; reseller
+  // and error handlers are small); size the tail universe to make the
+  // weekly total land on target. Universe-to-weekly ratio ~= 2.46.
+  const double reseller_weekly = 0.05 * weekly;
+  const double tail_weekly =
+      std::max(0.10 * weekly, weekly - head_weekly_expected - reseller_weekly);
+  const double tail_universe = tail_weekly * 2.46;
+
+    // Flat-ish Zipf: the paper's organization-size distribution has a broad
+  // mid-range (>6K of 21K orgs above 10 servers) and its head is the big
+  // hosters/CDNs, not an anonymous tail org — cap tail org sizes below
+  // the named head and redistribute the excess over the mid-range.
+  auto tail_sizes = util::zipf_weights(tail_orgs, 1.05, /*normalize=*/true);
+  // The cap must stay clear of the tail average, or small-scale configs
+  // would clamp every org and collapse the universe.
+  const double tail_cap =
+      std::max({8.0, 0.008 * weekly,
+                2.5 * tail_universe / static_cast<double>(tail_orgs)});
+  {
+    std::vector<double> planned(tail_orgs);
+    for (std::size_t o = 0; o < tail_orgs; ++o)
+      planned[o] = std::max(1.0, tail_sizes[o] * tail_universe);
+    for (int round = 0; round < 4; ++round) {
+      double excess = 0.0;
+      double uncapped_total = 0.0;
+      for (const double size : planned) {
+        if (size > tail_cap)
+          excess += size - tail_cap;
+        else
+          uncapped_total += size;
+      }
+      if (excess < 1.0 || uncapped_total <= 0.0) break;
+      for (double& size : planned) {
+        if (size > tail_cap)
+          size = tail_cap;
+        else
+          size *= 1.0 + excess / uncapped_total;
+      }
+    }
+    for (std::size_t o = 0; o < tail_orgs; ++o)
+      tail_sizes[o] = std::min(planned[o], tail_cap) / tail_universe;
+  }
+  for (std::size_t o = 0; o < tail_orgs; ++o) {
+    const auto servers_here = static_cast<std::size_t>(
+        std::min(tail_cap, std::max(1.0, tail_sizes[o] * tail_universe)));
+    // Sizable tail orgs overwhelmingly rent hosting capacity; running a
+    // large own-AS farm is the exception.
+    const bool hosted = rng.next_bool(servers_here > 40 ? 0.80 : 0.55);
+    const std::string name = "org-" + std::to_string(o);
+    static constexpr const char* kTlds[] = {"com", "net",   "org",  "de",
+                                            "co.uk", "fr",  "nl",   "ru",
+                                            "com.br", "pl", "it",   "cz"};
+    const std::string domain =
+        "site" + std::to_string(o) + "." + kTlds[rng.next_below(std::size(kTlds))];
+
+    if (hosted) {
+      const HostSlot slot = host_slots[host_sampler.sample(rng)];
+      // Naming decides the administrative owner: tenants that keep their
+      // own SOA cluster as themselves (step 1); hoster-managed tenants
+      // cluster under the hoster (step 2).
+      const double r = rng.next_double();
+      const NamingScheme naming = r < 0.55 ? NamingScheme::kOwnSoa
+                                 : r < 0.95 ? NamingScheme::kOutsourcedSoa
+                                            : NamingScheme::kPartial;
+      const std::uint32_t tenant =
+          new_org(name, domain, OrgKind::kSite, naming, slot.as_index);
+      orgs_[tenant].hosted_by = slot.hoster_org;
+      const bool hoster_admin =
+          naming != NamingScheme::kOwnSoa && slot.hoster_org.has_value();
+      const std::uint32_t admin_org = hoster_admin ? *slot.hoster_org : tenant;
+      for (std::size_t s = 0; s < servers_here; ++s) {
+        ServerRecord& server = add_server(admin_org, slot.as_index, BlindReason::kNone);
+        server.content_org = tenant;
+        assign_roles(server, nullptr, 0.40, 0.11, 0.055);
+        assign_metadata(server, naming, OrgKind::kSite);
+        assign_activity(server, region_stable_p(slot.as_index));
+      }
+    } else {
+      const std::uint32_t as_index =
+          pick_with_room(own_as_candidates, servers_here + 4);
+      const double r = rng.next_double();
+      const NamingScheme naming = r < 0.94 ? NamingScheme::kOwnSoa
+                                 : r < 0.98 ? NamingScheme::kOutsourcedSoa
+                                            : NamingScheme::kPartial;
+      const std::uint32_t org_index =
+          new_org(name, domain, OrgKind::kSite, naming, as_index);
+      // §3.3 category 4: small orgs far from the IXP are invisible.
+      const bool far =
+          ases_[as_index].locality == net::Locality::kGlobal &&
+          geo::region_of(ases_[as_index].country) != geo::Region::kDE;
+      // Satellite deployments: modest heterogenization in the tail
+      // (Fig. 6b's cloud of small multi-AS orgs).
+      std::vector<std::uint32_t> deployment{as_index};
+      if (rng.next_bool(0.35)) {
+        const std::size_t extra = 1 + rng.next_below(2);
+        for (std::size_t e = 0; e < extra; ++e)
+          deployment.push_back(
+              pick_with_room(own_as_candidates, servers_here / 2 + 2));
+      }
+      for (std::size_t s = 0; s < servers_here; ++s) {
+        std::uint32_t host = deployment[s % deployment.size()];
+        if (as_allocated_[host] >= as_capacity_[host])
+          host = pick_with_room(own_as_candidates, 8);
+        const BlindReason blind = far && rng.next_bool(0.35)
+                                      ? BlindReason::kSmallFarOrg
+                                      : BlindReason::kNone;
+        ServerRecord& server = add_server(org_index, host, blind);
+        assign_roles(server, nullptr, 0.40, 0.11, 0.065);
+        assign_metadata(server, naming, OrgKind::kSite);
+        assign_activity(server, region_stable_p(host));
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Cloud tenants inherit a data center of their hosting cloud: their IPs
+  // fall inside the cloud's published per-DC ranges (§4.2's analyses match
+  // on exactly those ranges).
+  // ---------------------------------------------------------------------
+  for (std::uint32_t o = 0; o < orgs_.size(); ++o) {
+    const OrgRecord& cloud = orgs_[o];
+    if (cloud.kind != OrgKind::kCloud || cloud.data_centers.empty() ||
+        !cloud.home_as)
+      continue;
+    double total_dc_weight = 0.0;
+    for (const auto& dc : cloud.data_centers) total_dc_weight += dc.weight;
+    for (ServerRecord& server : servers_) {
+      if (server.host_as != *cloud.home_as || server.data_center >= 0) continue;
+      double draw = rng.next_double() * total_dc_weight;
+      for (std::size_t d = 0; d < cloud.data_centers.size(); ++d) {
+        draw -= cloud.data_centers[d].weight;
+        if (draw <= 0.0) {
+          server.data_center = static_cast<std::int16_t>(d);
+          break;
+        }
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Finalize: traffic shares, front-end gateways, content-server lists.
+  // ---------------------------------------------------------------------
+  double assigned_share = 0.0;
+  double tail_weight_total = 0.0;
+  for (const OrgRecord& org : orgs_) {
+    if (org.traffic_share > 0.0)
+      assigned_share += org.traffic_share;
+    else
+      tail_weight_total += std::pow(static_cast<double>(org.server_count), 0.9);
+  }
+  const double tail_share_budget = std::max(0.0, 1.0 - assigned_share);
+  for (OrgRecord& org : orgs_) {
+    if (org.traffic_share == 0.0 && tail_weight_total > 0.0) {
+      org.traffic_share = tail_share_budget *
+                          std::pow(static_cast<double>(org.server_count), 0.9) /
+                          tail_weight_total;
+    }
+  }
+
+  // Front-end gateway IPs (Fig. 2): the head orgs' heaviest server IPs
+  // represent racks / data-center front doors with outsized traffic.
+  for (std::uint32_t o = 0; o < orgs_.size(); ++o) {
+    const OrgRecord& org = orgs_[o];
+    if (!org.named_head || org.server_count == 0) continue;
+    const std::vector<std::uint32_t>& ids = org_servers_[o];
+    const std::size_t gateways = org.server_count > 8 ? 2 : 1;
+    for (std::size_t g = 0; g < gateways; ++g) {
+      ServerRecord& server = servers_[ids[rng.next_below(ids.size())]];
+      server.traffic_weight *= 90.0f;
+      server.activity = Activity{ActivityKind::kStable, 1.0f, 0};
+    }
+  }
+
+  // Stable servers carry most of the traffic (Fig. 5).
+  for (ServerRecord& server : servers_) {
+    if (server.activity.kind == ActivityKind::kStable) {
+      server.traffic_weight *= 2.1f;
+      const geo::Region region = geo::region_of(ases_[server.host_as].country);
+      if (region == geo::Region::kUS || region == geo::Region::kRU)
+        server.traffic_weight *= 2.0f;
+    }
+  }
+
+  for (std::uint32_t s = 0; s < servers_.size(); ++s) {
+    content_servers_[servers_[s].content_org].push_back(s);
+    content_as_servers_[(std::uint64_t{servers_[s].content_org} << 32) |
+                        servers_[s].host_as]
+        .push_back(s);
+  }
+
+  visible_server_count_ = static_cast<std::size_t>(
+      std::count_if(servers_.begin(), servers_.end(),
+                    [](const ServerRecord& s) { return s.visible(); }));
+}
+
+const std::vector<std::uint32_t>& InternetModel::content_servers(
+    std::uint32_t content_org) const {
+  static const std::vector<std::uint32_t> kEmpty;
+  const auto it = content_servers_.find(content_org);
+  return it == content_servers_.end() ? kEmpty : it->second;
+}
+
+const std::vector<std::uint32_t>& InternetModel::org_servers(
+    std::uint32_t org_index) const {
+  static const std::vector<std::uint32_t> kEmpty;
+  return org_index < org_servers_.size() ? org_servers_[org_index] : kEmpty;
+}
+
+// ---------------------------------------------------------------------------
+// DNS zones and certificates
+// ---------------------------------------------------------------------------
+
+void InternetModel::build_dns_and_certs(util::Rng& rng) {
+  for (int r = 0; r < 3; ++r) roots_.trust("root-ca-" + std::to_string(r));
+
+  // Zone SOAs: own-SOA orgs are their own authority; outsourced zones
+  // point at the hosting/DNS organization's domain.
+  for (std::uint32_t o = 0; o < orgs_.size(); ++o) {
+    const OrgRecord& org = orgs_[o];
+    if (org.domain.empty()) continue;
+    switch (org.naming) {
+      case NamingScheme::kOwnSoa:
+        dns_.add_soa(org.domain, org.domain);
+        break;
+      case NamingScheme::kOutsourcedSoa: {
+        // Third-party DNS providers each run the zones of many customer
+        // organizations (the provider population scales with the org
+        // count so per-provider customer counts stay realistic).
+        const std::size_t providers =
+            std::max<std::size_t>(2, cfg_.org_count / 150);
+        const dns::DnsName authority =
+            org.hosted_by ? orgs_[*org.hosted_by].domain
+                          : name_of("dns-" + std::to_string(o % providers) + ".net");
+        dns_.add_soa(org.domain, authority);
+        break;
+      }
+      case NamingScheme::kPartial:
+        // No forward SOA; only per-IP reverse SOA entries below.
+        break;
+    }
+  }
+
+  for (std::uint32_t s = 0; s < servers_.size(); ++s) {
+    ServerRecord& server = servers_[s];
+    const OrgRecord& admin = orgs_[server.org];
+    const OrgRecord& content = orgs_[server.content_org];
+
+    if (server.has_ptr && !admin.domain.empty()) {
+      const dns::DnsName hostname =
+          name_of("s" + std::to_string(s) + "." + admin.domain.text());
+      dns_.add_ptr(server.addr, hostname);
+      dns_.add_a(hostname, server.addr);
+    }
+    if (server.has_reverse_soa && !admin.domain.empty()) {
+      // A few reverse zones are still delegated to the RIRs — §2.4's
+      // cleaning removes such authorities as carrying no signal.
+      const dns::DnsName authority =
+          rng.next_bool(0.06) ? name_of("ripe.net") : admin.domain;
+      dns_.add_reverse_soa(server.addr, authority);
+    }
+
+    // Certificates for the HTTPS population.
+    if ((server.roles & kRoleHttps) == 0) continue;
+    if (server.tls != TlsBehavior::kValidStable &&
+        server.tls != TlsBehavior::kInvalidCert)
+      continue;
+
+    x509::Certificate leaf;
+    leaf.subject = name_of("www." + content.domain.text());
+    leaf.alt_names.push_back(content.domain);
+    // Hoster-administered certs cover several tenant names (§2.4).
+    if (server.org != server.content_org && !admin.domain.empty())
+      leaf.alt_names.push_back(admin.domain);
+    leaf.key_usages = {x509::KeyUsage::kServerAuth};
+    leaf.subject_key = "srv-key-" + std::to_string(s);
+    const int ca = static_cast<int>(s % 8);
+    leaf.issuer_key = "ca-int-" + std::to_string(ca);
+    leaf.not_before = 0;
+    leaf.not_after = 1'000'000;
+
+    x509::Certificate intermediate;
+    intermediate.subject = name_of("ca" + std::to_string(ca) + ".trust-services.net");
+    intermediate.key_usages = {x509::KeyUsage::kServerAuth};
+    intermediate.subject_key = "ca-int-" + std::to_string(ca);
+    intermediate.issuer_key = "root-ca-" + std::to_string(ca % 3);
+    intermediate.not_before = 0;
+    intermediate.not_after = 1'000'000;
+
+    if (server.tls == TlsBehavior::kInvalidCert) {
+      // Break the chain in one of the paper's failure modes.
+      switch (rng.next_below(4)) {
+        case 0: leaf.not_after = 1; break;                        // expired
+        case 1: intermediate.issuer_key = "rogue-root"; break;    // untrusted
+        case 2: leaf.subject = name_of("srv.internalzone"); break; // bad domain
+        default: leaf.key_usages = {x509::KeyUsage::kClientAuth}; break;
+      }
+    }
+    cert_chains_.emplace(
+        s, x509::CertificateChain{{std::move(leaf), std::move(intermediate)}});
+  }
+}
+
+std::vector<x509::CertificateChain> InternetModel::fetch_chains(
+    net::Ipv4Addr addr, int times, int week) const {
+  const auto index = server_by_addr(addr);
+  if (!index || times <= 0) return {};
+  const ServerRecord& server = servers_[*index];
+  switch (server.tls) {
+    case TlsBehavior::kNoResponse:
+      return {};
+    case TlsBehavior::kValidStable:
+    case TlsBehavior::kInvalidCert: {
+      const auto it = cert_chains_.find(*index);
+      if (it == cert_chains_.end()) return {};
+      return std::vector<x509::CertificateChain>(
+          static_cast<std::size_t>(times), it->second);
+    }
+    case TlsBehavior::kUnstable: {
+      // Cloud churn: a different tenant answers every fetch.
+      std::vector<x509::CertificateChain> fetches;
+      for (int f = 0; f < times; ++f) {
+        x509::Certificate leaf;
+        const std::uint64_t tenant =
+            util::mix64(cfg_.seed ^ addr.value() ^
+                        (static_cast<std::uint64_t>(week) << 8) ^
+                        static_cast<std::uint64_t>(f)) % 100000;
+        leaf.subject = name_of("vm" + std::to_string(tenant) + ".cloudsites.com");
+        leaf.alt_names.push_back(*leaf.subject.parent());
+        leaf.key_usages = {x509::KeyUsage::kServerAuth};
+        leaf.subject_key = "vm-key-" + std::to_string(tenant);
+        leaf.issuer_key = "ca-int-0";
+        leaf.not_before = 0;
+        leaf.not_after = 1'000'000;
+        x509::Certificate intermediate;
+        intermediate.subject = name_of("ca0.trust-services.net");
+        intermediate.key_usages = {x509::KeyUsage::kServerAuth};
+        intermediate.subject_key = "ca-int-0";
+        intermediate.issuer_key = "root-ca-0";
+        intermediate.not_before = 0;
+        intermediate.not_after = 1'000'000;
+        fetches.push_back(
+            x509::CertificateChain{{std::move(leaf), std::move(intermediate)}});
+      }
+      return fetches;
+    }
+    case TlsBehavior::kSquatter:
+      // Answers on 443 (SSH/VPN), but delivers no X.509 material.
+      return std::vector<x509::CertificateChain>(
+          static_cast<std::size_t>(times), x509::CertificateChain{});
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Sites (the Alexa-style ranked list)
+// ---------------------------------------------------------------------------
+
+void InternetModel::build_sites(util::Rng& rng) {
+  sites_.reserve(cfg_.site_count);
+
+  // Head ranks: flagship domains of the named content players.
+  const auto push_site = [&](const dns::DnsName& domain, std::uint32_t org) {
+    sites_.push_back(Site{domain, org, std::nullopt});
+  };
+  // CDN delivery pool for outsourced sites (weights: Akamai dominates).
+  std::vector<std::uint32_t> cdn_pool;
+  std::vector<double> cdn_weights;
+  for (const auto& [name, weight] :
+       {std::pair<const char*, double>{"akamai", 6.0}, {"cdn77", 1.5},
+        {"limelight", 1.0}, {"edgecast", 1.0}, {"cloudflare", 1.5}}) {
+    if (const auto org = org_by_name(name)) {
+      cdn_pool.push_back(*org);
+      cdn_weights.push_back(weight);
+    }
+  }
+  static constexpr const char* kFlagships[] = {
+      "google", "vkontakte", "netflix", "rapidshare", "kartina", "eweka"};
+  for (const char* name : kFlagships) {
+    if (const auto org = org_by_name(name)) push_site(orgs_[*org].domain, *org);
+  }
+  if (const auto google = org_by_name("google")) {
+    const dns::DnsName youtube = *dns::DnsName::parse("youtube.com");
+    // youtube.com's SOA leads to google.com (§2.4's worked example).
+    dns_.add_soa(youtube, orgs_[*google].domain);
+    push_site(youtube, *google);
+  }
+
+  // Remaining ranks: tail orgs in slightly shuffled popularity order, then
+  // long-tail vhost sites on hosting tenants.
+  std::vector<std::uint32_t> tail;
+  for (std::uint32_t o = 0; o < orgs_.size(); ++o) {
+    if (!orgs_[o].named_head && orgs_[o].kind == OrgKind::kSite &&
+        !orgs_[o].domain.empty() && orgs_[o].name.rfind("org-", 0) == 0)
+      tail.push_back(o);
+  }
+  rng.shuffle(std::span<std::uint32_t>{tail});
+  const util::WeightedSampler cdn_sampler{cdn_weights.empty()
+                                              ? std::vector<double>{1.0}
+                                              : cdn_weights};
+  const auto maybe_cdn = [&]() -> std::optional<std::uint32_t> {
+    // ~18% of sites outsource delivery to a CDN.
+    if (cdn_pool.empty() || !rng.next_bool(0.12)) return std::nullopt;
+    return cdn_pool[cdn_sampler.sample(rng)];
+  };
+  for (const std::uint32_t org : tail) {
+    if (sites_.size() >= cfg_.site_count) break;
+    sites_.push_back(Site{orgs_[org].domain, org, maybe_cdn()});
+  }
+  std::size_t vhost = 0;
+  while (sites_.size() < cfg_.site_count && !tail.empty()) {
+    const std::uint32_t org = tail[rng.next_below(tail.size())];
+    // Distinct registrable domains whose zones the owning org runs.
+    const dns::DnsName domain =
+        name_of("v" + std::to_string(vhost++) + "-" + orgs_[org].domain.text());
+    dns_.add_soa(domain, orgs_[org].naming == NamingScheme::kOwnSoa
+                             ? orgs_[org].domain
+                             : dns_.soa_of(orgs_[org].domain)
+                                   .value_or(dns::SoaRecord{orgs_[org].domain,
+                                                            orgs_[org].domain})
+                                   .authority);
+    sites_.push_back(Site{domain, org, maybe_cdn()});
+  }
+
+  // A records: each site resolves to up to 3 of its delivering org's
+  // servers (what a generic, AS-agnostic resolver would return).
+  // CDN-delivered sites resolve through a CNAME into the CDN's edge
+  // namespace — the real-world tell that delivery is outsourced.
+  for (std::size_t rank = 0; rank < sites_.size(); ++rank) {
+    const auto& site = sites_[rank];
+    const auto& servers = content_servers(site.cdn.value_or(site.org));
+    if (servers.empty()) continue;
+    dns::DnsName target = site.domain;
+    if (site.cdn) {
+      const OrgRecord& cdn = orgs_[*site.cdn];
+      target = name_of("r" + std::to_string(rank) + ".edge." +
+                       cdn.domain.text());
+      dns_.add_cname(site.domain, target);
+    }
+    const std::size_t n = std::min<std::size_t>(3, servers.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t s = servers[rng.next_below(servers.size())];
+      dns_.add_a(target, servers_[s].addr);
+    }
+  }
+}
+
+std::vector<net::Ipv4Addr> InternetModel::resolve_site(
+    std::size_t site_rank, const dns::Resolver& resolver, int week) const {
+  std::vector<net::Ipv4Addr> result;
+  if (site_rank >= sites_.size()) return result;
+  if (resolver.behavior != dns::ResolverBehavior::kOpen) return result;
+
+  const std::uint32_t org =
+      sites_[site_rank].cdn.value_or(sites_[site_rank].org);
+  const auto& servers = content_servers(org);
+  if (servers.empty()) return result;
+
+  const auto resolver_as = as_index_of(resolver.asn);
+  const geo::Region resolver_region =
+      resolver_as ? geo::region_of(ases_[*resolver_as].country)
+                  : geo::Region::kRoW;
+
+  // CDN mapping: a resolver is first handed servers inside its own
+  // network when the delivering organization has any there (this is how
+  // the paper's sweep surfaces "private clusters", §3.3).
+  if (resolver_as) {
+    const auto it = content_as_servers_.find(
+        (std::uint64_t{org} << 32) | *resolver_as);
+    if (it != content_as_servers_.end()) {
+      for (const std::uint32_t s : it->second) {
+        if (result.size() >= 3) break;
+        if (server_active(s, week)) result.push_back(servers_[s].addr);
+      }
+      if (!result.empty()) return result;
+    }
+  }
+
+  // Deterministic scan order per (site, resolver).
+  const std::uint64_t salt =
+      util::mix64(cfg_.seed ^ (static_cast<std::uint64_t>(site_rank) << 20) ^
+                  resolver.address.value());
+  const std::size_t scan = std::min<std::size_t>(servers.size(), 48);
+  for (std::size_t i = 0; i < scan && result.size() < 3; ++i) {
+    const std::uint32_t s = servers[(salt + i * 0x9e37) % servers.size()];
+    const ServerRecord& server = servers_[s];
+    // DNS hands out operational servers: inactive ones are not in the
+    // answer set that week.
+    if (!server_active(s, week)) continue;
+    const bool in_resolver_as =
+        resolver_as && server.host_as == *resolver_as;
+    switch (server.blind) {
+      case BlindReason::kNone:
+      case BlindReason::kSmallFarOrg:
+        result.push_back(server.addr);
+        break;
+      case BlindReason::kPrivateCluster:
+        // Private clusters answer only resolvers of their host AS.
+        if (in_resolver_as) result.push_back(server.addr);
+        break;
+      case BlindReason::kFarRegion:
+        // Region-aware delivery: surfaced to same-region resolvers only.
+        if (geo::region_of(ases_[server.host_as].country) == resolver_region)
+          result.push_back(server.addr);
+        break;
+      case BlindReason::kErrorHandler:
+        break;  // never in a site's legitimate answer set
+    }
+  }
+  return result;
+}
+
+std::vector<InternetModel::PublishedServer> InternetModel::published_servers(
+    std::uint32_t org_index) const {
+  std::vector<PublishedServer> out;
+  if (org_index >= orgs_.size()) return out;
+  const OrgRecord& org = orgs_[org_index];
+  if (!org.publishes_server_ips) return out;
+  if (org.home_as && !org.data_centers.empty()) {
+    // Clouds publish per-DC address ranges: everything hosted inside the
+    // cloud's AS is covered, tenants included.
+    for (const ServerRecord& server : servers_) {
+      if (server.host_as != *org.home_as) continue;
+      out.push_back(PublishedServer{server.addr, server.data_center});
+    }
+    return out;
+  }
+  // CDN77-style: the org publishes its own server list.
+  for (const std::uint32_t s : org_servers_[org_index])
+    out.push_back(PublishedServer{servers_[s].addr, servers_[s].data_center});
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Open resolvers (§2.3)
+// ---------------------------------------------------------------------------
+
+void InternetModel::build_resolvers(util::Rng& rng) {
+  // Candidate mix tuned to the paper's 280K -> 25K usable filtering.
+  for (std::size_t i = 0; i < cfg_.resolver_candidates; ++i) {
+    dns::Resolver resolver;
+    const auto as_index = static_cast<std::uint32_t>(rng.next_below(ases_.size()));
+    const AsRecord& as = ases_[as_index];
+    const PrefixRecord& prefix = prefixes_[as.first_prefix];
+    resolver.address = prefix.prefix.address_at(
+        prefix.prefix.size() - 2 - rng.next_below(prefix.prefix.size() / 8 + 1));
+    resolver.asn = as.asn;
+    const double r = rng.next_double();
+    if (r < 0.09)
+      resolver.behavior = dns::ResolverBehavior::kOpen;
+    else if (r < 0.64)
+      resolver.behavior = dns::ResolverBehavior::kClosed;
+    else if (r < 0.84)
+      resolver.behavior = dns::ResolverBehavior::kDelegating;
+    else
+      resolver.behavior = dns::ResolverBehavior::kLying;
+    resolvers_.add(resolver);
+  }
+}
+
+}  // namespace ixp::gen

@@ -1,0 +1,35 @@
+#include "gen/isp_observer.hpp"
+
+namespace ixp::gen {
+
+std::unordered_set<net::Ipv4Addr> IspObserver::observed_servers(
+    int week) const {
+  std::unordered_set<net::Ipv4Addr> out;
+  const InternetModel& model = *model_;
+  const auto& servers = model.servers();
+  for (std::uint32_t s = 0; s < servers.size(); ++s) {
+    const ServerRecord& server = servers[s];
+    if (!model.server_active(s, week)) continue;
+    // Observation probability by visibility class: the ISP's customers
+    // reach most of the popular visible servers, plus a slice of servers
+    // the IXP cannot see.
+    double p = 0.0;
+    switch (server.blind) {
+      case BlindReason::kNone:
+        // The ISP's customers concentrate on the popular stable pool.
+        p = server.activity.kind == ActivityKind::kStable ? 0.92 : 0.30;
+        break;
+      case BlindReason::kPrivateCluster: p = 0.040; break;
+      case BlindReason::kFarRegion: p = 0.040; break;
+      case BlindReason::kSmallFarOrg: p = 0.030; break;
+      case BlindReason::kErrorHandler: p = 0.010; break;
+    }
+    const std::uint64_t h = util::mix64(model.config().seed ^ 0x15bull ^
+                                        (std::uint64_t{s} << 10) ^
+                                        static_cast<std::uint64_t>(week));
+    if (static_cast<double>(h >> 11) * 0x1.0p-53 < p) out.insert(server.addr);
+  }
+  return out;
+}
+
+}  // namespace ixp::gen

@@ -1,0 +1,33 @@
+// The orthogonal vantage point of §3.1: a large European Tier-1 ISP whose
+// HTTP/DNS logs (Bro-processed in the paper) reveal a different
+// cross-section of the same server universe.
+//
+// The paper uses this dataset for two checks: (a) the ISP sees only ~45K
+// server IPs that the IXP does not, and (b) every server IP seen by both
+// is confirmed to really be a server. The observer samples the model's
+// servers with visibility-dependent probabilities — notably, it can see a
+// slice of the servers that are blind at the IXP (private clusters its
+// customers talk to internally, far-region deployments reached over its
+// transit backbone).
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "gen/internet.hpp"
+
+namespace ixp::gen {
+
+class IspObserver {
+ public:
+  explicit IspObserver(const InternetModel& model) : model_(&model) {}
+
+  /// Server IPs present in the ISP's logs for `week` (deterministic).
+  [[nodiscard]] std::unordered_set<net::Ipv4Addr> observed_servers(
+      int week) const;
+
+ private:
+  const InternetModel* model_;
+};
+
+}  // namespace ixp::gen

@@ -1,0 +1,290 @@
+#include "gen/org_catalog.hpp"
+
+namespace ixp::gen {
+
+namespace {
+
+geo::CountryCode cc(const char* code) {
+  return *geo::CountryCode::parse(code);
+}
+
+OrgSpec org(const char* name, OrgKind kind, std::optional<net::Asn> asn,
+            const char* country, double vis_share, double traffic_share) {
+  OrgSpec spec;
+  spec.name = name;
+  spec.kind = kind;
+  spec.home_as = asn;
+  spec.home_country = cc(country);
+  spec.visible_server_share = vis_share;
+  spec.traffic_share = traffic_share;
+  return spec;
+}
+
+}  // namespace
+
+// Shares are fractions of the *total server universe* (visible + blind) and
+// of the total weekly server traffic; the paper's week-45 absolute numbers
+// divided by 1.8M servers. See DESIGN.md §"Per-experiment index" for the
+// sources of each figure.
+std::vector<OrgSpec> named_org_specs() {
+  std::vector<OrgSpec> specs;
+
+  {
+    // Akamai, AS20940: 28K visible servers in 278 ASes; publicly ~100K
+    // servers in 1K+ ASes, the delta being private clusters and far
+    // regions (§3.3). 11.1% of its traffic arrives via non-Akamai links
+    // (Fig. 7b). Multi-purpose HTTP+RTMP servers (§2.2.2).
+    auto akamai = org("akamai", OrgKind::kCdn, net::Asn{20940}, "US", 0.0156, 0.120);
+    akamai.home_as_is_member = true;
+    akamai.blind_server_share = 0.040;
+    akamai.visible_as_spread = 278;
+    akamai.blind_as_spread = 430;
+    akamai.rtmp_fraction = 0.45;
+    akamai.https_fraction = 0.08;
+    akamai.dual_role_fraction = 0.02;
+    akamai.indirect_link_fraction = 0.111;
+    specs.push_back(std::move(akamai));
+  }
+  {
+    // Google, AS15169: 11.5K visible servers; GGC caches inside eyeballs.
+    auto google = org("google", OrgKind::kContent, net::Asn{15169}, "US", 0.0064, 0.095);
+    google.home_as_is_member = true;
+    google.blind_server_share = 0.0055;
+    google.visible_as_spread = 120;
+    google.blind_as_spread = 80;
+    google.https_fraction = 0.35;
+    google.indirect_link_fraction = 0.06;
+    specs.push_back(std::move(google));
+  }
+  {
+    // Hetzner, AS24940 (DE): hoster, #3 by overall traffic (Table 2).
+    auto hetzner = org("hetzner", OrgKind::kHoster, net::Asn{24940}, "DE", 0.0090, 0.055);
+    hetzner.home_as_is_member = true;
+    hetzner.tenant_capacity = 30'000;
+    specs.push_back(std::move(hetzner));
+  }
+  {
+    // VKontakte, AS47541 (RU): content, #4 by server traffic (Table 2).
+    auto vk = org("vkontakte", OrgKind::kContent, net::Asn{47541}, "RU", 0.0020, 0.045);
+    vk.home_as_is_member = true;
+    specs.push_back(std::move(vk));
+  }
+  {
+    auto leaseweb = org("leaseweb", OrgKind::kHoster, net::Asn{16265}, "NL", 0.0080, 0.035);
+    leaseweb.home_as_is_member = true;
+    leaseweb.tenant_capacity = 25'000;
+    specs.push_back(std::move(leaseweb));
+  }
+  {
+    // Limelight: CDN, multi-purpose + machine-to-machine heavy (§2.2.2).
+    auto limelight = org("limelight", OrgKind::kCdn, net::Asn{22822}, "US", 0.0030, 0.030);
+    limelight.home_as_is_member = true;
+    limelight.visible_as_spread = 40;
+    limelight.rtmp_fraction = 0.50;
+    limelight.dual_role_fraction = 0.35;
+    limelight.indirect_link_fraction = 0.15;
+    specs.push_back(std::move(limelight));
+  }
+  {
+    auto ovh = org("ovh", OrgKind::kHoster, net::Asn{16276}, "FR", 0.0122, 0.028);
+    ovh.home_as_is_member = true;
+    ovh.tenant_capacity = 50'000;
+    specs.push_back(std::move(ovh));
+  }
+  {
+    // EdgeCast: top contributor among dual server+client IPs (§2.2.2).
+    auto edgecast = org("edgecast", OrgKind::kCdn, net::Asn{15133}, "US", 0.0025, 0.025);
+    edgecast.home_as_is_member = true;
+    edgecast.visible_as_spread = 30;
+    edgecast.dual_role_fraction = 0.50;
+    edgecast.indirect_link_fraction = 0.12;
+    specs.push_back(std::move(edgecast));
+  }
+  {
+    auto link11 = org("link11", OrgKind::kHoster, net::Asn{24961}, "DE", 0.0020, 0.022);
+    link11.home_as_is_member = true;
+    link11.tenant_capacity = 8'000;
+    specs.push_back(std::move(link11));
+  }
+  {
+    // Kartina: streamer (RU-language TV for DE audiences); RTMP-heavy.
+    auto kartina = org("kartina", OrgKind::kStreamer, net::Asn{49489}, "DE", 0.0015, 0.020);
+    kartina.home_as_is_member = true;
+    kartina.rtmp_fraction = 0.60;
+    specs.push_back(std::move(kartina));
+  }
+  {
+    // CloudFlare: own data centers, yet the same scattered link-usage
+    // pattern as Akamai via transit routing (Fig. 7c).
+    auto cloudflare = org("cloudflare", OrgKind::kCdn, net::Asn{13335}, "US", 0.0030, 0.020);
+    cloudflare.home_as_is_member = true;
+    cloudflare.https_fraction = 0.90;
+    cloudflare.indirect_link_fraction = 0.13;
+    specs.push_back(std::move(cloudflare));
+  }
+  {
+    // Amazon CloudFront: "almost all traffic is sent via the IXP's Amazon
+    // links" (§5.3).
+    auto cloudfront = org("cloudfront", OrgKind::kCdn, net::Asn{16509}, "US", 0.0040, 0.018);
+    cloudfront.home_as_is_member = true;
+    cloudfront.indirect_link_fraction = 0.01;
+    specs.push_back(std::move(cloudfront));
+  }
+  {
+    // Amazon EC2: cloud part; "a sizable fraction comes via other IXP
+    // peering links" (§5.3). Publishes DC locations + IP ranges (§4.2).
+    auto ec2 = org("ec2", OrgKind::kCloud, net::Asn{16509}, "US", 0.0080, 0.012);
+    ec2.home_as_is_member = true;
+    ec2.https_fraction = 0.30;
+    ec2.indirect_link_fraction = 0.25;
+    ec2.tenant_capacity = 12'000;
+    ec2.publishes_server_ips = true;
+    ec2.data_centers = {{"us-east", cc("US"), 0.40},
+                        {"us-west", cc("US"), 0.20},
+                        {"eu-ireland", cc("IE"), 0.25},
+                        {"ap-tokyo", cc("JP"), 0.15}};
+    specs.push_back(std::move(ec2));
+  }
+  {
+    // Netflix: streamer expanding into Scandinavia on EC2-Ireland at the
+    // end of 2012 (§4.2). Servers live in the EC2 AS.
+    auto netflix = org("netflix", OrgKind::kStreamer, net::Asn{16509}, "US", 0.0018, 0.008);
+    netflix.https_fraction = 0.20;
+    specs.push_back(std::move(netflix));
+  }
+  {
+    // The anonymized "major cloud provider" of the Hurricane-Sandy case
+    // study: ~14K server IPs across named DC locations (§4.2).
+    auto nimbus = org("nimbus", OrgKind::kCloud, net::Asn{39572}, "US", 0.0078, 0.006);
+    nimbus.home_as_is_member = true;
+    nimbus.publishes_server_ips = true;
+    nimbus.data_centers = {{"us-east", cc("US"), 0.45},
+                           {"us-west", cc("US"), 0.30},
+                           {"eu-central", cc("DE"), 0.25}};
+    specs.push_back(std::move(nimbus));
+  }
+  // Table 2's "Server IPs by network" head: the big hosting brands.
+  {
+    auto oneandone = org("oneandone", OrgKind::kHoster, net::Asn{8560}, "DE", 0.0133, 0.010);
+    oneandone.home_as_is_member = true;
+    oneandone.tenant_capacity = 20'000;
+    specs.push_back(std::move(oneandone));
+  }
+  {
+    // Softlayer, AS36351: the §5.2 example — its AS hosts 40K+ server IPs
+    // belonging to 350+ different organizations (Fig. 6c's square).
+    auto softlayer = org("softlayer", OrgKind::kHoster, net::Asn{36351}, "US", 0.0111, 0.009);
+    softlayer.home_as_is_member = true;
+    softlayer.tenant_capacity = 55'000;
+    specs.push_back(std::move(softlayer));
+  }
+  {
+    auto theplanet = org("theplanet", OrgKind::kHoster, net::Asn{21844}, "US", 0.0100, 0.008);
+    theplanet.home_as_is_member = true;
+    theplanet.tenant_capacity = 28'000;
+    specs.push_back(std::move(theplanet));
+  }
+  {
+    // Chinanet: eyeball AS with a sizable server population; its stable
+    // pool is "basically invisible in terms of traffic" at the IXP (Fig. 5).
+    auto chinanet = org("chinanet-idc", OrgKind::kEyeballOps, net::Asn{4134}, "CN", 0.0083, 0.0012);
+    specs.push_back(std::move(chinanet));
+  }
+  {
+    auto hosteurope = org("hosteurope", OrgKind::kHoster, net::Asn{20773}, "DE", 0.0067, 0.006);
+    hosteurope.home_as_is_member = true;
+    hosteurope.tenant_capacity = 15'000;
+    specs.push_back(std::move(hosteurope));
+  }
+  {
+    auto strato = org("strato", OrgKind::kHoster, net::Asn{6724}, "DE", 0.0061, 0.006);
+    strato.home_as_is_member = true;
+    strato.tenant_capacity = 13'000;
+    specs.push_back(std::move(strato));
+  }
+  {
+    auto webazilla = org("webazilla", OrgKind::kHoster, net::Asn{35415}, "NL", 0.0056, 0.005);
+    webazilla.home_as_is_member = true;
+    webazilla.tenant_capacity = 10'000;
+    specs.push_back(std::move(webazilla));
+  }
+  {
+    auto plusserver = org("plusserver", OrgKind::kHoster, net::Asn{8972}, "DE", 0.0050, 0.005);
+    plusserver.home_as_is_member = true;
+    plusserver.tenant_capacity = 10'000;
+    specs.push_back(std::move(plusserver));
+  }
+  {
+    // The anonymized giant hosters of §5.2: AS92572 with 90K+ server IPs,
+    // AS56740 and AS50099 with 50K+ each — mostly *tenant* servers, so
+    // they dominate Fig. 6(c) without entering Table 2's org ranking.
+    auto giant = org("gianthost", OrgKind::kHoster, net::Asn{92572}, "DE", 0.0020, 0.004);
+    giant.home_as_is_member = true;
+    giant.tenant_capacity = 95'000;
+    specs.push_back(std::move(giant));
+
+    auto biga = org("bighost-a", OrgKind::kHoster, net::Asn{56740}, "NL", 0.0015, 0.003);
+    biga.home_as_is_member = true;
+    biga.tenant_capacity = 52'000;
+    specs.push_back(std::move(biga));
+
+    auto bigb = org("bighost-b", OrgKind::kHoster, net::Asn{50099}, "GB", 0.0015, 0.003);
+    bigb.home_as_is_member = true;
+    bigb.tenant_capacity = 52'000;
+    specs.push_back(std::move(bigb));
+  }
+  {
+    // Eweka: network operator whose machines act as servers *and* clients
+    // (machine-to-machine traffic, §2.2.2).
+    auto eweka = org("eweka", OrgKind::kEyeballOps, net::Asn{43350}, "NL", 0.0015, 0.012);
+    eweka.home_as_is_member = true;
+    eweka.dual_role_fraction = 0.70;
+    specs.push_back(std::move(eweka));
+  }
+  {
+    // CDN77: "a recently launched low-cost no-commitment CDN" that has no
+    // ASN of its own and publishes all its server IPs (§5.1) — invisible
+    // to the traditional AS-level view.
+    auto cdn77 = org("cdn77", OrgKind::kCdn, std::nullopt, "CZ", 0.0008, 0.004);
+    cdn77.visible_as_spread = 30;
+    cdn77.publishes_server_ips = true;
+    specs.push_back(std::move(cdn77));
+  }
+  {
+    // Rapidshare: one-click hosting without an ASN (§5.1).
+    auto rapidshare = org("rapidshare", OrgKind::kOneClick, std::nullopt, "CH", 0.0006, 0.006);
+    rapidshare.visible_as_spread = 3;
+    specs.push_back(std::move(rapidshare));
+  }
+  {
+    // Hostica: the §5.1 meta-hoster example — SOA outsourced, clustered
+    // only by the step-2 majority vote.
+    auto hostica = org("hostica", OrgKind::kHoster, std::nullopt, "US", 0.0006, 0.002);
+    hostica.naming = NamingScheme::kOutsourcedSoa;
+    hostica.visible_as_spread = 6;
+    specs.push_back(std::move(hostica));
+  }
+  return specs;
+}
+
+std::vector<EyeballSpec> named_eyeball_specs() {
+  // Table 2, "All IPs by network" and traffic columns. ip_share is the
+  // fraction of weekly background (non-server) activity.
+  return {
+      {"chinanet", net::Asn{4134}, cc("CN"), 0.055, false},
+      {"vodafone-de", net::Asn{3209}, cc("DE"), 0.040, true},
+      {"free-sas", net::Asn{12322}, cc("FR"), 0.034, true},
+      {"turk-telekom", net::Asn{9121}, cc("TR"), 0.030, true},
+      {"telecom-italia", net::Asn{3269}, cc("IT"), 0.027, true},
+      {"liberty-global", net::Asn{6830}, cc("AT"), 0.024, true},
+      {"vodafone-it", net::Asn{30722}, cc("IT"), 0.021, true},
+      {"comnet", net::Asn{8386}, cc("TR"), 0.019, true},
+      {"virgin-media", net::Asn{5089}, cc("GB"), 0.017, true},
+      {"telefonica-de", net::Asn{6805}, cc("DE"), 0.016, true},
+      {"kabel-deutschland", net::Asn{31334}, cc("DE"), 0.015, true},
+      {"unitymedia", net::Asn{20825}, cc("DE"), 0.013, true},
+      {"kyivstar", net::Asn{15895}, cc("UA"), 0.012, true},
+  };
+}
+
+}  // namespace ixp::gen

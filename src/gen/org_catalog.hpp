@@ -1,0 +1,110 @@
+// Organization catalog.
+//
+// The head of every distribution the paper reports is populated by *named*
+// Internet players (Table 2, §4.2, §5): Akamai (AS20940), Google (AS15169),
+// VKontakte (AS47541), the big European hosters, CloudFlare, Amazon
+// EC2/CloudFront, Netflix-on-EC2, resellers, and CDNs without an ASN such
+// as CDN77. The catalog seeds the synthetic Internet with these entities —
+// with the paper's ASNs and approximate footprints — so the reproduced
+// tables line up row-by-row; the remaining org_count organizations form a
+// Zipf tail of hosting tenants, small CDNs, and content sites.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/country.hpp"
+#include "net/ipv4.hpp"
+
+namespace ixp::gen {
+
+enum class OrgKind : std::uint8_t {
+  kCdn,         // distributed caches, often in third-party eyeball ASes
+  kContent,     // content provider (search, social, video)
+  kHoster,      // web hosting: hosts many tenant orgs in its own AS
+  kCloud,       // IaaS with named data-center locations
+  kStreamer,    // video streamer (often deployed on a cloud)
+  kOneClick,    // one-click hoster
+  kEyeballOps,  // network operator running server infrastructure
+  kSite,        // ordinary content site (tail)
+};
+
+/// How an organization names its servers — determines which clustering
+/// step (§5.1) can claim them.
+enum class NamingScheme : std::uint8_t {
+  kOwnSoa,        // hostname SOA and URI authority -> org domain (step 1)
+  kOutsourcedSoa, // SOA points at a third-party DNS provider (step 2)
+  kPartial,       // only partial SOA info (step 3; deep-inside-ISP deploys)
+};
+
+/// Deployment blueprint for one organization.
+struct OrgSpec {
+  std::string name;    // "akamai" — also the DNS domain label
+  std::string tld = "com";
+  OrgKind kind = OrgKind::kSite;
+  NamingScheme naming = NamingScheme::kOwnSoa;
+  std::optional<net::Asn> home_as;  // nullopt: org without an ASN (CDN77 case)
+  bool home_as_is_member = false;
+  geo::CountryCode home_country;
+
+  /// Servers visible in IXP traffic, as a fraction of the total server
+  /// universe (paper scale: Akamai 28K / 1.8M, etc.).
+  double visible_server_share = 0.0;
+  /// Additional servers that exist but are invisible at the IXP:
+  /// private in-AS clusters and far-away regional deployments (§3.3).
+  double blind_server_share = 0.0;
+  /// Number of distinct ASes the visible deployment spreads over.
+  std::size_t visible_as_spread = 1;
+  std::size_t blind_as_spread = 0;
+
+  /// Share of total weekly *server* traffic this org attracts.
+  double traffic_share = 0.0;
+
+  double https_fraction = 0.10;     // servers also speaking HTTPS (port 443)
+  double rtmp_fraction = 0.0;       // multi-purpose servers (port 1935)
+  double dual_role_fraction = 0.0;  // servers that also act as clients
+
+  /// Fraction of this org's traffic that leaves via IXP links other than
+  /// its own member link (0 for orgs whose servers all sit in/behind the
+  /// home AS). Drives Figure 7.
+  double indirect_link_fraction = 0.0;
+
+  /// Relative weight for hosting *tenant* (tail) organizations' servers in
+  /// this org's AS — how fig 6(c)'s "one AS, hundreds of orgs" arises.
+  double tenant_capacity = 0.0;
+
+  /// Cloud/CDN data-center locations with relative sizes; empty for
+  /// single-footprint orgs. Clouds publish these together with their IP
+  /// ranges (§4.2 uses exactly that for the EC2 and hurricane analyses).
+  struct DataCenter {
+    std::string name;  // "us-east", "eu-ireland", ...
+    geo::CountryCode country;
+    double weight = 1.0;
+  };
+  std::vector<DataCenter> data_centers;
+
+  /// True for players that publish their server IP lists / ranges
+  /// (CDN77, EC2 public ranges) — usable as clustering ground truth.
+  bool publishes_server_ips = false;
+};
+
+/// The named head entities. `total_orgs`/`total_servers` let the catalog
+/// stay consistent at any scale (shares are converted to counts later).
+[[nodiscard]] std::vector<OrgSpec> named_org_specs();
+
+/// Named eyeball/operator ASes (Table 2's "All IPs" network column) with
+/// the paper's ASNs where known. These are not server organizations but
+/// anchor the background-traffic head.
+struct EyeballSpec {
+  std::string name;
+  net::Asn asn;
+  geo::CountryCode country;
+  double ip_share;       // share of weekly background IPs
+  bool member = true;    // all big eyeballs peer at the IXP
+};
+
+[[nodiscard]] std::vector<EyeballSpec> named_eyeball_specs();
+
+}  // namespace ixp::gen

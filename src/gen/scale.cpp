@@ -1,0 +1,62 @@
+#include "gen/scale.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ixp::gen {
+
+namespace {
+
+std::size_t scaled(std::size_t paper_value, double factor,
+                   std::size_t minimum = 1) {
+  const double v = static_cast<double>(paper_value) * factor;
+  return std::max<std::size_t>(minimum, static_cast<std::size_t>(std::llround(v)));
+}
+
+}  // namespace
+
+ScaleConfig ScaleConfig::bench(double volume) {
+  ScaleConfig cfg;
+  // Populations and traffic shrink with `volume`; organizations shrink with
+  // the server count so the servers-per-org distribution keeps its shape
+  // (fractions like "orgs with >10 servers" are then scale-comparable).
+  // Servers shrink less aggressively (sqrt-ish) than raw traffic because
+  // the §5 analyses need a rich server population; at volume 1 the server
+  // population is exactly the paper's.
+  const double server_volume =
+      std::min(1.0, std::max(volume, std::sqrt(volume) / 4.0));
+  cfg.weekly_server_ips = scaled(cfg.weekly_server_ips, server_volume, 2'000);
+  // Orgs shrink half as fast as servers: preserving the servers-per-org
+  // head exactly would leave too few organizations (and too few
+  // server-hosting ASes) to exercise the §5 analyses at small scale.
+  cfg.org_count = scaled(cfg.org_count, std::min(1.0, 2.0 * server_volume), 300);
+  cfg.client_pool = scaled(cfg.client_pool, volume, 10'000);
+  cfg.background_ip_pool = scaled(cfg.background_ip_pool, volume, 20'000);
+  cfg.site_count = scaled(cfg.site_count, server_volume, 2'000);
+  // Resolver candidates are measurement infrastructure, not traffic:
+  // keeping them at paper scale preserves the AS coverage that the §3.3
+  // sweep's private-cluster discovery depends on.
+  cfg.weekly_background_samples =
+      scaled(cfg.weekly_background_samples, volume, 50'000);
+  cfg.weekly_server_flows = scaled(cfg.weekly_server_flows, volume, 20'000);
+  return cfg;
+}
+
+ScaleConfig ScaleConfig::test() {
+  ScaleConfig cfg;
+  cfg.as_count = 800;
+  cfg.prefix_count = 4'000;
+  cfg.member_count = 60;
+  cfg.member_joins = 6;
+  cfg.org_count = 120;
+  cfg.site_count = 800;
+  cfg.resolver_candidates = 400;
+  cfg.weekly_server_ips = 2'500;
+  cfg.client_pool = 8'000;
+  cfg.background_ip_pool = 25'000;
+  cfg.weekly_background_samples = 42'000;
+  cfg.weekly_server_flows = 33'000;
+  return cfg;
+}
+
+}  // namespace ixp::gen

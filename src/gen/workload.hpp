@@ -1,0 +1,114 @@
+// Weekly traffic generation.
+//
+// Workload turns the InternetModel into the stream of sampled Ethernet
+// frames the IXP's sFlow collector would deliver for one week. The stream
+// composition follows §2.2.1's filtering percentages (non-IPv4 ~0.4%,
+// non-member/local ~0.6%, non-TCP/UDP <0.5%, TCP:UDP 82:18 by bytes) and
+// §2.2.2's server-traffic share (>70% of peering bytes). Each emitted
+// sample stands for `sampling_rate` real packets, exactly as an sFlow
+// estimator would treat it.
+//
+// Generation is deterministic per (model seed, week): re-generating a week
+// produces the identical stream.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "gen/internet.hpp"
+#include "sflow/datagram.hpp"
+#include "sflow/sampler.hpp"
+
+namespace ixp::gen {
+
+/// Receives every generated sample. The FlowSample reference is only
+/// valid during the call (the workload reuses its buffers).
+using SampleSink = std::function<void(const sflow::FlowSample&)>;
+
+/// Ground truth accompanying one generated week, for validating what the
+/// measurement pipeline reconstructs.
+struct WeeklyTruth {
+  int week = 0;
+  std::uint64_t total_samples = 0;
+  std::uint64_t non_ipv4_samples = 0;
+  std::uint64_t non_member_or_local_samples = 0;
+  std::uint64_t non_tcp_udp_samples = 0;
+  std::uint64_t peering_samples = 0;
+
+  double peering_bytes = 0.0;  // expanded (x sampling rate)
+  double tcp_bytes = 0.0;
+  double udp_bytes = 0.0;
+  double server_bytes = 0.0;  // bytes of flows involving a server IP
+
+  std::size_t active_visible_servers = 0;
+  /// Expanded bytes per administrative organization.
+  std::unordered_map<std::uint32_t, double> org_bytes;
+};
+
+class Workload {
+ public:
+  explicit Workload(const InternetModel& model);
+
+  /// Generates the full sample stream of `week` into `sink`.
+  WeeklyTruth generate_week(int week, const SampleSink& sink) const;
+
+  /// Indices of servers that are visible and active in `week`.
+  [[nodiscard]] std::vector<std::uint32_t> active_visible_servers(int week) const;
+
+  /// The deterministic background host address for slot `k` (also used by
+  /// the ISP observer to sample the same population).
+  [[nodiscard]] net::Ipv4Addr background_addr(std::uint64_t k) const;
+
+  [[nodiscard]] const InternetModel& model() const noexcept { return *model_; }
+
+ private:
+  struct ActiveSet;
+
+  /// Entry-port MAC for traffic of AS `as_index` in `week`; falls back to
+  /// an off-fabric MAC when the entry member has not joined yet.
+  [[nodiscard]] sflow::MacAddr entry_mac(std::uint32_t as_index, int week) const;
+
+  /// Random background host: address + its AS index.
+  [[nodiscard]] std::pair<net::Ipv4Addr, std::uint32_t> background_pick(
+      util::Rng& rng) const;
+
+  /// Random pool client: address + its AS index.
+  [[nodiscard]] std::pair<net::Ipv4Addr, std::uint32_t> client_pick(
+      util::Rng& rng) const;
+
+  /// Host header for a flow served by `server` (a site of its content org,
+  /// biased towards the org's popular sites).
+  [[nodiscard]] const dns::DnsName& flow_host(const ServerRecord& server,
+                                              util::Rng& rng) const;
+
+  /// Fig. 7's transit detour: home-AS servers of orgs with a nonzero
+  /// indirect fraction occasionally enter via a transit member's port.
+  void apply_routing_indirection(sflow::FrameSpec& spec,
+                                 const ServerRecord& server, bool response_dir,
+                                 util::Rng& rng) const;
+
+  const InternetModel* model_;
+  std::vector<sflow::MacAddr> transit_macs_;  // founding transit/tier1 ports
+  /// Per-org damping factor for servers deployed outside the org's home
+  /// AS: in-ISP CDN deployments serve their host network internally, so
+  /// only a sliver of their traffic crosses the IXP (this is what keeps
+  /// Akamai's indirect share at the paper's 11.1% even though >half of
+  /// its servers sit in third-party ASes). 1.0 = no damping.
+  std::vector<double> org_offsite_damping_;
+  /// True when the org has at least one visible server outside its home
+  /// AS (such orgs get placement-driven indirection; single-footprint
+  /// orgs get the routing-detour path instead).
+  std::vector<bool> org_has_offsite_;
+  // Per-prefix sampling structures for background traffic: prefixes are
+  // drawn by AS activity weight; each prefix exposes a bounded set of
+  // deterministic "active hosts".
+  std::unique_ptr<util::WeightedSampler> prefix_sampler_;
+  std::vector<std::uint32_t> prefix_active_hosts_;
+  std::vector<std::uint64_t> background_cum_;  // cumulative active hosts (for background_addr)
+  // Per-org site ranks for Host headers.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> org_sites_;
+};
+
+}  // namespace ixp::gen

@@ -1,0 +1,120 @@
+#include "geo/country.hpp"
+
+namespace ixp::geo {
+
+std::optional<CountryCode> CountryCode::parse(std::string_view text) {
+  if (text.size() != 2) return std::nullopt;
+  const char a = text[0];
+  const char b = text[1];
+  if (a < 'A' || a > 'Z' || b < 'A' || b > 'Z') return std::nullopt;
+  return CountryCode{a, b};
+}
+
+Region region_of(CountryCode country) noexcept {
+  if (country == CountryCode{'D', 'E'}) return Region::kDE;
+  if (country == CountryCode{'U', 'S'}) return Region::kUS;
+  if (country == CountryCode{'R', 'U'}) return Region::kRU;
+  if (country == CountryCode{'C', 'N'}) return Region::kCN;
+  return Region::kRoW;
+}
+
+const char* to_string(Region region) noexcept {
+  switch (region) {
+    case Region::kDE: return "DE";
+    case Region::kUS: return "US";
+    case Region::kRU: return "RU";
+    case Region::kCN: return "CN";
+    case Region::kRoW: return "RoW";
+  }
+  return "RoW";
+}
+
+namespace {
+
+struct RawEntry {
+  const char* code;
+  double weight;
+};
+
+// 242 ISO-3166 alpha-2 codes with rough Internet-footprint weights.
+// Weights steer how much address space, how many clients, and how many
+// servers the synthetic Internet places in each country; the heavy head
+// (US/DE/CN/RU/...) matches the ranking the paper reports in Table 2.
+constexpr RawEntry kCountries[] = {
+    {"US", 2600}, {"DE", 1300}, {"CN", 1200}, {"RU", 760},  {"IT", 560},
+    {"FR", 660},  {"GB", 720},  {"TR", 420},  {"UA", 360},  {"JP", 680},
+    {"NL", 500},  {"CZ", 260},  {"EU", 180},  {"RO", 220},  {"BR", 540},
+    {"IN", 500},  {"KR", 420},  {"CA", 420},  {"ES", 400},  {"PL", 340},
+    {"SE", 260},  {"AU", 300},  {"MX", 260},  {"AR", 200},  {"AT", 180},
+    {"CH", 200},  {"BE", 180},  {"DK", 150},  {"FI", 140},  {"NO", 150},
+    {"PT", 130},  {"GR", 130},  {"HU", 140},  {"IE", 120},  {"IL", 140},
+    {"ZA", 130},  {"SA", 130},  {"AE", 120},  {"TH", 160},  {"VN", 170},
+    {"ID", 220},  {"MY", 140},  {"SG", 140},  {"PH", 150},  {"TW", 200},
+    {"HK", 170},  {"EG", 130},  {"NG", 110},  {"KE", 70},   {"MA", 80},
+    {"DZ", 70},   {"TN", 55},   {"CO", 130},  {"CL", 110},  {"PE", 90},
+    {"VE", 80},   {"EC", 60},   {"UY", 45},   {"PY", 35},   {"BO", 30},
+    {"CR", 35},   {"PA", 35},   {"GT", 35},   {"SV", 25},   {"HN", 25},
+    {"NI", 20},   {"DO", 35},   {"CU", 15},   {"JM", 20},   {"TT", 20},
+    {"BG", 110},  {"RS", 90},   {"HR", 70},   {"SI", 55},   {"SK", 90},
+    {"LT", 60},   {"LV", 55},   {"EE", 50},   {"BY", 80},   {"MD", 40},
+    {"AL", 30},   {"MK", 30},   {"BA", 35},   {"ME", 15},   {"XK", 12},
+    {"IS", 25},   {"LU", 35},   {"MT", 18},   {"CY", 25},   {"GE", 35},
+    {"AM", 30},   {"AZ", 40},   {"KZ", 80},   {"UZ", 40},   {"TM", 10},
+    {"KG", 18},   {"TJ", 12},   {"MN", 15},   {"PK", 110},  {"BD", 90},
+    {"LK", 40},   {"NP", 30},   {"MM", 25},   {"KH", 20},   {"LA", 12},
+    {"BN", 10},   {"MV", 8},    {"BT", 5},    {"AF", 12},   {"IQ", 45},
+    {"IR", 140},  {"SY", 25},   {"JO", 35},   {"LB", 30},   {"KW", 35},
+    {"QA", 30},   {"BH", 20},   {"OM", 25},   {"YE", 12},   {"PS", 15},
+    {"ET", 25},   {"TZ", 30},   {"UG", 25},   {"GH", 30},   {"CI", 25},
+    {"SN", 20},   {"CM", 20},   {"ZM", 15},   {"ZW", 15},   {"MZ", 12},
+    {"AO", 18},   {"NA", 10},   {"BW", 10},   {"MW", 8},    {"RW", 10},
+    {"BI", 5},    {"SO", 6},    {"SD", 20},   {"SS", 4},    {"LY", 15},
+    {"MR", 6},    {"ML", 8},    {"BF", 8},    {"NE", 6},    {"TD", 5},
+    {"TG", 7},    {"BJ", 8},    {"GN", 7},    {"SL", 5},    {"LR", 5},
+    {"GM", 5},    {"GW", 3},    {"CV", 5},    {"ST", 2},    {"GQ", 4},
+    {"GA", 8},    {"CG", 6},    {"CD", 12},   {"CF", 3},    {"ER", 3},
+    {"DJ", 4},    {"KM", 2},    {"MG", 10},   {"MU", 12},   {"SC", 5},
+    {"RE", 8},    {"YT", 3},    {"NZ", 70},   {"FJ", 8},    {"PG", 6},
+    {"SB", 2},    {"VU", 2},    {"NC", 5},    {"PF", 5},    {"WS", 2},
+    {"TO", 2},    {"FM", 2},    {"PW", 2},    {"MH", 2},    {"KI", 1},
+    {"TV", 1},    {"NR", 1},    {"GU", 5},    {"MP", 2},    {"AS", 2},
+    {"CK", 2},    {"NU", 1},    {"TK", 1},    {"WF", 1},    {"PN", 1},
+    {"HT", 10},   {"BS", 8},    {"BB", 8},    {"LC", 4},    {"VC", 3},
+    {"GD", 3},    {"AG", 4},    {"DM", 3},    {"KN", 3},    {"AI", 2},
+    {"VG", 4},    {"VI", 5},    {"KY", 6},    {"TC", 3},    {"BM", 6},
+    {"AW", 5},    {"CW", 6},    {"SX", 3},    {"BQ", 2},    {"MS", 1},
+    {"GP", 6},    {"MQ", 6},    {"GF", 4},    {"SR", 6},    {"GY", 5},
+    {"BZ", 5},    {"FK", 1},    {"GL", 4},    {"FO", 5},    {"GI", 5},
+    {"AD", 6},    {"MC", 6},    {"SM", 4},    {"VA", 2},    {"LI", 5},
+    {"JE", 5},    {"GG", 4},    {"IM", 5},    {"AX", 2},    {"SJ", 1},
+    {"MO", 12},   {"KP", 2},    {"TL", 3},    {"IO", 1},    {"SH", 1},
+    {"TF", 1},    {"AQ", 1},    {"BV", 1},    {"GS", 1},    {"HM", 1},
+    {"UM", 1},    {"NF", 1},
+};
+static_assert(sizeof(kCountries) / sizeof(kCountries[0]) == 242,
+              "paper: IXP sees traffic from 242 countries in week 45");
+
+}  // namespace
+
+CountryRegistry::CountryRegistry() {
+  entries_.reserve(std::size(kCountries));
+  for (const RawEntry& raw : kCountries) {
+    const auto code = CountryCode::parse(raw.code);
+    // All entries are valid two-letter codes by construction.
+    entries_.push_back(Entry{*code, raw.weight});
+    index_.emplace(code->packed(), entries_.size() - 1);
+  }
+}
+
+const CountryRegistry& CountryRegistry::instance() {
+  static const CountryRegistry registry;
+  return registry;
+}
+
+std::optional<std::size_t> CountryRegistry::index_of(CountryCode code) const {
+  const auto it = index_.find(code.packed());
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace ixp::geo

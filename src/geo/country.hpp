@@ -1,0 +1,91 @@
+// Country codes and the paper's region buckets.
+//
+// The paper geo-locates every observed IP at country granularity
+// (Figure 3, Table 2) and groups countries into five regions for the
+// longitudinal churn analysis: DE, US, RU, CN, and RoW (Figures 4(b), 5).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ixp::geo {
+
+/// ISO-3166 alpha-2 country code packed into 16 bits. The default value is
+/// the invalid code "--" (unknown location).
+class CountryCode {
+ public:
+  constexpr CountryCode() = default;
+  constexpr CountryCode(char a, char b) noexcept
+      : packed_(static_cast<std::uint16_t>((a << 8) | (b & 0xff))) {}
+
+  /// Parses a two-letter uppercase code; anything else -> nullopt.
+  [[nodiscard]] static std::optional<CountryCode> parse(std::string_view text);
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return packed_ != 0; }
+  [[nodiscard]] std::string to_string() const {
+    if (!valid()) return "--";
+    return {static_cast<char>(packed_ >> 8), static_cast<char>(packed_ & 0xff)};
+  }
+  [[nodiscard]] constexpr std::uint16_t packed() const noexcept { return packed_; }
+
+  friend constexpr auto operator<=>(CountryCode, CountryCode) noexcept = default;
+
+ private:
+  std::uint16_t packed_ = 0;
+};
+
+/// The five region buckets used in Figures 4(b) and 5.
+enum class Region : std::uint8_t { kDE, kUS, kRU, kCN, kRoW };
+
+inline constexpr std::array<Region, 5> kAllRegions{
+    Region::kDE, Region::kUS, Region::kRU, Region::kCN, Region::kRoW};
+
+[[nodiscard]] Region region_of(CountryCode country) noexcept;
+[[nodiscard]] const char* to_string(Region region) noexcept;
+
+/// Static registry of the world's countries with rough Internet-population
+/// weights. The paper sees traffic from 242 countries; the registry
+/// enumerates 242 ISO codes so the synthetic Internet can reproduce the
+/// same geographic footprint.
+class CountryRegistry {
+ public:
+  struct Entry {
+    CountryCode code;
+    /// Relative weight for allocating address space & traffic (unitless;
+    /// large Internet populations get large weights).
+    double weight;
+  };
+
+  /// The process-wide registry (immutable after construction).
+  [[nodiscard]] static const CountryRegistry& instance();
+
+  [[nodiscard]] std::span<const Entry> entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Index of a country within the registry, if present.
+  [[nodiscard]] std::optional<std::size_t> index_of(CountryCode code) const;
+
+ private:
+  CountryRegistry();
+  std::vector<Entry> entries_;
+  std::unordered_map<std::uint16_t, std::size_t> index_;
+};
+
+}  // namespace ixp::geo
+
+template <>
+struct std::hash<ixp::geo::CountryCode> {
+  std::size_t operator()(ixp::geo::CountryCode c) const noexcept {
+    return std::hash<std::uint16_t>{}(c.packed());
+  }
+};

@@ -1,0 +1,18 @@
+#include "geo/geo_database.hpp"
+
+namespace ixp::geo {
+
+void GeoDatabase::assign(net::Ipv4Prefix prefix, CountryCode country) {
+  trie_.insert(prefix, country);
+}
+
+std::optional<CountryCode> GeoDatabase::country_of(net::Ipv4Addr addr) const {
+  return trie_.lookup(addr);
+}
+
+Region GeoDatabase::region_of(net::Ipv4Addr addr) const {
+  const auto country = trie_.lookup(addr);
+  return country ? ixp::geo::region_of(*country) : Region::kRoW;
+}
+
+}  // namespace ixp::geo

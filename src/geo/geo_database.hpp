@@ -1,0 +1,38 @@
+// Prefix -> country geolocation database (the GeoLite-Country stand-in).
+//
+// The paper geo-locates all 230M+ observed IPs with MaxMind's GeoLite
+// Country database. Our database is generated alongside the synthetic
+// Internet: each allocated prefix records the country it was assigned to,
+// so lookups are a longest-prefix match.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "geo/country.hpp"
+#include "net/ipv4.hpp"
+#include "net/prefix_trie.hpp"
+
+namespace ixp::geo {
+
+class GeoDatabase {
+ public:
+  /// Registers a prefix's country (overwrites on re-registration).
+  void assign(net::Ipv4Prefix prefix, CountryCode country);
+
+  /// Country of the most specific covering prefix, or nullopt.
+  [[nodiscard]] std::optional<CountryCode> country_of(net::Ipv4Addr addr) const;
+
+  /// Region bucket of an address (unknown locations land in RoW).
+  [[nodiscard]] Region region_of(net::Ipv4Addr addr) const;
+
+  [[nodiscard]] std::size_t prefix_count() const noexcept {
+    return trie_.size();
+  }
+
+ private:
+  net::PrefixTrie<CountryCode> trie_;
+};
+
+}  // namespace ixp::geo

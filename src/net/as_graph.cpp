@@ -1,0 +1,85 @@
+#include "net/as_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace ixp::net {
+
+void AsGraph::add_as(Asn asn) { adjacency_.try_emplace(asn); }
+
+void AsGraph::add_link(Asn a, Asn b) {
+  if (a == b) return;
+  auto& la = adjacency_[a];
+  auto& lb = adjacency_[b];
+  if (std::find(la.begin(), la.end(), b) != la.end()) return;
+  la.push_back(b);
+  lb.push_back(a);
+  ++link_count_;
+}
+
+bool AsGraph::contains(Asn asn) const { return adjacency_.count(asn) > 0; }
+
+const std::vector<Asn>& AsGraph::neighbors(Asn asn) const {
+  static const std::vector<Asn> kEmpty;
+  const auto it = adjacency_.find(asn);
+  return it == adjacency_.end() ? kEmpty : it->second;
+}
+
+std::vector<Asn> AsGraph::all_ases() const {
+  std::vector<Asn> out;
+  out.reserve(adjacency_.size());
+  for (const auto& [asn, links] : adjacency_) out.push_back(asn);
+  return out;
+}
+
+std::unordered_map<Asn, std::uint32_t> AsGraph::distances_from(
+    const std::vector<Asn>& seeds) const {
+  std::unordered_map<Asn, std::uint32_t> dist;
+  dist.reserve(adjacency_.size());
+  std::deque<Asn> queue;
+  for (const Asn seed : seeds) {
+    if (!contains(seed)) continue;
+    if (dist.emplace(seed, 0).second) queue.push_back(seed);
+  }
+  while (!queue.empty()) {
+    const Asn current = queue.front();
+    queue.pop_front();
+    const std::uint32_t d = dist[current];
+    for (const Asn next : neighbors(current)) {
+      if (dist.emplace(next, d + 1).second) queue.push_back(next);
+    }
+  }
+  return dist;
+}
+
+std::unordered_map<Asn, Locality> AsGraph::classify(
+    const std::vector<Asn>& members) const {
+  const auto dist = distances_from(members);
+  std::unordered_map<Asn, Locality> out;
+  out.reserve(adjacency_.size());
+  for (const auto& [asn, links] : adjacency_) {
+    const auto it = dist.find(asn);
+    if (it == dist.end()) {
+      out.emplace(asn, Locality::kGlobal);
+    } else if (it->second == 0) {
+      out.emplace(asn, Locality::kMember);
+    } else if (it->second == 1) {
+      out.emplace(asn, Locality::kNear);
+    } else {
+      out.emplace(asn, Locality::kGlobal);
+    }
+  }
+  return out;
+}
+
+const char* to_string(Locality locality) noexcept {
+  switch (locality) {
+    case Locality::kMember: return "A(L)";
+    case Locality::kNear: return "A(M)";
+    case Locality::kGlobal: return "A(G)";
+    case Locality::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+}  // namespace ixp::net

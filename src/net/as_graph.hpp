@@ -1,0 +1,61 @@
+// AS-level topology graph.
+//
+// Section 3.2 of the paper partitions all actively routed ASes by AS-hop
+// distance from the IXP's member set: A(L) = members, A(M) = distance 1,
+// A(G) = distance >= 2. AsGraph stores the undirected AS adjacency
+// (BGP-visible links) and computes these locality classes via BFS.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace ixp::net {
+
+/// Locality of an AS relative to the IXP member set (paper §3.2).
+enum class Locality : std::uint8_t {
+  kMember,  // A(L): an IXP member AS
+  kNear,    // A(M): distance 1 from some member
+  kGlobal,  // A(G): distance >= 2
+  kUnknown, // not present in the graph
+};
+
+/// Undirected AS-level graph with BFS distance queries.
+class AsGraph {
+ public:
+  /// Adds an AS with no links (idempotent).
+  void add_as(Asn asn);
+
+  /// Adds an undirected link; both endpoints are added if missing.
+  void add_link(Asn a, Asn b);
+
+  [[nodiscard]] bool contains(Asn asn) const;
+  [[nodiscard]] std::size_t as_count() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t link_count() const noexcept { return link_count_; }
+  [[nodiscard]] const std::vector<Asn>& neighbors(Asn asn) const;
+
+  /// All ASes in insertion order.
+  [[nodiscard]] std::vector<Asn> all_ases() const;
+
+  /// BFS hop distances from a seed set. Result maps every reachable AS to
+  /// its distance (seeds -> 0). Unreachable ASes are absent.
+  [[nodiscard]] std::unordered_map<Asn, std::uint32_t> distances_from(
+      const std::vector<Asn>& seeds) const;
+
+  /// Partition by locality relative to `members` (paper's A(L)/A(M)/A(G)).
+  /// ASes not reachable from the member set are classified kGlobal: from
+  /// the vantage point they are "distance >= 2 or unknown", which is
+  /// exactly the paper's complement definition.
+  [[nodiscard]] std::unordered_map<Asn, Locality> classify(
+      const std::vector<Asn>& members) const;
+
+ private:
+  std::unordered_map<Asn, std::vector<Asn>> adjacency_;
+  std::size_t link_count_ = 0;
+};
+
+[[nodiscard]] const char* to_string(Locality locality) noexcept;
+
+}  // namespace ixp::net

@@ -1,0 +1,55 @@
+#include "net/bgp_dump.hpp"
+
+#include <charconv>
+
+namespace ixp::net {
+
+std::size_t write_bgp_dump(std::ostream& out, const RoutingTable& table) {
+  out << "# ixpscope-bgp v1\n";
+  std::size_t written = 0;
+  for (const Route& route : table.routes()) {
+    out << route.prefix.to_string() << ' ' << route.origin.value() << '\n';
+    ++written;
+  }
+  return written;
+}
+
+std::optional<Route> parse_bgp_line(std::string_view line) {
+  // Trim trailing CR (dumps often travel through Windows tooling).
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  const std::size_t space = line.find(' ');
+  if (space == std::string_view::npos) return std::nullopt;
+  const auto prefix = Ipv4Prefix::parse(line.substr(0, space));
+  if (!prefix) return std::nullopt;
+  std::string_view asn_text = line.substr(space + 1);
+  // Tolerate the "AS64500" spelling.
+  if (asn_text.size() > 2 && (asn_text[0] == 'A' || asn_text[0] == 'a') &&
+      (asn_text[1] == 'S' || asn_text[1] == 's'))
+    asn_text.remove_prefix(2);
+  std::uint32_t asn = 0;
+  const auto [ptr, ec] =
+      std::from_chars(asn_text.data(), asn_text.data() + asn_text.size(), asn);
+  if (ec != std::errc{} || ptr != asn_text.data() + asn_text.size())
+    return std::nullopt;
+  return Route{*prefix, Asn{asn}};
+}
+
+BgpDumpStats read_bgp_dump(std::istream& in, RoutingTable& table) {
+  BgpDumpStats stats;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      ++stats.comments;
+      continue;
+    }
+    if (const auto route = parse_bgp_line(line)) {
+      table.announce(route->prefix, route->origin);
+      ++stats.routes;
+    } else {
+      ++stats.skipped;
+    }
+  }
+  return stats;
+}
+
+}  // namespace ixp::net

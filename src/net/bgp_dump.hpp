@@ -1,0 +1,45 @@
+// BGP table dump import/export.
+//
+// The paper leans on "publicly available BGP-based data ... collected on
+// an ongoing basis by RouteViews, RIPE RIS, Team Cymru" to define the set
+// of actively routed prefixes and ASes. This module provides a plain-text
+// table-dump format so routing tables can be shipped between runs or
+// sourced from converted real dumps:
+//
+//   # ixpscope-bgp v1
+//   <prefix> <origin-asn>
+//   10.4.0.0/16 64500
+//
+// Lines starting with '#' are comments; malformed lines are counted and
+// skipped (real dump pipelines are never pristine).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "net/routing_table.hpp"
+
+namespace ixp::net {
+
+/// Writes every route in lexicographic prefix order. Returns the number
+/// of routes written.
+std::size_t write_bgp_dump(std::ostream& out, const RoutingTable& table);
+
+struct BgpDumpStats {
+  std::size_t routes = 0;    // accepted announcements
+  std::size_t skipped = 0;   // malformed lines
+  std::size_t comments = 0;  // comment/blank lines
+};
+
+/// Parses a dump into `table` (announcing on top of existing routes).
+/// Never throws on malformed content; see the returned stats.
+BgpDumpStats read_bgp_dump(std::istream& in, RoutingTable& table);
+
+/// Parses one dump line ("<prefix> <asn>") into a Route.
+[[nodiscard]] std::optional<Route> parse_bgp_line(std::string_view line);
+
+}  // namespace ixp::net

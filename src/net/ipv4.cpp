@@ -1,0 +1,65 @@
+#include "net/ipv4.hpp"
+
+#include <array>
+#include <charconv>
+
+namespace ixp::net {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::array<std::uint32_t, 4> octets{};
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= text.size()) return std::nullopt;
+    const char* begin = text.data() + pos;
+    const char* end = text.data() + text.size();
+    std::uint32_t value = 0;
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr == begin || value > 255) return std::nullopt;
+    // Reject leading zeros like "01" (ambiguous octal notation).
+    if (ptr - begin > 1 && *begin == '0') return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = value;
+    pos = static_cast<std::size_t>(ptr - text.data());
+    if (i < 3) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return Ipv4Addr{static_cast<std::uint8_t>(octets[0]),
+                  static_cast<std::uint8_t>(octets[1]),
+                  static_cast<std::uint8_t>(octets[2]),
+                  static_cast<std::uint8_t>(octets[3])};
+}
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const std::string_view len_text = text.substr(slash + 1);
+  std::uint32_t length = 0;
+  const auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size() || length > 32)
+    return std::nullopt;
+  const Ipv4Prefix prefix{*addr, static_cast<std::uint8_t>(length)};
+  // Reject non-canonical input ("10.0.0.1/8"): host bits must be zero.
+  if (prefix.network() != *addr) return std::nullopt;
+  return prefix;
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return network().to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace ixp::net

@@ -1,0 +1,136 @@
+// IPv4 value types: addresses and CIDR prefixes.
+//
+// These are the vocabulary types of the whole library: the generator
+// allocates prefixes, the sFlow layer serializes addresses into headers,
+// and every analysis keys its maps on Ipv4Addr. Both types are trivially
+// copyable 32/64-bit values with total ordering and hashing.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ixp::net {
+
+/// An IPv4 address as a host-order 32-bit value. "a.b.c.d" has `a` in the
+/// most significant byte.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  explicit constexpr Ipv4Addr(std::uint32_t value) noexcept : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// Parses dotted-quad notation; rejects anything malformed.
+  [[nodiscard]] static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix: network address + length. The network address is always
+/// stored canonically (host bits zeroed); the constructor enforces this
+/// invariant, so two equal prefixes always compare equal bitwise.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+
+  /// Canonicalizes `addr` by masking host bits. Requires length <= 32.
+  constexpr Ipv4Prefix(Ipv4Addr addr, std::uint8_t length) noexcept
+      : network_(addr.value() & mask_for(length)), length_(length > 32 ? 32 : length) {}
+
+  [[nodiscard]] constexpr Ipv4Addr network() const noexcept {
+    return Ipv4Addr{network_};
+  }
+  [[nodiscard]] constexpr std::uint8_t length() const noexcept { return length_; }
+  [[nodiscard]] constexpr std::uint32_t netmask() const noexcept {
+    return mask_for(length_);
+  }
+
+  /// Number of addresses covered: 2^(32-length).
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return 1ULL << (32 - length_);
+  }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Addr addr) const noexcept {
+    return (addr.value() & netmask()) == network_;
+  }
+  [[nodiscard]] constexpr bool contains(Ipv4Prefix other) const noexcept {
+    return other.length_ >= length_ && contains(other.network());
+  }
+
+  /// The i-th address inside the prefix; requires i < size().
+  [[nodiscard]] constexpr Ipv4Addr address_at(std::uint64_t i) const noexcept {
+    return Ipv4Addr{network_ + static_cast<std::uint32_t>(i)};
+  }
+
+  /// Parses "a.b.c.d/len".
+  [[nodiscard]] static std::optional<Ipv4Prefix> parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Prefix, Ipv4Prefix) noexcept = default;
+
+ private:
+  static constexpr std::uint32_t mask_for(std::uint8_t length) noexcept {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32 - (length > 32 ? 32 : length));
+  }
+
+  std::uint32_t network_ = 0;
+  std::uint8_t length_ = 0;
+};
+
+/// An Autonomous System Number (32-bit, per RFC 6793).
+class Asn {
+ public:
+  constexpr Asn() = default;
+  explicit constexpr Asn(std::uint32_t value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] std::string to_string() const { return "AS" + std::to_string(value_); }
+
+  friend constexpr auto operator<=>(Asn, Asn) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace ixp::net
+
+template <>
+struct std::hash<ixp::net::Ipv4Addr> {
+  std::size_t operator()(ixp::net::Ipv4Addr a) const noexcept {
+    // Multiplicative mix: addresses are often sequential within prefixes.
+    return static_cast<std::size_t>(a.value() * 0x9e3779b97f4a7c15ULL >> 16);
+  }
+};
+
+template <>
+struct std::hash<ixp::net::Ipv4Prefix> {
+  std::size_t operator()(ixp::net::Ipv4Prefix p) const noexcept {
+    const std::uint64_t packed =
+        (static_cast<std::uint64_t>(p.network().value()) << 8) | p.length();
+    return static_cast<std::size_t>(packed * 0x9e3779b97f4a7c15ULL >> 16);
+  }
+};
+
+template <>
+struct std::hash<ixp::net::Asn> {
+  std::size_t operator()(ixp::net::Asn a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

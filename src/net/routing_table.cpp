@@ -1,0 +1,34 @@
+#include "net/routing_table.hpp"
+
+namespace ixp::net {
+
+void RoutingTable::announce(Ipv4Prefix prefix, Asn origin) {
+  trie_.insert(prefix, origin);
+}
+
+std::optional<Asn> RoutingTable::origin_of(Ipv4Addr addr) const {
+  return trie_.lookup(addr);
+}
+
+std::optional<Ipv4Prefix> RoutingTable::prefix_of(Ipv4Addr addr) const {
+  const auto hit = trie_.lookup_prefix(addr);
+  if (!hit) return std::nullopt;
+  return hit->first;
+}
+
+std::optional<Route> RoutingTable::route_of(Ipv4Addr addr) const {
+  const auto hit = trie_.lookup_prefix(addr);
+  if (!hit) return std::nullopt;
+  return Route{hit->first, hit->second};
+}
+
+std::vector<Route> RoutingTable::routes() const {
+  std::vector<Route> out;
+  out.reserve(trie_.size());
+  trie_.for_each([&out](Ipv4Prefix prefix, Asn origin) {
+    out.push_back(Route{prefix, origin});
+  });
+  return out;
+}
+
+}  // namespace ixp::net

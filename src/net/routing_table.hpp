@@ -1,0 +1,49 @@
+// Global routing table: the set of actively routed prefixes and their
+// origin ASes, as one would assemble from RouteViews/RIPE RIS dumps.
+// The vantage-point analyses use it to map observed IPs to prefixes and
+// ASes (Table 1, Table 3, Figure 4(c)).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix_trie.hpp"
+
+namespace ixp::net {
+
+/// One routed prefix with its origin AS.
+struct Route {
+  Ipv4Prefix prefix;
+  Asn origin;
+};
+
+/// Longest-prefix-match table of routed prefixes -> origin ASN.
+class RoutingTable {
+ public:
+  /// Announces a prefix. A re-announcement overwrites the origin
+  /// (the synthetic Internet has no MOAS conflicts).
+  void announce(Ipv4Prefix prefix, Asn origin);
+
+  /// Origin AS of the most specific prefix covering `addr`.
+  [[nodiscard]] std::optional<Asn> origin_of(Ipv4Addr addr) const;
+
+  /// The most specific routed prefix covering `addr`.
+  [[nodiscard]] std::optional<Ipv4Prefix> prefix_of(Ipv4Addr addr) const;
+
+  /// Both at once (single trie walk) for hot analysis loops.
+  [[nodiscard]] std::optional<Route> route_of(Ipv4Addr addr) const;
+
+  [[nodiscard]] std::size_t prefix_count() const noexcept {
+    return trie_.size();
+  }
+
+  /// All routes in lexicographic prefix order.
+  [[nodiscard]] std::vector<Route> routes() const;
+
+ private:
+  PrefixTrie<Asn> trie_;
+};
+
+}  // namespace ixp::net

@@ -1,0 +1,46 @@
+#include "sflow/collector.hpp"
+
+namespace ixp::sflow {
+
+bool Collector::ingest(std::span<const std::byte> payload) {
+  const auto datagram = decode(payload);
+  if (!datagram) {
+    ++stats_.decode_errors;
+    return false;
+  }
+  ingest(*datagram);
+  return true;
+}
+
+void Collector::ingest(const Datagram& datagram) {
+  ++stats_.datagrams;
+
+  // Sequence-gap accounting per agent. Reordering within a small window
+  // shows up as a "gap" followed by an old sequence number; we only count
+  // forward gaps (the standard collector heuristic).
+  const auto [it, first_time] =
+      last_sequence_.try_emplace(datagram.agent, datagram.sequence);
+  if (!first_time) {
+    const std::uint32_t expected = it->second + 1;
+    if (datagram.sequence > expected)
+      stats_.lost_datagrams += datagram.sequence - expected;
+    if (datagram.sequence >= expected) it->second = datagram.sequence;
+  }
+
+  for (const FlowSample& sample : datagram.samples) {
+    ++stats_.flow_samples;
+    if (flow_sink_) flow_sink_(sample);
+  }
+  for (const CounterSample& counter : datagram.counters) {
+    ++stats_.counter_samples;
+    if (counter_sink_) counter_sink_(datagram.agent, counter);
+  }
+}
+
+CollectorStats Collector::stats() const {
+  CollectorStats out = stats_;
+  out.agents = last_sequence_.size();
+  return out;
+}
+
+}  // namespace ixp::sflow

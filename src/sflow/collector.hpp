@@ -1,0 +1,56 @@
+// sFlow collector front-end.
+//
+// A real deployment receives datagrams over UDP from many switch agents;
+// datagrams get lost, reordered, and occasionally corrupted. The
+// Collector ingests raw datagram payloads, dispatches flow and counter
+// samples to sinks, and keeps the bookkeeping an operator actually
+// watches: per-agent sequence-gap estimates (lost datagrams), decode
+// failures, and sample totals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+
+#include "sflow/datagram.hpp"
+
+namespace ixp::sflow {
+
+struct CollectorStats {
+  std::uint64_t datagrams = 0;
+  std::uint64_t decode_errors = 0;
+  std::uint64_t flow_samples = 0;
+  std::uint64_t counter_samples = 0;
+  /// Datagrams inferred lost from per-agent sequence gaps.
+  std::uint64_t lost_datagrams = 0;
+  std::uint64_t agents = 0;
+};
+
+class Collector {
+ public:
+  using FlowSink = std::function<void(const FlowSample&)>;
+  using CounterSink = std::function<void(net::Ipv4Addr agent, const CounterSample&)>;
+
+  explicit Collector(FlowSink flow_sink, CounterSink counter_sink = {})
+      : flow_sink_(std::move(flow_sink)),
+        counter_sink_(std::move(counter_sink)) {}
+
+  /// Ingests one raw datagram payload (as read off the wire or a file).
+  /// Returns false when the payload failed to decode.
+  bool ingest(std::span<const std::byte> payload);
+
+  /// Ingests an already-decoded datagram.
+  void ingest(const Datagram& datagram);
+
+  [[nodiscard]] CollectorStats stats() const;
+
+ private:
+  FlowSink flow_sink_;
+  CounterSink counter_sink_;
+  CollectorStats stats_;
+  /// Last sequence number seen per agent, for gap accounting.
+  std::unordered_map<net::Ipv4Addr, std::uint32_t> last_sequence_;
+};
+
+}  // namespace ixp::sflow

@@ -1,0 +1,162 @@
+#include "sflow/datagram.hpp"
+
+#include <algorithm>
+
+namespace ixp::sflow {
+
+namespace {
+
+void put_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v >> 8));
+  out.push_back(static_cast<std::byte>(v & 0xff));
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::byte>(v >> 24));
+  out.push_back(static_cast<std::byte>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::byte>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::byte>(v & 0xff));
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> bytes) noexcept : bytes_(bytes) {}
+
+  [[nodiscard]] std::optional<std::uint16_t> u16() noexcept {
+    if (at_ + 2 > bytes_.size()) return std::nullopt;
+    const auto v = static_cast<std::uint16_t>(
+        (std::to_integer<std::uint16_t>(bytes_[at_]) << 8) |
+        std::to_integer<std::uint16_t>(bytes_[at_ + 1]));
+    at_ += 2;
+    return v;
+  }
+
+  [[nodiscard]] std::optional<std::uint32_t> u32() noexcept {
+    if (at_ + 4 > bytes_.size()) return std::nullopt;
+    const std::uint32_t v =
+        (std::to_integer<std::uint32_t>(bytes_[at_]) << 24) |
+        (std::to_integer<std::uint32_t>(bytes_[at_ + 1]) << 16) |
+        (std::to_integer<std::uint32_t>(bytes_[at_ + 2]) << 8) |
+        std::to_integer<std::uint32_t>(bytes_[at_ + 3]);
+    at_ += 4;
+    return v;
+  }
+
+  [[nodiscard]] std::optional<std::uint64_t> u64() noexcept {
+    const auto high = u32();
+    if (!high) return std::nullopt;
+    const auto low = u32();
+    if (!low) return std::nullopt;
+    return (std::uint64_t{*high} << 32) | *low;
+  }
+
+  [[nodiscard]] bool read_into(std::span<std::byte> out) noexcept {
+    if (at_ + out.size() > bytes_.size()) return false;
+    std::copy_n(bytes_.begin() + static_cast<std::ptrdiff_t>(at_), out.size(),
+                out.begin());
+    at_ += out.size();
+    return true;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept { return at_ == bytes_.size(); }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::byte> encode(const Datagram& datagram) {
+  std::vector<std::byte> out;
+  out.reserve(20 + datagram.samples.size() * (16 + kCaptureBytes));
+  put_u32(out, Datagram::kVersion);
+  put_u32(out, datagram.agent.value());
+  put_u32(out, datagram.sequence);
+  put_u32(out, datagram.uptime_ms);
+  put_u32(out, static_cast<std::uint32_t>(datagram.samples.size()));
+  for (const FlowSample& sample : datagram.samples) {
+    put_u32(out, sample.sequence);
+    put_u32(out, sample.source_port);
+    put_u32(out, sample.sampling_rate);
+    put_u16(out, sample.frame.frame_length);
+    put_u16(out, sample.frame.captured);
+    const auto bytes = sample.frame.bytes();
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+  put_u32(out, static_cast<std::uint32_t>(datagram.counters.size()));
+  for (const CounterSample& counter : datagram.counters) {
+    put_u32(out, counter.port);
+    put_u64(out, counter.in_frames);
+    put_u64(out, counter.in_bytes);
+    put_u64(out, counter.out_frames);
+    put_u64(out, counter.out_bytes);
+  }
+  return out;
+}
+
+std::optional<Datagram> decode(std::span<const std::byte> bytes) {
+  Reader reader{bytes};
+  const auto version = reader.u32();
+  if (!version || *version != Datagram::kVersion) return std::nullopt;
+
+  Datagram datagram;
+  const auto agent = reader.u32();
+  const auto sequence = reader.u32();
+  const auto uptime = reader.u32();
+  const auto count = reader.u32();
+  if (!agent || !sequence || !uptime || !count) return std::nullopt;
+  datagram.agent = net::Ipv4Addr{*agent};
+  datagram.sequence = *sequence;
+  datagram.uptime_ms = *uptime;
+
+  datagram.samples.reserve(std::min<std::uint32_t>(*count, 4096));
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    FlowSample sample;
+    const auto seq = reader.u32();
+    const auto port = reader.u32();
+    const auto rate = reader.u32();
+    const auto frame_length = reader.u16();
+    const auto captured = reader.u16();
+    if (!seq || !port || !rate || !frame_length || !captured)
+      return std::nullopt;
+    if (*captured > kCaptureBytes) return std::nullopt;
+    sample.sequence = *seq;
+    sample.source_port = *port;
+    sample.sampling_rate = *rate;
+    sample.frame.frame_length = *frame_length;
+    sample.frame.captured = *captured;
+    if (!reader.read_into(
+            std::span<std::byte>{sample.frame.data}.first(*captured)))
+      return std::nullopt;
+    datagram.samples.push_back(sample);
+  }
+  const auto counter_count = reader.u32();
+  if (!counter_count) return std::nullopt;
+  datagram.counters.reserve(std::min<std::uint32_t>(*counter_count, 4096));
+  for (std::uint32_t i = 0; i < *counter_count; ++i) {
+    CounterSample counter;
+    const auto port = reader.u32();
+    const auto in_frames = reader.u64();
+    const auto in_bytes = reader.u64();
+    const auto out_frames = reader.u64();
+    const auto out_bytes = reader.u64();
+    if (!port || !in_frames || !in_bytes || !out_frames || !out_bytes)
+      return std::nullopt;
+    counter.port = *port;
+    counter.in_frames = *in_frames;
+    counter.in_bytes = *in_bytes;
+    counter.out_frames = *out_frames;
+    counter.out_bytes = *out_bytes;
+    datagram.counters.push_back(counter);
+  }
+  if (!reader.exhausted()) return std::nullopt;
+  return datagram;
+}
+
+}  // namespace ixp::sflow

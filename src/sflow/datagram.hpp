@@ -1,0 +1,63 @@
+// sFlow v5-style datagram encoding.
+//
+// The collector at the IXP receives UDP datagrams, each bundling a batch
+// of flow samples (sequence numbers, sampling rate, original frame length,
+// and the truncated header bytes). This codec implements the subset of
+// the sFlow v5 layout our pipeline uses — enough to serialize a capture
+// stream to bytes and recover it intact, with strict bounds checking on
+// decode (malformed datagrams are rejected, never over-read).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sflow/frame.hpp"
+
+namespace ixp::sflow {
+
+/// One flow sample inside a datagram.
+struct FlowSample {
+  std::uint32_t sequence = 0;
+  std::uint32_t source_port = 0;    // ingress port index on the switch
+  std::uint32_t sampling_rate = 0;  // 1-in-N
+  SampledFrame frame;
+};
+
+/// Interface counters, exported alongside flow samples (sFlow's counter
+/// records). These are exact, not sampled: the estimation-accuracy
+/// analyses compare sampled estimates against them.
+struct CounterSample {
+  std::uint32_t port = 0;
+  std::uint64_t in_frames = 0;
+  std::uint64_t in_bytes = 0;
+  std::uint64_t out_frames = 0;
+  std::uint64_t out_bytes = 0;
+
+  friend bool operator==(const CounterSample&, const CounterSample&) = default;
+};
+
+struct Datagram {
+  static constexpr std::uint32_t kVersion = 5;
+
+  net::Ipv4Addr agent;       // exporting switch
+  std::uint32_t sequence = 0;  // datagram sequence number
+  std::uint32_t uptime_ms = 0;
+  std::vector<FlowSample> samples;
+  std::vector<CounterSample> counters;
+};
+
+/// Serializes a datagram; layout (all integers big-endian):
+///   u32 version | u32 agent | u32 seq | u32 uptime | u32 nsamples
+///   per flow sample:    u32 seq | u32 port | u32 rate | u16 frame_len |
+///                       u16 captured | captured bytes
+///   then u32 ncounters; per counter sample: u32 port | 4 x u64
+[[nodiscard]] std::vector<std::byte> encode(const Datagram& datagram);
+
+/// Decodes; nullopt on any truncation, bad version, captured > 128, or
+/// trailing garbage.
+[[nodiscard]] std::optional<Datagram> decode(std::span<const std::byte> bytes);
+
+}  // namespace ixp::sflow

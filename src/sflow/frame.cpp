@@ -1,0 +1,179 @@
+#include "sflow/frame.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ixp::sflow {
+
+namespace {
+
+/// Copies as much payload as fits into the capture after `offset`.
+std::size_t copy_payload(SampledFrame& frame, std::size_t offset,
+                         std::span<const std::byte> payload) {
+  const std::size_t room = kCaptureBytes - offset;
+  const std::size_t n = std::min(room, payload.size());
+  std::copy_n(payload.begin(), n, frame.data.begin() + offset);
+  return n;
+}
+
+std::uint16_t clamp_u16(std::size_t v) noexcept {
+  return static_cast<std::uint16_t>(std::min<std::size_t>(v, 0xffff));
+}
+
+}  // namespace
+
+SampledFrame build_tcp_frame(const FrameSpec& spec,
+                             std::span<const std::byte> payload,
+                             std::size_t payload_total,
+                             std::uint8_t tcp_flags) {
+  SampledFrame frame;
+  EthernetHeader eth;
+  eth.dst = spec.dst_mac;
+  eth.src = spec.src_mac;
+  eth.ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+
+  Ipv4Header ip;
+  ip.total_length =
+      clamp_u16(Ipv4Header::kSize + TcpHeader::kSize + payload_total);
+  ip.ttl = spec.ttl;
+  ip.protocol = static_cast<std::uint8_t>(IpProto::kTcp);
+  ip.src = spec.src_ip;
+  ip.dst = spec.dst_ip;
+
+  TcpHeader tcp;
+  tcp.src_port = spec.src_port;
+  tcp.dst_port = spec.dst_port;
+  tcp.flags = tcp_flags;
+
+  std::span<std::byte> out{frame.data};
+  eth.serialize(out);
+  ip.serialize(out.subspan(EthernetHeader::kSize));
+  tcp.serialize(out.subspan(EthernetHeader::kSize + Ipv4Header::kSize));
+  constexpr std::size_t kPayloadAt =
+      EthernetHeader::kSize + Ipv4Header::kSize + TcpHeader::kSize;
+  const std::size_t copied = copy_payload(frame, kPayloadAt, payload);
+
+  const std::size_t wire_length =
+      spec.frame_length != 0
+          ? spec.frame_length
+          : EthernetHeader::kSize + Ipv4Header::kSize + TcpHeader::kSize +
+                payload_total;
+  frame.frame_length = clamp_u16(wire_length);
+  frame.captured =
+      static_cast<std::uint16_t>(std::min(kPayloadAt + copied,
+                                          static_cast<std::size_t>(frame.frame_length)));
+  return frame;
+}
+
+SampledFrame build_udp_frame(const FrameSpec& spec,
+                             std::span<const std::byte> payload,
+                             std::size_t payload_total) {
+  SampledFrame frame;
+  EthernetHeader eth;
+  eth.dst = spec.dst_mac;
+  eth.src = spec.src_mac;
+  eth.ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+
+  Ipv4Header ip;
+  ip.total_length =
+      clamp_u16(Ipv4Header::kSize + UdpHeader::kSize + payload_total);
+  ip.ttl = spec.ttl;
+  ip.protocol = static_cast<std::uint8_t>(IpProto::kUdp);
+  ip.src = spec.src_ip;
+  ip.dst = spec.dst_ip;
+
+  UdpHeader udp;
+  udp.src_port = spec.src_port;
+  udp.dst_port = spec.dst_port;
+  udp.length = clamp_u16(UdpHeader::kSize + payload_total);
+
+  std::span<std::byte> out{frame.data};
+  eth.serialize(out);
+  ip.serialize(out.subspan(EthernetHeader::kSize));
+  udp.serialize(out.subspan(EthernetHeader::kSize + Ipv4Header::kSize));
+  constexpr std::size_t kPayloadAt =
+      EthernetHeader::kSize + Ipv4Header::kSize + UdpHeader::kSize;
+  const std::size_t copied = copy_payload(frame, kPayloadAt, payload);
+
+  const std::size_t wire_length =
+      spec.frame_length != 0
+          ? spec.frame_length
+          : EthernetHeader::kSize + Ipv4Header::kSize + UdpHeader::kSize +
+                payload_total;
+  frame.frame_length = clamp_u16(wire_length);
+  frame.captured =
+      static_cast<std::uint16_t>(std::min(kPayloadAt + copied,
+                                          static_cast<std::size_t>(frame.frame_length)));
+  return frame;
+}
+
+SampledFrame build_ipv4_frame(const FrameSpec& spec, IpProto protocol,
+                              std::size_t l4_total) {
+  SampledFrame frame;
+  EthernetHeader eth;
+  eth.dst = spec.dst_mac;
+  eth.src = spec.src_mac;
+  eth.ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+
+  Ipv4Header ip;
+  ip.total_length = clamp_u16(Ipv4Header::kSize + l4_total);
+  ip.ttl = spec.ttl;
+  ip.protocol = static_cast<std::uint8_t>(protocol);
+  ip.src = spec.src_ip;
+  ip.dst = spec.dst_ip;
+
+  std::span<std::byte> out{frame.data};
+  eth.serialize(out);
+  ip.serialize(out.subspan(EthernetHeader::kSize));
+
+  const std::size_t wire_length =
+      EthernetHeader::kSize + Ipv4Header::kSize + l4_total;
+  frame.frame_length = clamp_u16(wire_length);
+  frame.captured = static_cast<std::uint16_t>(
+      std::min({kCaptureBytes, wire_length,
+                EthernetHeader::kSize + Ipv4Header::kSize}));
+  return frame;
+}
+
+SampledFrame build_other_frame(MacAddr src_mac, MacAddr dst_mac,
+                               EtherType type, std::size_t body_length) {
+  SampledFrame frame;
+  EthernetHeader eth;
+  eth.dst = dst_mac;
+  eth.src = src_mac;
+  eth.ether_type = static_cast<std::uint16_t>(type);
+  eth.serialize(std::span<std::byte>{frame.data});
+
+  const std::size_t wire_length = EthernetHeader::kSize + body_length;
+  frame.frame_length = clamp_u16(wire_length);
+  frame.captured =
+      static_cast<std::uint16_t>(std::min(kCaptureBytes, wire_length));
+  return frame;
+}
+
+std::optional<ParsedFrame> parse_frame(const SampledFrame& frame) {
+  const std::span<const std::byte> bytes = frame.bytes();
+  const auto eth = EthernetHeader::parse(bytes);
+  if (!eth) return std::nullopt;
+
+  ParsedFrame parsed;
+  parsed.eth = *eth;
+  if (eth->ether_type != static_cast<std::uint16_t>(EtherType::kIpv4))
+    return parsed;
+
+  const auto l3 = bytes.subspan(EthernetHeader::kSize);
+  parsed.ip = Ipv4Header::parse(l3);
+  if (!parsed.ip) return parsed;
+
+  const auto l4 = l3.subspan(Ipv4Header::kSize);
+  if (parsed.ip->protocol == static_cast<std::uint8_t>(IpProto::kTcp)) {
+    parsed.tcp = TcpHeader::parse(l4);
+    if (parsed.tcp) parsed.payload = l4.subspan(TcpHeader::kSize);
+  } else if (parsed.ip->protocol == static_cast<std::uint8_t>(IpProto::kUdp)) {
+    parsed.udp = UdpHeader::parse(l4);
+    if (parsed.udp) parsed.payload = l4.subspan(UdpHeader::kSize);
+  }
+  return parsed;
+}
+
+}  // namespace ixp::sflow

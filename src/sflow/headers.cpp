@@ -1,0 +1,170 @@
+#include "sflow/headers.hpp"
+
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace ixp::sflow {
+
+namespace {
+
+void put_u16(std::span<std::byte> out, std::size_t at, std::uint16_t v) noexcept {
+  out[at] = static_cast<std::byte>(v >> 8);
+  out[at + 1] = static_cast<std::byte>(v & 0xff);
+}
+
+void put_u32(std::span<std::byte> out, std::size_t at, std::uint32_t v) noexcept {
+  out[at] = static_cast<std::byte>(v >> 24);
+  out[at + 1] = static_cast<std::byte>((v >> 16) & 0xff);
+  out[at + 2] = static_cast<std::byte>((v >> 8) & 0xff);
+  out[at + 3] = static_cast<std::byte>(v & 0xff);
+}
+
+std::uint16_t get_u16(std::span<const std::byte> in, std::size_t at) noexcept {
+  return static_cast<std::uint16_t>((std::to_integer<std::uint16_t>(in[at]) << 8) |
+                                    std::to_integer<std::uint16_t>(in[at + 1]));
+}
+
+std::uint32_t get_u32(std::span<const std::byte> in, std::size_t at) noexcept {
+  return (std::to_integer<std::uint32_t>(in[at]) << 24) |
+         (std::to_integer<std::uint32_t>(in[at + 1]) << 16) |
+         (std::to_integer<std::uint32_t>(in[at + 2]) << 8) |
+         std::to_integer<std::uint32_t>(in[at + 3]);
+}
+
+}  // namespace
+
+MacAddr MacAddr::from_id(std::uint64_t id) noexcept {
+  const std::uint64_t mixed = util::mix64(id);
+  std::array<std::uint8_t, 6> octets{};
+  for (int i = 0; i < 6; ++i)
+    octets[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(mixed >> (8 * i));
+  octets[0] = static_cast<std::uint8_t>((octets[0] | 0x02) & ~0x01);  // local, unicast
+  return MacAddr{octets};
+}
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return std::string{buf};
+}
+
+void EthernetHeader::serialize(std::span<std::byte> out) const noexcept {
+  for (std::size_t i = 0; i < 6; ++i) {
+    out[i] = static_cast<std::byte>(dst.octets()[i]);
+    out[6 + i] = static_cast<std::byte>(src.octets()[i]);
+  }
+  put_u16(out, 12, ether_type);
+}
+
+std::optional<EthernetHeader> EthernetHeader::parse(
+    std::span<const std::byte> in) noexcept {
+  if (in.size() < kSize) return std::nullopt;
+  EthernetHeader h;
+  std::array<std::uint8_t, 6> dst{};
+  std::array<std::uint8_t, 6> src{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    dst[i] = std::to_integer<std::uint8_t>(in[i]);
+    src[i] = std::to_integer<std::uint8_t>(in[6 + i]);
+  }
+  h.dst = MacAddr{dst};
+  h.src = MacAddr{src};
+  h.ether_type = get_u16(in, 12);
+  return h;
+}
+
+std::uint16_t Ipv4Header::checksum(std::span<const std::byte> header) noexcept {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < header.size(); i += 2)
+    sum += get_u16(header, i);
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+void Ipv4Header::serialize(std::span<std::byte> out) const noexcept {
+  out[0] = static_cast<std::byte>(0x45);  // version 4, IHL 5
+  out[1] = static_cast<std::byte>(dscp);
+  put_u16(out, 2, total_length);
+  put_u16(out, 4, identification);
+  put_u16(out, 6, 0x4000);  // DF, no fragmentation
+  out[8] = static_cast<std::byte>(ttl);
+  out[9] = static_cast<std::byte>(protocol);
+  put_u16(out, 10, 0);  // checksum placeholder
+  put_u32(out, 12, src.value());
+  put_u32(out, 16, dst.value());
+  put_u16(out, 10, checksum(out.first(kSize)));
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(
+    std::span<const std::byte> in) noexcept {
+  if (in.size() < kSize) return std::nullopt;
+  const std::uint8_t version_ihl = std::to_integer<std::uint8_t>(in[0]);
+  if ((version_ihl >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(version_ihl & 0x0f) * 4;
+  if (ihl < kSize || in.size() < ihl) return std::nullopt;
+
+  // Verify checksum over the actual header length.
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < ihl; i += 2) sum += get_u16(in, i);
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  if (static_cast<std::uint16_t>(~sum) != 0) return std::nullopt;
+
+  Ipv4Header h;
+  h.dscp = std::to_integer<std::uint8_t>(in[1]);
+  h.total_length = get_u16(in, 2);
+  h.identification = get_u16(in, 4);
+  h.ttl = std::to_integer<std::uint8_t>(in[8]);
+  h.protocol = std::to_integer<std::uint8_t>(in[9]);
+  h.src = net::Ipv4Addr{get_u32(in, 12)};
+  h.dst = net::Ipv4Addr{get_u32(in, 16)};
+  return h;
+}
+
+void TcpHeader::serialize(std::span<std::byte> out) const noexcept {
+  put_u16(out, 0, src_port);
+  put_u16(out, 2, dst_port);
+  put_u32(out, 4, seq);
+  put_u32(out, 8, ack);
+  out[12] = static_cast<std::byte>(0x50);  // data offset 5, no options
+  out[13] = static_cast<std::byte>(flags);
+  put_u16(out, 14, window);
+  put_u16(out, 16, 0);  // checksum: requires pseudo-header; left zero
+  put_u16(out, 18, 0);  // urgent pointer
+}
+
+std::optional<TcpHeader> TcpHeader::parse(
+    std::span<const std::byte> in) noexcept {
+  if (in.size() < kSize) return std::nullopt;
+  const std::uint8_t offset = std::to_integer<std::uint8_t>(in[12]) >> 4;
+  if (offset < 5) return std::nullopt;
+  TcpHeader h;
+  h.src_port = get_u16(in, 0);
+  h.dst_port = get_u16(in, 2);
+  h.seq = get_u32(in, 4);
+  h.ack = get_u32(in, 8);
+  h.flags = std::to_integer<std::uint8_t>(in[13]);
+  h.window = get_u16(in, 14);
+  return h;
+}
+
+void UdpHeader::serialize(std::span<std::byte> out) const noexcept {
+  put_u16(out, 0, src_port);
+  put_u16(out, 2, dst_port);
+  put_u16(out, 4, length);
+  put_u16(out, 6, 0);  // checksum optional in IPv4
+}
+
+std::optional<UdpHeader> UdpHeader::parse(
+    std::span<const std::byte> in) noexcept {
+  if (in.size() < kSize) return std::nullopt;
+  UdpHeader h;
+  h.src_port = get_u16(in, 0);
+  h.dst_port = get_u16(in, 2);
+  h.length = get_u16(in, 4);
+  if (h.length < kSize) return std::nullopt;
+  return h;
+}
+
+}  // namespace ixp::sflow

@@ -1,0 +1,65 @@
+#include "sflow/ipv6.hpp"
+
+#include <cstdio>
+
+namespace ixp::sflow {
+
+std::string Ipv6Addr::to_string() const {
+  std::string out;
+  out.reserve(39);
+  char group[6];
+  for (int g = 0; g < 8; ++g) {
+    const unsigned value = (static_cast<unsigned>(octets_[g * 2]) << 8) |
+                           octets_[g * 2 + 1];
+    std::snprintf(group, sizeof group, g == 0 ? "%04x" : ":%04x", value);
+    out += group;
+  }
+  return out;
+}
+
+void Ipv6Header::serialize(std::span<std::byte> out) const noexcept {
+  const std::uint32_t word0 = (std::uint32_t{6} << 28) |
+                              (std::uint32_t{traffic_class} << 20) |
+                              (flow_label & 0xfffffu);
+  out[0] = static_cast<std::byte>(word0 >> 24);
+  out[1] = static_cast<std::byte>((word0 >> 16) & 0xff);
+  out[2] = static_cast<std::byte>((word0 >> 8) & 0xff);
+  out[3] = static_cast<std::byte>(word0 & 0xff);
+  out[4] = static_cast<std::byte>(payload_length >> 8);
+  out[5] = static_cast<std::byte>(payload_length & 0xff);
+  out[6] = static_cast<std::byte>(next_header);
+  out[7] = static_cast<std::byte>(hop_limit);
+  for (std::size_t i = 0; i < 16; ++i) {
+    out[8 + i] = static_cast<std::byte>(src.octets()[i]);
+    out[24 + i] = static_cast<std::byte>(dst.octets()[i]);
+  }
+}
+
+std::optional<Ipv6Header> Ipv6Header::parse(
+    std::span<const std::byte> in) noexcept {
+  if (in.size() < kSize) return std::nullopt;
+  const auto b0 = std::to_integer<std::uint8_t>(in[0]);
+  if ((b0 >> 4) != 6) return std::nullopt;
+  Ipv6Header h;
+  h.traffic_class = static_cast<std::uint8_t>(
+      ((b0 & 0x0f) << 4) | (std::to_integer<std::uint8_t>(in[1]) >> 4));
+  h.flow_label = ((std::to_integer<std::uint32_t>(in[1]) & 0x0f) << 16) |
+                 (std::to_integer<std::uint32_t>(in[2]) << 8) |
+                 std::to_integer<std::uint32_t>(in[3]);
+  h.payload_length = static_cast<std::uint16_t>(
+      (std::to_integer<std::uint16_t>(in[4]) << 8) |
+      std::to_integer<std::uint16_t>(in[5]));
+  h.next_header = std::to_integer<std::uint8_t>(in[6]);
+  h.hop_limit = std::to_integer<std::uint8_t>(in[7]);
+  std::array<std::uint8_t, 16> src{};
+  std::array<std::uint8_t, 16> dst{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    src[i] = std::to_integer<std::uint8_t>(in[8 + i]);
+    dst[i] = std::to_integer<std::uint8_t>(in[24 + i]);
+  }
+  h.src = Ipv6Addr{src};
+  h.dst = Ipv6Addr{dst};
+  return h;
+}
+
+}  // namespace ixp::sflow

@@ -1,0 +1,61 @@
+// IPv6 header codec.
+//
+// The paper's IXP carried ~0.4% native IPv6, which the Figure-1 cascade
+// filters out before any analysis; the pipeline therefore never parses
+// v6. The codec exists for trace tooling: recorded captures of the
+// filtered-out slice can still be decoded, inspected, and re-encoded
+// (e.g. when converting a real collector dump).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace ixp::sflow {
+
+/// A 128-bit IPv6 address (network byte order).
+class Ipv6Addr {
+ public:
+  constexpr Ipv6Addr() = default;
+  explicit constexpr Ipv6Addr(std::array<std::uint8_t, 16> octets) noexcept
+      : octets_(octets) {}
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 16>& octets()
+      const noexcept {
+    return octets_;
+  }
+
+  /// Full (uncompressed) colon-hex form, e.g.
+  /// "2001:0db8:0000:0000:0000:0000:0000:0001".
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv6Addr&, const Ipv6Addr&) noexcept =
+      default;
+
+ private:
+  std::array<std::uint8_t, 16> octets_{};
+};
+
+struct Ipv6Header {
+  static constexpr std::size_t kSize = 40;
+
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;  // 20 bits
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = 0;  // e.g. 6 = TCP, 17 = UDP
+  std::uint8_t hop_limit = 64;
+  Ipv6Addr src;
+  Ipv6Addr dst;
+
+  /// Writes exactly kSize bytes; requires out.size() >= kSize.
+  void serialize(std::span<std::byte> out) const noexcept;
+
+  /// Parses; nullopt on a short buffer or version != 6.
+  [[nodiscard]] static std::optional<Ipv6Header> parse(
+      std::span<const std::byte> in) noexcept;
+};
+
+}  // namespace ixp::sflow

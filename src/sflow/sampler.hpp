@@ -1,0 +1,52 @@
+// Packet sampling (the "1 out of 16K" of §2.1).
+//
+// The IXP's switches export sFlow with a random 1:16384 packet sampling.
+// Simulating every packet of a 14 PB/day fabric is infeasible, so the
+// workload is flow-level: for a flow of N packets the number of sampled
+// packets is Binomial(N, 1/rate) — statistically identical to per-packet
+// Bernoulli sampling (the two paths are compared in micro_sflow and in
+// the sampler tests; DESIGN.md ablation #1).
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace ixp::sflow {
+
+/// The production sampling rate at the IXP.
+inline constexpr std::uint32_t kPaperSamplingRate = 16384;
+
+class Sampler {
+ public:
+  /// `rate` is the "1 out of `rate`" denominator; must be >= 1.
+  explicit Sampler(std::uint32_t rate = kPaperSamplingRate) noexcept
+      : rate_(rate == 0 ? 1 : rate) {}
+
+  [[nodiscard]] std::uint32_t rate() const noexcept { return rate_; }
+  [[nodiscard]] double probability() const noexcept { return 1.0 / rate_; }
+
+  /// Number of sampled packets for a flow of `packet_count` packets
+  /// (binomial thinning; the fast path).
+  [[nodiscard]] std::uint64_t sample_flow(util::Rng& rng,
+                                          std::uint64_t packet_count) const {
+    return rng.next_binomial(packet_count, probability());
+  }
+
+  /// Per-packet Bernoulli decision (the exact path, for the ablation and
+  /// for tests that need per-packet behaviour).
+  [[nodiscard]] bool sample_packet(util::Rng& rng) const {
+    return rng.next_bool(probability());
+  }
+
+  /// Expansion factor: each sampled packet/byte stands for `rate` real
+  /// ones when estimating totals from samples.
+  [[nodiscard]] double expansion() const noexcept {
+    return static_cast<double>(rate_);
+  }
+
+ private:
+  std::uint32_t rate_;
+};
+
+}  // namespace ixp::sflow

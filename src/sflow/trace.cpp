@@ -1,0 +1,102 @@
+#include "sflow/trace.hpp"
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+namespace ixp::sflow {
+
+namespace {
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  const std::array<char, 4> bytes{
+      static_cast<char>(v >> 24), static_cast<char>((v >> 16) & 0xff),
+      static_cast<char>((v >> 8) & 0xff), static_cast<char>(v & 0xff)};
+  out.write(bytes.data(), bytes.size());
+}
+
+std::optional<std::uint32_t> get_u32(std::istream& in) {
+  std::array<char, 4> bytes{};
+  if (!in.read(bytes.data(), bytes.size())) return std::nullopt;
+  return (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[0])) << 24) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[1])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[2])) << 8) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[3]));
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(std::ostream& out, net::Ipv4Addr agent,
+                         std::size_t batch)
+    : out_(&out), agent_(agent), batch_(batch == 0 ? 1 : batch) {
+  out_->write(kTraceMagic, sizeof kTraceMagic);
+  put_u32(*out_, kTraceVersion);
+  pending_.agent = agent_;
+}
+
+TraceWriter::~TraceWriter() { flush(); }
+
+void TraceWriter::write(const FlowSample& sample) {
+  pending_.samples.push_back(sample);
+  ++samples_written_;
+  if (pending_.samples.size() >= batch_) flush();
+}
+
+void TraceWriter::flush() {
+  if (pending_.samples.empty()) return;
+  pending_.sequence = sequence_++;
+  pending_.uptime_ms = sequence_ * 1000;
+  const std::vector<std::byte> bytes = encode(pending_);
+  put_u32(*out_, static_cast<std::uint32_t>(bytes.size()));
+  out_->write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  pending_.samples.clear();
+}
+
+TraceReader::TraceReader(std::istream& in) : in_(&in) {
+  char magic[sizeof kTraceMagic] = {};
+  if (!in_->read(magic, sizeof magic)) return;
+  if (std::memcmp(magic, kTraceMagic, sizeof magic) != 0) return;
+  const auto version = get_u32(*in_);
+  if (!version || *version != kTraceVersion) return;
+  ok_ = true;
+}
+
+bool TraceReader::refill() {
+  if (!ok_) return false;
+  const auto length = get_u32(*in_);
+  if (!length) return false;  // clean end of trace
+  std::vector<std::byte> bytes(*length);
+  if (!in_->read(reinterpret_cast<char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()))) {
+    ok_ = false;  // truncated mid-datagram
+    return false;
+  }
+  auto datagram = decode(bytes);
+  if (!datagram) {
+    ok_ = false;  // corrupt datagram
+    return false;
+  }
+  current_ = std::move(*datagram);
+  cursor_ = 0;
+  return !current_.samples.empty();
+}
+
+std::optional<FlowSample> TraceReader::next() {
+  while (cursor_ >= current_.samples.size()) {
+    if (!refill()) return std::nullopt;
+  }
+  return current_.samples[cursor_++];
+}
+
+std::uint64_t TraceReader::for_each(
+    const std::function<void(const FlowSample&)>& sink) {
+  std::uint64_t delivered = 0;
+  while (auto sample = next()) {
+    sink(*sample);
+    ++delivered;
+  }
+  return delivered;
+}
+
+}  // namespace ixp::sflow

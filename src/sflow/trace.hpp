@@ -1,0 +1,83 @@
+// Trace recording and replay.
+//
+// The paper's measurement setup stores the collector's sFlow stream and
+// replays it through analysis pipelines. TraceWriter batches FlowSamples
+// into length-prefixed sFlow datagrams on any std::ostream; TraceReader
+// streams them back. This is what makes the pipeline usable on recorded
+// data: generate once, analyze many times — or ingest a real collector
+// dump converted to this framing.
+//
+// File layout: magic "IXPSCOPE" + u32 version, then repeated
+// [u32 datagram length][datagram bytes] until EOF.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <optional>
+#include <ostream>
+
+#include "sflow/datagram.hpp"
+
+namespace ixp::sflow {
+
+inline constexpr char kTraceMagic[8] = {'I', 'X', 'P', 'S', 'C', 'O', 'P', 'E'};
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Buffers samples and writes them as datagrams of up to `batch` samples.
+/// Flushes on destruction; call flush() to force a partial batch out.
+class TraceWriter {
+ public:
+  /// Writes the trace header immediately. `agent` identifies the
+  /// exporting switch in every datagram.
+  TraceWriter(std::ostream& out, net::Ipv4Addr agent, std::size_t batch = 64);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void write(const FlowSample& sample);
+  void flush();
+
+  [[nodiscard]] std::uint64_t samples_written() const noexcept {
+    return samples_written_;
+  }
+  [[nodiscard]] std::uint32_t datagrams_written() const noexcept {
+    return sequence_;
+  }
+
+ private:
+  std::ostream* out_;
+  net::Ipv4Addr agent_;
+  std::size_t batch_;
+  Datagram pending_;
+  std::uint32_t sequence_ = 0;
+  std::uint64_t samples_written_ = 0;
+};
+
+/// Streams samples back out of a recorded trace.
+class TraceReader {
+ public:
+  /// Validates the header; `ok()` is false on a bad magic/version.
+  explicit TraceReader(std::istream& in);
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+
+  /// Invokes `sink` for every sample in order; returns the number of
+  /// samples delivered. Stops (and clears ok()) at the first corrupt
+  /// datagram.
+  std::uint64_t for_each(const std::function<void(const FlowSample&)>& sink);
+
+  /// Pulls the next sample, or nullopt at end-of-trace / on corruption.
+  [[nodiscard]] std::optional<FlowSample> next();
+
+ private:
+  bool refill();
+
+  std::istream* in_;
+  bool ok_ = false;
+  Datagram current_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace ixp::sflow

@@ -1,0 +1,52 @@
+#include "util/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace ixp::util {
+
+std::string with_thousands(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string fixed(double value, int decimals) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", decimals, value);
+  return std::string{buf.data()};
+}
+
+std::string percent(double fraction, int decimals) {
+  return fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string bytes(double byte_count) {
+  static constexpr std::array<const char*, 6> kUnits{"B",  "KB", "MB",
+                                                     "GB", "TB", "PB"};
+  double v = byte_count;
+  std::size_t unit = 0;
+  while (v >= 1000.0 && unit + 1 < kUnits.size()) {
+    v /= 1000.0;
+    ++unit;
+  }
+  const int decimals = unit == 0 ? 0 : (v < 10 ? 2 : 1);
+  return fixed(v, decimals) + " " + kUnits[unit];
+}
+
+std::string compact(double value) {
+  const double abs = std::fabs(value);
+  if (abs >= 1e9) return fixed(value / 1e9, 2) + "B";
+  if (abs >= 1e6) return fixed(value / 1e6, 2) + "M";
+  if (abs >= 1e3) return fixed(value / 1e3, 1) + "K";
+  return fixed(value, 0);
+}
+
+}  // namespace ixp::util

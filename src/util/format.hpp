@@ -1,0 +1,26 @@
+// Human-readable formatting helpers for the experiment harnesses: the
+// exp_* binaries print paper-style tables, so counts, byte volumes, and
+// percentages need consistent rendering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ixp::util {
+
+/// 1234567 -> "1,234,567".
+[[nodiscard]] std::string with_thousands(std::uint64_t value);
+
+/// 0.1234 -> "12.34%" (two decimals by default).
+[[nodiscard]] std::string percent(double fraction, int decimals = 2);
+
+/// Bytes with binary-ish scaling as used in the paper (PB/TB/GB/MB/KB).
+[[nodiscard]] std::string bytes(double byte_count);
+
+/// Compact count: 1489286 -> "1.49M", 42825 -> "42.8K".
+[[nodiscard]] std::string compact(double value);
+
+/// Fixed-width double with `decimals` digits after the point.
+[[nodiscard]] std::string fixed(double value, int decimals = 2);
+
+}  // namespace ixp::util

@@ -1,0 +1,52 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+namespace ixp::util {
+
+Table& Table::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  const auto grow = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  grow(header_);
+  for (const auto& row : rows_) grow(row);
+
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      os << "  " << cell << std::string(widths[i] - cell.size(), ' ');
+    }
+    os << '\n';
+  };
+
+  std::size_t total = 2;
+  for (const std::size_t w : widths) total += w + 2;
+
+  if (!title_.empty()) os << title_ << '\n';
+  if (!header_.empty()) {
+    emit(header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+}
+
+void print_banner(std::ostream& os, const std::string& text) {
+  os << '\n' << std::string(72, '=') << '\n';
+  os << "  " << text << '\n';
+  os << std::string(72, '=') << '\n';
+}
+
+}  // namespace ixp::util

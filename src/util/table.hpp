@@ -1,0 +1,36 @@
+// Minimal ASCII table writer. The exp_* experiment binaries regenerate the
+// paper's tables and figures as text; this keeps their output aligned and
+// uniform without pulling in a formatting dependency.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ixp::util {
+
+/// Column-aligned ASCII table. Collect rows, then render once.
+/// The first added row is treated as the header.
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cells);
+  Table& row(std::vector<std::string> cells);
+
+  /// Renders with a title rule, header rule and column padding.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner used between experiment blocks.
+void print_banner(std::ostream& os, const std::string& text);
+
+}  // namespace ixp::util

@@ -1,0 +1,79 @@
+// Simplified X.509 certificate model.
+//
+// The paper's HTTPS identification (§2.2.2) crawls each port-443 candidate
+// IP for a certificate chain and applies six checks: (a) certificate
+// subject, (b) alternative names, (c) key usage/purpose, (d) chain order
+// up to a white-listed root, (e) validity time against the fetch
+// timestamp, and (f) stability over repeated fetches. This model keeps
+// exactly the fields those checks read; cryptographic signatures are
+// abstracted into issuer/subject key identifiers (the validator checks
+// linkage, which is what signature verification establishes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/name.hpp"
+
+namespace ixp::x509 {
+
+/// Purposes from the extended-key-usage extension that matter here.
+enum class KeyUsage : std::uint8_t {
+  kServerAuth,   // TLS Web server authentication
+  kClientAuth,   // TLS Web client authentication
+  kCodeSigning,
+  kEmailProtection,
+};
+
+/// Seconds since an arbitrary epoch; the workload uses week-granular
+/// synthetic time, so a plain signed count suffices.
+using Timestamp = std::int64_t;
+
+struct Certificate {
+  dns::DnsName subject;                 // subject common name
+  std::vector<dns::DnsName> alt_names;  // subjectAltName DNS entries
+  std::vector<KeyUsage> key_usages;
+  std::string subject_key;  // subject key identifier
+  std::string issuer_key;   // authority key identifier (who signed this)
+  Timestamp not_before = 0;
+  Timestamp not_after = 0;
+  bool self_signed = false;
+
+  /// All names the certificate is valid for (subject + SANs).
+  [[nodiscard]] std::vector<dns::DnsName> covered_names() const;
+
+  [[nodiscard]] bool valid_at(Timestamp t) const noexcept {
+    return t >= not_before && t <= not_after;
+  }
+
+  [[nodiscard]] bool allows_server_auth() const noexcept;
+
+  friend bool operator==(const Certificate&, const Certificate&) = default;
+};
+
+/// A chain as delivered by a TLS server: leaf first, then intermediates
+/// in signing order, optionally ending with the root itself.
+struct CertificateChain {
+  std::vector<Certificate> certs;
+
+  [[nodiscard]] bool empty() const noexcept { return certs.empty(); }
+  [[nodiscard]] const Certificate& leaf() const { return certs.front(); }
+
+  friend bool operator==(const CertificateChain&, const CertificateChain&) =
+      default;
+};
+
+/// The trusted-root white-list ("the current Linux/Ubuntu white-list" in
+/// the paper): a set of trusted root key identifiers.
+class RootStore {
+ public:
+  void trust(std::string root_key) { roots_.push_back(std::move(root_key)); }
+  [[nodiscard]] bool is_trusted(const std::string& key) const;
+  [[nodiscard]] std::size_t size() const noexcept { return roots_.size(); }
+
+ private:
+  std::vector<std::string> roots_;
+};
+
+}  // namespace ixp::x509

@@ -1,0 +1,127 @@
+#include "x509/validator.hpp"
+
+#include <algorithm>
+
+namespace ixp::x509 {
+
+std::vector<dns::DnsName> Certificate::covered_names() const {
+  std::vector<dns::DnsName> names;
+  names.reserve(alt_names.size() + 1);
+  if (!subject.empty()) names.push_back(subject);
+  for (const auto& name : alt_names) {
+    if (std::find(names.begin(), names.end(), name) == names.end())
+      names.push_back(name);
+  }
+  return names;
+}
+
+bool Certificate::allows_server_auth() const noexcept {
+  return std::find(key_usages.begin(), key_usages.end(),
+                   KeyUsage::kServerAuth) != key_usages.end();
+}
+
+bool RootStore::is_trusted(const std::string& key) const {
+  return std::find(roots_.begin(), roots_.end(), key) != roots_.end();
+}
+
+bool ValidationResult::failed_check(Check check) const {
+  return std::find(failed.begin(), failed.end(), check) != failed.end();
+}
+
+bool ChainValidator::name_has_valid_domain(const dns::DnsName& name) const {
+  // A usable name must have a registrable domain under the public-suffix
+  // list — this is the paper's "valid domains and also valid ccSLDs".
+  return psl_->registrable_domain(name).has_value();
+}
+
+ValidationResult ChainValidator::validate(const CertificateChain& chain,
+                                          Timestamp fetch_time) const {
+  ValidationResult result;
+  if (chain.empty()) {
+    result.fail(Check::kChain);
+    return result;
+  }
+  const Certificate& leaf = chain.leaf();
+
+  // (a) Subject must carry a valid registrable domain.
+  if (leaf.subject.empty() || !name_has_valid_domain(leaf.subject))
+    result.fail(Check::kSubject);
+
+  // (b) Every alternative name must as well.
+  for (const auto& name : leaf.alt_names) {
+    if (!name_has_valid_domain(name)) {
+      result.fail(Check::kAltNames);
+      break;
+    }
+  }
+
+  // (c) Key usage must explicitly indicate a Web-server role.
+  if (!leaf.allows_server_auth()) result.fail(Check::kKeyUsage);
+
+  // (d) Certificates must refer to each other in the order listed, and
+  // the chain must terminate at a white-listed root.
+  bool chain_ok = true;
+  for (std::size_t i = 0; i + 1 < chain.certs.size(); ++i) {
+    if (chain.certs[i].issuer_key != chain.certs[i + 1].subject_key) {
+      chain_ok = false;
+      break;
+    }
+  }
+  if (chain_ok) {
+    const Certificate& last = chain.certs.back();
+    // Either the delivered tail is itself a trusted (self-signed) root, or
+    // its issuer is in the white-list.
+    const bool tail_is_root =
+        last.self_signed && roots_->is_trusted(last.subject_key);
+    const bool tail_signed_by_root = roots_->is_trusted(last.issuer_key);
+    chain_ok = tail_is_root || tail_signed_by_root;
+  }
+  if (!chain_ok) result.fail(Check::kChain);
+
+  // (e) Every certificate in the chain must be valid at fetch time.
+  for (const Certificate& cert : chain.certs) {
+    if (!cert.valid_at(fetch_time)) {
+      result.fail(Check::kValidity);
+      break;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Equality of the properties check (f) compares: everything on the leaf
+/// except validity time.
+bool same_stable_properties(const Certificate& a, const Certificate& b) {
+  return a.subject == b.subject && a.alt_names == b.alt_names &&
+         a.key_usages == b.key_usages && a.subject_key == b.subject_key &&
+         a.issuer_key == b.issuer_key;
+}
+
+}  // namespace
+
+ValidationResult ChainValidator::validate_stable(
+    std::span<const CertificateChain> fetches,
+    std::span<const Timestamp> fetch_times) const {
+  ValidationResult result;
+  if (fetches.empty() || fetches.size() != fetch_times.size()) {
+    result.fail(Check::kStability);
+    return result;
+  }
+  for (std::size_t i = 0; i < fetches.size(); ++i) {
+    const ValidationResult single = validate(fetches[i], fetch_times[i]);
+    if (!single.ok) return single;
+  }
+  // (f) All fetches must agree on the stable leaf properties. IPs in
+  // cloud deployments "can change their role very quickly and frequently";
+  // any flip disqualifies the IP.
+  for (std::size_t i = 1; i < fetches.size(); ++i) {
+    if (!same_stable_properties(fetches[0].leaf(), fetches[i].leaf())) {
+      result.fail(Check::kStability);
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace ixp::x509

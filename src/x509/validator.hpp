@@ -1,0 +1,62 @@
+// Certificate chain validation — the six checks of §2.2.2.
+//
+// "We check the following properties in each retrieved X.509 certificate:
+//  (a) certificate subject, (b) alternative names, (c) key usage
+//  (purpose), (d) certificate chain, (e) validity time, and (f) stability
+//  over time. If a certificate does not pass any of the tests, we do not
+//  consider it in the analysis."
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dns/public_suffix.hpp"
+#include "x509/certificate.hpp"
+
+namespace ixp::x509 {
+
+enum class Check : std::uint8_t {
+  kSubject,    // (a) subject has a valid registrable domain / ccSLD
+  kAltNames,   // (b) every alternative name has one too
+  kKeyUsage,   // (c) key usage explicitly indicates a Web server role
+  kChain,      // (d) chain links in order up to a white-listed root
+  kValidity,   // (e) every certificate valid at fetch time
+  kStability,  // (f) repeated fetches agree (ignoring validity time)
+};
+
+struct ValidationResult {
+  bool ok = true;
+  std::vector<Check> failed;
+
+  void fail(Check check) {
+    ok = false;
+    failed.push_back(check);
+  }
+  [[nodiscard]] bool failed_check(Check check) const;
+};
+
+class ChainValidator {
+ public:
+  ChainValidator(const RootStore& roots, const dns::PublicSuffixList& psl)
+      : roots_(&roots), psl_(&psl) {}
+
+  /// Runs checks (a)-(e) on one fetched chain.
+  [[nodiscard]] ValidationResult validate(const CertificateChain& chain,
+                                          Timestamp fetch_time) const;
+
+  /// Runs the full pipeline including (f): every fetch must pass (a)-(e)
+  /// and all leaves must agree on subject/SANs/usage/keys (validity time
+  /// excluded, as the paper specifies). `fetch_times` pairs with `fetches`.
+  [[nodiscard]] ValidationResult validate_stable(
+      std::span<const CertificateChain> fetches,
+      std::span<const Timestamp> fetch_times) const;
+
+ private:
+  [[nodiscard]] bool name_has_valid_domain(const dns::DnsName& name) const;
+
+  const RootStore* roots_;
+  const dns::PublicSuffixList* psl_;
+};
+
+}  // namespace ixp::x509

@@ -1,0 +1,106 @@
+#include "analysis/blind_spots.hpp"
+
+#include "dns/public_suffix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ixp::analysis {
+namespace {
+
+const gen::InternetModel& model() {
+  static const gen::InternetModel instance{gen::ScaleConfig::test()};
+  return instance;
+}
+
+std::vector<dns::Resolver> usable() {
+  dns::ZoneDatabase probe_db;
+  const auto probe = *dns::DnsName::parse("probe.test.net");
+  probe_db.add_a(probe, net::Ipv4Addr{192, 0, 2, 1});
+  return model().resolvers().usable_resolvers(probe_db, probe);
+}
+
+TEST(AlexaRecovery, FullKnowledgeRecoversEverything) {
+  std::unordered_set<dns::DnsName> recovered;
+  const auto& psl = dns::PublicSuffixList::builtin();
+  for (const auto& site : model().sites()) {
+    const auto domain = psl.registrable_domain(site.domain);
+    recovered.insert(domain ? *domain : site.domain);
+  }
+  const auto recovery = alexa_recovery(model(), model().sites().size(), recovered);
+  EXPECT_DOUBLE_EQ(recovery.share(), 1.0);
+}
+
+TEST(AlexaRecovery, EmptyKnowledgeRecoversNothing) {
+  const auto recovery = alexa_recovery(model(), 100, {});
+  EXPECT_EQ(recovery.recovered, 0u);
+  EXPECT_EQ(recovery.considered, 100u);
+  EXPECT_DOUBLE_EQ(recovery.share(), 0.0);
+}
+
+TEST(AlexaRecovery, TopNClampsToListSize) {
+  const auto recovery = alexa_recovery(model(), 1u << 30, {});
+  EXPECT_EQ(recovery.considered, model().sites().size());
+}
+
+TEST(ResolverSweep, DiscoversOnlyRealServers) {
+  util::Rng rng{5};
+  const auto resolvers = usable();
+  ASSERT_FALSE(resolvers.empty());
+  const auto sweep =
+      resolver_sweep(model(), resolvers, {}, {}, 3, 45, rng);
+  EXPECT_GT(sweep.discovered_ips, 0u);
+  EXPECT_EQ(sweep.already_seen_at_ixp, 0u);  // empty IXP set
+  EXPECT_EQ(sweep.unseen_at_ixp, sweep.discovered_ips);
+  std::size_t classified = 0;
+  for (const std::size_t c : sweep.unseen_by_reason) classified += c;
+  // Every discovered IP is a model server with a known blind reason.
+  EXPECT_EQ(classified, sweep.discovered_ips);
+}
+
+TEST(ResolverSweep, RecoveredSitesAreSkipped) {
+  util::Rng rng{5};
+  const auto resolvers = usable();
+  std::unordered_set<dns::DnsName> recovered;
+  const auto& psl = dns::PublicSuffixList::builtin();
+  for (const auto& site : model().sites()) {
+    const auto domain = psl.registrable_domain(site.domain);
+    recovered.insert(domain ? *domain : site.domain);
+  }
+  const auto sweep =
+      resolver_sweep(model(), resolvers, recovered, {}, 3, 45, rng);
+  EXPECT_EQ(sweep.queried_sites, 0u);
+  EXPECT_EQ(sweep.discovered_ips, 0u);
+}
+
+TEST(ResolverSweep, NoResolversNoResults) {
+  util::Rng rng{5};
+  const auto sweep = resolver_sweep(model(), {}, {}, {}, 3, 45, rng);
+  EXPECT_EQ(sweep.discovered_ips, 0u);
+}
+
+TEST(FootprintDiscovery, FindsMoreThanIxpButNotMoreThanTruth) {
+  util::Rng rng{6};
+  const auto akamai = *model().org_by_name("akamai");
+  const auto resolvers = usable();
+  const auto discovery =
+      discover_org_footprint(model(), akamai, resolvers, rng);
+  EXPECT_GT(discovery.servers, 0u);
+  EXPECT_LE(discovery.servers, model().org_servers(akamai).size());
+  EXPECT_GT(discovery.ases, 1u);
+}
+
+TEST(FootprintDiscovery, EmptyResolverSetStillFindsVisibleServers) {
+  util::Rng rng{7};
+  const auto akamai = *model().org_by_name("akamai");
+  const auto discovery = discover_org_footprint(model(), akamai, {}, rng);
+  // Visible servers are reachable without inside resolvers; private
+  // clusters are not.
+  EXPECT_GT(discovery.servers, 0u);
+  std::size_t visible = 0;
+  for (const std::uint32_t s : model().org_servers(akamai))
+    if (model().servers()[s].visible()) ++visible;
+  EXPECT_GE(discovery.servers, visible);
+}
+
+}  // namespace
+}  // namespace ixp::analysis

@@ -1,0 +1,88 @@
+#include "analysis/case_studies.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ixp::analysis {
+namespace {
+
+const gen::InternetModel& model() {
+  static const gen::InternetModel instance{gen::ScaleConfig::test()};
+  return instance;
+}
+
+TEST(HttpsTrendRow, ComputesShares) {
+  core::WeeklyReport report;
+  report.week = 40;
+  report.dissection.https_server_ips = 25;
+  report.dissection.web_server_ips = 100;
+  core::ServerObservation https_server;
+  https_server.https = true;
+  https_server.bytes = 500.0;
+  report.servers.push_back(https_server);
+  report.filters.bytes[static_cast<int>(classify::TrafficClass::kPeering)] =
+      5000.0;
+
+  const auto row = https_trend_row(report);
+  EXPECT_EQ(row.week, 40);
+  EXPECT_DOUBLE_EQ(row.https_server_share, 0.25);
+  EXPECT_DOUBLE_EQ(row.https_traffic_share, 500.0 / 10000.0);
+}
+
+TEST(HttpsTrendRow, EmptyReportIsZero) {
+  const core::WeeklyReport report;
+  const auto row = https_trend_row(report);
+  EXPECT_DOUBLE_EQ(row.https_server_share, 0.0);
+  EXPECT_DOUBLE_EQ(row.https_traffic_share, 0.0);
+}
+
+TEST(MatchPublishedRanges, CountsOnlyObservedServers) {
+  const auto nimbus = *model().org_by_name("nimbus");
+  const auto published = model().published_servers(nimbus);
+  ASSERT_FALSE(published.empty());
+
+  // Observe exactly the first three published IPs.
+  std::unordered_set<net::Ipv4Addr> observed;
+  for (std::size_t i = 0; i < 3 && i < published.size(); ++i)
+    observed.insert(published[i].addr);
+
+  const auto counts = match_published_ranges(model(), nimbus, observed);
+  std::size_t total = 0;
+  for (const auto& dc : counts) total += dc.observed_servers;
+  EXPECT_EQ(total, observed.size());
+  // One bucket per data center plus the unmapped bucket.
+  EXPECT_EQ(counts.size(), model().orgs()[nimbus].data_centers.size() + 1);
+}
+
+TEST(MatchPublishedRanges, EmptyObservationIsAllZero) {
+  const auto nimbus = *model().org_by_name("nimbus");
+  const auto counts = match_published_ranges(model(), nimbus, {});
+  for (const auto& dc : counts) EXPECT_EQ(dc.observed_servers, 0u);
+}
+
+TEST(MatchPublishedRanges, SandyDipVisibleInUsEast) {
+  const auto nimbus = *model().org_by_name("nimbus");
+  // "Observe" all active published servers in weeks 43 and 44.
+  const auto observe_week = [&](int week) {
+    std::unordered_set<net::Ipv4Addr> observed;
+    for (const auto& p : model().published_servers(nimbus)) {
+      const auto index = model().server_by_addr(p.addr);
+      if (index && model().server_active(*index, week)) observed.insert(p.addr);
+    }
+    return match_published_ranges(model(), nimbus, observed);
+  };
+  const auto w43 = observe_week(43);
+  const auto w44 = observe_week(44);
+  std::size_t us_east_43 = 0;
+  std::size_t us_east_44 = 0;
+  for (std::size_t i = 0; i < w43.size(); ++i) {
+    if (w43[i].name == "us-east") {
+      us_east_43 = w43[i].observed_servers;
+      us_east_44 = w44[i].observed_servers;
+    }
+  }
+  EXPECT_GT(us_east_43, 0u);
+  EXPECT_LT(us_east_44, us_east_43 / 2);
+}
+
+}  // namespace
+}  // namespace ixp::analysis

@@ -1,0 +1,109 @@
+#include "analysis/churn_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ixp::analysis {
+namespace {
+
+constexpr auto kDE = geo::Region::kDE;
+constexpr auto kUS = geo::Region::kUS;
+
+TEST(ChurnTracker, RejectsBadRanges) {
+  EXPECT_THROW(ChurnTracker(40, 39), std::invalid_argument);
+  EXPECT_THROW(ChurnTracker(0, 40), std::invalid_argument);
+  EXPECT_NO_THROW(ChurnTracker(35, 51));
+}
+
+TEST(ChurnTracker, FirstWeekEveryoneIsStable) {
+  ChurnTracker tracker{35, 37};
+  tracker.observe(1, 35, kDE, 10.0);
+  tracker.observe(2, 35, kDE, 20.0);
+  const auto weeks = tracker.breakdown();
+  EXPECT_EQ(weeks[0].active, 2u);
+  EXPECT_EQ(weeks[0].stable, 2u);
+  EXPECT_EQ(weeks[0].fresh, 0u);
+  EXPECT_DOUBLE_EQ(weeks[0].stable_bytes, 30.0);
+}
+
+TEST(ChurnTracker, ClassifiesStableRecurrentFresh) {
+  ChurnTracker tracker{35, 38};
+  // key 1: every week -> stable throughout.
+  for (int w = 35; w <= 38; ++w) tracker.observe(1, w, kDE, 1.0);
+  // key 2: weeks 35 and 37 (gap in 36) -> recurrent in 37 and 38? (not
+  // active in 38). In 37: seen earlier but not all -> recurrent.
+  tracker.observe(2, 35, kUS, 1.0);
+  tracker.observe(2, 37, kUS, 1.0);
+  // key 3: first appears in 38 -> fresh there.
+  tracker.observe(3, 38, kDE, 5.0);
+
+  const auto weeks = tracker.breakdown();
+  const auto& w37 = weeks[2];
+  EXPECT_EQ(w37.stable, 1u);     // key 1
+  EXPECT_EQ(w37.recurrent, 1u);  // key 2
+  EXPECT_EQ(w37.fresh, 0u);
+
+  const auto& w38 = weeks[3];
+  EXPECT_EQ(w38.stable, 1u);  // key 1
+  EXPECT_EQ(w38.fresh, 1u);   // key 3
+  EXPECT_EQ(w38.recurrent, 0u);
+  EXPECT_DOUBLE_EQ(w38.fresh_bytes, 5.0);
+}
+
+TEST(ChurnTracker, StableRequiresEveryEarlierWeek) {
+  ChurnTracker tracker{35, 38};
+  tracker.observe(7, 36, kDE, 1.0);  // missed 35
+  tracker.observe(7, 37, kDE, 1.0);
+  tracker.observe(7, 38, kDE, 1.0);
+  const auto weeks = tracker.breakdown();
+  EXPECT_EQ(weeks[1].fresh, 1u);      // first seen in 36
+  EXPECT_EQ(weeks[2].recurrent, 1u);  // seen before, but not in all weeks
+  EXPECT_EQ(weeks[3].recurrent, 1u);
+  EXPECT_EQ(weeks[3].stable, 0u);
+}
+
+TEST(ChurnTracker, RegionBreakdownsSumToTotals) {
+  ChurnTracker tracker{35, 36};
+  tracker.observe(1, 35, kDE, 3.0);
+  tracker.observe(1, 36, kDE, 3.0);
+  tracker.observe(2, 35, kUS, 2.0);
+  tracker.observe(2, 36, kUS, 2.0);
+  tracker.observe(3, 36, geo::Region::kCN, 1.0);
+  const auto weeks = tracker.breakdown();
+  const auto& w36 = weeks[1];
+  std::size_t stable_sum = 0;
+  for (const std::size_t v : w36.stable_by_region) stable_sum += v;
+  EXPECT_EQ(stable_sum, w36.stable);
+  std::size_t fresh_sum = 0;
+  for (const std::size_t v : w36.fresh_by_region) fresh_sum += v;
+  EXPECT_EQ(fresh_sum, w36.fresh);
+  double bytes_sum = 0;
+  for (const double v : w36.active_bytes_by_region) bytes_sum += v;
+  EXPECT_DOUBLE_EQ(bytes_sum, w36.active_bytes);
+}
+
+TEST(ChurnTracker, OutOfRangeWeeksIgnored) {
+  ChurnTracker tracker{35, 40};
+  tracker.observe(1, 34, kDE, 1.0);
+  tracker.observe(1, 41, kDE, 1.0);
+  EXPECT_EQ(tracker.universe(), 0u);
+}
+
+TEST(ChurnTracker, BytesAccumulatePerWeek) {
+  ChurnTracker tracker{35, 35};
+  tracker.observe(1, 35, kDE, 2.0);
+  tracker.observe(1, 35, kDE, 3.0);  // same key twice: bytes add up
+  const auto weeks = tracker.breakdown();
+  EXPECT_EQ(weeks[0].active, 1u);
+  EXPECT_DOUBLE_EQ(weeks[0].active_bytes, 5.0);
+}
+
+TEST(ChurnTracker, UniverseCountsDistinctKeys) {
+  ChurnTracker tracker{35, 36};
+  tracker.observe(1, 35, kDE, 1.0);
+  tracker.observe(1, 36, kDE, 1.0);
+  tracker.observe(2, 36, kDE, 1.0);
+  EXPECT_EQ(tracker.universe(), 2u);
+}
+
+}  // namespace
+}  // namespace ixp::analysis

@@ -1,0 +1,60 @@
+#include "analysis/heterogeneity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ixp::analysis {
+namespace {
+
+using net::Asn;
+using net::Ipv4Addr;
+
+dns::DnsName name(const char* text) { return *dns::DnsName::parse(text); }
+
+TEST(Heterogeneity, BuildsBothViews) {
+  net::RoutingTable routing;
+  routing.announce(net::Ipv4Prefix{Ipv4Addr{10, 0, 0, 0}, 8}, Asn{100});
+  routing.announce(net::Ipv4Prefix{Ipv4Addr{20, 0, 0, 0}, 8}, Asn{200});
+
+  core::ClusteringResult clustering;
+  // Org A: 3 servers across both ASes. Org B: 1 server in AS100.
+  clustering.clusters[name("a.com")] = {Ipv4Addr{10, 0, 0, 1},
+                                        Ipv4Addr{10, 0, 0, 2},
+                                        Ipv4Addr{20, 0, 0, 1}};
+  clustering.clusters[name("b.com")] = {Ipv4Addr{10, 0, 0, 3}};
+
+  const auto view = build_heterogeneity(clustering, routing);
+  ASSERT_EQ(view.orgs.size(), 2u);
+  EXPECT_EQ(view.orgs[0].authority, name("a.com"));  // sorted by size
+  EXPECT_EQ(view.orgs[0].server_ips, 3u);
+  EXPECT_EQ(view.orgs[0].ases, 2u);
+  EXPECT_EQ(view.orgs[1].ases, 1u);
+
+  ASSERT_EQ(view.ases.size(), 2u);
+  EXPECT_EQ(view.ases[0].asn, Asn{100});  // 3 servers
+  EXPECT_EQ(view.ases[0].server_ips, 3u);
+  EXPECT_EQ(view.ases[0].orgs, 2u);  // hosts both orgs
+  EXPECT_EQ(view.ases[1].orgs, 1u);
+}
+
+TEST(Heterogeneity, ThresholdCounters) {
+  HeterogeneityView view;
+  view.orgs = {{name("x.com"), 100, 5}, {name("y.com"), 11, 2}, {name("z.com"), 3, 1}};
+  view.ases = {{Asn{1}, 50, 12}, {Asn{2}, 10, 6}, {Asn{3}, 5, 1}};
+  EXPECT_EQ(view.orgs_with_more_than(10), 2u);
+  EXPECT_EQ(view.orgs_with_more_than(1000), 0u);
+  EXPECT_EQ(view.ases_hosting_more_than(5), 2u);
+  EXPECT_EQ(view.ases_hosting_more_than(10), 1u);
+}
+
+TEST(Heterogeneity, UnroutedServersSkippedFromAsView) {
+  net::RoutingTable routing;  // empty: nothing routes
+  core::ClusteringResult clustering;
+  clustering.clusters[name("a.com")] = {Ipv4Addr{10, 0, 0, 1}};
+  const auto view = build_heterogeneity(clustering, routing);
+  ASSERT_EQ(view.orgs.size(), 1u);
+  EXPECT_EQ(view.orgs[0].ases, 0u);
+  EXPECT_TRUE(view.ases.empty());
+}
+
+}  // namespace
+}  // namespace ixp::analysis

@@ -1,0 +1,84 @@
+#include "analysis/weekly_delta.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ixp::analysis {
+namespace {
+
+using net::Asn;
+using net::Ipv4Addr;
+
+core::WeeklyReport report_with(int week,
+                               std::initializer_list<std::uint32_t> servers,
+                               std::size_t peering_ips, double peering_bytes) {
+  core::WeeklyReport report;
+  report.week = week;
+  report.peering_ips = peering_ips;
+  report.filters.samples[static_cast<int>(classify::TrafficClass::kPeering)] = 1;
+  report.filters.bytes[static_cast<int>(classify::TrafficClass::kPeering)] =
+      peering_bytes;
+  for (const std::uint32_t ip : servers) {
+    core::ServerObservation obs;
+    obs.addr = Ipv4Addr{ip};
+    obs.asn = Asn{ip >> 8};  // a simple, deterministic AS assignment
+    report.servers.push_back(obs);
+    report.by_as[Asn{ip >> 8}].server_ips += 1;
+  }
+  return report;
+}
+
+TEST(WeeklyDelta, GainsLossesAndCommon) {
+  const auto earlier = report_with(40, {0x0100, 0x0101, 0x0200}, 1000, 5000.0);
+  const auto later = report_with(41, {0x0101, 0x0200, 0x0300, 0x0301}, 1100, 5500.0);
+  const auto delta = compare_weeks(earlier, later);
+  EXPECT_EQ(delta.earlier_week, 40);
+  EXPECT_EQ(delta.later_week, 41);
+  EXPECT_EQ(delta.servers_common, 2u);  // 0x0101, 0x0200
+  EXPECT_EQ(delta.servers_gained, 2u);  // 0x0300, 0x0301
+  EXPECT_EQ(delta.servers_lost, 1u);    // 0x0100
+  EXPECT_NEAR(delta.ip_growth, 0.10, 1e-9);
+  EXPECT_NEAR(delta.traffic_growth, 0.10, 1e-9);
+}
+
+TEST(WeeklyDelta, TopMoversSortedByMagnitude) {
+  const auto earlier = report_with(40, {0x0100, 0x0101, 0x0102, 0x0200}, 1, 1.0);
+  const auto later = report_with(41, {0x0200, 0x0201, 0x0300}, 1, 1.0);
+  const auto delta = compare_weeks(earlier, later, 10);
+  // AS1 lost 3, AS2 gained 1, AS3 gained 1.
+  ASSERT_GE(delta.top_movers.size(), 3u);
+  EXPECT_EQ(delta.top_movers[0].asn, Asn{1});
+  EXPECT_EQ(delta.top_movers[0].server_delta, -3);
+  EXPECT_EQ(delta.top_movers[1].server_delta, 1);
+  // Tie between AS2 and AS3 resolves by ASN.
+  EXPECT_EQ(delta.top_movers[1].asn, Asn{2});
+  EXPECT_EQ(delta.top_movers[2].asn, Asn{3});
+}
+
+TEST(WeeklyDelta, TopNBoundsTheList) {
+  const auto earlier = report_with(40, {0x0100, 0x0200, 0x0300, 0x0400}, 1, 1.0);
+  const auto later = report_with(41, {}, 1, 1.0);
+  const auto delta = compare_weeks(earlier, later, 2);
+  EXPECT_EQ(delta.top_movers.size(), 2u);
+  EXPECT_EQ(delta.servers_lost, 4u);
+}
+
+TEST(WeeklyDelta, IdenticalWeeksAreQuiet) {
+  const auto report = report_with(40, {0x0100, 0x0200}, 500, 100.0);
+  const auto delta = compare_weeks(report, report);
+  EXPECT_EQ(delta.servers_gained, 0u);
+  EXPECT_EQ(delta.servers_lost, 0u);
+  EXPECT_EQ(delta.servers_common, 2u);
+  EXPECT_DOUBLE_EQ(delta.ip_growth, 0.0);
+  EXPECT_TRUE(delta.top_movers.empty());
+}
+
+TEST(WeeklyDelta, EmptyEarlierWeekHandled) {
+  const auto earlier = report_with(40, {}, 0, 0.0);
+  const auto later = report_with(41, {0x0100}, 10, 10.0);
+  const auto delta = compare_weeks(earlier, later);
+  EXPECT_EQ(delta.servers_gained, 1u);
+  EXPECT_DOUBLE_EQ(delta.ip_growth, 0.0);  // undefined -> reported as 0
+}
+
+}  // namespace
+}  // namespace ixp::analysis

@@ -1,0 +1,154 @@
+#include "classify/dissector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace ixp::classify {
+namespace {
+
+using net::Ipv4Addr;
+
+/// Builds, parses, and ingests a sample in one scope: ParsedFrame's
+/// payload span is only valid while the capture buffer lives.
+void ingest(TrafficDissector& d, Ipv4Addr src, Ipv4Addr dst,
+            std::uint16_t src_port, std::uint16_t dst_port,
+            const std::string& payload, double bytes = 1000.0) {
+  sflow::FrameSpec spec;
+  spec.src_mac = sflow::MacAddr::from_id(1);
+  spec.dst_mac = sflow::MacAddr::from_id(2);
+  spec.src_ip = src;
+  spec.dst_ip = dst;
+  spec.src_port = src_port;
+  spec.dst_port = dst_port;
+  std::vector<std::byte> data(payload.size());
+  std::memcpy(data.data(), payload.data(), payload.size());
+  const sflow::SampledFrame frame =
+      sflow::build_tcp_frame(spec, data, payload.size());
+  PeeringSample sample;
+  sample.frame = *sflow::parse_frame(frame);
+  sample.expanded_bytes = bytes;
+  d.ingest(sample);
+}
+
+const Ipv4Addr kServer{10, 0, 0, 1};
+const Ipv4Addr kClient{172, 20, 0, 9};
+
+TEST(TrafficDissector, RequestIdentifiesServerAndClient) {
+  TrafficDissector d;
+  ingest(d, kClient, kServer, 40000, 80,
+         "GET / HTTP/1.1\r\nHost: example.com\r\n");
+  const auto& activity = d.activity();
+  EXPECT_TRUE(activity.at(kServer).http_server());
+  EXPECT_FALSE(activity.at(kServer).client());
+  EXPECT_TRUE(activity.at(kClient).client());
+  EXPECT_FALSE(activity.at(kClient).http_server());
+  ASSERT_EQ(d.hosts_of(kServer).size(), 1u);
+  EXPECT_EQ(d.hosts_of(kServer)[0], "example.com");
+  EXPECT_TRUE(d.hosts_of(kClient).empty());
+}
+
+TEST(TrafficDissector, ResponseIdentifiesServerOnSrcSide) {
+  TrafficDissector d;
+  ingest(d, kServer, kClient, 80, 40000,
+                       "HTTP/1.1 200 OK\r\nServer: x\r\n");
+  EXPECT_TRUE(d.activity().at(kServer).http_server());
+  EXPECT_TRUE(d.activity().at(kClient).client());
+}
+
+TEST(TrafficDissector, OpaquePayloadIdentifiesNothing) {
+  TrafficDissector d;
+  ingest(d, kClient, kServer, 40000, 80, "\x01\x02\x03\x04");
+  EXPECT_FALSE(d.activity().at(kServer).http_server());
+  EXPECT_FALSE(d.activity().at(kClient).client());
+}
+
+TEST(TrafficDissector, Port443MarksCandidates) {
+  TrafficDissector d;
+  ingest(d, kClient, kServer, 40000, 443, "\x16\x03\x01");
+  const auto candidates = d.https_candidates();
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], kServer);
+  EXPECT_FALSE(d.activity().at(kServer).web_server());  // not yet confirmed
+}
+
+TEST(TrafficDissector, ConfirmHttpsPromotesToWebServer) {
+  TrafficDissector d;
+  ingest(d, kClient, kServer, 40000, 443, "");
+  d.confirm_https(kServer);
+  EXPECT_TRUE(d.activity().at(kServer).https_server());
+  EXPECT_TRUE(d.activity().at(kServer).web_server());
+  const auto servers = d.web_servers();
+  ASSERT_EQ(servers.size(), 1u);
+  EXPECT_EQ(servers[0], kServer);
+}
+
+TEST(TrafficDissector, MultiPurposeNeedsTwoPorts) {
+  TrafficDissector d;
+  ingest(d, kClient, kServer, 40000, 80,
+                       "GET / HTTP/1.1\r\nHost: a.com\r\n");
+  EXPECT_FALSE(d.activity().at(kServer).multi_purpose());
+  ingest(d, kClient, kServer, 40001, 1935, "rtmp-handshake");
+  EXPECT_TRUE(d.activity().at(kServer).multi_purpose());
+}
+
+TEST(TrafficDissector, HttpsPlusHttpIsMultiPurpose) {
+  TrafficDissector d;
+  ingest(d, kClient, kServer, 40000, 80,
+                       "GET / HTTP/1.1\r\nHost: a.com\r\n");
+  ingest(d, kClient, kServer, 40001, 443, "");
+  d.confirm_https(kServer);
+  EXPECT_TRUE(d.activity().at(kServer).multi_purpose());
+}
+
+TEST(TrafficDissector, DualRoleServerAndClient) {
+  TrafficDissector d;
+  // kServer serves...
+  ingest(d, kClient, kServer, 40000, 80,
+                       "GET / HTTP/1.1\r\nHost: a.com\r\n");
+  // ...and also fetches from another server (machine-to-machine).
+  const Ipv4Addr other{10, 0, 0, 2};
+  ingest(d, kServer, other, 41000, 80,
+                       "GET / HTTP/1.1\r\nHost: b.com\r\n");
+  const auto summary = d.summarize();
+  EXPECT_EQ(summary.dual_role_ips, 1u);
+}
+
+TEST(TrafficDissector, HostsDeduplicatedAndCapped) {
+  TrafficDissector d;
+  for (int i = 0; i < 20; ++i) {
+    ingest(d, kClient, kServer, 40000, 80,
+                         "GET / HTTP/1.1\r\nHost: host" + std::to_string(i % 12) +
+                             ".com\r\n");
+  }
+  EXPECT_LE(d.hosts_of(kServer).size(), 8u);
+  // Duplicates collapsed.
+  ingest(d, kClient, kServer, 40000, 80,
+                       "GET / HTTP/1.1\r\nHost: host0.com\r\n");
+  EXPECT_LE(d.hosts_of(kServer).size(), 8u);
+}
+
+TEST(TrafficDissector, BytesAccumulateOnBothEndpoints) {
+  TrafficDissector d;
+  ingest(d, kClient, kServer, 40000, 80, "", 500.0);
+  ingest(d, kServer, kClient, 80, 40000, "", 700.0);
+  EXPECT_DOUBLE_EQ(d.activity().at(kServer).bytes, 1200.0);
+  EXPECT_DOUBLE_EQ(d.activity().at(kClient).bytes, 1200.0);
+  EXPECT_DOUBLE_EQ(d.summarize().total_bytes, 1200.0);
+}
+
+TEST(TrafficDissector, SummaryCounts) {
+  TrafficDissector d;
+  ingest(d, kClient, kServer, 40000, 80,
+                       "GET / HTTP/1.1\r\nHost: a.com\r\n");
+  const auto summary = d.summarize();
+  EXPECT_EQ(summary.unique_ips, 2u);
+  EXPECT_EQ(summary.http_server_ips, 1u);
+  EXPECT_EQ(summary.web_server_ips, 1u);
+  EXPECT_EQ(summary.client_ips, 1u);
+  EXPECT_EQ(summary.https_server_ips, 0u);
+}
+
+}  // namespace
+}  // namespace ixp::classify

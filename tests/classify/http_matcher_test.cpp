@@ -1,0 +1,106 @@
+#include "classify/http_matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <span>
+#include <string>
+
+namespace ixp::classify {
+namespace {
+
+TEST(HttpMatcher, MatchesRequestLineWithHost) {
+  const auto match = HttpMatcher::match(
+      "GET /index.html HTTP/1.1\r\nHost: www.example.com\r\nAccept: */*\r\n");
+  EXPECT_EQ(match.indication, HttpIndication::kRequest);
+  ASSERT_TRUE(match.host);
+  EXPECT_EQ(*match.host, "www.example.com");
+  ASSERT_TRUE(match.path);
+  EXPECT_EQ(*match.path, "/index.html");
+}
+
+TEST(HttpMatcher, MatchesAllMethodWords) {
+  for (const char* method :
+       {"GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "TRACE", "CONNECT"}) {
+    const std::string payload = std::string{method} + " / HTTP/1.0\r\n";
+    EXPECT_EQ(HttpMatcher::match(payload).indication, HttpIndication::kRequest)
+        << method;
+  }
+}
+
+TEST(HttpMatcher, RequestNeedsVersionToken) {
+  // RTSP and truncated request lines must not match as HTTP requests.
+  EXPECT_NE(HttpMatcher::match("GET / RTSP/1.0\r\n").indication,
+            HttpIndication::kRequest);
+  EXPECT_NE(HttpMatcher::match("GET /something-without-version").indication,
+            HttpIndication::kRequest);
+  EXPECT_NE(HttpMatcher::match("GET / HTTP/2.0\r\n").indication,
+            HttpIndication::kRequest);
+}
+
+TEST(HttpMatcher, MatchesResponseStatusLine) {
+  const auto ok = HttpMatcher::match(
+      "HTTP/1.1 200 OK\r\nServer: nginx\r\nContent-Length: 1234\r\n");
+  EXPECT_EQ(ok.indication, HttpIndication::kResponse);
+  EXPECT_EQ(HttpMatcher::match("HTTP/1.0 404 Not Found\r\n").indication,
+            HttpIndication::kResponse);
+}
+
+TEST(HttpMatcher, RejectsMalformedStatusLines) {
+  EXPECT_EQ(HttpMatcher::match("HTTP/1.1 2x0 OK\r\n").indication,
+            HttpIndication::kNone);
+  EXPECT_EQ(HttpMatcher::match("HTTP/1.").indication, HttpIndication::kNone);
+  EXPECT_EQ(HttpMatcher::match("HTTP/1.1").indication, HttpIndication::kNone);
+}
+
+TEST(HttpMatcher, HeaderFieldWordsMidConnection) {
+  const auto match =
+      HttpMatcher::match("binary-ish\nContent-Type: text/html\r\nmore");
+  EXPECT_EQ(match.indication, HttpIndication::kHeaderOnly);
+}
+
+TEST(HttpMatcher, HeaderWordRequiresLineStart) {
+  // "Server:" buried mid-line is random payload, not a header.
+  EXPECT_EQ(HttpMatcher::match("xxServer: apache").indication,
+            HttpIndication::kNone);
+  EXPECT_EQ(HttpMatcher::match("Server: apache").indication,
+            HttpIndication::kHeaderOnly);
+}
+
+TEST(HttpMatcher, EmptyAndBinaryPayloads) {
+  EXPECT_EQ(HttpMatcher::match("").indication, HttpIndication::kNone);
+  const std::array<std::byte, 8> binary{
+      std::byte{0x16}, std::byte{0x03}, std::byte{0x01}, std::byte{0x00},
+      std::byte{0xff}, std::byte{0x00}, std::byte{0x01}, std::byte{0x02}};
+  EXPECT_EQ(HttpMatcher::match(std::span<const std::byte>{binary}).indication,
+            HttpIndication::kNone);
+}
+
+TEST(HttpMatcher, HostExtractionTrimsAndStopsAtCrlf) {
+  const auto match =
+      HttpMatcher::match("GET / HTTP/1.1\r\nHost:   example.com\r\nX: 1\r\n");
+  ASSERT_TRUE(match.host);
+  EXPECT_EQ(*match.host, "example.com");
+}
+
+TEST(HttpMatcher, TruncatedHostAtCaptureBoundaryStillUsable) {
+  // sFlow cuts the snippet mid-value; a non-empty prefix is returned.
+  const auto match = HttpMatcher::match("GET / HTTP/1.1\r\nHost: www.exa");
+  ASSERT_TRUE(match.host);
+  EXPECT_EQ(*match.host, "www.exa");
+}
+
+TEST(HttpMatcher, EmptyTruncatedHostIgnored) {
+  const auto match = HttpMatcher::match("GET / HTTP/1.1\r\nHost: ");
+  EXPECT_EQ(match.indication, HttpIndication::kRequest);
+  EXPECT_FALSE(match.host);
+}
+
+TEST(HttpMatcher, RequestWithoutHostHeader) {
+  const auto match = HttpMatcher::match("GET /c123 HTTP/1.1\r\nAccept: */*\r\n");
+  EXPECT_EQ(match.indication, HttpIndication::kRequest);
+  EXPECT_FALSE(match.host);
+}
+
+}  // namespace
+}  // namespace ixp::classify

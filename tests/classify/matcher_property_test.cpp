@@ -1,0 +1,80 @@
+// Property tests for the HTTP matcher: robustness against arbitrary
+// bytes (the sampled payloads are mostly binary), truncation stability,
+// and zero false positives on structured non-HTTP protocols.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "classify/http_matcher.hpp"
+#include "util/rng.hpp"
+
+namespace ixp::classify {
+namespace {
+
+class RandomPayloadTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPayloadTest, NeverMisreadsRandomBytesAsRequestOrResponse) {
+  util::Rng rng{GetParam()};
+  int structured = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string payload(1 + rng.next_below(74), '\0');
+    for (auto& c : payload) c = static_cast<char>(rng.next_below(256));
+    const auto match = HttpMatcher::match(payload);
+    // Random bytes must essentially never look like an HTTP initial line
+    // (the probability of "GET ..." + "HTTP/1.x" arising by chance in 74
+    // bytes is astronomically small).
+    if (match.indication == HttpIndication::kRequest ||
+        match.indication == HttpIndication::kResponse)
+      ++structured;
+  }
+  EXPECT_EQ(structured, 0);
+}
+
+TEST_P(RandomPayloadTest, TruncationNeverFlipsMissToHit) {
+  // If the full snippet does not match, neither may any prefix... the
+  // reverse can happen (a prefix may lack the header), so we assert the
+  // safe direction: a matching prefix implies structure was present.
+  util::Rng rng{GetParam() ^ 0xabcdef};
+  const std::string request =
+      "GET /x HTTP/1.1\r\nHost: www.example.com\r\nAccept: */*\r\n";
+  for (std::size_t cut = 0; cut <= request.size(); ++cut) {
+    const auto match = HttpMatcher::match(std::string_view{request}.substr(0, cut));
+    if (cut >= 17) {
+      // Once the full request line fits, the match must hold.
+      EXPECT_EQ(match.indication, HttpIndication::kRequest) << "cut=" << cut;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPayloadTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(HttpMatcherProtocols, NoFalsePositivesOnOtherProtocols) {
+  // Structured non-HTTP payloads that share superficial features.
+  const char* payloads[] = {
+      "SSH-2.0-OpenSSH_6.0p1 Debian-4\r\n",
+      "220 mail.example.com ESMTP Postfix\r\n",
+      "RTSP/1.0 200 OK\r\nCSeq: 1\r\n",          // RTSP response
+      "SETUP rtsp://x/track1 RTSP/1.0\r\n",
+      "\x16\x03\x01\x02\x00\x01\x00\x01\xfc",    // TLS ClientHello
+      "*1\r\n$4\r\nPING\r\n",                    // RESP
+      "GIF89a.............",
+      "%PDF-1.4 ...",
+  };
+  for (const char* payload : payloads) {
+    const auto match = HttpMatcher::match(std::string_view{payload});
+    EXPECT_NE(match.indication, HttpIndication::kRequest) << payload;
+    EXPECT_NE(match.indication, HttpIndication::kResponse) << payload;
+  }
+}
+
+TEST(HttpMatcherProtocols, SipIsKeptOut) {
+  // SIP reuses HTTP-style framing but a different version token.
+  EXPECT_NE(HttpMatcher::match("INVITE sip:bob@example.com SIP/2.0\r\n").indication,
+            HttpIndication::kRequest);
+  EXPECT_NE(HttpMatcher::match("SIP/2.0 200 OK\r\n").indication,
+            HttpIndication::kResponse);
+}
+
+}  // namespace
+}  // namespace ixp::classify

@@ -1,0 +1,182 @@
+#include "core/org_clusterer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ixp::core {
+namespace {
+
+using net::Ipv4Addr;
+
+dns::DnsName name(const char* text) { return *dns::DnsName::parse(text); }
+
+dns::Uri uri(const char* text) { return *dns::Uri::parse(text); }
+
+classify::ServerMetadata md(Ipv4Addr addr) {
+  classify::ServerMetadata m;
+  m.addr = addr;
+  return m;
+}
+
+class ClustererTest : public ::testing::Test {
+ protected:
+  ClustererTest() {
+    db_.add_soa(name("akamai.net"), name("akamai.com"));
+    db_.add_soa(name("akamai.com"), name("akamai.com"));
+    db_.add_soa(name("google.com"), name("google.com"));
+    db_.add_soa(name("youtube.com"), name("google.com"));
+    db_.add_soa(name("hostica.com"), name("hostica.com"));
+    // Tenant domains whose DNS is run by the meta-hoster.
+    db_.add_soa(name("shop-a.com"), name("hostica.com"));
+    db_.add_soa(name("shop-b.de"), name("hostica.com"));
+  }
+
+  OrgClusterer make(ClusterOptions options = {}) {
+    return OrgClusterer{db_, dns::PublicSuffixList::builtin(), options};
+  }
+
+  dns::ZoneDatabase db_;
+};
+
+TEST_F(ClustererTest, Step1GroupsConsistentIpAndContent) {
+  // Hostname SOA -> akamai.com; URI authority's SOA -> akamai.com too.
+  auto server = md(Ipv4Addr{1, 0, 0, 1});
+  server.hostname = name("e1.akamai.net");
+  server.soa_authority = name("akamai.com");
+  server.uris = {uri("img.akamai.com/x")};
+
+  const auto result = make().cluster(std::vector{server});
+  EXPECT_EQ(result.step_counts[1], 1u);
+  const auto& assignment = result.by_server.at(server.addr);
+  EXPECT_EQ(assignment.authority.text(), "akamai.com");
+  EXPECT_EQ(assignment.step, 1);
+}
+
+TEST_F(ClustererTest, Step1WorksWithoutContentSignals) {
+  auto server = md(Ipv4Addr{1, 0, 0, 2});
+  server.hostname = name("e2.akamai.net");
+  server.soa_authority = name("akamai.com");
+  const auto result = make().cluster(std::vector{server});
+  EXPECT_EQ(result.by_server.at(server.addr).step, 1);
+}
+
+TEST_F(ClustererTest, YoutubeUriLeadsToGoogle) {
+  // §2.4's worked example: URI youtube.com -> SOA google.com.
+  auto server = md(Ipv4Addr{2, 0, 0, 1});
+  server.hostname = name("cache3.google.com");
+  server.soa_authority = name("google.com");
+  server.uris = {uri("youtube.com/watch")};
+  const auto result = make().cluster(std::vector{server});
+  const auto& assignment = result.by_server.at(server.addr);
+  EXPECT_EQ(assignment.step, 1);
+  EXPECT_EQ(assignment.authority.text(), "google.com");
+}
+
+TEST_F(ClustererTest, Step2MajorityVoteFollowsEstablishedCluster) {
+  // Three step-1 servers establish the hostica cluster; a fourth without
+  // a hostname must join it via the vote among its URI authorities.
+  std::vector<classify::ServerMetadata> servers;
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    auto s = md(Ipv4Addr{3, 0, 0, static_cast<std::uint8_t>(i)});
+    s.hostname = name(("h" + std::to_string(i) + ".hostica.com").c_str());
+    s.soa_authority = name("hostica.com");
+    s.uris = {uri("shop-a.com")};
+    servers.push_back(s);
+  }
+  auto voter = md(Ipv4Addr{3, 0, 0, 100});
+  voter.uris = {uri("shop-a.com"), uri("shop-b.de")};  // both -> hostica
+  servers.push_back(voter);
+
+  const auto result = make().cluster(servers);
+  EXPECT_EQ(result.step_counts[1], 3u);
+  EXPECT_EQ(result.step_counts[2], 1u);
+  EXPECT_EQ(result.by_server.at(voter.addr).authority.text(), "hostica.com");
+  EXPECT_EQ(result.clusters.at(name("hostica.com")).size(), 4u);
+}
+
+TEST_F(ClustererTest, Step2ConflictingSignalsResolvedByVote) {
+  // IP under one authority but content dominated by another: local
+  // multiplicity (2 content signals vs 1 IP signal) decides.
+  auto server = md(Ipv4Addr{4, 0, 0, 1});
+  server.hostname = name("vm9.hostica.com");
+  server.soa_authority = name("hostica.com");
+  server.uris = {uri("youtube.com"), uri("www.google.com")};
+  const auto result = make().cluster(std::vector{server});
+  const auto& assignment = result.by_server.at(server.addr);
+  EXPECT_EQ(assignment.step, 2);
+  EXPECT_EQ(assignment.authority.text(), "google.com");
+}
+
+TEST_F(ClustererTest, Step3PartialSoaOnly) {
+  // Reverse-zone SOA only (Akamai-deep-inside-ISP style).
+  auto server = md(Ipv4Addr{5, 0, 0, 1});
+  server.soa_authority = name("akamai.com");  // no hostname!
+  const auto result = make().cluster(std::vector{server});
+  const auto& assignment = result.by_server.at(server.addr);
+  EXPECT_EQ(assignment.step, 3);
+  EXPECT_EQ(assignment.authority.text(), "akamai.com");
+}
+
+TEST_F(ClustererTest, NoSignalsStaysUnclustered) {
+  const auto server = md(Ipv4Addr{6, 0, 0, 1});
+  const auto result = make().cluster(std::vector{server});
+  EXPECT_EQ(result.step_counts[0], 1u);
+  EXPECT_EQ(result.by_server.at(server.addr).step, 0);
+  EXPECT_TRUE(result.by_server.at(server.addr).authority.empty());
+}
+
+TEST_F(ClustererTest, MaxStepOneDropsEverythingElse) {
+  auto voter = md(Ipv4Addr{7, 0, 0, 1});
+  voter.uris = {uri("shop-a.com")};
+  const auto result =
+      make(ClusterOptions{VoteKey::kIpsAndFootprint, 1}).cluster(std::vector{voter});
+  EXPECT_EQ(result.clustered(), 0u);
+  EXPECT_EQ(result.step_counts[0], 1u);
+}
+
+TEST_F(ClustererTest, MaxStepTwoSkipsPartialOnly) {
+  auto partial = md(Ipv4Addr{8, 0, 0, 1});
+  partial.soa_authority = name("akamai.com");
+  const auto result =
+      make(ClusterOptions{VoteKey::kIpsAndFootprint, 2}).cluster(std::vector{partial});
+  EXPECT_EQ(result.clustered(), 0u);
+}
+
+TEST_F(ClustererTest, StepSharesSumToOne) {
+  std::vector<classify::ServerMetadata> servers;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    auto s = md(Ipv4Addr{9, 0, 1, static_cast<std::uint8_t>(i)});
+    s.hostname = name("x.akamai.net");
+    s.soa_authority = name("akamai.com");
+    servers.push_back(s);
+  }
+  const auto result = make().cluster(servers);
+  EXPECT_NEAR(result.step_share(1) + result.step_share(2) + result.step_share(3),
+              1.0, 1e-9);
+}
+
+TEST_F(ClustererTest, CertNamesActAsContentSignals) {
+  auto server = md(Ipv4Addr{10, 0, 0, 1});
+  server.cert_names = {name("www.youtube.com"), name("youtube.com")};
+  const auto result = make().cluster(std::vector{server});
+  const auto& assignment = result.by_server.at(server.addr);
+  EXPECT_EQ(assignment.step, 2);
+  EXPECT_EQ(assignment.authority.text(), "google.com");
+}
+
+TEST_F(ClustererTest, DeterministicAcrossRuns) {
+  std::vector<classify::ServerMetadata> servers;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    auto s = md(Ipv4Addr{11, 0, 0, static_cast<std::uint8_t>(i)});
+    s.uris = {uri(i % 2 == 0 ? "shop-a.com" : "youtube.com")};
+    servers.push_back(s);
+  }
+  const auto a = make().cluster(servers);
+  const auto b = make().cluster(servers);
+  for (const auto& [addr, assignment] : a.by_server) {
+    EXPECT_EQ(assignment.authority, b.by_server.at(addr).authority);
+    EXPECT_EQ(assignment.step, b.by_server.at(addr).step);
+  }
+}
+
+}  // namespace
+}  // namespace ixp::core

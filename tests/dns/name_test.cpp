@@ -1,0 +1,82 @@
+#include "dns/name.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ixp::dns {
+namespace {
+
+TEST(DnsName, ParsesAndNormalizes) {
+  const auto name = DnsName::parse("WWW.Example.COM.");
+  ASSERT_TRUE(name);
+  EXPECT_EQ(name->text(), "www.example.com");
+  EXPECT_EQ(name->label_count(), 3u);
+}
+
+TEST(DnsName, ParseRejectsMalformed) {
+  EXPECT_FALSE(DnsName::parse(""));
+  EXPECT_FALSE(DnsName::parse("."));
+  EXPECT_FALSE(DnsName::parse("a..b"));
+  EXPECT_FALSE(DnsName::parse(".a"));
+  EXPECT_FALSE(DnsName::parse("exa mple.com"));
+  EXPECT_FALSE(DnsName::parse("exa/mple.com"));
+  EXPECT_FALSE(DnsName::parse(std::string(64, 'a') + ".com"));  // long label
+  EXPECT_FALSE(DnsName::parse(std::string(254, 'a')));          // long name
+}
+
+TEST(DnsName, AcceptsHyphensDigitsUnderscores) {
+  EXPECT_TRUE(DnsName::parse("a-1._tcp.example.com"));
+  EXPECT_TRUE(DnsName::parse("1e100.net"));
+}
+
+TEST(DnsName, Labels) {
+  const auto name = *DnsName::parse("a.b.example.com");
+  EXPECT_EQ(name.label(0), "a");
+  EXPECT_EQ(name.label(1), "b");
+  EXPECT_EQ(name.label(2), "example");
+  EXPECT_EQ(name.label(3), "com");
+}
+
+TEST(DnsName, ParentWalk) {
+  auto name = DnsName::parse("a.b.example.com");
+  ASSERT_TRUE(name);
+  auto parent = name->parent();
+  ASSERT_TRUE(parent);
+  EXPECT_EQ(parent->text(), "b.example.com");
+  parent = parent->parent();
+  ASSERT_TRUE(parent);
+  EXPECT_EQ(parent->text(), "example.com");
+  parent = parent->parent();
+  ASSERT_TRUE(parent);
+  EXPECT_EQ(parent->text(), "com");
+  EXPECT_FALSE(parent->parent().has_value());
+}
+
+TEST(DnsName, Suffix) {
+  const auto name = *DnsName::parse("a.b.example.com");
+  EXPECT_EQ(name.suffix(1).text(), "com");
+  EXPECT_EQ(name.suffix(2).text(), "example.com");
+  EXPECT_EQ(name.suffix(4).text(), "a.b.example.com");
+  EXPECT_EQ(name.suffix(9).text(), "a.b.example.com");  // clamped
+}
+
+TEST(DnsName, SubdomainRelation) {
+  const auto child = *DnsName::parse("cache.fra.akamai.net");
+  const auto parent = *DnsName::parse("akamai.net");
+  EXPECT_TRUE(child.is_subdomain_of(parent));
+  EXPECT_TRUE(parent.is_subdomain_of(parent));
+  EXPECT_FALSE(parent.is_subdomain_of(child));
+  // Label boundaries matter: notakamai.net is not under akamai.net.
+  const auto notparent = *DnsName::parse("notakamai.net");
+  EXPECT_FALSE(notparent.is_subdomain_of(parent));
+  EXPECT_FALSE(child.is_subdomain_of(DnsName{}));
+}
+
+TEST(DnsName, EqualityAndHash) {
+  const auto a = *DnsName::parse("Example.COM");
+  const auto b = *DnsName::parse("example.com");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(std::hash<DnsName>{}(a), std::hash<DnsName>{}(b));
+}
+
+}  // namespace
+}  // namespace ixp::dns

@@ -1,0 +1,64 @@
+#include "dns/public_suffix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ixp::dns {
+namespace {
+
+DnsName name(const char* text) { return *DnsName::parse(text); }
+
+TEST(PublicSuffixList, BuiltinKnowsCommonSuffixes) {
+  const auto& psl = PublicSuffixList::builtin();
+  EXPECT_TRUE(psl.is_public_suffix(name("com")));
+  EXPECT_TRUE(psl.is_public_suffix(name("de")));
+  EXPECT_TRUE(psl.is_public_suffix(name("co.uk")));
+  EXPECT_FALSE(psl.is_public_suffix(name("example.com")));
+  EXPECT_GT(psl.size(), 100u);
+}
+
+TEST(PublicSuffixList, LongestSuffixWins) {
+  const auto& psl = PublicSuffixList::builtin();
+  const auto suffix = psl.public_suffix_of(name("shop.example.co.uk"));
+  ASSERT_TRUE(suffix);
+  EXPECT_EQ(suffix->text(), "co.uk");
+}
+
+TEST(PublicSuffixList, RegistrableDomainSimpleTld) {
+  const auto& psl = PublicSuffixList::builtin();
+  const auto domain = psl.registrable_domain(name("www.example.com"));
+  ASSERT_TRUE(domain);
+  EXPECT_EQ(domain->text(), "example.com");
+}
+
+TEST(PublicSuffixList, RegistrableDomainCcSld) {
+  const auto& psl = PublicSuffixList::builtin();
+  const auto domain = psl.registrable_domain(name("a.b.example.co.jp"));
+  ASSERT_TRUE(domain);
+  EXPECT_EQ(domain->text(), "example.co.jp");
+}
+
+TEST(PublicSuffixList, SuffixItselfHasNoRegistrableDomain) {
+  const auto& psl = PublicSuffixList::builtin();
+  EXPECT_FALSE(psl.registrable_domain(name("co.uk")).has_value());
+  EXPECT_FALSE(psl.registrable_domain(name("com")).has_value());
+}
+
+TEST(PublicSuffixList, UnknownTldHasNoRegistrableDomain) {
+  const auto& psl = PublicSuffixList::builtin();
+  // "local" is not in the list -> the name fails the paper's validity check.
+  EXPECT_FALSE(psl.registrable_domain(name("server.local")).has_value());
+  EXPECT_FALSE(psl.public_suffix_of(name("server.local")).has_value());
+}
+
+TEST(PublicSuffixList, CustomListAndDomainAlreadyRegistrable) {
+  PublicSuffixList psl;
+  psl.add("test");
+  psl.add("not a name");  // ignored
+  EXPECT_EQ(psl.size(), 1u);
+  const auto domain = psl.registrable_domain(name("example.test"));
+  ASSERT_TRUE(domain);
+  EXPECT_EQ(domain->text(), "example.test");
+}
+
+}  // namespace
+}  // namespace ixp::dns

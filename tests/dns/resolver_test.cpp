@@ -1,0 +1,77 @@
+#include "dns/resolver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ixp::dns {
+namespace {
+
+using net::Asn;
+using net::Ipv4Addr;
+
+DnsName name(const char* text) { return *DnsName::parse(text); }
+
+class ResolverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.add_a(name("probe.example.com"), Ipv4Addr{9, 9, 9, 9});
+    db_.add_a(name("www.target.com"), Ipv4Addr{10, 0, 0, 1});
+    population_.add({Ipv4Addr{1, 0, 0, 1}, Asn{100}, ResolverBehavior::kOpen});
+    population_.add({Ipv4Addr{1, 0, 0, 2}, Asn{100}, ResolverBehavior::kClosed});
+    population_.add(
+        {Ipv4Addr{1, 0, 0, 3}, Asn{200}, ResolverBehavior::kDelegating});
+    population_.add({Ipv4Addr{1, 0, 0, 4}, Asn{300}, ResolverBehavior::kLying});
+    population_.add({Ipv4Addr{1, 0, 0, 5}, Asn{400}, ResolverBehavior::kOpen});
+  }
+
+  ZoneDatabase db_;
+  ResolverPopulation population_;
+};
+
+TEST_F(ResolverTest, ProbeBehaviours) {
+  const auto probe_name = name("probe.example.com");
+  const auto open =
+      ResolverPopulation::probe(population_.all()[0], db_, probe_name);
+  EXPECT_TRUE(open.answered);
+  EXPECT_TRUE(open.answer_correct);
+  EXPECT_FALSE(open.delegated);
+
+  const auto closed =
+      ResolverPopulation::probe(population_.all()[1], db_, probe_name);
+  EXPECT_FALSE(closed.answered);
+
+  const auto delegating =
+      ResolverPopulation::probe(population_.all()[2], db_, probe_name);
+  EXPECT_TRUE(delegating.answered);
+  EXPECT_TRUE(delegating.delegated);
+
+  const auto lying =
+      ResolverPopulation::probe(population_.all()[3], db_, probe_name);
+  EXPECT_TRUE(lying.answered);
+  EXPECT_FALSE(lying.answer_correct);
+}
+
+TEST_F(ResolverTest, UsableFilteringKeepsOnlyOpenCorrect) {
+  const auto usable = population_.usable_resolvers(db_, name("probe.example.com"));
+  ASSERT_EQ(usable.size(), 2u);
+  EXPECT_EQ(usable[0].address, Ipv4Addr(1, 0, 0, 1));
+  EXPECT_EQ(usable[1].address, Ipv4Addr(1, 0, 0, 5));
+}
+
+TEST_F(ResolverTest, QueryThroughOpenResolver) {
+  const auto addrs = ResolverPopulation::query(population_.all()[0], db_,
+                                               name("www.target.com"));
+  ASSERT_EQ(addrs.size(), 1u);
+  EXPECT_EQ(addrs[0], Ipv4Addr(10, 0, 0, 1));
+  // Non-open resolvers return nothing usable.
+  EXPECT_TRUE(ResolverPopulation::query(population_.all()[3], db_,
+                                        name("www.target.com"))
+                  .empty());
+}
+
+TEST_F(ResolverTest, DistinctAses) {
+  EXPECT_EQ(ResolverPopulation::distinct_ases(population_.all()), 4u);
+  EXPECT_EQ(ResolverPopulation::distinct_ases({}), 0u);
+}
+
+}  // namespace
+}  // namespace ixp::dns

@@ -1,0 +1,59 @@
+// Additional URI and name edge cases seen in real Host headers.
+#include <gtest/gtest.h>
+
+#include "dns/uri.hpp"
+
+namespace ixp::dns {
+namespace {
+
+TEST(UriEdge, HostHeaderWithExplicitDefaultPort) {
+  const auto uri = Uri::parse("example.com:80");
+  ASSERT_TRUE(uri);
+  EXPECT_EQ(uri->port(), 80);
+  EXPECT_EQ(uri->host().text(), "example.com");
+}
+
+TEST(UriEdge, SchemeCaseInsensitive) {
+  const auto uri = Uri::parse("HTTPS://Example.COM/a");
+  ASSERT_TRUE(uri);
+  EXPECT_EQ(uri->scheme(), "https");
+  EXPECT_EQ(uri->host().text(), "example.com");
+}
+
+TEST(UriEdge, DeepPathsAndQueries) {
+  const auto uri = Uri::parse("cdn.example.net/a/b/c.d?x=1&y=2:3");
+  ASSERT_TRUE(uri);
+  EXPECT_EQ(uri->path(), "/a/b/c.d?x=1&y=2:3");
+  // The colon inside the query must not be parsed as a port separator.
+  EXPECT_EQ(uri->port(), 0);
+}
+
+TEST(UriEdge, TrailingDotHostNormalized) {
+  const auto uri = Uri::parse("example.com./x");
+  ASSERT_TRUE(uri);
+  EXPECT_EQ(uri->host().text(), "example.com");
+}
+
+TEST(UriEdge, MaximumLengthLabels) {
+  const std::string label63(63, 'a');
+  EXPECT_TRUE(Uri::parse(label63 + ".com"));
+  const std::string label64(64, 'a');
+  EXPECT_FALSE(Uri::parse(label64 + ".com"));
+}
+
+TEST(UriEdge, UnderscoreServiceLabels) {
+  // SRV-style names occur in Host headers from misbehaving clients.
+  const auto uri = Uri::parse("_http._tcp.example.com");
+  ASSERT_TRUE(uri);
+  EXPECT_EQ(uri->host().label_count(), 4u);
+}
+
+TEST(UriEdge, PortOnSchemelessHostWithPath) {
+  const auto uri = Uri::parse("example.com:8080/admin");
+  ASSERT_TRUE(uri);
+  EXPECT_EQ(uri->port(), 8080);
+  EXPECT_EQ(uri->path(), "/admin");
+}
+
+}  // namespace
+}  // namespace ixp::dns

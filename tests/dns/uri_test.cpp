@@ -1,0 +1,71 @@
+#include "dns/uri.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ixp::dns {
+namespace {
+
+TEST(Uri, ParsesFullForm) {
+  const auto uri = Uri::parse("http://www.Example.com:8080/path/to?q=1");
+  ASSERT_TRUE(uri);
+  EXPECT_EQ(uri->scheme(), "http");
+  EXPECT_EQ(uri->host().text(), "www.example.com");
+  EXPECT_EQ(uri->port(), 8080);
+  EXPECT_EQ(uri->path(), "/path/to?q=1");
+}
+
+TEST(Uri, ParsesBareHost) {
+  const auto uri = Uri::parse("youtube.com");
+  ASSERT_TRUE(uri);
+  EXPECT_EQ(uri->scheme(), "");
+  EXPECT_EQ(uri->host().text(), "youtube.com");
+  EXPECT_EQ(uri->port(), 0);
+  EXPECT_EQ(uri->path(), "/");
+}
+
+TEST(Uri, ParsesHostWithPath) {
+  const auto uri = Uri::parse("cdn.example.net/obj/123");
+  ASSERT_TRUE(uri);
+  EXPECT_EQ(uri->host().text(), "cdn.example.net");
+  EXPECT_EQ(uri->path(), "/obj/123");
+}
+
+TEST(Uri, RejectsMalformed) {
+  EXPECT_FALSE(Uri::parse(""));
+  EXPECT_FALSE(Uri::parse("://host"));
+  EXPECT_FALSE(Uri::parse("http://"));
+  EXPECT_FALSE(Uri::parse("http://host:0/"));
+  EXPECT_FALSE(Uri::parse("http://host:99999/"));
+  EXPECT_FALSE(Uri::parse("http://host:abc/"));
+  EXPECT_FALSE(Uri::parse("ht tp://example.com/"));
+  EXPECT_FALSE(Uri::parse("localhost"));       // single label: no authority
+  EXPECT_FALSE(Uri::parse("http://1.2.3.4/")); // IP literal rejected
+}
+
+TEST(Uri, AuthorityUsesPublicSuffixList) {
+  const auto& psl = PublicSuffixList::builtin();
+  const auto uri = Uri::parse("https://video.cdn.example.co.uk/x");
+  ASSERT_TRUE(uri);
+  const auto authority = uri->authority(psl);
+  ASSERT_TRUE(authority);
+  EXPECT_EQ(authority->text(), "example.co.uk");
+}
+
+TEST(Uri, AuthorityMissingForUnknownTld) {
+  const auto& psl = PublicSuffixList::builtin();
+  const auto uri = Uri::parse("http://server.internalzone/x");
+  ASSERT_TRUE(uri);
+  EXPECT_FALSE(uri->authority(psl).has_value());
+}
+
+TEST(Uri, RoundTripsToString) {
+  const auto uri = Uri::parse("https://www.example.com:4443/a/b");
+  ASSERT_TRUE(uri);
+  EXPECT_EQ(uri->to_string(), "https://www.example.com:4443/a/b");
+  const auto bare = Uri::parse("example.com");
+  ASSERT_TRUE(bare);
+  EXPECT_EQ(bare->to_string(), "example.com/");
+}
+
+}  // namespace
+}  // namespace ixp::dns

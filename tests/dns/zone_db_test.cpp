@@ -1,0 +1,121 @@
+#include "dns/zone_db.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ixp::dns {
+namespace {
+
+using net::Ipv4Addr;
+
+DnsName name(const char* text) { return *DnsName::parse(text); }
+
+TEST(ZoneDatabase, ForwardResolution) {
+  ZoneDatabase db;
+  db.add_a(name("www.example.com"), Ipv4Addr{1, 2, 3, 4});
+  db.add_a(name("www.example.com"), Ipv4Addr{1, 2, 3, 5});
+  const auto addrs = db.resolve(name("www.example.com"));
+  ASSERT_EQ(addrs.size(), 2u);
+  EXPECT_EQ(addrs[0], Ipv4Addr(1, 2, 3, 4));
+  EXPECT_TRUE(db.resolve(name("other.example.com")).empty());
+  EXPECT_EQ(db.a_record_count(), 2u);
+}
+
+TEST(ZoneDatabase, ReverseLookup) {
+  ZoneDatabase db;
+  db.add_ptr(Ipv4Addr{1, 2, 3, 4}, name("server1.hoster.net"));
+  EXPECT_EQ(db.reverse(Ipv4Addr(1, 2, 3, 4)), name("server1.hoster.net"));
+  EXPECT_FALSE(db.reverse(Ipv4Addr(9, 9, 9, 9)).has_value());
+}
+
+TEST(ZoneDatabase, IterativeSoaResolution) {
+  ZoneDatabase db;
+  db.add_soa(name("example.com"), name("example.com"));
+  // youtube.com-style outsourcing: zone's SOA points at google.com.
+  db.add_soa(name("youtube.com"), name("google.com"));
+
+  const auto soa = db.soa_of(name("a.b.c.example.com"));
+  ASSERT_TRUE(soa);
+  EXPECT_EQ(soa->zone, name("example.com"));
+  EXPECT_EQ(soa->authority, name("example.com"));
+
+  const auto yt = db.soa_of(name("video.youtube.com"));
+  ASSERT_TRUE(yt);
+  EXPECT_EQ(yt->authority, name("google.com"));
+}
+
+TEST(ZoneDatabase, SoaPrefersMostSpecificZone) {
+  ZoneDatabase db;
+  db.add_soa(name("example.com"), name("example.com"));
+  db.add_soa(name("cdn.example.com"), name("bigcdn.com"));
+  const auto soa = db.soa_of(name("edge7.cdn.example.com"));
+  ASSERT_TRUE(soa);
+  EXPECT_EQ(soa->authority, name("bigcdn.com"));
+}
+
+TEST(ZoneDatabase, SoaMissWhenNoZoneMatches) {
+  ZoneDatabase db;
+  db.add_soa(name("example.com"), name("example.com"));
+  EXPECT_FALSE(db.soa_of(name("other.net")).has_value());
+}
+
+TEST(ZoneDatabase, ReverseSoaDirectEntry) {
+  ZoneDatabase db;
+  db.add_reverse_soa(Ipv4Addr{5, 5, 5, 5}, name("hoster.net"));
+  EXPECT_EQ(db.reverse_soa(Ipv4Addr(5, 5, 5, 5)), name("hoster.net"));
+}
+
+TEST(ZoneDatabase, ReverseSoaFallsBackThroughPtr) {
+  // No direct reverse SOA, but the PTR hostname's zone has one — the
+  // paper's "SOA record is often present even when no hostname record is
+  // available or an ARPA address is returned" scenario, inverted.
+  ZoneDatabase db;
+  db.add_ptr(Ipv4Addr{6, 6, 6, 6}, name("edge1.cdn.akamai.net"));
+  db.add_soa(name("akamai.net"), name("akamai.com"));
+  EXPECT_EQ(db.reverse_soa(Ipv4Addr(6, 6, 6, 6)), name("akamai.com"));
+}
+
+TEST(ZoneDatabase, ReverseSoaMissesWithoutAnyRecord) {
+  ZoneDatabase db;
+  EXPECT_FALSE(db.reverse_soa(Ipv4Addr(7, 7, 7, 7)).has_value());
+  db.add_ptr(Ipv4Addr{7, 7, 7, 7}, name("unzoned.example.org"));
+  EXPECT_FALSE(db.reverse_soa(Ipv4Addr(7, 7, 7, 7)).has_value());
+}
+
+
+TEST(ZoneDatabase, CnameResolution) {
+  ZoneDatabase db;
+  db.add_cname(name("www.shop.com"), name("shop-com.edge.akamai.net"));
+  db.add_a(name("shop-com.edge.akamai.net"), Ipv4Addr{9, 9, 9, 9});
+  const auto addrs = db.resolve(name("www.shop.com"));
+  ASSERT_EQ(addrs.size(), 1u);
+  EXPECT_EQ(addrs[0], Ipv4Addr(9, 9, 9, 9));
+  EXPECT_EQ(db.cname(name("www.shop.com")), name("shop-com.edge.akamai.net"));
+  EXPECT_FALSE(db.cname(name("other.com")).has_value());
+  EXPECT_EQ(db.cname_record_count(), 1u);
+}
+
+TEST(ZoneDatabase, CnameChainsFollowed) {
+  ZoneDatabase db;
+  db.add_cname(name("a.example.com"), name("b.example.com"));
+  db.add_cname(name("b.example.com"), name("c.example.com"));
+  db.add_a(name("c.example.com"), Ipv4Addr{1, 1, 1, 1});
+  EXPECT_EQ(db.canonicalize(name("a.example.com")), name("c.example.com"));
+  EXPECT_EQ(db.resolve(name("a.example.com")).size(), 1u);
+}
+
+TEST(ZoneDatabase, CnameLoopDetected) {
+  ZoneDatabase db;
+  db.add_cname(name("x.example.com"), name("y.example.com"));
+  db.add_cname(name("y.example.com"), name("x.example.com"));
+  EXPECT_FALSE(db.canonicalize(name("x.example.com")).has_value());
+  EXPECT_TRUE(db.resolve(name("x.example.com")).empty());
+}
+
+TEST(ZoneDatabase, CanonicalizeWithoutCnameIsIdentity) {
+  ZoneDatabase db;
+  EXPECT_EQ(db.canonicalize(name("plain.example.com")),
+            name("plain.example.com"));
+}
+
+}  // namespace
+}  // namespace ixp::dns

@@ -1,0 +1,132 @@
+#include "gen/scale.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/org_catalog.hpp"
+
+namespace ixp::gen {
+namespace {
+
+TEST(ScaleConfig, BenchKeepsStructureAtPaperScale) {
+  const auto cfg = ScaleConfig::bench(1.0 / 256.0);
+  EXPECT_EQ(cfg.as_count, 42'825u);
+  EXPECT_EQ(cfg.prefix_count, 460'000u);
+  EXPECT_EQ(cfg.member_count, 443u);
+  EXPECT_EQ(cfg.member_joins, 14u);
+  // Resolvers are measurement infrastructure: never scaled down.
+  EXPECT_EQ(cfg.resolver_candidates, 280'000u);
+  EXPECT_EQ(cfg.week_count(), 17);
+}
+
+TEST(ScaleConfig, VolumeScalesPopulationsMonotonically) {
+  const auto small = ScaleConfig::bench(1.0 / 1024.0);
+  const auto medium = ScaleConfig::bench(1.0 / 256.0);
+  const auto large = ScaleConfig::bench(1.0 / 64.0);
+  EXPECT_LT(small.weekly_server_ips, medium.weekly_server_ips);
+  EXPECT_LT(medium.weekly_server_ips, large.weekly_server_ips);
+  EXPECT_LT(small.client_pool, medium.client_pool);
+  EXPECT_LT(medium.weekly_background_samples, large.weekly_background_samples);
+  EXPECT_LT(small.org_count, large.org_count);
+  EXPECT_LE(small.org_count, small.weekly_server_ips);  // orgs < servers
+}
+
+TEST(ScaleConfig, FullVolumeReproducesPaperPopulations) {
+  const auto cfg = ScaleConfig::bench(1.0);
+  EXPECT_EQ(cfg.weekly_server_ips, 1'500'000u);
+  EXPECT_EQ(cfg.client_pool, 40'000'000u);
+  EXPECT_EQ(cfg.org_count, 21'000u);
+  EXPECT_EQ(cfg.site_count, 1'000'000u);
+}
+
+TEST(ScaleConfig, MinimumFloorsHold) {
+  const auto cfg = ScaleConfig::bench(1e-9);
+  EXPECT_GE(cfg.weekly_server_ips, 2'000u);
+  EXPECT_GE(cfg.org_count, 300u);
+  EXPECT_GE(cfg.client_pool, 10'000u);
+  EXPECT_GE(cfg.weekly_background_samples, 50'000u);
+}
+
+TEST(ScaleConfig, TestPresetIsSmall) {
+  const auto cfg = ScaleConfig::test();
+  EXPECT_LT(cfg.as_count, 2'000u);
+  EXPECT_LT(cfg.prefix_count, 10'000u);
+  EXPECT_LT(cfg.weekly_server_ips, 10'000u);
+  EXPECT_GT(cfg.prefix_count, cfg.as_count);  // model invariant
+}
+
+TEST(OrgCatalog, NamedHeadsAreConsistent) {
+  const auto specs = named_org_specs();
+  EXPECT_GE(specs.size(), 25u);
+
+  double traffic_total = 0.0;
+  double visible_total = 0.0;
+  std::set<std::string> names;
+  for (const OrgSpec& spec : specs) {
+    EXPECT_TRUE(names.insert(spec.name).second) << "duplicate " << spec.name;
+    EXPECT_GE(spec.traffic_share, 0.0);
+    EXPECT_LE(spec.traffic_share, 0.2);
+    EXPECT_GE(spec.visible_server_share, 0.0);
+    EXPECT_GE(spec.indirect_link_fraction, 0.0);
+    EXPECT_LT(spec.indirect_link_fraction, 1.0);
+    EXPECT_TRUE(spec.home_country.valid());
+    traffic_total += spec.traffic_share;
+    visible_total += spec.visible_server_share;
+    for (const auto& dc : spec.data_centers) {
+      EXPECT_FALSE(dc.name.empty());
+      EXPECT_TRUE(dc.country.valid());
+      EXPECT_GT(dc.weight, 0.0);
+    }
+  }
+  // The named head carries a majority of the server traffic but far from
+  // all of it (the tail matters), and a modest share of the servers.
+  EXPECT_GT(traffic_total, 0.4);
+  EXPECT_LT(traffic_total, 0.8);
+  EXPECT_GT(visible_total, 0.08);
+  EXPECT_LT(visible_total, 0.30);
+}
+
+TEST(OrgCatalog, PaperAnchorsPresent) {
+  const auto specs = named_org_specs();
+  const auto find = [&](const char* name) -> const OrgSpec* {
+    for (const auto& spec : specs)
+      if (spec.name == name) return &spec;
+    return nullptr;
+  };
+  const OrgSpec* akamai = find("akamai");
+  ASSERT_NE(akamai, nullptr);
+  EXPECT_EQ(akamai->home_as, net::Asn{20940});
+  EXPECT_NEAR(akamai->indirect_link_fraction, 0.111, 1e-9);  // Fig. 7b
+  EXPECT_EQ(akamai->visible_as_spread, 278u);                // §3.3
+
+  const OrgSpec* google = find("google");
+  ASSERT_NE(google, nullptr);
+  EXPECT_EQ(google->home_as, net::Asn{15169});
+
+  const OrgSpec* cdn77 = find("cdn77");
+  ASSERT_NE(cdn77, nullptr);
+  EXPECT_FALSE(cdn77->home_as.has_value());  // the no-ASN player (§5.1)
+
+  const OrgSpec* softlayer = find("softlayer");
+  ASSERT_NE(softlayer, nullptr);
+  EXPECT_EQ(softlayer->home_as, net::Asn{36351});  // §5.2's hoster
+}
+
+TEST(OrgCatalog, EyeballSpecsAnchorTable2) {
+  const auto specs = named_eyeball_specs();
+  ASSERT_GE(specs.size(), 10u);
+  // Chinanet leads the "all IPs by network" column and is NOT a member.
+  EXPECT_EQ(specs.front().name, "chinanet");
+  EXPECT_EQ(specs.front().asn, net::Asn{4134});
+  EXPECT_FALSE(specs.front().member);
+  double share = 0.0;
+  for (const auto& spec : specs) {
+    EXPECT_GT(spec.ip_share, 0.0);
+    share += spec.ip_share;
+  }
+  EXPECT_LT(share, 0.5);  // the head anchors, the tail fills the rest
+}
+
+}  // namespace
+}  // namespace ixp::gen

@@ -1,0 +1,40 @@
+// Region bucketing edge coverage: every registry country maps to exactly
+// one region, and the paper's four named regions map to themselves.
+#include <gtest/gtest.h>
+
+#include "geo/country.hpp"
+
+namespace ixp::geo {
+namespace {
+
+TEST(Regions, EveryRegistryCountryHasARegion) {
+  std::size_t named = 0;
+  for (const auto& entry : CountryRegistry::instance().entries()) {
+    const Region region = region_of(entry.code);
+    if (region != Region::kRoW) ++named;
+    // to_string never returns null for any bucket.
+    EXPECT_NE(to_string(region), nullptr);
+  }
+  EXPECT_EQ(named, 4u);  // exactly DE, US, RU, CN
+}
+
+TEST(Regions, AllRegionsEnumerationIsComplete) {
+  static_assert(kAllRegions.size() == 5);
+  bool seen[5] = {};
+  for (const Region region : kAllRegions)
+    seen[static_cast<std::size_t>(region)] = true;
+  for (const bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(Regions, RegionIndexingIsStable) {
+  // Analysis code indexes arrays by static_cast<size_t>(Region); the
+  // enumerators must stay dense and start at zero.
+  EXPECT_EQ(static_cast<std::size_t>(Region::kDE), 0u);
+  EXPECT_EQ(static_cast<std::size_t>(Region::kUS), 1u);
+  EXPECT_EQ(static_cast<std::size_t>(Region::kRU), 2u);
+  EXPECT_EQ(static_cast<std::size_t>(Region::kCN), 3u);
+  EXPECT_EQ(static_cast<std::size_t>(Region::kRoW), 4u);
+}
+
+}  // namespace
+}  // namespace ixp::geo

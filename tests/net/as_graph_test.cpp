@@ -1,0 +1,106 @@
+#include "net/as_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ixp::net {
+namespace {
+
+TEST(AsGraph, StartsEmpty) {
+  AsGraph graph;
+  EXPECT_EQ(graph.as_count(), 0u);
+  EXPECT_EQ(graph.link_count(), 0u);
+  EXPECT_FALSE(graph.contains(Asn{1}));
+  EXPECT_TRUE(graph.neighbors(Asn{1}).empty());
+}
+
+TEST(AsGraph, AddLinkCreatesBothEndpoints) {
+  AsGraph graph;
+  graph.add_link(Asn{1}, Asn{2});
+  EXPECT_TRUE(graph.contains(Asn{1}));
+  EXPECT_TRUE(graph.contains(Asn{2}));
+  EXPECT_EQ(graph.link_count(), 1u);
+  EXPECT_EQ(graph.neighbors(Asn{1}).size(), 1u);
+  EXPECT_EQ(graph.neighbors(Asn{2}).front(), Asn{1});
+}
+
+TEST(AsGraph, DuplicateAndSelfLinksIgnored) {
+  AsGraph graph;
+  graph.add_link(Asn{1}, Asn{2});
+  graph.add_link(Asn{2}, Asn{1});
+  graph.add_link(Asn{1}, Asn{1});
+  EXPECT_EQ(graph.link_count(), 1u);
+  EXPECT_EQ(graph.neighbors(Asn{1}).size(), 1u);
+}
+
+TEST(AsGraph, DistancesFromSeeds) {
+  // Chain: 1 - 2 - 3 - 4, plus isolated 5.
+  AsGraph graph;
+  graph.add_link(Asn{1}, Asn{2});
+  graph.add_link(Asn{2}, Asn{3});
+  graph.add_link(Asn{3}, Asn{4});
+  graph.add_as(Asn{5});
+
+  const auto dist = graph.distances_from({Asn{1}});
+  EXPECT_EQ(dist.at(Asn{1}), 0u);
+  EXPECT_EQ(dist.at(Asn{2}), 1u);
+  EXPECT_EQ(dist.at(Asn{3}), 2u);
+  EXPECT_EQ(dist.at(Asn{4}), 3u);
+  EXPECT_EQ(dist.count(Asn{5}), 0u);  // unreachable
+}
+
+TEST(AsGraph, DistancesFromMultipleSeeds) {
+  AsGraph graph;
+  graph.add_link(Asn{1}, Asn{2});
+  graph.add_link(Asn{3}, Asn{4});
+  const auto dist = graph.distances_from({Asn{1}, Asn{3}});
+  EXPECT_EQ(dist.at(Asn{2}), 1u);
+  EXPECT_EQ(dist.at(Asn{4}), 1u);
+}
+
+TEST(AsGraph, MissingSeedsAreSkipped) {
+  AsGraph graph;
+  graph.add_link(Asn{1}, Asn{2});
+  const auto dist = graph.distances_from({Asn{42}});
+  EXPECT_TRUE(dist.empty());
+}
+
+TEST(AsGraph, ClassifyPartitionsByDistance) {
+  // members = {1}; 2 is distance 1; 3 distance 2; 9 disconnected.
+  AsGraph graph;
+  graph.add_link(Asn{1}, Asn{2});
+  graph.add_link(Asn{2}, Asn{3});
+  graph.add_as(Asn{9});
+
+  const auto locality = graph.classify({Asn{1}});
+  EXPECT_EQ(locality.at(Asn{1}), Locality::kMember);
+  EXPECT_EQ(locality.at(Asn{2}), Locality::kNear);
+  EXPECT_EQ(locality.at(Asn{3}), Locality::kGlobal);
+  EXPECT_EQ(locality.at(Asn{9}), Locality::kGlobal);
+}
+
+TEST(AsGraph, ClassifyCoversEveryAs) {
+  AsGraph graph;
+  for (std::uint32_t i = 0; i < 100; ++i) graph.add_link(Asn{i}, Asn{i + 1});
+  const auto locality = graph.classify({Asn{0}});
+  EXPECT_EQ(locality.size(), graph.as_count());
+}
+
+TEST(AsGraph, AllAsesListsEverything) {
+  AsGraph graph;
+  graph.add_link(Asn{5}, Asn{6});
+  graph.add_as(Asn{7});
+  auto all = graph.all_ases();
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<Asn>{Asn{5}, Asn{6}, Asn{7}}));
+}
+
+TEST(LocalityToString, Names) {
+  EXPECT_STREQ(to_string(Locality::kMember), "A(L)");
+  EXPECT_STREQ(to_string(Locality::kNear), "A(M)");
+  EXPECT_STREQ(to_string(Locality::kGlobal), "A(G)");
+}
+
+}  // namespace
+}  // namespace ixp::net

@@ -1,0 +1,82 @@
+#include "net/bgp_dump.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ixp::net {
+namespace {
+
+TEST(BgpDump, RoundTripsTable) {
+  RoutingTable table;
+  table.announce(Ipv4Prefix{Ipv4Addr{10, 0, 0, 0}, 8}, Asn{64500});
+  table.announce(Ipv4Prefix{Ipv4Addr{172, 16, 0, 0}, 12}, Asn{64501});
+  table.announce(Ipv4Prefix{Ipv4Addr{192, 0, 2, 0}, 24}, Asn{20940});
+
+  std::stringstream buffer;
+  EXPECT_EQ(write_bgp_dump(buffer, table), 3u);
+
+  RoutingTable loaded;
+  const auto stats = read_bgp_dump(buffer, loaded);
+  EXPECT_EQ(stats.routes, 3u);
+  EXPECT_EQ(stats.skipped, 0u);
+  EXPECT_EQ(loaded.prefix_count(), 3u);
+  EXPECT_EQ(loaded.origin_of(Ipv4Addr{192, 0, 2, 9}), Asn{20940});
+  EXPECT_EQ(loaded.origin_of(Ipv4Addr{10, 9, 9, 9}), Asn{64500});
+}
+
+TEST(BgpDump, ParsesSingleLines) {
+  const auto route = parse_bgp_line("10.4.0.0/16 64500");
+  ASSERT_TRUE(route);
+  EXPECT_EQ(route->prefix.to_string(), "10.4.0.0/16");
+  EXPECT_EQ(route->origin, Asn{64500});
+}
+
+TEST(BgpDump, AcceptsAsPrefixSpelling) {
+  const auto route = parse_bgp_line("10.4.0.0/16 AS64500");
+  ASSERT_TRUE(route);
+  EXPECT_EQ(route->origin, Asn{64500});
+  EXPECT_TRUE(parse_bgp_line("10.4.0.0/16 as64500"));
+}
+
+TEST(BgpDump, ToleratesCarriageReturns) {
+  const auto route = parse_bgp_line("10.4.0.0/16 64500\r");
+  ASSERT_TRUE(route);
+  EXPECT_EQ(route->origin, Asn{64500});
+}
+
+TEST(BgpDump, RejectsMalformedLines) {
+  EXPECT_FALSE(parse_bgp_line(""));
+  EXPECT_FALSE(parse_bgp_line("10.4.0.0/16"));         // no ASN
+  EXPECT_FALSE(parse_bgp_line("10.4.0.1/16 64500"));   // host bits set
+  EXPECT_FALSE(parse_bgp_line("banana 64500"));
+  EXPECT_FALSE(parse_bgp_line("10.4.0.0/16 banana"));
+  EXPECT_FALSE(parse_bgp_line("10.4.0.0/16 64500 extra"));
+}
+
+TEST(BgpDump, SkipsJunkAndCountsIt) {
+  std::stringstream dump;
+  dump << "# ixpscope-bgp v1\n"
+       << "10.0.0.0/8 1\n"
+       << "\n"
+       << "this line is garbage\n"
+       << "# another comment\n"
+       << "192.0.2.0/24 AS2\n";
+  RoutingTable table;
+  const auto stats = read_bgp_dump(dump, table);
+  EXPECT_EQ(stats.routes, 2u);
+  EXPECT_EQ(stats.skipped, 1u);
+  EXPECT_EQ(stats.comments, 3u);  // header, blank, comment
+  EXPECT_EQ(table.prefix_count(), 2u);
+}
+
+TEST(BgpDump, EmptyInput) {
+  std::stringstream dump;
+  RoutingTable table;
+  const auto stats = read_bgp_dump(dump, table);
+  EXPECT_EQ(stats.routes, 0u);
+  EXPECT_EQ(table.prefix_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ixp::net

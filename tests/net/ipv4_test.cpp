@@ -1,0 +1,120 @@
+#include "net/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace ixp::net {
+namespace {
+
+TEST(Ipv4Addr, OctetConstruction) {
+  constexpr Ipv4Addr addr{10, 1, 2, 3};
+  EXPECT_EQ(addr.value(), 0x0a010203u);
+  EXPECT_EQ(addr.octet(0), 10);
+  EXPECT_EQ(addr.octet(1), 1);
+  EXPECT_EQ(addr.octet(2), 2);
+  EXPECT_EQ(addr.octet(3), 3);
+}
+
+TEST(Ipv4Addr, RoundTripsThroughString) {
+  const Ipv4Addr addr{192, 168, 0, 255};
+  EXPECT_EQ(addr.to_string(), "192.168.0.255");
+  EXPECT_EQ(Ipv4Addr::parse("192.168.0.255"), addr);
+}
+
+TEST(Ipv4Addr, ParseAcceptsBoundaries) {
+  EXPECT_EQ(Ipv4Addr::parse("0.0.0.0"), Ipv4Addr{0u});
+  EXPECT_EQ(Ipv4Addr::parse("255.255.255.255"), Ipv4Addr{0xffffffffu});
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("256.0.0.1"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.x"));
+  EXPECT_FALSE(Ipv4Addr::parse("01.2.3.4"));  // ambiguous leading zero
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse(" 1.2.3.4"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4 "));
+  EXPECT_FALSE(Ipv4Addr::parse("-1.2.3.4"));
+}
+
+TEST(Ipv4Addr, Ordering) {
+  EXPECT_LT(Ipv4Addr(1, 0, 0, 0), Ipv4Addr(2, 0, 0, 0));
+  EXPECT_EQ(Ipv4Addr(1, 2, 3, 4), Ipv4Addr(1, 2, 3, 4));
+}
+
+TEST(Ipv4Addr, HashSpreads) {
+  std::unordered_set<Ipv4Addr> set;
+  for (std::uint32_t i = 0; i < 10000; ++i) set.insert(Ipv4Addr{i});
+  EXPECT_EQ(set.size(), 10000u);
+}
+
+TEST(Ipv4Prefix, CanonicalizesHostBits) {
+  const Ipv4Prefix prefix{Ipv4Addr{10, 1, 2, 3}, 8};
+  EXPECT_EQ(prefix.network(), Ipv4Addr(10, 0, 0, 0));
+  EXPECT_EQ(prefix.length(), 8);
+  EXPECT_EQ(prefix.size(), 1ULL << 24);
+}
+
+TEST(Ipv4Prefix, ContainsAddresses) {
+  const Ipv4Prefix prefix{Ipv4Addr{192, 168, 4, 0}, 22};
+  EXPECT_TRUE(prefix.contains(Ipv4Addr(192, 168, 4, 0)));
+  EXPECT_TRUE(prefix.contains(Ipv4Addr(192, 168, 7, 255)));
+  EXPECT_FALSE(prefix.contains(Ipv4Addr(192, 168, 8, 0)));
+  EXPECT_FALSE(prefix.contains(Ipv4Addr(192, 168, 3, 255)));
+}
+
+TEST(Ipv4Prefix, ContainsPrefixes) {
+  const Ipv4Prefix outer{Ipv4Addr{10, 0, 0, 0}, 8};
+  const Ipv4Prefix inner{Ipv4Addr{10, 5, 0, 0}, 16};
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.contains(outer));
+}
+
+TEST(Ipv4Prefix, ZeroLengthCoversEverything) {
+  const Ipv4Prefix all{Ipv4Addr{0u}, 0};
+  EXPECT_TRUE(all.contains(Ipv4Addr(255, 255, 255, 255)));
+  EXPECT_TRUE(all.contains(Ipv4Addr{0u}));
+  EXPECT_EQ(all.size(), 1ULL << 32);
+}
+
+TEST(Ipv4Prefix, SlashThirtyTwoIsSingleAddress) {
+  const Ipv4Prefix host{Ipv4Addr{1, 2, 3, 4}, 32};
+  EXPECT_EQ(host.size(), 1u);
+  EXPECT_TRUE(host.contains(Ipv4Addr(1, 2, 3, 4)));
+  EXPECT_FALSE(host.contains(Ipv4Addr(1, 2, 3, 5)));
+}
+
+TEST(Ipv4Prefix, AddressAtIterates) {
+  const Ipv4Prefix prefix{Ipv4Addr{10, 0, 0, 0}, 30};
+  EXPECT_EQ(prefix.address_at(0), Ipv4Addr(10, 0, 0, 0));
+  EXPECT_EQ(prefix.address_at(3), Ipv4Addr(10, 0, 0, 3));
+}
+
+TEST(Ipv4Prefix, ParseRoundTrips) {
+  const auto prefix = Ipv4Prefix::parse("172.16.0.0/12");
+  ASSERT_TRUE(prefix);
+  EXPECT_EQ(prefix->to_string(), "172.16.0.0/12");
+}
+
+TEST(Ipv4Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0"));       // missing length
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33"));    // length too large
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.1/8"));     // host bits set
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/"));      // empty length
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/8x"));    // trailing junk
+  EXPECT_FALSE(Ipv4Prefix::parse("banana/8"));
+}
+
+TEST(Asn, FormatsAndCompares) {
+  const Asn asn{20940};
+  EXPECT_EQ(asn.to_string(), "AS20940");
+  EXPECT_EQ(asn.value(), 20940u);
+  EXPECT_LT(Asn{1}, Asn{2});
+}
+
+}  // namespace
+}  // namespace ixp::net

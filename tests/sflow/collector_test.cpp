@@ -1,0 +1,91 @@
+#include "sflow/collector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ixp::sflow {
+namespace {
+
+using net::Ipv4Addr;
+
+Datagram make_datagram(Ipv4Addr agent, std::uint32_t sequence,
+                       std::size_t flows = 2, std::size_t counters = 1) {
+  Datagram d;
+  d.agent = agent;
+  d.sequence = sequence;
+  for (std::size_t i = 0; i < flows; ++i) {
+    FlowSample sample;
+    sample.sequence = sequence * 100 + static_cast<std::uint32_t>(i);
+    sample.sampling_rate = 16384;
+    sample.frame.frame_length = 100;
+    sample.frame.captured = 0;
+    d.samples.push_back(sample);
+  }
+  for (std::size_t i = 0; i < counters; ++i)
+    d.counters.push_back(CounterSample{static_cast<std::uint32_t>(i), 1, 2, 3, 4});
+  return d;
+}
+
+TEST(Collector, DispatchesFlowAndCounterSamples) {
+  std::size_t flows = 0;
+  std::size_t counters = 0;
+  Collector collector{[&](const FlowSample&) { ++flows; },
+                      [&](Ipv4Addr, const CounterSample&) { ++counters; }};
+  collector.ingest(make_datagram(Ipv4Addr{1, 1, 1, 1}, 0, 3, 2));
+  EXPECT_EQ(flows, 3u);
+  EXPECT_EQ(counters, 2u);
+  const auto stats = collector.stats();
+  EXPECT_EQ(stats.datagrams, 1u);
+  EXPECT_EQ(stats.flow_samples, 3u);
+  EXPECT_EQ(stats.counter_samples, 2u);
+  EXPECT_EQ(stats.agents, 1u);
+  EXPECT_EQ(stats.lost_datagrams, 0u);
+}
+
+TEST(Collector, CountsSequenceGapsPerAgent) {
+  Collector collector{[](const FlowSample&) {}};
+  const Ipv4Addr a{1, 1, 1, 1};
+  const Ipv4Addr b{2, 2, 2, 2};
+  collector.ingest(make_datagram(a, 0));
+  collector.ingest(make_datagram(a, 1));
+  collector.ingest(make_datagram(a, 5));  // 3 lost (2, 3, 4)
+  collector.ingest(make_datagram(b, 10)); // first from b: no gap
+  collector.ingest(make_datagram(b, 11));
+  const auto stats = collector.stats();
+  EXPECT_EQ(stats.lost_datagrams, 3u);
+  EXPECT_EQ(stats.agents, 2u);
+}
+
+TEST(Collector, ReorderedDatagramIsNotAGap) {
+  Collector collector{[](const FlowSample&) {}};
+  const Ipv4Addr a{1, 1, 1, 1};
+  collector.ingest(make_datagram(a, 0));
+  collector.ingest(make_datagram(a, 2));  // gap of 1
+  collector.ingest(make_datagram(a, 1));  // late arrival: no extra gap
+  collector.ingest(make_datagram(a, 3));  // continues from 2: no gap
+  EXPECT_EQ(collector.stats().lost_datagrams, 1u);
+}
+
+TEST(Collector, RawBytesRoundTrip) {
+  std::size_t flows = 0;
+  Collector collector{[&](const FlowSample&) { ++flows; }};
+  const auto bytes = encode(make_datagram(Ipv4Addr{9, 9, 9, 9}, 7, 4, 0));
+  EXPECT_TRUE(collector.ingest(std::span<const std::byte>{bytes}));
+  EXPECT_EQ(flows, 4u);
+}
+
+TEST(Collector, CorruptPayloadCounted) {
+  Collector collector{[](const FlowSample&) {}};
+  const std::array<std::byte, 7> junk{};
+  EXPECT_FALSE(collector.ingest(std::span<const std::byte>{junk}));
+  EXPECT_EQ(collector.stats().decode_errors, 1u);
+  EXPECT_EQ(collector.stats().datagrams, 0u);
+}
+
+TEST(Collector, NoCounterSinkIsFine) {
+  Collector collector{[](const FlowSample&) {}};
+  collector.ingest(make_datagram(Ipv4Addr{1, 1, 1, 1}, 0, 1, 3));
+  EXPECT_EQ(collector.stats().counter_samples, 3u);  // counted, not dispatched
+}
+
+}  // namespace
+}  // namespace ixp::sflow

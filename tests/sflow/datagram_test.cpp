@@ -1,0 +1,123 @@
+#include "sflow/datagram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace ixp::sflow {
+namespace {
+
+using net::Ipv4Addr;
+
+Datagram sample_datagram() {
+  Datagram d;
+  d.agent = Ipv4Addr{172, 16, 0, 1};
+  d.sequence = 77;
+  d.uptime_ms = 123456;
+
+  FrameSpec spec;
+  spec.src_mac = MacAddr::from_id(10);
+  spec.dst_mac = MacAddr::from_id(20);
+  spec.src_ip = Ipv4Addr{10, 0, 0, 1};
+  spec.dst_ip = Ipv4Addr{10, 0, 0, 2};
+  spec.src_port = 1234;
+  spec.dst_port = 80;
+
+  const char payload[] = "GET / HTTP/1.1\r\n";
+  std::vector<std::byte> bytes(sizeof payload - 1);
+  std::memcpy(bytes.data(), payload, bytes.size());
+
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    FlowSample sample;
+    sample.sequence = 100 + i;
+    sample.source_port = 7;
+    sample.sampling_rate = 16384;
+    sample.frame = build_tcp_frame(spec, bytes, bytes.size());
+    d.samples.push_back(sample);
+  }
+  return d;
+}
+
+TEST(Datagram, EncodeDecodeRoundTrips) {
+  const Datagram original = sample_datagram();
+  const auto bytes = encode(original);
+  const auto decoded = decode(bytes);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->agent, original.agent);
+  EXPECT_EQ(decoded->sequence, original.sequence);
+  EXPECT_EQ(decoded->uptime_ms, original.uptime_ms);
+  ASSERT_EQ(decoded->samples.size(), original.samples.size());
+  for (std::size_t i = 0; i < original.samples.size(); ++i) {
+    const auto& a = original.samples[i];
+    const auto& b = decoded->samples[i];
+    EXPECT_EQ(b.sequence, a.sequence);
+    EXPECT_EQ(b.source_port, a.source_port);
+    EXPECT_EQ(b.sampling_rate, a.sampling_rate);
+    EXPECT_EQ(b.frame.frame_length, a.frame.frame_length);
+    EXPECT_EQ(b.frame.captured, a.frame.captured);
+    EXPECT_EQ(std::memcmp(b.frame.data.data(), a.frame.data.data(),
+                          a.frame.captured),
+              0);
+  }
+}
+
+TEST(Datagram, EmptyDatagramRoundTrips) {
+  Datagram d;
+  d.agent = Ipv4Addr{1, 1, 1, 1};
+  const auto decoded = decode(encode(d));
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->samples.empty());
+}
+
+TEST(Datagram, DecodedFramesParseBackToPackets) {
+  const auto bytes = encode(sample_datagram());
+  const auto decoded = decode(bytes);
+  ASSERT_TRUE(decoded);
+  const auto parsed = parse_frame(decoded->samples[0].frame);
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->is_tcp());
+  EXPECT_EQ(parsed->tcp->dst_port, 80);
+}
+
+TEST(Datagram, DecodeRejectsBadVersion) {
+  auto bytes = encode(sample_datagram());
+  bytes[3] = std::byte{4};  // version 4
+  EXPECT_FALSE(decode(bytes));
+}
+
+TEST(Datagram, DecodeRejectsTruncation) {
+  const auto bytes = encode(sample_datagram());
+  for (const std::size_t cut : {bytes.size() - 1, bytes.size() / 2,
+                                std::size_t{19}, std::size_t{3}}) {
+    EXPECT_FALSE(decode(std::span<const std::byte>{bytes}.first(cut)))
+        << "cut at " << cut;
+  }
+}
+
+TEST(Datagram, DecodeRejectsTrailingGarbage) {
+  auto bytes = encode(sample_datagram());
+  bytes.push_back(std::byte{0});
+  EXPECT_FALSE(decode(bytes));
+}
+
+TEST(Datagram, DecodeRejectsOversizedCapture) {
+  Datagram d;
+  FlowSample sample;
+  sample.frame.captured = 64;
+  sample.frame.frame_length = 64;
+  d.samples.push_back(sample);
+  auto bytes = encode(d);
+  // The `captured` field sits after 5*4 header bytes + 4+4+4+2 sample
+  // bytes. Patch it to 200 (> 128).
+  const std::size_t at = 20 + 14;
+  bytes[at] = std::byte{0};
+  bytes[at + 1] = std::byte{200};
+  EXPECT_FALSE(decode(bytes));
+}
+
+TEST(Datagram, DecodeRejectsEmptyInput) {
+  EXPECT_FALSE(decode({}));
+}
+
+}  // namespace
+}  // namespace ixp::sflow

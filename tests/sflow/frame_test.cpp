@@ -1,0 +1,130 @@
+#include "sflow/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string_view>
+
+namespace ixp::sflow {
+namespace {
+
+using net::Ipv4Addr;
+
+std::vector<std::byte> to_bytes(std::string_view text) {
+  std::vector<std::byte> out(text.size());
+  std::memcpy(out.data(), text.data(), text.size());
+  return out;
+}
+
+FrameSpec basic_spec() {
+  FrameSpec spec;
+  spec.src_mac = MacAddr::from_id(1);
+  spec.dst_mac = MacAddr::from_id(2);
+  spec.src_ip = Ipv4Addr{10, 0, 0, 1};
+  spec.dst_ip = Ipv4Addr{198, 51, 100, 7};
+  spec.src_port = 49152;
+  spec.dst_port = 80;
+  return spec;
+}
+
+TEST(BuildTcpFrame, CapturesPaperPayloadBudget) {
+  // §2.1: 128-byte capture leaves exactly 74 bytes of TCP payload.
+  const std::string long_payload(500, 'x');
+  const auto frame =
+      build_tcp_frame(basic_spec(), to_bytes(long_payload), long_payload.size());
+  EXPECT_EQ(frame.captured, kCaptureBytes);
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->is_tcp());
+  EXPECT_EQ(parsed->payload.size(), kTcpPayloadCapture);
+  EXPECT_EQ(frame.frame_length, 14 + 20 + 20 + 500);
+}
+
+TEST(BuildUdpFrame, CapturesPaperPayloadBudget) {
+  const std::string long_payload(500, 'y');
+  const auto frame =
+      build_udp_frame(basic_spec(), to_bytes(long_payload), long_payload.size());
+  EXPECT_EQ(frame.captured, kCaptureBytes);
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->is_udp());
+  EXPECT_EQ(parsed->payload.size(), kUdpPayloadCapture);
+}
+
+TEST(BuildTcpFrame, RoundTripsAddressesPortsAndPayload) {
+  const std::string request = "GET /index.html HTTP/1.1\r\nHost: example.com\r\n";
+  const auto frame =
+      build_tcp_frame(basic_spec(), to_bytes(request), request.size());
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->is_ipv4());
+  ASSERT_TRUE(parsed->is_tcp());
+  EXPECT_EQ(parsed->ip->src, Ipv4Addr(10, 0, 0, 1));
+  EXPECT_EQ(parsed->ip->dst, Ipv4Addr(198, 51, 100, 7));
+  EXPECT_EQ(parsed->tcp->src_port, 49152);
+  EXPECT_EQ(parsed->tcp->dst_port, 80);
+  ASSERT_EQ(parsed->payload.size(), request.size());
+  EXPECT_EQ(std::memcmp(parsed->payload.data(), request.data(), request.size()),
+            0);
+}
+
+TEST(BuildTcpFrame, ShortPayloadCapturedFully) {
+  const std::string tiny = "OK";
+  const auto frame = build_tcp_frame(basic_spec(), to_bytes(tiny), tiny.size());
+  EXPECT_EQ(frame.captured, 14 + 20 + 20 + 2);
+  EXPECT_EQ(frame.frame_length, 14 + 20 + 20 + 2);
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->payload.size(), tiny.size());
+}
+
+TEST(BuildTcpFrame, ExplicitWireLengthOverrides) {
+  auto spec = basic_spec();
+  spec.frame_length = 1514;
+  const auto frame = build_tcp_frame(spec, {}, 0);
+  EXPECT_EQ(frame.frame_length, 1514);
+}
+
+TEST(BuildIpv4Frame, IcmpHasHeadersOnly) {
+  const auto frame = build_ipv4_frame(basic_spec(), IpProto::kIcmp, 64);
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->is_ipv4());
+  EXPECT_FALSE(parsed->is_tcp());
+  EXPECT_FALSE(parsed->is_udp());
+  EXPECT_EQ(parsed->ip->protocol, static_cast<std::uint8_t>(IpProto::kIcmp));
+  EXPECT_EQ(frame.frame_length, 14 + 20 + 64);
+}
+
+TEST(BuildOtherFrame, NonIpv4StopsAtEthernet) {
+  const auto frame = build_other_frame(MacAddr::from_id(1), MacAddr::from_id(2),
+                                       EtherType::kIpv6, 100);
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->eth.ether_type, static_cast<std::uint16_t>(EtherType::kIpv6));
+  EXPECT_FALSE(parsed->is_ipv4());
+  EXPECT_EQ(frame.frame_length, 14 + 100);
+}
+
+TEST(ParseFrame, EmptyCaptureRejected) {
+  SampledFrame frame;
+  frame.captured = 0;
+  EXPECT_FALSE(parse_frame(frame));
+}
+
+TEST(ParseFrame, TruncatedIpLeavesOptionalEmpty) {
+  // Ethernet claims IPv4 but only 10 bytes of IP header were captured.
+  auto frame = build_other_frame(MacAddr::from_id(3), MacAddr::from_id(4),
+                                 EtherType::kIpv4, 10);
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed);
+  EXPECT_FALSE(parsed->is_ipv4());
+}
+
+TEST(SampledFrame, BytesViewMatchesCaptured) {
+  const auto frame = build_tcp_frame(basic_spec(), {}, 0);
+  EXPECT_EQ(frame.bytes().size(), frame.captured);
+}
+
+}  // namespace
+}  // namespace ixp::sflow

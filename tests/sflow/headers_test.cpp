@@ -1,0 +1,145 @@
+#include "sflow/headers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace ixp::sflow {
+namespace {
+
+using net::Ipv4Addr;
+
+TEST(MacAddr, FromIdIsDeterministicLocalUnicast) {
+  const MacAddr a = MacAddr::from_id(42);
+  const MacAddr b = MacAddr::from_id(42);
+  const MacAddr c = MacAddr::from_id(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.octets()[0] & 0x02, 0x02);  // locally administered
+  EXPECT_EQ(a.octets()[0] & 0x01, 0x00);  // unicast
+}
+
+TEST(MacAddr, ToStringFormat) {
+  const MacAddr mac{std::array<std::uint8_t, 6>{0x02, 0xab, 0x00, 0x01, 0x02, 0xff}};
+  EXPECT_EQ(mac.to_string(), "02:ab:00:01:02:ff");
+}
+
+TEST(EthernetHeader, RoundTrips) {
+  EthernetHeader h;
+  h.dst = MacAddr::from_id(1);
+  h.src = MacAddr::from_id(2);
+  h.ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+
+  std::array<std::byte, EthernetHeader::kSize> buf{};
+  h.serialize(buf);
+  const auto parsed = EthernetHeader::parse(buf);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->ether_type, h.ether_type);
+}
+
+TEST(EthernetHeader, ParseRejectsShortBuffer) {
+  std::array<std::byte, EthernetHeader::kSize - 1> buf{};
+  EXPECT_FALSE(EthernetHeader::parse(buf));
+}
+
+TEST(Ipv4Header, RoundTripsWithValidChecksum) {
+  Ipv4Header h;
+  h.total_length = 1500;
+  h.identification = 0x1234;
+  h.ttl = 57;
+  h.protocol = static_cast<std::uint8_t>(IpProto::kTcp);
+  h.src = Ipv4Addr{10, 0, 0, 1};
+  h.dst = Ipv4Addr{192, 168, 1, 1};
+
+  std::array<std::byte, Ipv4Header::kSize> buf{};
+  h.serialize(buf);
+  const auto parsed = Ipv4Header::parse(buf);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->total_length, 1500);
+  EXPECT_EQ(parsed->identification, 0x1234);
+  EXPECT_EQ(parsed->ttl, 57);
+  EXPECT_EQ(parsed->protocol, static_cast<std::uint8_t>(IpProto::kTcp));
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+}
+
+TEST(Ipv4Header, ParseRejectsCorruptedChecksum) {
+  Ipv4Header h;
+  h.total_length = 100;
+  h.src = Ipv4Addr{1, 2, 3, 4};
+  h.dst = Ipv4Addr{5, 6, 7, 8};
+  std::array<std::byte, Ipv4Header::kSize> buf{};
+  h.serialize(buf);
+  buf[16] ^= std::byte{0x01};  // flip a destination-address bit
+  EXPECT_FALSE(Ipv4Header::parse(buf));
+}
+
+TEST(Ipv4Header, ParseRejectsWrongVersion) {
+  std::array<std::byte, Ipv4Header::kSize> buf{};
+  buf[0] = std::byte{0x65};  // version 6
+  EXPECT_FALSE(Ipv4Header::parse(buf));
+}
+
+TEST(Ipv4Header, ParseRejectsShortBuffer) {
+  std::array<std::byte, Ipv4Header::kSize - 1> buf{};
+  EXPECT_FALSE(Ipv4Header::parse(buf));
+}
+
+TEST(Ipv4Header, ChecksumOfZeroHeaderIsAllOnes) {
+  std::array<std::byte, Ipv4Header::kSize> zero{};
+  EXPECT_EQ(Ipv4Header::checksum(zero), 0xffff);
+}
+
+TEST(TcpHeader, RoundTrips) {
+  TcpHeader h;
+  h.src_port = 49152;
+  h.dst_port = 80;
+  h.seq = 0xdeadbeef;
+  h.ack = 0xfeedface;
+  h.flags = TcpHeader::kSyn | TcpHeader::kAck;
+  h.window = 29200;
+
+  std::array<std::byte, TcpHeader::kSize> buf{};
+  h.serialize(buf);
+  const auto parsed = TcpHeader::parse(buf);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->src_port, 49152);
+  EXPECT_EQ(parsed->dst_port, 80);
+  EXPECT_EQ(parsed->seq, 0xdeadbeefu);
+  EXPECT_EQ(parsed->ack, 0xfeedfaceu);
+  EXPECT_EQ(parsed->flags, TcpHeader::kSyn | TcpHeader::kAck);
+  EXPECT_EQ(parsed->window, 29200);
+}
+
+TEST(TcpHeader, ParseRejectsBadOffset) {
+  std::array<std::byte, TcpHeader::kSize> buf{};
+  buf[12] = std::byte{0x40};  // data offset 4 < 5
+  EXPECT_FALSE(TcpHeader::parse(buf));
+}
+
+TEST(UdpHeader, RoundTrips) {
+  UdpHeader h;
+  h.src_port = 53;
+  h.dst_port = 33000;
+  h.length = 512;
+  std::array<std::byte, UdpHeader::kSize> buf{};
+  h.serialize(buf);
+  const auto parsed = UdpHeader::parse(buf);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->src_port, 53);
+  EXPECT_EQ(parsed->dst_port, 33000);
+  EXPECT_EQ(parsed->length, 512);
+}
+
+TEST(UdpHeader, ParseRejectsLengthBelowHeader) {
+  UdpHeader h;
+  h.length = 4;  // impossible: below the 8-byte header
+  std::array<std::byte, UdpHeader::kSize> buf{};
+  h.serialize(buf);
+  EXPECT_FALSE(UdpHeader::parse(buf));
+}
+
+}  // namespace
+}  // namespace ixp::sflow

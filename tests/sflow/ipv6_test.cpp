@@ -1,0 +1,80 @@
+#include "sflow/ipv6.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ixp::sflow {
+namespace {
+
+Ipv6Addr make_addr(std::uint8_t seed) {
+  std::array<std::uint8_t, 16> octets{};
+  for (std::size_t i = 0; i < 16; ++i)
+    octets[i] = static_cast<std::uint8_t>(seed + i);
+  return Ipv6Addr{octets};
+}
+
+TEST(Ipv6Header, RoundTrips) {
+  Ipv6Header h;
+  h.traffic_class = 0xa5;
+  h.flow_label = 0xbcdef;
+  h.payload_length = 1440;
+  h.next_header = 6;  // TCP
+  h.hop_limit = 57;
+  h.src = make_addr(0x20);
+  h.dst = make_addr(0x40);
+
+  std::array<std::byte, Ipv6Header::kSize> buf{};
+  h.serialize(buf);
+  const auto parsed = Ipv6Header::parse(buf);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->traffic_class, 0xa5);
+  EXPECT_EQ(parsed->flow_label, 0xbcdefu);
+  EXPECT_EQ(parsed->payload_length, 1440);
+  EXPECT_EQ(parsed->next_header, 6);
+  EXPECT_EQ(parsed->hop_limit, 57);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+}
+
+TEST(Ipv6Header, FlowLabelIsTwentyBits) {
+  Ipv6Header h;
+  h.flow_label = 0xfffffff;  // over-wide; only 20 bits serialize
+  std::array<std::byte, Ipv6Header::kSize> buf{};
+  h.serialize(buf);
+  const auto parsed = Ipv6Header::parse(buf);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->flow_label, 0xfffffu);
+  // The version nibble must still read 6 despite the overflow attempt.
+  EXPECT_EQ(std::to_integer<std::uint8_t>(buf[0]) >> 4, 6);
+}
+
+TEST(Ipv6Header, ParseRejectsWrongVersion) {
+  std::array<std::byte, Ipv6Header::kSize> buf{};
+  buf[0] = std::byte{0x45};  // IPv4
+  EXPECT_FALSE(Ipv6Header::parse(buf));
+}
+
+TEST(Ipv6Header, ParseRejectsShortBuffer) {
+  std::array<std::byte, Ipv6Header::kSize - 1> buf{};
+  buf[0] = std::byte{0x60};
+  EXPECT_FALSE(Ipv6Header::parse(buf));
+}
+
+TEST(Ipv6Addr, FormatsFullForm) {
+  std::array<std::uint8_t, 16> octets{};
+  octets[0] = 0x20;
+  octets[1] = 0x01;
+  octets[2] = 0x0d;
+  octets[3] = 0xb8;
+  octets[15] = 0x01;
+  const Ipv6Addr addr{octets};
+  EXPECT_EQ(addr.to_string(), "2001:0db8:0000:0000:0000:0000:0000:0001");
+}
+
+TEST(Ipv6Addr, ComparesByValue) {
+  EXPECT_EQ(make_addr(1), make_addr(1));
+  EXPECT_NE(make_addr(1), make_addr(2));
+  EXPECT_LT(make_addr(1), make_addr(2));
+}
+
+}  // namespace
+}  // namespace ixp::sflow

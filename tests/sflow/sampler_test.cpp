@@ -1,0 +1,74 @@
+#include "sflow/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ixp::sflow {
+namespace {
+
+TEST(Sampler, DefaultsToPaperRate) {
+  const Sampler sampler;
+  EXPECT_EQ(sampler.rate(), 16384u);
+  EXPECT_DOUBLE_EQ(sampler.probability(), 1.0 / 16384.0);
+  EXPECT_DOUBLE_EQ(sampler.expansion(), 16384.0);
+}
+
+TEST(Sampler, ZeroRateClampsToOne) {
+  const Sampler sampler{0};
+  EXPECT_EQ(sampler.rate(), 1u);
+}
+
+TEST(Sampler, RateOneSamplesEverything) {
+  const Sampler sampler{1};
+  util::Rng rng{1};
+  EXPECT_EQ(sampler.sample_flow(rng, 1000), 1000u);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(sampler.sample_packet(rng));
+}
+
+TEST(Sampler, FlowSamplingMatchesExpectation) {
+  const Sampler sampler{16384};
+  util::Rng rng{2};
+  // A flow of 16.384M packets should yield ~1000 samples.
+  double total = 0.0;
+  constexpr int kTrials = 200;
+  for (int i = 0; i < kTrials; ++i)
+    total += static_cast<double>(sampler.sample_flow(rng, 16384000));
+  const double mean = total / kTrials;
+  EXPECT_NEAR(mean, 1000.0, 5.0 * std::sqrt(1000.0 / kTrials));
+}
+
+TEST(Sampler, EmptyFlowYieldsNothing) {
+  const Sampler sampler{100};
+  util::Rng rng{3};
+  EXPECT_EQ(sampler.sample_flow(rng, 0), 0u);
+}
+
+// DESIGN.md ablation #1: binomial thinning vs. per-packet Bernoulli are
+// statistically indistinguishable. Compare the two estimators' means on
+// identical workloads.
+TEST(Sampler, BinomialThinningAgreesWithPerPacketSampling) {
+  const Sampler sampler{128};
+  util::Rng rng_flow{4};
+  util::Rng rng_packet{5};
+  constexpr std::uint64_t kPackets = 100000;
+  constexpr int kTrials = 30;
+
+  double flow_total = 0.0;
+  double packet_total = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    flow_total += static_cast<double>(sampler.sample_flow(rng_flow, kPackets));
+    std::uint64_t count = 0;
+    for (std::uint64_t p = 0; p < kPackets; ++p)
+      count += sampler.sample_packet(rng_packet) ? 1 : 0;
+    packet_total += static_cast<double>(count);
+  }
+  const double expected = kTrials * kPackets / 128.0;
+  // Both estimators within 5 sigma of the true mean.
+  const double sigma = std::sqrt(expected);
+  EXPECT_NEAR(flow_total, expected, 5.0 * sigma);
+  EXPECT_NEAR(packet_total, expected, 5.0 * sigma);
+}
+
+}  // namespace
+}  // namespace ixp::sflow

@@ -1,0 +1,43 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ixp::util {
+namespace {
+
+TEST(WithThousands, SeparatesGroups) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1,000");
+  EXPECT_EQ(with_thousands(1234567), "1,234,567");
+  EXPECT_EQ(with_thousands(232460635), "232,460,635");
+}
+
+TEST(Percent, FormatsFractions) {
+  EXPECT_EQ(percent(0.5), "50.00%");
+  EXPECT_EQ(percent(0.111, 1), "11.1%");
+  EXPECT_EQ(percent(0.0), "0.00%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+TEST(Bytes, ScalesUnits) {
+  EXPECT_EQ(bytes(512.0), "512 B");
+  EXPECT_EQ(bytes(14.5e15), "14.5 PB");
+  EXPECT_EQ(bytes(2.0e6), "2.00 MB");
+}
+
+TEST(Compact, ScalesMagnitudes) {
+  EXPECT_EQ(compact(950), "950");
+  EXPECT_EQ(compact(42825), "42.8K");
+  EXPECT_EQ(compact(1488286), "1.49M");
+  EXPECT_EQ(compact(2.5e9), "2.50B");
+}
+
+TEST(Fixed, RespectsDecimals) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(3.14159, 0), "3");
+  EXPECT_EQ(fixed(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace ixp::util

@@ -1,0 +1,221 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace ixp::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, NextBelowZeroBoundIsZero) {
+  Rng rng{7};
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng{7};
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng{123};
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::array<int, kBound> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBound)];
+  // Each bucket expects kDraws/kBound = 10000; allow 5% deviation.
+  for (const int c : counts) {
+    EXPECT_GT(c, 9500);
+    EXPECT_LT(c, 10500);
+  }
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng{5};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.next_in(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng{9};
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng{11};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+    EXPECT_FALSE(rng.next_bool(-0.5));
+    EXPECT_TRUE(rng.next_bool(1.5));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng{13};
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+class BinomialParamTest
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, double>> {};
+
+TEST_P(BinomialParamTest, MeanAndBoundsHold) {
+  const auto [n, p] = GetParam();
+  Rng rng{17};
+  double sum = 0.0;
+  constexpr int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t v = rng.next_binomial(n, p);
+    EXPECT_LE(v, n);
+    sum += static_cast<double>(v);
+  }
+  const double mean = sum / kDraws;
+  const double expected = static_cast<double>(n) * p;
+  const double sigma = std::sqrt(expected * (1.0 - p));
+  // Sample mean should be within ~5 standard errors.
+  EXPECT_NEAR(mean, expected, 5.0 * sigma / std::sqrt(double(kDraws)) + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, BinomialParamTest,
+    ::testing::Values(std::pair<std::uint64_t, double>{10, 0.5},
+                      std::pair<std::uint64_t, double>{50, 0.1},
+                      std::pair<std::uint64_t, double>{1000, 0.01},
+                      std::pair<std::uint64_t, double>{100000, 0.25},
+                      // sFlow regime: large n, tiny p (1/16384).
+                      std::pair<std::uint64_t, double>{2000000, 1.0 / 16384.0}));
+
+TEST(Rng, BinomialDegenerateCases) {
+  Rng rng{19};
+  EXPECT_EQ(rng.next_binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.next_binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.next_binomial(100, 1.0), 100u);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng{23};
+  for (const double lambda : {0.5, 4.0, 20.0, 100.0}) {
+    double sum = 0.0;
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i)
+      sum += static_cast<double>(rng.next_poisson(lambda));
+    EXPECT_NEAR(sum / kDraws, lambda, 0.05 * lambda + 0.05);
+  }
+}
+
+TEST(Rng, NormalMeanAndVariance) {
+  Rng rng{29};
+  double sum = 0.0;
+  double sumsq = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.next_normal();
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / kDraws, 1.0, 0.05);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng rng{31};
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.next_pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{37};
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  auto shuffled = values;
+  rng.shuffle(std::span<int>{shuffled});
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  const Rng parent{99};
+  Rng child1 = parent.fork(1);
+  Rng child1_again = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  EXPECT_EQ(child1(), child1_again());
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (child1() == child2()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(SampleWithoutReplacement, ProducesDistinctValuesInRange) {
+  Rng rng{41};
+  const auto picks = sample_without_replacement(rng, 1000, 100);
+  ASSERT_EQ(picks.size(), 100u);
+  std::set<std::uint64_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (const auto v : picks) EXPECT_LT(v, 1000u);
+}
+
+TEST(SampleWithoutReplacement, FullPopulation) {
+  Rng rng{43};
+  const auto picks = sample_without_replacement(rng, 50, 50);
+  std::set<std::uint64_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(SampleWithoutReplacement, KLargerThanNClamps) {
+  Rng rng{47};
+  const auto picks = sample_without_replacement(rng, 10, 100);
+  std::set<std::uint64_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(SampleWithoutReplacement, EmptyCases) {
+  Rng rng{53};
+  EXPECT_TRUE(sample_without_replacement(rng, 0, 5).empty());
+  EXPECT_TRUE(sample_without_replacement(rng, 5, 0).empty());
+}
+
+TEST(Mix64, IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(1), mix64(1));
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outputs.insert(mix64(i));
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace ixp::util

@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ixp::util {
+namespace {
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table table{"Demo"};
+  table.header({"name", "count"});
+  table.row({"alpha", "1"});
+  table.row({"beta", "22"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, AlignsColumns) {
+  Table table;
+  table.header({"a", "b"});
+  table.row({"xxxx", "y"});
+  std::ostringstream os;
+  table.print(os);
+  // Both rows have the same length since columns are padded.
+  std::istringstream lines{os.str()};
+  std::string header_line;
+  std::string rule;
+  std::string row_line;
+  std::getline(lines, header_line);
+  std::getline(lines, rule);
+  std::getline(lines, row_line);
+  EXPECT_EQ(header_line.size(), row_line.size());
+}
+
+TEST(Table, ToleratesRaggedRows) {
+  Table table;
+  table.header({"a", "b", "c"});
+  table.row({"only-one"});
+  std::ostringstream os;
+  table.print(os);  // must not throw or crash
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(Table, NoHeaderMeansNoRule) {
+  Table table;
+  table.row({"x"});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_EQ(os.str().find("---"), std::string::npos);
+}
+
+TEST(PrintBanner, ContainsText) {
+  std::ostringstream os;
+  print_banner(os, "Section 5");
+  EXPECT_NE(os.str().find("Section 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ixp::util

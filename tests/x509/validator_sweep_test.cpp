@@ -1,0 +1,130 @@
+// Parameterized sweep: every single-field corruption of an otherwise
+// valid chain must fail exactly the corresponding check — and nothing
+// may crash on odd chain shapes.
+#include <gtest/gtest.h>
+
+#include "dns/public_suffix.hpp"
+#include "x509/validator.hpp"
+
+namespace ixp::x509 {
+namespace {
+
+dns::DnsName name(const char* text) { return *dns::DnsName::parse(text); }
+
+CertificateChain baseline() {
+  Certificate leaf;
+  leaf.subject = name("www.example.com");
+  leaf.alt_names = {name("example.com")};
+  leaf.key_usages = {KeyUsage::kServerAuth};
+  leaf.subject_key = "leaf";
+  leaf.issuer_key = "inter";
+  leaf.not_before = 0;
+  leaf.not_after = 1000;
+  Certificate inter;
+  inter.subject = name("ca.example-ca.com");
+  inter.key_usages = {KeyUsage::kServerAuth};
+  inter.subject_key = "inter";
+  inter.issuer_key = "root";
+  inter.not_before = 0;
+  inter.not_after = 2000;
+  return CertificateChain{{leaf, inter}};
+}
+
+struct Corruption {
+  const char* label;
+  void (*apply)(CertificateChain&);
+  Check expected;
+};
+
+const Corruption kCorruptions[] = {
+    {"empty-subject",
+     [](CertificateChain& c) { c.certs[0].subject = dns::DnsName{}; },
+     Check::kSubject},
+    {"unknown-tld-subject",
+     [](CertificateChain& c) { c.certs[0].subject = name("srv.bogustld"); },
+     Check::kSubject},
+    {"bad-san",
+     [](CertificateChain& c) { c.certs[0].alt_names.push_back(name("co.uk")); },
+     Check::kAltNames},
+    {"client-auth-only",
+     [](CertificateChain& c) {
+       c.certs[0].key_usages = {KeyUsage::kClientAuth};
+     },
+     Check::kKeyUsage},
+    {"broken-link",
+     [](CertificateChain& c) { c.certs[0].issuer_key = "other"; },
+     Check::kChain},
+    {"untrusted-root",
+     [](CertificateChain& c) { c.certs[1].issuer_key = "rogue"; },
+     Check::kChain},
+    {"expired-leaf",
+     [](CertificateChain& c) { c.certs[0].not_after = 100; },
+     Check::kValidity},
+    {"future-intermediate",
+     [](CertificateChain& c) { c.certs[1].not_before = 900; },
+     Check::kValidity},
+};
+
+class CorruptionTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CorruptionTest, FailsTheMatchingCheckOnly) {
+  RootStore roots;
+  roots.trust("root");
+  const ChainValidator validator{roots, dns::PublicSuffixList::builtin()};
+
+  // Sanity: the baseline passes at fetch time 500.
+  ASSERT_TRUE(validator.validate(baseline(), 500).ok);
+
+  const Corruption& corruption = kCorruptions[GetParam()];
+  auto chain = baseline();
+  corruption.apply(chain);
+  const auto result = validator.validate(chain, 500);
+  EXPECT_FALSE(result.ok) << corruption.label;
+  EXPECT_TRUE(result.failed_check(corruption.expected)) << corruption.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCorruptions, CorruptionTest,
+                         ::testing::Range<std::size_t>(0, std::size(kCorruptions)),
+                         [](const auto& info) {
+                           std::string label = kCorruptions[info.param].label;
+                           for (auto& c : label)
+                             if (c == '-') c = '_';
+                           return label;
+                         });
+
+TEST(ValidatorShapes, SingleSelfSignedTrustedRoot) {
+  RootStore roots;
+  roots.trust("solo");
+  const ChainValidator validator{roots, dns::PublicSuffixList::builtin()};
+  Certificate cert;
+  cert.subject = name("www.example.com");
+  cert.key_usages = {KeyUsage::kServerAuth};
+  cert.subject_key = "solo";
+  cert.issuer_key = "solo";
+  cert.self_signed = true;
+  cert.not_after = 1000;
+  EXPECT_TRUE(validator.validate(CertificateChain{{cert}}, 10).ok);
+}
+
+TEST(ValidatorShapes, LongChain) {
+  RootStore roots;
+  roots.trust("root");
+  const ChainValidator validator{roots, dns::PublicSuffixList::builtin()};
+  CertificateChain chain;
+  for (int depth = 0; depth < 5; ++depth) {
+    Certificate cert;
+    cert.subject = name(depth == 0 ? "www.example.com" : "ca.example-ca.com");
+    cert.key_usages = {KeyUsage::kServerAuth};
+    cert.subject_key = "k" + std::to_string(depth);
+    cert.issuer_key = depth == 4 ? "root" : "k" + std::to_string(depth + 1);
+    cert.not_after = 1000;
+    chain.certs.push_back(cert);
+  }
+  EXPECT_TRUE(validator.validate(chain, 10).ok);
+  // Shuffle two intermediates: order violation must fail.
+  std::swap(chain.certs[2], chain.certs[3]);
+  EXPECT_TRUE(validator.validate(chain, 10).failed_check(Check::kChain));
+}
+
+}  // namespace
+}  // namespace ixp::x509

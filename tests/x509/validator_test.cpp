@@ -1,0 +1,201 @@
+#include "x509/validator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ixp::x509 {
+namespace {
+
+dns::DnsName name(const char* text) { return *dns::DnsName::parse(text); }
+
+/// Builds a well-formed chain leaf -> intermediate -> (root-signed).
+CertificateChain good_chain() {
+  Certificate leaf;
+  leaf.subject = name("www.example.com");
+  leaf.alt_names = {name("example.com"), name("shop.example.co.uk")};
+  leaf.key_usages = {KeyUsage::kServerAuth};
+  leaf.subject_key = "leaf-key";
+  leaf.issuer_key = "intermediate-key";
+  leaf.not_before = 0;
+  leaf.not_after = 1000;
+
+  Certificate intermediate;
+  intermediate.subject = name("ca.example-ca.com");
+  intermediate.key_usages = {KeyUsage::kServerAuth};
+  intermediate.subject_key = "intermediate-key";
+  intermediate.issuer_key = "root-key";
+  intermediate.not_before = 0;
+  intermediate.not_after = 2000;
+
+  return CertificateChain{{leaf, intermediate}};
+}
+
+class ValidatorTest : public ::testing::Test {
+ protected:
+  ValidatorTest() : validator_(roots_, dns::PublicSuffixList::builtin()) {
+    roots_.trust("root-key");
+  }
+
+  RootStore roots_;
+  ChainValidator validator_{roots_, dns::PublicSuffixList::builtin()};
+};
+
+TEST_F(ValidatorTest, GoodChainPassesAllChecks) {
+  const auto result = validator_.validate(good_chain(), 500);
+  EXPECT_TRUE(result.ok) << "failed checks: " << result.failed.size();
+}
+
+TEST_F(ValidatorTest, EmptyChainFails) {
+  const auto result = validator_.validate(CertificateChain{}, 500);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.failed_check(Check::kChain));
+}
+
+TEST_F(ValidatorTest, CheckA_SubjectWithoutValidDomainFails) {
+  auto chain = good_chain();
+  chain.certs[0].subject = name("server.internalzone");  // unknown TLD
+  const auto result = validator_.validate(chain, 500);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.failed_check(Check::kSubject));
+}
+
+TEST_F(ValidatorTest, CheckA_EmptySubjectFails) {
+  auto chain = good_chain();
+  chain.certs[0].subject = dns::DnsName{};
+  EXPECT_TRUE(validator_.validate(chain, 500).failed_check(Check::kSubject));
+}
+
+TEST_F(ValidatorTest, CheckB_InvalidAltNameFails) {
+  auto chain = good_chain();
+  chain.certs[0].alt_names.push_back(name("bogus.invalidtld"));
+  const auto result = validator_.validate(chain, 500);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.failed_check(Check::kAltNames));
+}
+
+TEST_F(ValidatorTest, CheckB_PublicSuffixAltNameFails) {
+  // "co.uk" itself is a public suffix, not a registrable domain.
+  auto chain = good_chain();
+  chain.certs[0].alt_names.push_back(name("co.uk"));
+  EXPECT_TRUE(validator_.validate(chain, 500).failed_check(Check::kAltNames));
+}
+
+TEST_F(ValidatorTest, CheckC_MissingServerAuthFails) {
+  auto chain = good_chain();
+  chain.certs[0].key_usages = {KeyUsage::kClientAuth, KeyUsage::kCodeSigning};
+  const auto result = validator_.validate(chain, 500);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.failed_check(Check::kKeyUsage));
+}
+
+TEST_F(ValidatorTest, CheckD_BrokenLinkFails) {
+  auto chain = good_chain();
+  chain.certs[0].issuer_key = "some-other-ca";
+  const auto result = validator_.validate(chain, 500);
+  EXPECT_TRUE(result.failed_check(Check::kChain));
+}
+
+TEST_F(ValidatorTest, CheckD_WrongOrderFails) {
+  auto chain = good_chain();
+  std::swap(chain.certs[0], chain.certs[1]);
+  // "check if the delivered certificates do really refer to each other in
+  // the right order they are listed" — reversed order must fail (the new
+  // tail "leaf" is not root-signed and the link is broken).
+  const auto result = validator_.validate(chain, 500);
+  EXPECT_TRUE(result.failed_check(Check::kChain));
+}
+
+TEST_F(ValidatorTest, CheckD_UntrustedRootFails) {
+  auto chain = good_chain();
+  chain.certs[1].issuer_key = "evil-root";
+  EXPECT_TRUE(validator_.validate(chain, 500).failed_check(Check::kChain));
+}
+
+TEST_F(ValidatorTest, CheckD_SelfSignedTrustedRootInChainPasses) {
+  auto chain = good_chain();
+  Certificate root;
+  root.subject = name("root.example-ca.com");
+  root.key_usages = {KeyUsage::kServerAuth};
+  root.subject_key = "root-key";
+  root.issuer_key = "root-key";
+  root.self_signed = true;
+  root.not_before = 0;
+  root.not_after = 5000;
+  chain.certs.push_back(root);
+  EXPECT_TRUE(validator_.validate(chain, 500).ok);
+}
+
+TEST_F(ValidatorTest, CheckE_ExpiredLeafFails) {
+  const auto result = validator_.validate(good_chain(), 1500);  // leaf expires at 1000
+  EXPECT_TRUE(result.failed_check(Check::kValidity));
+}
+
+TEST_F(ValidatorTest, CheckE_NotYetValidFails) {
+  auto chain = good_chain();
+  chain.certs[0].not_before = 400;
+  EXPECT_TRUE(validator_.validate(chain, 300).failed_check(Check::kValidity));
+}
+
+TEST_F(ValidatorTest, CheckE_ExpiredIntermediateFails) {
+  auto chain = good_chain();
+  chain.certs[1].not_after = 100;
+  EXPECT_TRUE(validator_.validate(chain, 500).failed_check(Check::kValidity));
+}
+
+TEST_F(ValidatorTest, CheckF_StableFetchesPass) {
+  // Second fetch has a renewed validity window, which check (f) ignores.
+  auto fetch1 = good_chain();
+  auto fetch2 = good_chain();
+  fetch2.certs[0].not_before = 100;
+  fetch2.certs[0].not_after = 1500;
+  const CertificateChain fetches[]{fetch1, fetch2};
+  const Timestamp times[]{200, 700};
+  EXPECT_TRUE(validator_.validate_stable(fetches, times).ok);
+}
+
+TEST_F(ValidatorTest, CheckF_RoleChurnFails) {
+  // Cloud churn: the IP serves a different site on the second fetch.
+  auto fetch1 = good_chain();
+  auto fetch2 = good_chain();
+  fetch2.certs[0].subject = name("other-tenant.example.org");
+  const CertificateChain fetches[]{fetch1, fetch2};
+  const Timestamp times[]{200, 700};
+  const auto result = validator_.validate_stable(fetches, times);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.failed_check(Check::kStability));
+}
+
+TEST_F(ValidatorTest, CheckF_AnyBadFetchFails) {
+  auto fetch1 = good_chain();
+  auto fetch2 = good_chain();
+  const CertificateChain fetches[]{fetch1, fetch2};
+  const Timestamp times[]{200, 1700};  // second fetch after expiry
+  const auto result = validator_.validate_stable(fetches, times);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.failed_check(Check::kValidity));
+}
+
+TEST_F(ValidatorTest, CheckF_NoFetchesFails) {
+  const auto result = validator_.validate_stable({}, {});
+  EXPECT_TRUE(result.failed_check(Check::kStability));
+}
+
+TEST(Certificate, CoveredNamesDeduplicates) {
+  Certificate cert;
+  cert.subject = name("a.example.com");
+  cert.alt_names = {name("a.example.com"), name("b.example.com")};
+  const auto names = cert.covered_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], name("a.example.com"));
+  EXPECT_EQ(names[1], name("b.example.com"));
+}
+
+TEST(RootStore, TrustLookup) {
+  RootStore store;
+  EXPECT_FALSE(store.is_trusted("x"));
+  store.trust("x");
+  EXPECT_TRUE(store.is_trusted("x"));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ixp::x509

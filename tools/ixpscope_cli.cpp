@@ -1,0 +1,254 @@
+// ixpscope — command-line front door to the library.
+//
+//   ixpscope info                      model inventory at the chosen scale
+//   ixpscope generate --week N --out F record one week of sFlow to a trace
+//   ixpscope analyze --week N --in F   run the pipeline on a recorded trace
+//   ixpscope diff --from A --to B      week-over-week change report (§4.2)
+//   ixpscope bgp-export --out F        dump the routing table (BGP text)
+//
+// Global flags: --volume <double> (default 1/256), --quick (test preset).
+// The trace must have been generated at the same scale settings, since
+// analysis resolves IPs against the same (deterministic) databases.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "analysis/weekly_delta.hpp"
+#include "core/vantage_point.hpp"
+#include "gen/internet.hpp"
+#include "gen/workload.hpp"
+#include "net/bgp_dump.hpp"
+#include "sflow/trace.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ixp;
+
+struct Options {
+  std::string command;
+  int week = 45;
+  int from_week = 44;
+  int to_week = 45;
+  double volume = 1.0 / 256.0;
+  bool quick = false;
+  std::string in_path;
+  std::string out_path;
+};
+
+int usage() {
+  std::cerr <<
+      "usage: ixpscope <command> [flags]\n"
+      "  info                          print the model inventory\n"
+      "  generate --week N --out FILE  record one week of sFlow samples\n"
+      "  analyze  --week N --in FILE   run the pipeline on a trace\n"
+      "  diff     --from A --to B      week-over-week change report\n"
+      "  bgp-export --out FILE         dump the routing table\n"
+      "flags: --volume <0..1> (default 0.00390625), --quick\n";
+  return 2;
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  if (argc < 2) return false;
+  opt.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto need_value = [&](int i) { return i + 1 < argc; };
+    if (flag == "--quick") {
+      opt.quick = true;
+    } else if (flag == "--week" && need_value(i)) {
+      opt.week = std::atoi(argv[++i]);
+    } else if (flag == "--from" && need_value(i)) {
+      opt.from_week = std::atoi(argv[++i]);
+    } else if (flag == "--to" && need_value(i)) {
+      opt.to_week = std::atoi(argv[++i]);
+    } else if (flag == "--volume" && need_value(i)) {
+      opt.volume = std::atof(argv[++i]);
+    } else if (flag == "--in" && need_value(i)) {
+      opt.in_path = argv[++i];
+    } else if (flag == "--out" && need_value(i)) {
+      opt.out_path = argv[++i];
+    } else {
+      std::cerr << "unknown flag: " << flag << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+struct World {
+  std::unique_ptr<gen::InternetModel> model;
+  std::unique_ptr<gen::Workload> workload;
+  std::unordered_map<net::Asn, net::Locality> locality;
+};
+
+World build_world(const Options& opt) {
+  World world;
+  const auto cfg =
+      opt.quick ? gen::ScaleConfig::test() : gen::ScaleConfig::bench(opt.volume);
+  world.model = std::make_unique<gen::InternetModel>(cfg);
+  world.workload = std::make_unique<gen::Workload>(*world.model);
+  std::vector<net::Asn> members;
+  for (const auto* m : world.model->ixp().members_at(cfg.last_week))
+    members.push_back(m->asn);
+  world.locality = world.model->as_graph().classify(members);
+  return world;
+}
+
+core::WeeklyReport run_pipeline(
+    const World& world, int week,
+    const std::function<void(core::VantagePoint&)>& feed) {
+  core::VantagePoint vantage{
+      world.model->ixp(),   world.model->routing(),  world.model->geo_db(),
+      world.locality,       world.model->dns_db(),
+      dns::PublicSuffixList::builtin(), world.model->root_store()};
+  vantage.begin_week(week);
+  feed(vantage);
+  return vantage.end_week([&](net::Ipv4Addr addr, int times) {
+    return world.model->fetch_chains(addr, times, week);
+  });
+}
+
+void print_report(const core::WeeklyReport& report) {
+  util::Table table{"week " + std::to_string(report.week)};
+  table.header({"", "IPs", "ASes", "prefixes", "countries"});
+  table.row({"peering", util::with_thousands(report.peering_ips),
+             util::with_thousands(report.peering_ases),
+             util::with_thousands(report.peering_prefixes),
+             std::to_string(report.peering_countries)});
+  table.row({"server", util::with_thousands(report.server_ips),
+             util::with_thousands(report.server_ases),
+             util::with_thousands(report.server_prefixes),
+             std::to_string(report.server_countries)});
+  table.print(std::cout);
+  std::cout << "HTTPS funnel: " << report.https_funnel.candidates << " -> "
+            << report.https_funnel.responded << " -> "
+            << report.https_funnel.confirmed << "\n";
+  std::cout << "estimated weekly volume: " << util::bytes(report.peering_bytes())
+            << "\n";
+}
+
+int cmd_info(const Options& opt) {
+  const auto world = build_world(opt);
+  const auto& model = *world.model;
+  std::cout << "ixpscope model (seed " << model.config().seed << ")\n";
+  std::cout << "  ASes:        " << util::with_thousands(model.ases().size())
+            << "\n";
+  std::cout << "  prefixes:    " << util::with_thousands(model.prefixes().size())
+            << "\n";
+  std::cout << "  IXP members: " << model.ixp().member_count_at(model.config().first_week)
+            << " -> " << model.ixp().member_count_at(model.config().last_week)
+            << " (weeks " << model.config().first_week << ".."
+            << model.config().last_week << ")\n";
+  std::cout << "  orgs:        " << util::with_thousands(model.orgs().size())
+            << "\n";
+  std::cout << "  servers:     " << util::with_thousands(model.servers().size())
+            << " (" << util::with_thousands(model.visible_server_count())
+            << " visible at the IXP)\n";
+  std::cout << "  sites:       " << util::with_thousands(model.sites().size())
+            << "\n";
+  std::cout << "  resolvers:   "
+            << util::with_thousands(model.resolvers().size()) << " candidates\n";
+  return 0;
+}
+
+int cmd_generate(const Options& opt) {
+  if (opt.out_path.empty()) return usage();
+  const auto world = build_world(opt);
+  std::ofstream out{opt.out_path, std::ios::binary};
+  if (!out) {
+    std::cerr << "cannot write " << opt.out_path << "\n";
+    return 1;
+  }
+  sflow::TraceWriter writer{out, net::Ipv4Addr{172, 16, 0, 1}, 128};
+  world.workload->generate_week(
+      opt.week, [&](const sflow::FlowSample& s) { writer.write(s); });
+  writer.flush();
+  std::cout << "wrote " << util::with_thousands(writer.samples_written())
+            << " samples (" << writer.datagrams_written() << " datagrams) to "
+            << opt.out_path << "\n";
+  return 0;
+}
+
+int cmd_analyze(const Options& opt) {
+  if (opt.in_path.empty()) return usage();
+  const auto world = build_world(opt);
+  std::ifstream in{opt.in_path, std::ios::binary};
+  if (!in) {
+    std::cerr << "cannot read " << opt.in_path << "\n";
+    return 1;
+  }
+  sflow::TraceReader reader{in};
+  if (!reader.ok()) {
+    std::cerr << opt.in_path << ": not an ixpscope trace\n";
+    return 1;
+  }
+  const auto report = run_pipeline(world, opt.week, [&](core::VantagePoint& vp) {
+    reader.for_each([&](const sflow::FlowSample& s) { vp.observe(s); });
+  });
+  if (!reader.ok())
+    std::cerr << "warning: trace was truncated; results are partial\n";
+  print_report(report);
+  return 0;
+}
+
+int cmd_diff(const Options& opt) {
+  const auto world = build_world(opt);
+  const auto run = [&](int week) {
+    return run_pipeline(world, week, [&](core::VantagePoint& vp) {
+      world.workload->generate_week(
+          week, [&](const sflow::FlowSample& s) { vp.observe(s); });
+    });
+  };
+  const auto earlier = run(opt.from_week);
+  const auto later = run(opt.to_week);
+  const auto delta = analysis::compare_weeks(earlier, later);
+
+  std::cout << "weeks " << delta.earlier_week << " -> " << delta.later_week
+            << "\n";
+  std::cout << "  server IPs: +" << delta.servers_gained << " / -"
+            << delta.servers_lost << " (" << delta.servers_common
+            << " common)\n";
+  std::cout << "  IP growth: " << util::percent(delta.ip_growth, 2)
+            << ", traffic growth: " << util::percent(delta.traffic_growth, 2)
+            << "\n";
+  util::Table movers{"top AS movers (server-IP delta)"};
+  movers.header({"AS", "delta"});
+  for (const auto& mover : delta.top_movers) {
+    movers.row({mover.asn.to_string(),
+                (mover.server_delta >= 0 ? "+" : "") +
+                    std::to_string(mover.server_delta)});
+  }
+  movers.print(std::cout);
+  return 0;
+}
+
+int cmd_bgp_export(const Options& opt) {
+  if (opt.out_path.empty()) return usage();
+  const auto world = build_world(opt);
+  std::ofstream out{opt.out_path};
+  if (!out) {
+    std::cerr << "cannot write " << opt.out_path << "\n";
+    return 1;
+  }
+  const std::size_t routes = net::write_bgp_dump(out, world.model->routing());
+  std::cout << "wrote " << util::with_thousands(routes) << " routes to "
+            << opt.out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return usage();
+  if (opt.command == "info") return cmd_info(opt);
+  if (opt.command == "generate") return cmd_generate(opt);
+  if (opt.command == "analyze") return cmd_analyze(opt);
+  if (opt.command == "diff") return cmd_diff(opt);
+  if (opt.command == "bgp-export") return cmd_bgp_export(opt);
+  return usage();
+}
