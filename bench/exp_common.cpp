@@ -46,10 +46,11 @@ core::WeeklyReport Context::run_week(int week) const {
   core::VantagePoint vp{model->ixp(),   model->routing(), model->geo_db(),
                         locality,       model->dns_db(),
                         dns::PublicSuffixList::builtin(), model->root_store()};
-  vp.begin_week(week);
+  core::WeekSession session = vp.open_week(week);
   (void)workload->generate_week(
-      week, [&vp](const sflow::FlowSample& sample) { vp.observe(sample); });
-  return vp.end_week([this, week](net::Ipv4Addr addr, int times) {
+      week,
+      [&session](const sflow::FlowSample& sample) { session.observe(sample); });
+  return session.finish([this, week](net::Ipv4Addr addr, int times) {
     return model->fetch_chains(addr, times, week);
   });
 }

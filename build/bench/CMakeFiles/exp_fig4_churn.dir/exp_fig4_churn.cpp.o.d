@@ -234,6 +234,7 @@ bench/CMakeFiles/exp_fig4_churn.dir/exp_fig4_churn.cpp.o: \
  /root/repo/src/core/../dns/uri.hpp \
  /root/repo/src/core/../dns/zone_db.hpp \
  /root/repo/src/core/../core/org_clusterer.hpp \
+ /root/repo/src/core/../core/week_shard.hpp \
  /root/repo/src/core/../geo/geo_database.hpp \
  /root/repo/src/core/../net/prefix_trie.hpp \
  /root/repo/src/core/../net/as_graph.hpp \

@@ -237,6 +237,7 @@ bench/CMakeFiles/exp_fig6_heterogeneity.dir/exp_fig6_heterogeneity.cpp.o: \
  /root/repo/src/core/../sflow/frame.hpp \
  /root/repo/src/core/../classify/https_prober.hpp \
  /root/repo/src/core/../x509/validator.hpp \
+ /root/repo/src/core/../core/week_shard.hpp \
  /root/repo/src/core/../geo/geo_database.hpp \
  /root/repo/src/core/../geo/country.hpp \
  /root/repo/src/core/../net/as_graph.hpp \

@@ -234,6 +234,7 @@ bench/CMakeFiles/exp_fig7_links.dir/exp_fig7_links.cpp.o: \
  /root/repo/src/core/../dns/uri.hpp \
  /root/repo/src/core/../dns/zone_db.hpp \
  /root/repo/src/core/../core/org_clusterer.hpp \
+ /root/repo/src/core/../core/week_shard.hpp \
  /root/repo/src/core/../geo/geo_database.hpp \
  /root/repo/src/core/../geo/country.hpp \
  /root/repo/src/core/../net/prefix_trie.hpp \

@@ -231,6 +231,7 @@ bench/CMakeFiles/exp_sec22_dissection.dir/exp_sec22_dissection.cpp.o: \
  /root/repo/src/core/../dns/uri.hpp \
  /root/repo/src/core/../dns/zone_db.hpp \
  /root/repo/src/core/../core/org_clusterer.hpp \
+ /root/repo/src/core/../core/week_shard.hpp \
  /root/repo/src/core/../geo/geo_database.hpp \
  /root/repo/src/core/../geo/country.hpp \
  /root/repo/src/core/../net/prefix_trie.hpp \

@@ -242,6 +242,7 @@ bench/CMakeFiles/exp_sec33_blindspots.dir/exp_sec33_blindspots.cpp.o: \
  /root/repo/src/core/../classify/metadata.hpp \
  /root/repo/src/core/../dns/uri.hpp \
  /root/repo/src/core/../core/org_clusterer.hpp \
+ /root/repo/src/core/../core/week_shard.hpp \
  /root/repo/src/core/../gen/workload.hpp \
  /root/repo/src/core/../sflow/sampler.hpp \
  /root/repo/src/core/../util/format.hpp \

@@ -202,15 +202,15 @@ bench/CMakeFiles/exp_tab3_local_global.dir/exp_tab3_local_global.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h \
  /root/repo/src/core/../core/vantage_point.hpp \
- /usr/include/c++/12/optional /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/optional /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/core/../classify/dissector.hpp \
  /root/repo/src/core/../classify/http_matcher.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/span \
- /usr/include/c++/12/array \
  /root/repo/src/core/../classify/peering_filter.hpp \
  /root/repo/src/core/../fabric/ixp.hpp \
  /root/repo/src/core/../net/ipv4.hpp /usr/include/c++/12/functional \
@@ -231,6 +231,7 @@ bench/CMakeFiles/exp_tab3_local_global.dir/exp_tab3_local_global.cpp.o: \
  /root/repo/src/core/../dns/uri.hpp \
  /root/repo/src/core/../dns/zone_db.hpp \
  /root/repo/src/core/../core/org_clusterer.hpp \
+ /root/repo/src/core/../core/week_shard.hpp \
  /root/repo/src/core/../geo/geo_database.hpp \
  /root/repo/src/core/../geo/country.hpp \
  /root/repo/src/core/../net/prefix_trie.hpp \

@@ -241,6 +241,7 @@ examples/CMakeFiles/blindspot_audit.dir/blindspot_audit.cpp.o: \
  /root/repo/src/core/../classify/metadata.hpp \
  /root/repo/src/core/../dns/uri.hpp \
  /root/repo/src/core/../core/org_clusterer.hpp \
+ /root/repo/src/core/../core/week_shard.hpp \
  /root/repo/src/core/../gen/workload.hpp \
  /root/repo/src/core/../sflow/sampler.hpp \
  /root/repo/src/core/../util/format.hpp

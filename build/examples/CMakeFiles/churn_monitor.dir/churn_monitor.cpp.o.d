@@ -233,6 +233,7 @@ examples/CMakeFiles/churn_monitor.dir/churn_monitor.cpp.o: \
  /root/repo/src/core/../dns/uri.hpp \
  /root/repo/src/core/../dns/zone_db.hpp \
  /root/repo/src/core/../core/org_clusterer.hpp \
+ /root/repo/src/core/../core/week_shard.hpp \
  /root/repo/src/core/../geo/geo_database.hpp \
  /root/repo/src/core/../net/prefix_trie.hpp \
  /root/repo/src/core/../net/as_graph.hpp \

@@ -232,6 +232,7 @@ examples/CMakeFiles/heterogenization_study.dir/heterogenization_study.cpp.o: \
  /root/repo/src/core/../classify/http_matcher.hpp \
  /root/repo/src/core/../classify/https_prober.hpp \
  /root/repo/src/core/../x509/validator.hpp \
+ /root/repo/src/core/../core/week_shard.hpp \
  /root/repo/src/core/../geo/geo_database.hpp \
  /root/repo/src/core/../geo/country.hpp \
  /root/repo/src/core/../net/as_graph.hpp \

@@ -197,7 +197,9 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
@@ -208,8 +210,6 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/core/../classify/dissector.hpp \
  /root/repo/src/core/../classify/http_matcher.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/span \
- /usr/include/c++/12/array \
  /root/repo/src/core/../classify/peering_filter.hpp \
  /root/repo/src/core/../fabric/ixp.hpp \
  /root/repo/src/core/../net/ipv4.hpp /usr/include/c++/12/functional \
@@ -230,6 +230,7 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/core/../dns/uri.hpp \
  /root/repo/src/core/../dns/zone_db.hpp \
  /root/repo/src/core/../core/org_clusterer.hpp \
+ /root/repo/src/core/../core/week_shard.hpp \
  /root/repo/src/core/../geo/geo_database.hpp \
  /root/repo/src/core/../geo/country.hpp \
  /root/repo/src/core/../net/prefix_trie.hpp \

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/org_clusterer.cpp" "src/core/CMakeFiles/ixpscope_core.dir/org_clusterer.cpp.o" "gcc" "src/core/CMakeFiles/ixpscope_core.dir/org_clusterer.cpp.o.d"
+  "/root/repo/src/core/parallel_analyzer.cpp" "src/core/CMakeFiles/ixpscope_core.dir/parallel_analyzer.cpp.o" "gcc" "src/core/CMakeFiles/ixpscope_core.dir/parallel_analyzer.cpp.o.d"
   "/root/repo/src/core/vantage_point.cpp" "src/core/CMakeFiles/ixpscope_core.dir/vantage_point.cpp.o" "gcc" "src/core/CMakeFiles/ixpscope_core.dir/vantage_point.cpp.o.d"
   )
 

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/ixpscope_core.dir/org_clusterer.cpp.o"
   "CMakeFiles/ixpscope_core.dir/org_clusterer.cpp.o.d"
+  "CMakeFiles/ixpscope_core.dir/parallel_analyzer.cpp.o"
+  "CMakeFiles/ixpscope_core.dir/parallel_analyzer.cpp.o.d"
   "CMakeFiles/ixpscope_core.dir/vantage_point.cpp.o"
   "CMakeFiles/ixpscope_core.dir/vantage_point.cpp.o.d"
   "libixpscope_core.a"

@@ -208,12 +208,11 @@ tests/CMakeFiles/analysis_test.dir/analysis/case_studies_test.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
- /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/analysis/../classify/dissector.hpp \
  /root/repo/src/analysis/../classify/http_matcher.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/span \
- /usr/include/c++/12/array \
  /root/repo/src/analysis/../classify/peering_filter.hpp \
  /root/repo/src/analysis/../fabric/ixp.hpp \
  /root/repo/src/analysis/../net/ipv4.hpp /usr/include/c++/12/functional \
@@ -234,6 +233,7 @@ tests/CMakeFiles/analysis_test.dir/analysis/case_studies_test.cpp.o: \
  /root/repo/src/analysis/../dns/uri.hpp \
  /root/repo/src/analysis/../dns/zone_db.hpp \
  /root/repo/src/analysis/../core/org_clusterer.hpp \
+ /root/repo/src/analysis/../core/week_shard.hpp \
  /root/repo/src/analysis/../geo/geo_database.hpp \
  /root/repo/src/analysis/../geo/country.hpp \
  /root/repo/src/analysis/../net/prefix_trie.hpp \

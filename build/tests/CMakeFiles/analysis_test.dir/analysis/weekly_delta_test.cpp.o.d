@@ -201,7 +201,9 @@ tests/CMakeFiles/analysis_test.dir/analysis/weekly_delta_test.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
@@ -209,8 +211,6 @@ tests/CMakeFiles/analysis_test.dir/analysis/weekly_delta_test.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/analysis/../classify/dissector.hpp \
  /root/repo/src/analysis/../classify/http_matcher.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/span \
- /usr/include/c++/12/array \
  /root/repo/src/analysis/../classify/peering_filter.hpp \
  /root/repo/src/analysis/../fabric/ixp.hpp \
  /root/repo/src/analysis/../net/ipv4.hpp /usr/include/c++/12/functional \
@@ -231,6 +231,7 @@ tests/CMakeFiles/analysis_test.dir/analysis/weekly_delta_test.cpp.o: \
  /root/repo/src/analysis/../dns/uri.hpp \
  /root/repo/src/analysis/../dns/zone_db.hpp \
  /root/repo/src/analysis/../core/org_clusterer.hpp \
+ /root/repo/src/analysis/../core/week_shard.hpp \
  /root/repo/src/analysis/../geo/geo_database.hpp \
  /root/repo/src/analysis/../geo/country.hpp \
  /root/repo/src/analysis/../net/prefix_trie.hpp \

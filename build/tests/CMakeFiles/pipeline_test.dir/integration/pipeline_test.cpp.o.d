@@ -318,6 +318,7 @@ tests/CMakeFiles/pipeline_test.dir/integration/pipeline_test.cpp.o: \
  /root/repo/src/analysis/../classify/http_matcher.hpp \
  /root/repo/src/analysis/../classify/https_prober.hpp \
  /root/repo/src/analysis/../x509/validator.hpp \
+ /root/repo/src/analysis/../core/week_shard.hpp \
  /root/repo/src/analysis/../geo/geo_database.hpp \
  /root/repo/src/analysis/../geo/country.hpp \
  /root/repo/src/analysis/../net/as_graph.hpp \

@@ -15,4 +15,5 @@ include("/root/repo/build/tests/classify_test[1]_include.cmake")
 include("/root/repo/build/tests/gen_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
 include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_engine_test[1]_include.cmake")
 include("/root/repo/build/tests/pipeline_test[1]_include.cmake")

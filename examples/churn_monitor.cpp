@@ -32,10 +32,10 @@ int main(int argc, char** argv) {
     core::VantagePoint vantage{
         model.ixp(),   model.routing(),  model.geo_db(), locality,
         model.dns_db(), dns::PublicSuffixList::builtin(), model.root_store()};
-    vantage.begin_week(week);
+    core::WeekSession session = vantage.open_week(week);
     workload.generate_week(
-        week, [&](const sflow::FlowSample& s) { vantage.observe(s); });
-    const auto report = vantage.end_week([&](net::Ipv4Addr addr, int times) {
+        week, [&](const sflow::FlowSample& s) { session.observe(s); });
+    const auto report = session.finish([&](net::Ipv4Addr addr, int times) {
       return model.fetch_chains(addr, times, week);
     });
     for (const auto& obs : report.servers) {

@@ -36,10 +36,10 @@ int main() {
       model.dns_db(), dns::PublicSuffixList::builtin(), model.root_store()};
 
   // 3. Stream week 45 through it.
-  vantage.begin_week(45);
+  core::WeekSession session = vantage.open_week(45);
   workload.generate_week(
-      45, [&](const sflow::FlowSample& sample) { vantage.observe(sample); });
-  const core::WeeklyReport report = vantage.end_week(
+      45, [&](const sflow::FlowSample& sample) { session.observe(sample); });
+  const core::WeeklyReport report = session.finish(
       [&](net::Ipv4Addr addr, int times) {
         return model.fetch_chains(addr, times, 45);  // active measurement
       });

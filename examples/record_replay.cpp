@@ -51,10 +51,14 @@ int main(int argc, char** argv) {
   core::VantagePoint vantage{
       model.ixp(),   model.routing(),  model.geo_db(), locality,
       model.dns_db(), dns::PublicSuffixList::builtin(), model.root_store()};
-  vantage.begin_week(45);
-  const std::uint64_t replayed =
-      reader.for_each([&](const sflow::FlowSample& s) { vantage.observe(s); });
-  const auto report = vantage.end_week([&](net::Ipv4Addr addr, int times) {
+  core::WeekSession session = vantage.open_week(45);
+  std::uint64_t replayed = 0;
+  std::vector<sflow::FlowSample> batch;
+  while (reader.read_batch(batch, sflow::TraceReader::kDefaultBatch) > 0) {
+    session.observe_batch(batch);
+    replayed += batch.size();
+  }
+  const auto report = session.finish([&](net::Ipv4Addr addr, int times) {
     return model.fetch_chains(addr, times, 45);
   });
 

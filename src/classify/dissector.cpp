@@ -1,6 +1,7 @@
 #include "classify/dissector.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 namespace ixp::classify {
 
@@ -16,11 +17,29 @@ TrafficDissector::TrafficDissector() {
   activity_.reserve(1 << 16);
 }
 
-void TrafficDissector::note_host(net::Ipv4Addr server, const std::string& host) {
+void TrafficDissector::note_host(net::Ipv4Addr server, const std::string& host,
+                                 std::uint64_t seq) {
   auto& hosts = hosts_[server];
-  if (hosts.size() >= kMaxHostsPerServer) return;
-  if (std::find(hosts.begin(), hosts.end(), host) == hosts.end())
-    hosts.push_back(host);
+  for (auto& seen : hosts) {
+    if (seen.name == host) {
+      seen.first_seq = std::min(seen.first_seq, seq);
+      return;
+    }
+  }
+  if (hosts.size() < kMaxHostsPerServer) {
+    hosts.push_back({host, seq});
+    return;
+  }
+  // Keep the kMaxHostsPerServer smallest (first_seq, name) keys: evict the
+  // largest when the newcomer precedes it.
+  auto latest = std::max_element(
+      hosts.begin(), hosts.end(), [](const auto& a, const auto& b) {
+        return std::tie(a.first_seq, a.name) < std::tie(b.first_seq, b.name);
+      });
+  if (std::tie(seq, host) < std::tie(latest->first_seq, latest->name)) {
+    latest->name = host;
+    latest->first_seq = seq;
+  }
 }
 
 void TrafficDissector::ingest(const PeeringSample& sample) {
@@ -69,7 +88,7 @@ void TrafficDissector::ingest(const PeeringSample& sample) {
       else
         dst_info.flags |= kSeenPort80;
       src_info.flags |= kSeenHttpClient;
-      if (match.host) note_host(dst, *match.host);
+      if (match.host) note_host(dst, *match.host, sample.seq);
       return;
     }
     case HttpIndication::kResponse: {
@@ -79,7 +98,7 @@ void TrafficDissector::ingest(const PeeringSample& sample) {
       else
         src_info.flags |= kSeenPort80;
       dst_info.flags |= kSeenHttpClient;
-      if (match.host) note_host(src, *match.host);
+      if (match.host) note_host(src, *match.host, sample.seq);
       return;
     }
     case HttpIndication::kHeaderOnly: {
@@ -106,11 +125,33 @@ void TrafficDissector::confirm_https(net::Ipv4Addr addr) {
   activity_[addr].flags |= kConfirmedHttps;
 }
 
-const std::vector<std::string>& TrafficDissector::hosts_of(
-    net::Ipv4Addr addr) const {
-  static const std::vector<std::string> kEmpty;
+void TrafficDissector::merge(TrafficDissector&& other) {
+  for (const auto& [addr, info] : other.activity_) {
+    IpActivity& mine = activity_[addr];
+    mine.samples += info.samples;
+    mine.bytes += info.bytes;
+    mine.flags |= info.flags;
+  }
+  for (auto& [addr, hosts] : other.hosts_) {
+    for (const auto& seen : hosts) note_host(addr, seen.name, seen.first_seq);
+  }
+  total_bytes_ += other.total_bytes_;
+  other.activity_.clear();
+  other.hosts_.clear();
+  other.total_bytes_ = 0;
+}
+
+std::vector<std::string> TrafficDissector::hosts_of(net::Ipv4Addr addr) const {
   const auto it = hosts_.find(addr);
-  return it == hosts_.end() ? kEmpty : it->second;
+  if (it == hosts_.end()) return {};
+  std::vector<HostObservation> ordered = it->second;
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.first_seq, a.name) < std::tie(b.first_seq, b.name);
+  });
+  std::vector<std::string> out;
+  out.reserve(ordered.size());
+  for (auto& seen : ordered) out.push_back(std::move(seen.name));
+  return out;
 }
 
 std::vector<net::Ipv4Addr> TrafficDissector::https_candidates() const {
@@ -118,6 +159,7 @@ std::vector<net::Ipv4Addr> TrafficDissector::https_candidates() const {
   for (const auto& [addr, info] : activity_) {
     if ((info.flags & kCandidate443) != 0) out.push_back(addr);
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -126,13 +168,15 @@ std::vector<net::Ipv4Addr> TrafficDissector::web_servers() const {
   for (const auto& [addr, info] : activity_) {
     if (info.web_server()) out.push_back(addr);
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 DissectionSummary TrafficDissector::summarize() const {
   DissectionSummary s;
   s.unique_ips = activity_.size();
-  s.total_bytes = total_bytes_;
+  s.total_bytes = static_cast<double>(total_bytes_);
+  std::uint64_t dual_role_bytes = 0;
   for (const auto& [addr, info] : activity_) {
     if (info.http_server()) ++s.http_server_ips;
     if ((info.flags & kCandidate443) != 0) ++s.https_candidate_ips;
@@ -141,10 +185,11 @@ DissectionSummary TrafficDissector::summarize() const {
     if (info.client()) ++s.client_ips;
     if (info.web_server() && info.client()) {
       ++s.dual_role_ips;
-      s.dual_role_server_bytes += info.bytes;
+      dual_role_bytes += info.bytes;
     }
     if (info.multi_purpose()) ++s.multi_purpose_ips;
   }
+  s.dual_role_server_bytes = static_cast<double>(dual_role_bytes);
   return s;
 }
 

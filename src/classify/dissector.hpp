@@ -7,6 +7,13 @@
 // candidate, who speaks RTMP, and which Host headers (URIs) each server
 // was asked for. Nothing here consults the ground-truth model — the
 // dissector sees only what the IXP would see.
+//
+// All accumulated state forms a commutative monoid under merge():
+// integer byte/sample tallies, OR-ed evidence bits, and Host-header sets
+// bounded by earliest global sequence number. Splitting a week's samples
+// across any number of dissectors and merging them back — in any order —
+// reproduces the single-dissector state exactly. The parallel engine in
+// core/ relies on this contract.
 #pragma once
 
 #include <cstdint>
@@ -31,7 +38,7 @@ inline constexpr std::uint8_t kConfirmedHttps = 0x40;  // set by the prober
 
 struct IpActivity {
   std::uint32_t samples = 0;
-  double bytes = 0.0;  // expanded bytes of samples touching this IP
+  std::uint64_t bytes = 0;  // expanded bytes of samples touching this IP
   std::uint8_t flags = 0;
 
   [[nodiscard]] bool http_server() const noexcept {
@@ -62,30 +69,40 @@ struct DissectionSummary {
   std::size_t multi_purpose_ips = 0;
   double dual_role_server_bytes = 0.0;
   double total_bytes = 0.0;          // peering bytes (each sample once)
+
+  friend bool operator==(const DissectionSummary&,
+                         const DissectionSummary&) = default;
 };
 
 class TrafficDissector {
  public:
   TrafficDissector();
 
-  /// Ingests one peering sample (output of PeeringFilter::filter).
+  /// Ingests one peering sample (output of PeeringFilter::filter). The
+  /// sample's `seq` orders Host-header first-seen tie-breaks.
   void ingest(const PeeringSample& sample);
 
   /// Marks an IP as a confirmed HTTPS server (prober feedback).
   void confirm_https(net::Ipv4Addr addr);
+
+  /// Folds another dissector's state into this one. Associative and
+  /// commutative; the other dissector is consumed.
+  void merge(TrafficDissector&& other);
 
   [[nodiscard]] const std::unordered_map<net::Ipv4Addr, IpActivity>& activity()
       const noexcept {
     return activity_;
   }
 
-  /// Host headers observed per server IP (capped, deduplicated).
-  [[nodiscard]] const std::vector<std::string>& hosts_of(net::Ipv4Addr addr) const;
+  /// Host headers observed per server IP (capped, deduplicated), ordered
+  /// by earliest observation — deterministic under any shard split.
+  [[nodiscard]] std::vector<std::string> hosts_of(net::Ipv4Addr addr) const;
 
-  /// All port-443 candidates (input to the HTTPS prober).
+  /// All port-443 candidates (input to the HTTPS prober), sorted by IP.
   [[nodiscard]] std::vector<net::Ipv4Addr> https_candidates() const;
 
-  /// All identified web-server IPs (call after confirm_https feedback).
+  /// All identified web-server IPs (call after confirm_https feedback),
+  /// sorted by IP.
   [[nodiscard]] std::vector<net::Ipv4Addr> web_servers() const;
 
   [[nodiscard]] DissectionSummary summarize() const;
@@ -93,11 +110,21 @@ class TrafficDissector {
  private:
   static constexpr std::size_t kMaxHostsPerServer = 8;
 
-  void note_host(net::Ipv4Addr server, const std::string& host);
+  /// One Host header with the global sequence number of its earliest
+  /// sighting; the per-server set keeps the kMaxHostsPerServer smallest
+  /// (first_seq, name) keys, which makes the bounded set an exact
+  /// order-statistics monoid under merge.
+  struct HostObservation {
+    std::string name;
+    std::uint64_t first_seq = 0;
+  };
+
+  void note_host(net::Ipv4Addr server, const std::string& host,
+                 std::uint64_t seq);
 
   std::unordered_map<net::Ipv4Addr, IpActivity> activity_;
-  std::unordered_map<net::Ipv4Addr, std::vector<std::string>> hosts_;
-  double total_bytes_ = 0.0;
+  std::unordered_map<net::Ipv4Addr, std::vector<HostObservation>> hosts_;
+  std::uint64_t total_bytes_ = 0;
 };
 
 }  // namespace ixp::classify

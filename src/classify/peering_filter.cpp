@@ -4,8 +4,9 @@ namespace ixp::classify {
 
 std::optional<PeeringSample> PeeringFilter::filter(
     const sflow::FlowSample& sample, FilterCounters& counters) const {
-  const double expanded = static_cast<double>(sample.frame.frame_length) *
-                          static_cast<double>(sample.sampling_rate);
+  const std::uint64_t expanded =
+      static_cast<std::uint64_t>(sample.frame.frame_length) *
+      static_cast<std::uint64_t>(sample.sampling_rate);
   const auto account = [&](TrafficClass c) {
     counters.samples[static_cast<std::size_t>(c)] += 1;
     counters.bytes[static_cast<std::size_t>(c)] += expanded;

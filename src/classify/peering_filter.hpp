@@ -25,30 +25,52 @@ enum class TrafficClass : std::uint8_t {
 
 /// Sample and (expanded) byte tallies per class, plus the TCP/UDP split
 /// of the surviving peering traffic.
+///
+/// Byte tallies are kept in integer units: expanded bytes are always
+/// frame_length x sampling_rate, an exact integer, so accumulating them
+/// in std::uint64_t makes merge() associative AND commutative — the
+/// foundation of the parallel engine's determinism contract (any shard
+/// split of a week reduces to bit-identical counters).
 struct FilterCounters {
   std::uint64_t samples[4] = {0, 0, 0, 0};
-  double bytes[4] = {0, 0, 0, 0};
-  double tcp_bytes = 0.0;
-  double udp_bytes = 0.0;
+  std::uint64_t bytes[4] = {0, 0, 0, 0};
+  std::uint64_t tcp_bytes = 0;
+  std::uint64_t udp_bytes = 0;
 
   [[nodiscard]] std::uint64_t total_samples() const noexcept {
     return samples[0] + samples[1] + samples[2] + samples[3];
   }
   [[nodiscard]] double total_bytes() const noexcept {
-    return bytes[0] + bytes[1] + bytes[2] + bytes[3];
+    return static_cast<double>(bytes[0] + bytes[1] + bytes[2] + bytes[3]);
   }
   [[nodiscard]] std::uint64_t of(TrafficClass c) const noexcept {
     return samples[static_cast<std::size_t>(c)];
   }
   [[nodiscard]] double bytes_of(TrafficClass c) const noexcept {
-    return bytes[static_cast<std::size_t>(c)];
+    return static_cast<double>(bytes[static_cast<std::size_t>(c)]);
   }
+
+  /// Adds another shard's tallies; associative and commutative.
+  void merge(const FilterCounters& other) noexcept {
+    for (std::size_t i = 0; i < 4; ++i) {
+      samples[i] += other.samples[i];
+      bytes[i] += other.bytes[i];
+    }
+    tcp_bytes += other.tcp_bytes;
+    udp_bytes += other.udp_bytes;
+  }
+
+  friend bool operator==(const FilterCounters&, const FilterCounters&) = default;
 };
 
 /// Classification result for one sample that survived to peering.
 struct PeeringSample {
   sflow::ParsedFrame frame;
-  double expanded_bytes = 0.0;  // frame_length x sampling rate
+  std::uint64_t expanded_bytes = 0;  // frame_length x sampling rate (exact)
+  /// Global position of the sample in the week's stream. Used to keep
+  /// first-seen tie-breaks (Host-header caps) deterministic under any
+  /// shard split; callers that never shard may leave it 0.
+  std::uint64_t seq = 0;
 };
 
 class PeeringFilter {

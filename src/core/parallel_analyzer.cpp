@@ -1,0 +1,175 @@
+#include "core/parallel_analyzer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ixp::core {
+
+namespace {
+
+/// One unit of work: a batch of samples plus its global stream position.
+struct Batch {
+  std::vector<sflow::FlowSample> samples;
+  std::uint64_t first_seq = 0;
+};
+
+/// Bounded MPMC queue: the reader blocks when the workers fall behind,
+/// the workers block when the reader does.
+class BatchQueue {
+ public:
+  explicit BatchQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(Batch&& batch) {
+    std::unique_lock lock{mutex_};
+    not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
+    queue_.push_back(std::move(batch));
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  bool pop(Batch& out) {
+    std::unique_lock lock{mutex_};
+    not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock{mutex_};
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Batch> queue_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ParallelAnalyzer::ParallelAnalyzer(VantagePoint& vantage,
+                                   ParallelOptions options)
+    : vantage_(&vantage),
+      options_(options),
+      threads_(resolve_threads(options.threads)) {
+  if (options_.batch_size == 0) options_.batch_size = 1;
+  if (options_.max_queued_batches == 0) options_.max_queued_batches = 1;
+}
+
+WeeklyReport ParallelAnalyzer::analyze(int week, const BatchSource& source,
+                                       const classify::ChainFetcher& fetch) {
+  WeekSession session = vantage_->open_week(week);
+
+  if (threads_ <= 1) {
+    std::vector<sflow::FlowSample> batch;
+    while (source(batch) > 0) session.observe_batch(batch);
+    return session.finish(fetch);
+  }
+
+  std::vector<WeekShard> shards;
+  shards.reserve(threads_);
+  for (unsigned t = 0; t < threads_; ++t) shards.push_back(session.make_shard());
+
+  BatchQueue queue{options_.max_queued_batches};
+  std::vector<std::thread> workers;
+  workers.reserve(threads_);
+  for (unsigned t = 0; t < threads_; ++t) {
+    workers.emplace_back([&queue, &shard = shards[t]] {
+      Batch batch;
+      while (queue.pop(batch))
+        shard.observe_batch(batch.samples, batch.first_seq);
+    });
+  }
+
+  std::uint64_t next_seq = 0;
+  std::vector<sflow::FlowSample> scratch;
+  while (true) {
+    const std::size_t n = source(scratch);
+    if (n == 0) break;
+    Batch batch;
+    batch.samples = std::move(scratch);
+    batch.first_seq = next_seq;
+    next_seq += n;
+    scratch = {};
+    queue.push(std::move(batch));
+  }
+  queue.close();
+  for (auto& worker : workers) worker.join();
+
+  // Ordered reduce: shard 0, then 1, ... Merge is commutative anyway, but
+  // a fixed order keeps the reduce itself schedule-independent.
+  for (auto& shard : shards) session.absorb(std::move(shard));
+  return session.finish(fetch);
+}
+
+WeeklyReport ParallelAnalyzer::analyze(int week, sflow::TraceReader& reader,
+                                       const classify::ChainFetcher& fetch) {
+  const std::size_t batch_size = options_.batch_size;
+  return analyze(
+      week,
+      [&reader, batch_size](std::vector<sflow::FlowSample>& out) {
+        return reader.read_batch(out, batch_size);
+      },
+      fetch);
+}
+
+WeeklyReport ParallelAnalyzer::analyze(int week,
+                                       std::span<const sflow::FlowSample> samples,
+                                       const classify::ChainFetcher& fetch) {
+  WeekSession session = vantage_->open_week(week);
+
+  if (threads_ <= 1) {
+    session.observe_batch(samples);
+    return session.finish(fetch);
+  }
+
+  std::vector<WeekShard> shards;
+  shards.reserve(threads_);
+  for (unsigned t = 0; t < threads_; ++t) shards.push_back(session.make_shard());
+
+  const std::size_t batch_size = options_.batch_size;
+  const std::size_t batches = (samples.size() + batch_size - 1) / batch_size;
+  std::atomic<std::size_t> next_batch{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads_);
+  for (unsigned t = 0; t < threads_; ++t) {
+    workers.emplace_back([&, t] {
+      WeekShard& shard = shards[t];
+      for (std::size_t b = next_batch.fetch_add(1); b < batches;
+           b = next_batch.fetch_add(1)) {
+        const std::size_t begin = b * batch_size;
+        const std::size_t count = std::min(batch_size, samples.size() - begin);
+        shard.observe_batch(samples.subspan(begin, count), begin);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  for (auto& shard : shards) session.absorb(std::move(shard));
+  return session.finish(fetch);
+}
+
+}  // namespace ixp::core

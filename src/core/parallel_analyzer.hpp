@@ -1,0 +1,68 @@
+// ParallelAnalyzer — the sharded, multi-threaded week-analysis engine.
+//
+// Splits a week's sample stream into batches, fans the batches out to N
+// worker threads (each accumulating into its own WeekShard), then reduces
+// the shards in worker-index order and runs the ordinary probe/aggregate
+// phase. Because WeekShard is a commutative monoid (exact integer byte
+// tallies, OR-ed evidence, order-statistics host sets) and the reduce
+// order is fixed, the N-thread report is byte-identical to the 1-thread
+// report for any N — the determinism contract the parity tests pin down.
+//
+// Three input shapes:
+//   - a BatchSource pull function (anything that can fill a batch),
+//   - a sflow::TraceReader (recorded traces; read_batch feeds the queue),
+//   - an in-memory sample span (zero-copy; workers claim chunks).
+//
+// The calling thread acts as the reader: trace decoding stays serial
+// (istreams are), while filtering, HTTP string matching, and per-IP
+// evidence accumulation — the hot path — run on the workers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "core/vantage_point.hpp"
+#include "sflow/trace.hpp"
+
+namespace ixp::core {
+
+struct ParallelOptions {
+  /// Worker thread count; 0 means std::thread::hardware_concurrency().
+  unsigned threads = 1;
+  /// Samples per work unit handed to a worker.
+  std::size_t batch_size = 512;
+  /// Bound on batches buffered between the reader and the workers.
+  std::size_t max_queued_batches = 64;
+};
+
+class ParallelAnalyzer {
+ public:
+  /// Fills `out` with the next batch of samples (the callee may clear and
+  /// reuse the vector); returns the number delivered, 0 at end-of-stream.
+  using BatchSource = std::function<std::size_t(std::vector<sflow::FlowSample>&)>;
+
+  explicit ParallelAnalyzer(VantagePoint& vantage, ParallelOptions options = {});
+
+  /// Analyzes one week pulled from `source`.
+  [[nodiscard]] WeeklyReport analyze(int week, const BatchSource& source,
+                                     const classify::ChainFetcher& fetch);
+
+  /// Analyzes one week from a recorded trace.
+  [[nodiscard]] WeeklyReport analyze(int week, sflow::TraceReader& reader,
+                                     const classify::ChainFetcher& fetch);
+
+  /// Analyzes one week of in-memory samples (zero-copy fan-out).
+  [[nodiscard]] WeeklyReport analyze(int week,
+                                     std::span<const sflow::FlowSample> samples,
+                                     const classify::ChainFetcher& fetch);
+
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+ private:
+  VantagePoint* vantage_;
+  ParallelOptions options_;
+  unsigned threads_;
+};
+
+}  // namespace ixp::core

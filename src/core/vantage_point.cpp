@@ -1,6 +1,19 @@
 #include "core/vantage_point.hpp"
 
+#include <algorithm>
+
 namespace ixp::core {
+
+WeekSession::WeekSession(VantagePoint& vp, int week)
+    : vp_(&vp), week_(week), shard_(*vp.ixp_, week) {}
+
+WeekShard WeekSession::make_shard() const {
+  return WeekShard{*vp_->ixp_, week_};
+}
+
+WeeklyReport WeekSession::finish(const classify::ChainFetcher& fetch) {
+  return vp_->finish_week(std::move(shard_), fetch);
+}
 
 VantagePoint::VantagePoint(
     const fabric::Ixp& ixp, const net::RoutingTable& routing,
@@ -18,34 +31,40 @@ VantagePoint::VantagePoint(
       options_(options) {}
 
 void VantagePoint::begin_week(int week) {
-  week_ = week;
-  filter_.emplace(*ixp_, week);
-  dissector_ = std::make_unique<classify::TrafficDissector>();
-  counters_ = classify::FilterCounters{};
-  confirmed_chains_.clear();
+  legacy_session_.emplace(WeekSession{*this, week});
 }
 
 void VantagePoint::observe(const sflow::FlowSample& sample) {
-  const auto peering = filter_->filter(sample, counters_);
-  if (peering) dissector_->ingest(*peering);
+  legacy_session_->observe(sample);
 }
 
 WeeklyReport VantagePoint::end_week(const classify::ChainFetcher& fetch) {
+  WeeklyReport report = legacy_session_->finish(fetch);
+  legacy_session_.reset();
+  return report;
+}
+
+WeeklyReport VantagePoint::finish_week(WeekShard&& shard,
+                                       const classify::ChainFetcher& fetch) {
+  classify::TrafficDissector& dissector = shard.dissector_;
   WeeklyReport report;
-  report.week = week_;
-  report.filters = counters_;
+  report.week = shard.week();
+  report.filters = shard.counters_;
 
   // ---- HTTPS probing -------------------------------------------------------
-  const std::vector<net::Ipv4Addr> candidates = dissector_->https_candidates();
+  // Candidates arrive sorted by address, so the funnel and the fetches
+  // happen in canonical order no matter how the week was sharded.
+  const std::vector<net::Ipv4Addr> candidates = dissector.https_candidates();
   classify::HttpsProber prober{*roots_, *psl_, options_.fetches_per_ip};
   const std::vector<net::Ipv4Addr> confirmed =
       prober.probe(candidates, fetch, report.https_funnel);
+  std::unordered_map<net::Ipv4Addr, x509::CertificateChain> confirmed_chains;
   for (const net::Ipv4Addr addr : confirmed) {
-    dissector_->confirm_https(addr);
+    dissector.confirm_https(addr);
     auto chains = fetch(addr, 1);
-    if (!chains.empty()) confirmed_chains_.emplace(addr, std::move(chains.front()));
+    if (!chains.empty()) confirmed_chains.emplace(addr, std::move(chains.front()));
   }
-  report.dissection = dissector_->summarize();
+  report.dissection = dissector.summarize();
 
   // ---- visibility aggregation ---------------------------------------------
   const auto locality_index = [&](net::Asn asn) -> int {
@@ -67,11 +86,23 @@ WeeklyReport VantagePoint::end_week(const classify::ChainFetcher& fetch) {
 
   classify::MetadataHarvester harvester{*dns_, *psl_};
 
-  for (const auto& [addr, info] : dissector_->activity()) {
+  // Canonical iteration order: sorted by address. Hash-map iteration order
+  // depends on insertion history, which differs between shard splits; the
+  // sort (plus exact integer byte tallies upstream) is what makes the
+  // report — including its floating-point aggregates — bit-identical for
+  // any thread count.
+  std::vector<net::Ipv4Addr> addrs;
+  addrs.reserve(dissector.activity().size());
+  for (const auto& [addr, info] : dissector.activity()) addrs.push_back(addr);
+  std::sort(addrs.begin(), addrs.end());
+
+  for (const net::Ipv4Addr addr : addrs) {
+    const classify::IpActivity& info = dissector.activity().at(addr);
     ++report.peering_ips;
     const auto route = routing_->route_of(addr);
     const auto country = geo_->country_of(addr);
     const bool server = info.web_server();
+    const double info_bytes = static_cast<double>(info.bytes);
 
     if (route) {
       peering_prefixes.insert(route->prefix);
@@ -80,29 +111,29 @@ WeeklyReport VantagePoint::end_week(const classify::ChainFetcher& fetch) {
       report.peering_locality[li].ips += 1;
       report.peering_locality[li].prefixes.insert(route->prefix);
       report.peering_locality[li].ases.insert(route->origin);
-      report.peering_locality[li].bytes += info.bytes;
+      report.peering_locality[li].bytes += info_bytes;
       AsTally& as_tally = report.by_as[route->origin];
       as_tally.ips += 1;
-      as_tally.bytes += info.bytes;
+      as_tally.bytes += info_bytes;
       if (server) {
         as_tally.server_ips += 1;
-        as_tally.server_bytes += info.bytes;
+        as_tally.server_bytes += info_bytes;
         server_prefixes.insert(route->prefix);
         server_ases.insert(route->origin);
         report.server_locality[li].ips += 1;
         report.server_locality[li].prefixes.insert(route->prefix);
         report.server_locality[li].ases.insert(route->origin);
-        report.server_locality[li].bytes += info.bytes;
+        report.server_locality[li].bytes += info_bytes;
       }
     }
     if (country) {
       peering_countries.insert(*country);
       CountryTally& tally = report.by_country[*country];
       tally.ips += 1;
-      tally.bytes += info.bytes;
+      tally.bytes += info_bytes;
       if (server) {
         tally.server_ips += 1;
-        tally.server_bytes += info.bytes;
+        tally.server_bytes += info_bytes;
         server_countries.insert(*country);
       }
     }
@@ -111,7 +142,7 @@ WeeklyReport VantagePoint::end_week(const classify::ChainFetcher& fetch) {
     ++report.server_ips;
     ServerObservation obs;
     obs.addr = addr;
-    obs.bytes = info.bytes;
+    obs.bytes = info_bytes;
     obs.http = info.http_server();
     obs.https = info.https_server();
     obs.rtmp = (info.flags & classify::kSeenRtmp1935) != 0;
@@ -119,14 +150,14 @@ WeeklyReport VantagePoint::end_week(const classify::ChainFetcher& fetch) {
     if (route) obs.asn = route->origin;
     if (country) obs.country = *country;
 
-    const auto chain_it = confirmed_chains_.find(addr);
+    const std::vector<std::string> hosts = dissector.hosts_of(addr);
+    const auto chain_it = confirmed_chains.find(addr);
     obs.metadata = harvester.harvest(
-        addr, dissector_->hosts_of(addr),
-        chain_it == confirmed_chains_.end() ? nullptr : &chain_it->second);
+        addr, hosts,
+        chain_it == confirmed_chains.end() ? nullptr : &chain_it->second);
     // §2.4 cleaning: a server whose metadata was entirely cleaned away
     // drops out of the §5 analyses (but still counts as a server IP).
-    if (!obs.metadata.has_any() &&
-        (!dissector_->hosts_of(addr).empty() || dns_->reverse(addr)))
+    if (!obs.metadata.has_any() && (!hosts.empty() || dns_->reverse(addr)))
       ++report.metadata_cleaned_out;
     report.metadata_coverage.add(obs.metadata);
     report.servers.push_back(std::move(obs));

@@ -6,6 +6,13 @@
 // table, AS graph locality, geolocation). The output WeeklyReport carries
 // everything the paper's tables and figures need for that week.
 //
+// The unit of work is a WeekSession obtained from open_week(): an RAII
+// handle over the week in progress. Feed it samples (one at a time or in
+// batches), optionally absorb worker WeekShards built elsewhere, then
+// finish() it into a WeeklyReport. Dropping a session discards the week.
+// The legacy begin_week/observe/end_week triple survives as deprecated
+// wrappers around an internal session.
+//
 // The VantagePoint never touches generator ground truth: its inputs are
 // the sample stream, active-measurement callbacks, and databases that are
 // public in the real world (RouteViews-style routing, GeoLite-style
@@ -14,6 +21,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -23,6 +31,7 @@
 #include "classify/metadata.hpp"
 #include "classify/peering_filter.hpp"
 #include "core/org_clusterer.hpp"
+#include "core/week_shard.hpp"
 #include "geo/geo_database.hpp"
 #include "net/as_graph.hpp"
 #include "net/routing_table.hpp"
@@ -35,6 +44,8 @@ struct CountryTally {
   double bytes = 0.0;
   std::size_t server_ips = 0;
   double server_bytes = 0.0;
+
+  friend bool operator==(const CountryTally&, const CountryTally&) = default;
 };
 
 /// Per-AS aggregates (Table 2's network columns).
@@ -43,6 +54,8 @@ struct AsTally {
   double bytes = 0.0;
   std::size_t server_ips = 0;
   double server_bytes = 0.0;
+
+  friend bool operator==(const AsTally&, const AsTally&) = default;
 };
 
 /// Per-locality aggregates (Table 3).
@@ -51,6 +64,8 @@ struct LocalityTally {
   std::unordered_set<net::Ipv4Prefix> prefixes;
   std::unordered_set<net::Asn> ases;
   double bytes = 0.0;
+
+  friend bool operator==(const LocalityTally&, const LocalityTally&) = default;
 };
 
 /// One identified server with its observables.
@@ -90,6 +105,7 @@ struct WeeklyReport {
   LocalityTally peering_locality[3];
   LocalityTally server_locality[3];
 
+  /// Sorted by address — canonical regardless of ingest order.
   std::vector<ServerObservation> servers;
 
   [[nodiscard]] double peering_bytes() const noexcept {
@@ -102,6 +118,60 @@ struct VantageOptions {
   int fetches_per_ip = 3;
 };
 
+class VantagePoint;
+
+/// RAII handle over one observation week. Obtained from
+/// VantagePoint::open_week(); single-owner, movable. The session is also
+/// the reduce point of the parallel engine: make_shard() mints empty
+/// worker shards and absorb() folds them back in.
+class WeekSession {
+ public:
+  WeekSession(WeekSession&&) noexcept = default;
+  WeekSession& operator=(WeekSession&&) noexcept = default;
+  WeekSession(const WeekSession&) = delete;
+  WeekSession& operator=(const WeekSession&) = delete;
+
+  /// Ingests one sample at the next stream position.
+  void observe(const sflow::FlowSample& sample) {
+    shard_.observe(sample, next_seq_++);
+  }
+
+  /// Ingests a batch occupying the next batch.size() stream positions.
+  void observe_batch(std::span<const sflow::FlowSample> batch) {
+    shard_.observe_batch(batch, next_seq_);
+    next_seq_ += batch.size();
+  }
+
+  /// Mints an empty shard of this session's week for a worker thread.
+  [[nodiscard]] WeekShard make_shard() const;
+
+  /// Folds a worker shard into the session state.
+  void absorb(WeekShard&& shard) { shard_.merge(std::move(shard)); }
+
+  /// Finishes the week: runs the HTTPS prober via `fetch`, harvests
+  /// metadata, aggregates everything. The returned report is
+  /// self-contained; the session is spent afterwards.
+  [[nodiscard]] WeeklyReport finish(const classify::ChainFetcher& fetch);
+
+  [[nodiscard]] int week() const noexcept { return week_; }
+  [[nodiscard]] std::uint64_t samples_observed() const noexcept {
+    return shard_.samples_observed();
+  }
+  /// The dissector of the week in progress (for advanced callers).
+  [[nodiscard]] const classify::TrafficDissector& dissector() const noexcept {
+    return shard_.dissector();
+  }
+
+ private:
+  friend class VantagePoint;
+  WeekSession(VantagePoint& vp, int week);
+
+  VantagePoint* vp_;
+  int week_;
+  WeekShard shard_;
+  std::uint64_t next_seq_ = 0;
+};
+
 class VantagePoint {
  public:
   VantagePoint(const fabric::Ixp& ixp, const net::RoutingTable& routing,
@@ -110,22 +180,35 @@ class VantagePoint {
                const dns::ZoneDatabase& dns, const dns::PublicSuffixList& psl,
                const x509::RootStore& roots, VantageOptions options = {});
 
+  /// Opens a new observation week and hands back its session.
+  [[nodiscard]] WeekSession open_week(int week) {
+    return WeekSession{*this, week};
+  }
+
+  /// Reduces a fully-merged shard into the week's report. This is the
+  /// probe/aggregate phase; it iterates observation state in canonical
+  /// (sorted-address) order so the report is identical for any shard
+  /// split of the same sample stream.
+  [[nodiscard]] WeeklyReport finish_week(WeekShard&& shard,
+                                         const classify::ChainFetcher& fetch);
+
+  // ---- deprecated week API (thin wrappers over an internal session) ----
+
   /// Starts a new observation week; resets per-week state.
+  [[deprecated("use open_week() and the returned WeekSession")]]
   void begin_week(int week);
 
   /// Ingests one sFlow sample (call once per sample of the week).
+  [[deprecated("use WeekSession::observe")]]
   void observe(const sflow::FlowSample& sample);
 
-  /// Finishes the week: runs the HTTPS prober via `fetch`, harvests
-  /// metadata, aggregates everything. The returned report is self-contained.
+  /// Finishes the week started with begin_week().
+  [[deprecated("use WeekSession::finish")]]
   [[nodiscard]] WeeklyReport end_week(const classify::ChainFetcher& fetch);
 
-  /// The dissector of the week in progress (for advanced callers).
-  [[nodiscard]] const classify::TrafficDissector& dissector() const {
-    return *dissector_;
-  }
-
  private:
+  friend class WeekSession;
+
   const fabric::Ixp* ixp_;
   const net::RoutingTable* routing_;
   const geo::GeoDatabase* geo_;
@@ -135,12 +218,8 @@ class VantagePoint {
   const x509::RootStore* roots_;
   VantageOptions options_;
 
-  int week_ = 0;
-  std::optional<classify::PeeringFilter> filter_;
-  std::unique_ptr<classify::TrafficDissector> dissector_;
-  classify::FilterCounters counters_;
-  /// Validated chains of confirmed HTTPS servers (leaf names feed §2.4).
-  std::unordered_map<net::Ipv4Addr, x509::CertificateChain> confirmed_chains_;
+  /// Backs the deprecated begin_week/observe/end_week wrappers.
+  std::optional<WeekSession> legacy_session_;
 };
 
 }  // namespace ixp::core

@@ -82,19 +82,30 @@ bool TraceReader::refill() {
   return !current_.samples.empty();
 }
 
-std::optional<FlowSample> TraceReader::next() {
-  while (cursor_ >= current_.samples.size()) {
-    if (!refill()) return std::nullopt;
+std::size_t TraceReader::read_batch(std::vector<FlowSample>& out,
+                                    std::size_t max) {
+  out.clear();
+  while (out.size() < max) {
+    if (cursor_ >= current_.samples.size() && !refill()) break;
+    out.push_back(std::move(current_.samples[cursor_++]));
   }
-  return current_.samples[cursor_++];
+  return out.size();
+}
+
+std::optional<FlowSample> TraceReader::next() {
+  if (read_batch(one_, 1) == 0) return std::nullopt;
+  return std::move(one_.front());
 }
 
 std::uint64_t TraceReader::for_each(
     const std::function<void(const FlowSample&)>& sink) {
+  std::vector<FlowSample> batch;
   std::uint64_t delivered = 0;
-  while (auto sample = next()) {
-    sink(*sample);
-    ++delivered;
+  while (read_batch(batch, kDefaultBatch) > 0) {
+    for (const FlowSample& sample : batch) {
+      sink(sample);
+      ++delivered;
+    }
   }
   return delivered;
 }

@@ -56,12 +56,25 @@ class TraceWriter {
 };
 
 /// Streams samples back out of a recorded trace.
+///
+/// read_batch() is the primitive: it pulls samples in stream order across
+/// datagram boundaries, which is what the parallel analysis engine feeds
+/// its worker threads with. next() and for_each() are conveniences built
+/// on top of it; the three can be interleaved freely.
 class TraceReader {
  public:
+  /// Batch size used by for_each()'s internal pulls.
+  static constexpr std::size_t kDefaultBatch = 256;
+
   /// Validates the header; `ok()` is false on a bad magic/version.
   explicit TraceReader(std::istream& in);
 
   [[nodiscard]] bool ok() const noexcept { return ok_; }
+
+  /// Clears `out` and refills it with up to `max` samples in stream
+  /// order; returns the number delivered (0 at end-of-trace). Stops
+  /// early (and clears ok()) at the first corrupt datagram.
+  std::size_t read_batch(std::vector<FlowSample>& out, std::size_t max);
 
   /// Invokes `sink` for every sample in order; returns the number of
   /// samples delivered. Stops (and clears ok()) at the first corrupt
@@ -78,6 +91,7 @@ class TraceReader {
   bool ok_ = false;
   Datagram current_;
   std::size_t cursor_ = 0;
+  std::vector<FlowSample> one_;  // next()'s single-sample batch
 };
 
 }  // namespace ixp::sflow

@@ -14,7 +14,8 @@ using net::Ipv4Addr;
 /// payload span is only valid while the capture buffer lives.
 void ingest(TrafficDissector& d, Ipv4Addr src, Ipv4Addr dst,
             std::uint16_t src_port, std::uint16_t dst_port,
-            const std::string& payload, double bytes = 1000.0) {
+            const std::string& payload, std::uint64_t bytes = 1000,
+            std::uint64_t seq = 0) {
   sflow::FrameSpec spec;
   spec.src_mac = sflow::MacAddr::from_id(1);
   spec.dst_mac = sflow::MacAddr::from_id(2);
@@ -29,6 +30,7 @@ void ingest(TrafficDissector& d, Ipv4Addr src, Ipv4Addr dst,
   PeeringSample sample;
   sample.frame = *sflow::parse_frame(frame);
   sample.expanded_bytes = bytes;
+  sample.seq = seq;
   d.ingest(sample);
 }
 
@@ -131,11 +133,37 @@ TEST(TrafficDissector, HostsDeduplicatedAndCapped) {
 
 TEST(TrafficDissector, BytesAccumulateOnBothEndpoints) {
   TrafficDissector d;
-  ingest(d, kClient, kServer, 40000, 80, "", 500.0);
-  ingest(d, kServer, kClient, 80, 40000, "", 700.0);
-  EXPECT_DOUBLE_EQ(d.activity().at(kServer).bytes, 1200.0);
-  EXPECT_DOUBLE_EQ(d.activity().at(kClient).bytes, 1200.0);
+  ingest(d, kClient, kServer, 40000, 80, "", 500);
+  ingest(d, kServer, kClient, 80, 40000, "", 700);
+  EXPECT_EQ(d.activity().at(kServer).bytes, 1200u);
+  EXPECT_EQ(d.activity().at(kClient).bytes, 1200u);
   EXPECT_DOUBLE_EQ(d.summarize().total_bytes, 1200.0);
+}
+
+TEST(TrafficDissector, MergeReproducesSequentialHostOrder) {
+  // 12 distinct hosts (cap is 8) split across two dissectors; the merged
+  // host set must equal the one a single dissector accumulates, because
+  // the cap keeps the 8 smallest (first_seq, name) keys — an exact order
+  // statistic of the union.
+  const auto host_request = [](int i) {
+    return "GET / HTTP/1.1\r\nHost: host" + std::to_string(i) + ".com\r\n";
+  };
+  TrafficDissector whole;
+  TrafficDissector left;
+  TrafficDissector right;
+  for (int i = 0; i < 12; ++i) {
+    const auto seq = static_cast<std::uint64_t>(i);
+    ingest(whole, kClient, kServer, 40000, 80, host_request(i), 1000, seq);
+    ingest(i % 2 == 0 ? left : right, kClient, kServer, 40000, 80,
+           host_request(i), 1000, seq);
+  }
+  left.merge(std::move(right));
+  EXPECT_EQ(left.hosts_of(kServer), whole.hosts_of(kServer));
+  EXPECT_EQ(left.activity().at(kServer).samples,
+            whole.activity().at(kServer).samples);
+  EXPECT_EQ(left.activity().at(kServer).bytes,
+            whole.activity().at(kServer).bytes);
+  EXPECT_EQ(left.summarize(), whole.summarize());
 }
 
 TEST(TrafficDissector, SummaryCounts) {

@@ -1,0 +1,267 @@
+// The parallel engine's determinism contract: any shard split of a
+// week's sample stream — any shard count, any merge order, any thread
+// count — must reproduce the single-shard WeeklyReport field for field,
+// bit for bit. These tests run against the synthetic Internet at test
+// scale so the streams exercise the full filter/dissect/probe pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "core/parallel_analyzer.hpp"
+#include "core/vantage_point.hpp"
+#include "gen/internet.hpp"
+#include "gen/workload.hpp"
+#include "sflow/trace.hpp"
+
+namespace ixp::core {
+namespace {
+
+constexpr int kWeek = 45;
+
+class ParallelEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_ = new gen::InternetModel{gen::ScaleConfig::test()};
+    std::vector<net::Asn> members;
+    for (const auto* m : model_->ixp().members_at(kWeek))
+      members.push_back(m->asn);
+    locality_ = new std::unordered_map<net::Asn, net::Locality>(
+        model_->as_graph().classify(members));
+
+    samples_ = new std::vector<sflow::FlowSample>;
+    const gen::Workload workload{*model_};
+    workload.generate_week(
+        kWeek, [](const sflow::FlowSample& s) { samples_->push_back(s); });
+
+    // The reference: one session, one shard, stream order.
+    auto vp = make_vantage();
+    WeekSession session = vp.open_week(kWeek);
+    session.observe_batch(*samples_);
+    baseline_ = new WeeklyReport{session.finish(fetcher())};
+  }
+
+  static void TearDownTestSuite() {
+    delete baseline_;
+    delete samples_;
+    delete locality_;
+    delete model_;
+  }
+
+  static VantagePoint make_vantage() {
+    return VantagePoint{model_->ixp(),   model_->routing(),
+                        model_->geo_db(), *locality_,
+                        model_->dns_db(), dns::PublicSuffixList::builtin(),
+                        model_->root_store()};
+  }
+
+  static classify::ChainFetcher fetcher() {
+    return [](net::Ipv4Addr addr, int times) {
+      return model_->fetch_chains(addr, times, kWeek);
+    };
+  }
+
+  /// Field-for-field equality against the baseline report. EXPECT_EQ on
+  /// the double fields deliberately demands bit-identity — that is the
+  /// contract, not approximate agreement.
+  static void expect_matches_baseline(const WeeklyReport& r) {
+    const WeeklyReport& b = *baseline_;
+    EXPECT_EQ(r.week, b.week);
+    EXPECT_EQ(r.filters, b.filters);
+    EXPECT_EQ(r.dissection, b.dissection);
+    EXPECT_EQ(r.https_funnel.candidates, b.https_funnel.candidates);
+    EXPECT_EQ(r.https_funnel.responded, b.https_funnel.responded);
+    EXPECT_EQ(r.https_funnel.confirmed, b.https_funnel.confirmed);
+    EXPECT_EQ(r.metadata_coverage.servers, b.metadata_coverage.servers);
+    EXPECT_EQ(r.metadata_coverage.with_dns, b.metadata_coverage.with_dns);
+    EXPECT_EQ(r.metadata_coverage.with_uri, b.metadata_coverage.with_uri);
+    EXPECT_EQ(r.metadata_coverage.with_cert, b.metadata_coverage.with_cert);
+    EXPECT_EQ(r.metadata_coverage.with_any, b.metadata_coverage.with_any);
+    EXPECT_EQ(r.metadata_cleaned_out, b.metadata_cleaned_out);
+
+    EXPECT_EQ(r.peering_ips, b.peering_ips);
+    EXPECT_EQ(r.peering_prefixes, b.peering_prefixes);
+    EXPECT_EQ(r.peering_ases, b.peering_ases);
+    EXPECT_EQ(r.peering_countries, b.peering_countries);
+    EXPECT_EQ(r.server_ips, b.server_ips);
+    EXPECT_EQ(r.server_prefixes, b.server_prefixes);
+    EXPECT_EQ(r.server_ases, b.server_ases);
+    EXPECT_EQ(r.server_countries, b.server_countries);
+
+    EXPECT_EQ(r.by_country, b.by_country);
+    EXPECT_EQ(r.by_as, b.by_as);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(r.peering_locality[i], b.peering_locality[i]) << "locality " << i;
+      EXPECT_EQ(r.server_locality[i], b.server_locality[i]) << "locality " << i;
+    }
+
+    ASSERT_EQ(r.servers.size(), b.servers.size());
+    for (std::size_t i = 0; i < r.servers.size(); ++i) {
+      const ServerObservation& got = r.servers[i];
+      const ServerObservation& want = b.servers[i];
+      ASSERT_EQ(got.addr, want.addr) << "server " << i;
+      EXPECT_EQ(got.bytes, want.bytes) << got.addr.to_string();
+      EXPECT_EQ(got.http, want.http) << got.addr.to_string();
+      EXPECT_EQ(got.https, want.https) << got.addr.to_string();
+      EXPECT_EQ(got.rtmp, want.rtmp) << got.addr.to_string();
+      EXPECT_EQ(got.also_client, want.also_client) << got.addr.to_string();
+      EXPECT_EQ(got.asn, want.asn) << got.addr.to_string();
+      EXPECT_EQ(got.country, want.country) << got.addr.to_string();
+
+      const classify::ServerMetadata& gm = got.metadata;
+      const classify::ServerMetadata& wm = want.metadata;
+      EXPECT_EQ(gm.addr, wm.addr);
+      ASSERT_EQ(gm.hostname.has_value(), wm.hostname.has_value())
+          << got.addr.to_string();
+      if (gm.hostname) {
+        EXPECT_EQ(gm.hostname->text(), wm.hostname->text());
+      }
+      ASSERT_EQ(gm.soa_authority.has_value(), wm.soa_authority.has_value())
+          << got.addr.to_string();
+      if (gm.soa_authority) {
+        EXPECT_EQ(gm.soa_authority->text(), wm.soa_authority->text());
+      }
+      EXPECT_EQ(gm.uris, wm.uris) << got.addr.to_string();
+      ASSERT_EQ(gm.cert_names.size(), wm.cert_names.size())
+          << got.addr.to_string();
+      for (std::size_t n = 0; n < gm.cert_names.size(); ++n)
+        EXPECT_EQ(gm.cert_names[n].text(), wm.cert_names[n].text());
+    }
+  }
+
+  static gen::InternetModel* model_;
+  static std::unordered_map<net::Asn, net::Locality>* locality_;
+  static std::vector<sflow::FlowSample>* samples_;
+  static WeeklyReport* baseline_;
+};
+
+gen::InternetModel* ParallelEngineTest::model_ = nullptr;
+std::unordered_map<net::Asn, net::Locality>* ParallelEngineTest::locality_ =
+    nullptr;
+std::vector<sflow::FlowSample>* ParallelEngineTest::samples_ = nullptr;
+WeeklyReport* ParallelEngineTest::baseline_ = nullptr;
+
+/// Round-robin the stream over K shards, then absorb the shards in a
+/// rotated order. Any K and any absorb order must reproduce the baseline.
+WeeklyReport run_shard_split(VantagePoint& vp,
+                             const std::vector<sflow::FlowSample>& samples,
+                             const classify::ChainFetcher& fetch,
+                             std::size_t shard_count, std::size_t rotate) {
+  WeekSession session = vp.open_week(kWeek);
+  std::vector<WeekShard> shards;
+  shards.reserve(shard_count);
+  for (std::size_t k = 0; k < shard_count; ++k)
+    shards.push_back(session.make_shard());
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    shards[i % shard_count].observe(samples[i], i);
+  std::rotate(shards.begin(),
+              shards.begin() + static_cast<std::ptrdiff_t>(rotate % shard_count),
+              shards.end());
+  for (WeekShard& shard : shards) session.absorb(std::move(shard));
+  return session.finish(fetch);
+}
+
+TEST_F(ParallelEngineTest, TwoShardsReproduceBaseline) {
+  auto vp = make_vantage();
+  expect_matches_baseline(run_shard_split(vp, *samples_, fetcher(), 2, 1));
+}
+
+TEST_F(ParallelEngineTest, ThreeShardsMergedOutOfOrder) {
+  auto vp = make_vantage();
+  expect_matches_baseline(run_shard_split(vp, *samples_, fetcher(), 3, 2));
+}
+
+TEST_F(ParallelEngineTest, SevenShardsMergedOutOfOrder) {
+  auto vp = make_vantage();
+  expect_matches_baseline(run_shard_split(vp, *samples_, fetcher(), 7, 4));
+}
+
+TEST_F(ParallelEngineTest, PairwiseShardMergeIsAssociative) {
+  // (a . b) . c  versus  a . (b . c) over a 3-way split of the stream.
+  auto vp = make_vantage();
+  const auto split3 = [&](WeekSession& session) {
+    std::vector<WeekShard> shards;
+    for (int k = 0; k < 3; ++k) shards.push_back(session.make_shard());
+    for (std::size_t i = 0; i < samples_->size(); ++i)
+      shards[i % 3].observe((*samples_)[i], i);
+    return shards;
+  };
+
+  WeekSession left = vp.open_week(kWeek);
+  {
+    auto shards = split3(left);
+    shards[0].merge(std::move(shards[1]));  // (a . b)
+    shards[0].merge(std::move(shards[2]));  // . c
+    left.absorb(std::move(shards[0]));
+  }
+  const auto left_report = left.finish(fetcher());
+
+  WeekSession right = vp.open_week(kWeek);
+  {
+    auto shards = split3(right);
+    shards[1].merge(std::move(shards[2]));  // (b . c)
+    shards[0].merge(std::move(shards[1]));  // a .
+    right.absorb(std::move(shards[0]));
+  }
+  const auto right_report = right.finish(fetcher());
+
+  expect_matches_baseline(left_report);
+  expect_matches_baseline(right_report);
+}
+
+TEST_F(ParallelEngineTest, SpanAnalyzerTwoThreadsMatchesBaseline) {
+  auto vp = make_vantage();
+  ParallelOptions options;
+  options.threads = 2;
+  options.batch_size = 64;  // many batches -> real interleaving
+  ParallelAnalyzer analyzer{vp, options};
+  const auto report = analyzer.analyze(
+      kWeek, std::span<const sflow::FlowSample>{*samples_}, fetcher());
+  expect_matches_baseline(report);
+}
+
+TEST_F(ParallelEngineTest, SpanAnalyzerFourThreadsMatchesBaseline) {
+  auto vp = make_vantage();
+  ParallelOptions options;
+  options.threads = 4;
+  options.batch_size = 37;  // deliberately odd: ragged final batch
+  ParallelAnalyzer analyzer{vp, options};
+  const auto report = analyzer.analyze(
+      kWeek, std::span<const sflow::FlowSample>{*samples_}, fetcher());
+  expect_matches_baseline(report);
+}
+
+TEST_F(ParallelEngineTest, TraceReplayThreadedMatchesBaseline) {
+  // Full loop: record the stream, replay it through the queue-fed engine.
+  std::stringstream buffer;
+  {
+    sflow::TraceWriter writer{buffer, net::Ipv4Addr{172, 16, 0, 1}, 128};
+    for (const auto& sample : *samples_) writer.write(sample);
+    writer.flush();
+  }
+  sflow::TraceReader reader{buffer};
+  ASSERT_TRUE(reader.ok());
+
+  auto vp = make_vantage();
+  ParallelOptions options;
+  options.threads = 3;
+  options.batch_size = 128;
+  ParallelAnalyzer analyzer{vp, options};
+  const auto report = analyzer.analyze(kWeek, reader, fetcher());
+  EXPECT_TRUE(reader.ok());
+  expect_matches_baseline(report);
+}
+
+TEST_F(ParallelEngineTest, SingleThreadAnalyzerMatchesBaseline) {
+  auto vp = make_vantage();
+  ParallelOptions options;
+  options.threads = 1;
+  ParallelAnalyzer analyzer{vp, options};
+  const auto report = analyzer.analyze(
+      kWeek, std::span<const sflow::FlowSample>{*samples_}, fetcher());
+  expect_matches_baseline(report);
+}
+
+}  // namespace
+}  // namespace ixp::core

@@ -77,11 +77,11 @@ class VantagePointTest : public ::testing::Test {
 
 TEST_F(VantagePointTest, AggregatesOneServerFlow) {
   auto vp = make();
-  vp.begin_week(45);
+  WeekSession session = vp.open_week(45);
   // Server 10.0.0.1 (DE, AS100) answers client 20.0.0.9 (US, AS200).
-  vp.observe(sample(Ipv4Addr{10, 0, 0, 1}, Ipv4Addr{20, 0, 0, 9}, 80, 40000,
-                    "HTTP/1.1 200 OK\r\nServer: t\r\n", 1000));
-  const auto report = vp.end_week(no_fetch);
+  session.observe(sample(Ipv4Addr{10, 0, 0, 1}, Ipv4Addr{20, 0, 0, 9}, 80,
+                         40000, "HTTP/1.1 200 OK\r\nServer: t\r\n", 1000));
+  const auto report = session.finish(no_fetch);
 
   EXPECT_EQ(report.week, 45);
   EXPECT_EQ(report.peering_ips, 2u);
@@ -121,10 +121,10 @@ TEST_F(VantagePointTest, AggregatesOneServerFlow) {
 
 TEST_F(VantagePointTest, HttpsFunnelThroughFetcher) {
   auto vp = make();
-  vp.begin_week(45);
-  vp.observe(sample(Ipv4Addr{10, 0, 0, 2}, Ipv4Addr{20, 0, 0, 9}, 443, 40000,
-                    "", 1200));
-  const auto report = vp.end_week([](Ipv4Addr addr, int times) {
+  WeekSession session = vp.open_week(45);
+  session.observe(sample(Ipv4Addr{10, 0, 0, 2}, Ipv4Addr{20, 0, 0, 9}, 443,
+                         40000, "", 1200));
+  const auto report = session.finish([](Ipv4Addr addr, int times) {
     std::vector<x509::CertificateChain> fetches;
     if (addr != Ipv4Addr{10, 0, 0, 2}) return fetches;
     x509::Certificate leaf;
@@ -146,28 +146,66 @@ TEST_F(VantagePointTest, HttpsFunnelThroughFetcher) {
   EXPECT_EQ(report.servers.front().metadata.cert_names.size(), 1u);
 }
 
-TEST_F(VantagePointTest, BeginWeekResetsState) {
+TEST_F(VantagePointTest, EachSessionStartsFresh) {
   auto vp = make();
-  vp.begin_week(45);
-  vp.observe(sample(Ipv4Addr{10, 0, 0, 1}, Ipv4Addr{20, 0, 0, 9}, 80, 40000,
-                    "HTTP/1.1 200 OK\r\n", 800));
-  (void)vp.end_week(no_fetch);
-
-  vp.begin_week(46);
-  const auto report = vp.end_week(no_fetch);
+  {
+    WeekSession session = vp.open_week(45);
+    session.observe(sample(Ipv4Addr{10, 0, 0, 1}, Ipv4Addr{20, 0, 0, 9}, 80,
+                           40000, "HTTP/1.1 200 OK\r\n", 800));
+    (void)session.finish(no_fetch);
+  }
+  WeekSession session = vp.open_week(46);
+  const auto report = session.finish(no_fetch);
   EXPECT_EQ(report.week, 46);
   EXPECT_EQ(report.peering_ips, 0u);
   EXPECT_EQ(report.server_ips, 0u);
   EXPECT_EQ(report.filters.total_samples(), 0u);
 }
 
-TEST_F(VantagePointTest, UnroutedIpStillCountsAsPeeringIp) {
+TEST_F(VantagePointTest, ObserveBatchMatchesPerSampleObserve) {
+  const std::vector<sflow::FlowSample> flows{
+      sample(Ipv4Addr{10, 0, 0, 1}, Ipv4Addr{20, 0, 0, 9}, 80, 40000,
+             "HTTP/1.1 200 OK\r\n", 900),
+      sample(Ipv4Addr{20, 0, 0, 9}, Ipv4Addr{10, 0, 0, 1}, 40000, 80,
+             "GET / HTTP/1.1\r\nHost: s1.example.com\r\n", 400)};
+
+  auto vp = make();
+  WeekSession one_by_one = vp.open_week(45);
+  for (const auto& flow : flows) one_by_one.observe(flow);
+  const auto expected = one_by_one.finish(no_fetch);
+
+  WeekSession batched = vp.open_week(45);
+  batched.observe_batch(flows);
+  const auto actual = batched.finish(no_fetch);
+
+  EXPECT_EQ(actual.filters, expected.filters);
+  EXPECT_EQ(actual.peering_ips, expected.peering_ips);
+  EXPECT_EQ(actual.server_ips, expected.server_ips);
+  EXPECT_EQ(actual.servers.size(), expected.servers.size());
+}
+
+// The pre-session triple still works; new code should use open_week().
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST_F(VantagePointTest, DeprecatedWeekTripleStillWorks) {
   auto vp = make();
   vp.begin_week(45);
-  // 30.0.0.0/8 is not in the routing table or geo database.
-  vp.observe(sample(Ipv4Addr{30, 0, 0, 1}, Ipv4Addr{20, 0, 0, 9}, 12345, 22,
-                    "", 500));
+  vp.observe(sample(Ipv4Addr{10, 0, 0, 1}, Ipv4Addr{20, 0, 0, 9}, 80, 40000,
+                    "HTTP/1.1 200 OK\r\n", 1000));
   const auto report = vp.end_week(no_fetch);
+  EXPECT_EQ(report.week, 45);
+  EXPECT_EQ(report.peering_ips, 2u);
+  EXPECT_EQ(report.server_ips, 1u);
+}
+#pragma GCC diagnostic pop
+
+TEST_F(VantagePointTest, UnroutedIpStillCountsAsPeeringIp) {
+  auto vp = make();
+  WeekSession session = vp.open_week(45);
+  // 30.0.0.0/8 is not in the routing table or geo database.
+  session.observe(sample(Ipv4Addr{30, 0, 0, 1}, Ipv4Addr{20, 0, 0, 9}, 12345,
+                         22, "", 500));
+  const auto report = session.finish(no_fetch);
   EXPECT_EQ(report.peering_ips, 2u);
   EXPECT_EQ(report.peering_ases, 1u);       // only the routed side
   EXPECT_EQ(report.peering_countries, 1u);  // only the located side

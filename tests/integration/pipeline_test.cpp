@@ -28,10 +28,10 @@ class PipelineTest : public ::testing::Test {
                           model_->geo_db(), *locality_,
                           model_->dns_db(), dns::PublicSuffixList::builtin(),
                           model_->root_store()};
-    vp.begin_week(45);
+    core::WeekSession session = vp.open_week(45);
     truth_ = new gen::WeeklyTruth{workload_->generate_week(
-        45, [&](const sflow::FlowSample& s) { vp.observe(s); })};
-    report_ = new core::WeeklyReport{vp.end_week(
+        45, [&](const sflow::FlowSample& s) { session.observe(s); })};
+    report_ = new core::WeeklyReport{session.finish(
         [&](net::Ipv4Addr addr, int times) {
           return model_->fetch_chains(addr, times, 45);
         })};
@@ -70,7 +70,8 @@ TEST_F(PipelineTest, FilterSharesMatchFigure1) {
 
 TEST_F(PipelineTest, TcpUdpSplitNearPaper) {
   const auto& f = report_->filters;
-  const double tcp_share = f.tcp_bytes / (f.tcp_bytes + f.udp_bytes);
+  const double tcp_share = static_cast<double>(f.tcp_bytes) /
+                           static_cast<double>(f.tcp_bytes + f.udp_bytes);
   EXPECT_NEAR(tcp_share, 0.82, 0.04);
 }
 

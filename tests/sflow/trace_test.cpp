@@ -110,6 +110,64 @@ TEST(Trace, TruncationDetected) {
   EXPECT_FALSE(reader.ok());  // truncation reported
 }
 
+TEST(Trace, ReadBatchCrossesDatagramBoundaries) {
+  std::stringstream buffer;
+  {
+    // 100 samples in datagrams of 7: batches of 9 never line up with them.
+    TraceWriter writer{buffer, Ipv4Addr{172, 16, 0, 1}, /*batch=*/7};
+    for (std::uint32_t i = 0; i < 100; ++i) writer.write(make_sample(i));
+  }
+  TraceReader reader{buffer};
+  ASSERT_TRUE(reader.ok());
+
+  std::vector<FlowSample> batch;
+  std::uint32_t expected = 0;
+  std::size_t delivered;
+  while ((delivered = reader.read_batch(batch, 9)) > 0) {
+    EXPECT_EQ(delivered, batch.size());
+    EXPECT_LE(delivered, 9u);
+    for (const FlowSample& sample : batch) {
+      EXPECT_EQ(sample.sequence, expected);
+      ++expected;
+    }
+  }
+  EXPECT_EQ(expected, 100u);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_TRUE(batch.empty());  // the final call cleared the vector
+}
+
+TEST(Trace, ReadBatchLargerThanTraceDeliversEverything) {
+  std::stringstream buffer;
+  {
+    TraceWriter writer{buffer, Ipv4Addr{1, 1, 1, 1}, 4};
+    for (std::uint32_t i = 0; i < 10; ++i) writer.write(make_sample(i));
+  }
+  TraceReader reader{buffer};
+  std::vector<FlowSample> batch;
+  EXPECT_EQ(reader.read_batch(batch, 1000), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i)
+    EXPECT_EQ(batch[i].sequence, i);
+  EXPECT_EQ(reader.read_batch(batch, 1000), 0u);
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(Trace, ReadBatchInterleavesWithNext) {
+  std::stringstream buffer;
+  {
+    TraceWriter writer{buffer, Ipv4Addr{1, 1, 1, 1}, 3};
+    for (std::uint32_t i = 0; i < 10; ++i) writer.write(make_sample(i));
+  }
+  TraceReader reader{buffer};
+  std::vector<FlowSample> batch;
+  ASSERT_EQ(reader.read_batch(batch, 4), 4u);  // samples 0..3
+  const auto single = reader.next();           // sample 4
+  ASSERT_TRUE(single);
+  EXPECT_EQ(single->sequence, 4u);
+  ASSERT_EQ(reader.read_batch(batch, 100), 5u);  // samples 5..9
+  EXPECT_EQ(batch.front().sequence, 5u);
+  EXPECT_EQ(batch.back().sequence, 9u);
+}
+
 TEST(Trace, FlushWritesPartialBatch) {
   std::stringstream buffer;
   TraceWriter writer{buffer, Ipv4Addr{1, 1, 1, 1}, 100};

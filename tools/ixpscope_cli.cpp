@@ -7,8 +7,12 @@
 //   ixpscope bgp-export --out F        dump the routing table (BGP text)
 //
 // Global flags: --volume <double> (default 1/256), --quick (test preset).
+// analyze also takes --threads N: the sharded parallel engine splits the
+// trace across N worker threads and reduces the shards deterministically,
+// so the report is byte-identical for any N.
 // The trace must have been generated at the same scale settings, since
 // analysis resolves IPs against the same (deterministic) databases.
+#include <charconv>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -16,6 +20,7 @@
 #include <string>
 
 #include "analysis/weekly_delta.hpp"
+#include "core/parallel_analyzer.hpp"
 #include "core/vantage_point.hpp"
 #include "gen/internet.hpp"
 #include "gen/workload.hpp"
@@ -34,6 +39,7 @@ struct Options {
   int from_week = 44;
   int to_week = 45;
   double volume = 1.0 / 256.0;
+  int threads = 1;
   bool quick = false;
   std::string in_path;
   std::string out_path;
@@ -45,10 +51,26 @@ int usage() {
       "  info                          print the model inventory\n"
       "  generate --week N --out FILE  record one week of sFlow samples\n"
       "  analyze  --week N --in FILE   run the pipeline on a trace\n"
+      "           [--threads N]        shard the analysis over N threads\n"
       "  diff     --from A --to B      week-over-week change report\n"
       "  bgp-export --out FILE         dump the routing table\n"
       "flags: --volume <0..1> (default 0.00390625), --quick\n";
   return 2;
+}
+
+/// Strict numeric parsing: the whole argument must be a number. atoi/atof
+/// silently turned garbage into 0, which then looked like a valid week or
+/// volume; from_chars rejects it loudly instead.
+bool parse_int(const char* text, int& out) {
+  const char* end = text + std::strlen(text);
+  const auto [ptr, ec] = std::from_chars(text, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_double(const char* text, double& out) {
+  const char* end = text + std::strlen(text);
+  const auto [ptr, ec] = std::from_chars(text, end, out);
+  return ec == std::errc{} && ptr == end;
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -57,20 +79,34 @@ bool parse(int argc, char** argv, Options& opt) {
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     const auto need_value = [&](int i) { return i + 1 < argc; };
+    const auto bad_number = [&](const char* value) {
+      std::cerr << "invalid number for " << flag << ": '" << value << "'\n";
+      return false;
+    };
     if (flag == "--quick") {
       opt.quick = true;
     } else if (flag == "--week" && need_value(i)) {
-      opt.week = std::atoi(argv[++i]);
+      if (!parse_int(argv[++i], opt.week)) return bad_number(argv[i]);
     } else if (flag == "--from" && need_value(i)) {
-      opt.from_week = std::atoi(argv[++i]);
+      if (!parse_int(argv[++i], opt.from_week)) return bad_number(argv[i]);
     } else if (flag == "--to" && need_value(i)) {
-      opt.to_week = std::atoi(argv[++i]);
+      if (!parse_int(argv[++i], opt.to_week)) return bad_number(argv[i]);
+    } else if (flag == "--threads" && need_value(i)) {
+      if (!parse_int(argv[++i], opt.threads) || opt.threads < 1)
+        return bad_number(argv[i]);
     } else if (flag == "--volume" && need_value(i)) {
-      opt.volume = std::atof(argv[++i]);
+      if (!parse_double(argv[++i], opt.volume) || opt.volume <= 0.0 ||
+          opt.volume > 1.0)
+        return bad_number(argv[i]);
     } else if (flag == "--in" && need_value(i)) {
       opt.in_path = argv[++i];
     } else if (flag == "--out" && need_value(i)) {
       opt.out_path = argv[++i];
+    } else if (flag == "--week" || flag == "--from" || flag == "--to" ||
+               flag == "--threads" || flag == "--volume" || flag == "--in" ||
+               flag == "--out") {
+      std::cerr << "missing value for " << flag << "\n";
+      return false;
     } else {
       std::cerr << "unknown flag: " << flag << "\n";
       return false;
@@ -98,18 +134,17 @@ World build_world(const Options& opt) {
   return world;
 }
 
-core::WeeklyReport run_pipeline(
-    const World& world, int week,
-    const std::function<void(core::VantagePoint&)>& feed) {
-  core::VantagePoint vantage{
+core::VantagePoint make_vantage(const World& world) {
+  return core::VantagePoint{
       world.model->ixp(),   world.model->routing(),  world.model->geo_db(),
       world.locality,       world.model->dns_db(),
       dns::PublicSuffixList::builtin(), world.model->root_store()};
-  vantage.begin_week(week);
-  feed(vantage);
-  return vantage.end_week([&](net::Ipv4Addr addr, int times) {
+}
+
+classify::ChainFetcher make_fetcher(const World& world, int week) {
+  return [&world, week](net::Ipv4Addr addr, int times) {
     return world.model->fetch_chains(addr, times, week);
-  });
+  };
 }
 
 void print_report(const core::WeeklyReport& report) {
@@ -186,9 +221,12 @@ int cmd_analyze(const Options& opt) {
     std::cerr << opt.in_path << ": not an ixpscope trace\n";
     return 1;
   }
-  const auto report = run_pipeline(world, opt.week, [&](core::VantagePoint& vp) {
-    reader.for_each([&](const sflow::FlowSample& s) { vp.observe(s); });
-  });
+  core::VantagePoint vantage = make_vantage(world);
+  core::ParallelOptions popt;
+  popt.threads = static_cast<unsigned>(opt.threads);
+  core::ParallelAnalyzer analyzer{vantage, popt};
+  const auto report =
+      analyzer.analyze(opt.week, reader, make_fetcher(world, opt.week));
   if (!reader.ok())
     std::cerr << "warning: trace was truncated; results are partial\n";
   print_report(report);
@@ -197,11 +235,12 @@ int cmd_analyze(const Options& opt) {
 
 int cmd_diff(const Options& opt) {
   const auto world = build_world(opt);
+  core::VantagePoint vantage = make_vantage(world);
   const auto run = [&](int week) {
-    return run_pipeline(world, week, [&](core::VantagePoint& vp) {
-      world.workload->generate_week(
-          week, [&](const sflow::FlowSample& s) { vp.observe(s); });
-    });
+    core::WeekSession session = vantage.open_week(week);
+    world.workload->generate_week(
+        week, [&](const sflow::FlowSample& s) { session.observe(s); });
+    return session.finish(make_fetcher(world, week));
   };
   const auto earlier = run(opt.from_week);
   const auto later = run(opt.to_week);
