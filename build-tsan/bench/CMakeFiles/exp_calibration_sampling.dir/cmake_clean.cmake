@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_calibration_sampling.dir/exp_calibration_sampling.cpp.o"
+  "CMakeFiles/exp_calibration_sampling.dir/exp_calibration_sampling.cpp.o.d"
+  "exp_calibration_sampling"
+  "exp_calibration_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_calibration_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_common.dir/exp_common.cpp.o"
+  "CMakeFiles/exp_common.dir/exp_common.cpp.o.d"
+  "libexp_common.a"
+  "libexp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexp_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ext_server_to_server.dir/exp_ext_server_to_server.cpp.o"
+  "CMakeFiles/exp_ext_server_to_server.dir/exp_ext_server_to_server.cpp.o.d"
+  "exp_ext_server_to_server"
+  "exp_ext_server_to_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ext_server_to_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

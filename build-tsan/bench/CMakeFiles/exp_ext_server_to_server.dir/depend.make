@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_ext_server_to_server.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig1_filtering.dir/exp_fig1_filtering.cpp.o"
+  "CMakeFiles/exp_fig1_filtering.dir/exp_fig1_filtering.cpp.o.d"
+  "exp_fig1_filtering"
+  "exp_fig1_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig1_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig2_server_share.dir/exp_fig2_server_share.cpp.o"
+  "CMakeFiles/exp_fig2_server_share.dir/exp_fig2_server_share.cpp.o.d"
+  "exp_fig2_server_share"
+  "exp_fig2_server_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig2_server_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig2_server_share.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig3_geography.dir/exp_fig3_geography.cpp.o"
+  "CMakeFiles/exp_fig3_geography.dir/exp_fig3_geography.cpp.o.d"
+  "exp_fig3_geography"
+  "exp_fig3_geography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig3_geography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig5_traffic_churn.dir/exp_fig5_traffic_churn.cpp.o"
+  "CMakeFiles/exp_fig5_traffic_churn.dir/exp_fig5_traffic_churn.cpp.o.d"
+  "exp_fig5_traffic_churn"
+  "exp_fig5_traffic_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig5_traffic_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

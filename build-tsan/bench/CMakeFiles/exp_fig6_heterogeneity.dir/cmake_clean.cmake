@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig6_heterogeneity.dir/exp_fig6_heterogeneity.cpp.o"
+  "CMakeFiles/exp_fig6_heterogeneity.dir/exp_fig6_heterogeneity.cpp.o.d"
+  "exp_fig6_heterogeneity"
+  "exp_fig6_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig6_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig7_links.dir/exp_fig7_links.cpp.o"
+  "CMakeFiles/exp_fig7_links.dir/exp_fig7_links.cpp.o.d"
+  "exp_fig7_links"
+  "exp_fig7_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig7_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

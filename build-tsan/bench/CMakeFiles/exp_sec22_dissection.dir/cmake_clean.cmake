@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sec22_dissection.dir/exp_sec22_dissection.cpp.o"
+  "CMakeFiles/exp_sec22_dissection.dir/exp_sec22_dissection.cpp.o.d"
+  "exp_sec22_dissection"
+  "exp_sec22_dissection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sec22_dissection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

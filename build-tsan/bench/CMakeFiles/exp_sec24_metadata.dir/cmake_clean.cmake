@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sec24_metadata.dir/exp_sec24_metadata.cpp.o"
+  "CMakeFiles/exp_sec24_metadata.dir/exp_sec24_metadata.cpp.o.d"
+  "exp_sec24_metadata"
+  "exp_sec24_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sec24_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sec31_crossval.dir/exp_sec31_crossval.cpp.o"
+  "CMakeFiles/exp_sec31_crossval.dir/exp_sec31_crossval.cpp.o.d"
+  "exp_sec31_crossval"
+  "exp_sec31_crossval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sec31_crossval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

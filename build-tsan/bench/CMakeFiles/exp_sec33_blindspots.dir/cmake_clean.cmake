@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sec33_blindspots.dir/exp_sec33_blindspots.cpp.o"
+  "CMakeFiles/exp_sec33_blindspots.dir/exp_sec33_blindspots.cpp.o.d"
+  "exp_sec33_blindspots"
+  "exp_sec33_blindspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sec33_blindspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

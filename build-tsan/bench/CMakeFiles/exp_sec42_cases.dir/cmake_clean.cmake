@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sec42_cases.dir/exp_sec42_cases.cpp.o"
+  "CMakeFiles/exp_sec42_cases.dir/exp_sec42_cases.cpp.o.d"
+  "exp_sec42_cases"
+  "exp_sec42_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sec42_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_sec42_cases.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sec51_clustering.dir/exp_sec51_clustering.cpp.o"
+  "CMakeFiles/exp_sec51_clustering.dir/exp_sec51_clustering.cpp.o.d"
+  "exp_sec51_clustering"
+  "exp_sec51_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sec51_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

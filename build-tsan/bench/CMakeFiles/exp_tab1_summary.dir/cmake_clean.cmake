@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_tab1_summary.dir/exp_tab1_summary.cpp.o"
+  "CMakeFiles/exp_tab1_summary.dir/exp_tab1_summary.cpp.o.d"
+  "exp_tab1_summary"
+  "exp_tab1_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_tab1_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

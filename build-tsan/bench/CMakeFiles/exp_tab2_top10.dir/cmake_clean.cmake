@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_tab2_top10.dir/exp_tab2_top10.cpp.o"
+  "CMakeFiles/exp_tab2_top10.dir/exp_tab2_top10.cpp.o.d"
+  "exp_tab2_top10"
+  "exp_tab2_top10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_tab2_top10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_tab2_top10.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_tab2_top10.
+# This may be replaced when dependencies are built.

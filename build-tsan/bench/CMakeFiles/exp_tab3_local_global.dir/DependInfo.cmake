@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/exp_tab3_local_global.cpp" "bench/CMakeFiles/exp_tab3_local_global.dir/exp_tab3_local_global.cpp.o" "gcc" "bench/CMakeFiles/exp_tab3_local_global.dir/exp_tab3_local_global.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/bench/CMakeFiles/exp_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/ixpscope_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/ixpscope_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/classify/CMakeFiles/ixpscope_classify.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gen/CMakeFiles/ixpscope_gen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geo/CMakeFiles/ixpscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/x509/CMakeFiles/ixpscope_x509.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dns/CMakeFiles/ixpscope_dns.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fabric/CMakeFiles/ixpscope_fabric.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sflow/CMakeFiles/ixpscope_sflow.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/ixpscope_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ixpscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

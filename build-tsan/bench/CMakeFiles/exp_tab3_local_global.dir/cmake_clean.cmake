@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_tab3_local_global.dir/exp_tab3_local_global.cpp.o"
+  "CMakeFiles/exp_tab3_local_global.dir/exp_tab3_local_global.cpp.o.d"
+  "exp_tab3_local_global"
+  "exp_tab3_local_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_tab3_local_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_tab3_local_global.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_classify.dir/micro_classify.cpp.o"
+  "CMakeFiles/micro_classify.dir/micro_classify.cpp.o.d"
+  "micro_classify"
+  "micro_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sflow.dir/micro_sflow.cpp.o"
+  "CMakeFiles/micro_sflow.dir/micro_sflow.cpp.o.d"
+  "micro_sflow"
+  "micro_sflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

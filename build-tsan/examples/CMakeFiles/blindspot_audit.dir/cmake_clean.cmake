@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blindspot_audit.dir/blindspot_audit.cpp.o"
+  "CMakeFiles/blindspot_audit.dir/blindspot_audit.cpp.o.d"
+  "blindspot_audit"
+  "blindspot_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blindspot_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogenization_study.dir/heterogenization_study.cpp.o"
+  "CMakeFiles/heterogenization_study.dir/heterogenization_study.cpp.o.d"
+  "heterogenization_study"
+  "heterogenization_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogenization_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

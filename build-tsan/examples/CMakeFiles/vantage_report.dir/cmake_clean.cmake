@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vantage_report.dir/vantage_report.cpp.o"
+  "CMakeFiles/vantage_report.dir/vantage_report.cpp.o.d"
+  "vantage_report"
+  "vantage_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vantage_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("geo")
+subdirs("dns")
+subdirs("x509")
+subdirs("sflow")
+subdirs("fabric")
+subdirs("gen")
+subdirs("classify")
+subdirs("analysis")
+subdirs("core")

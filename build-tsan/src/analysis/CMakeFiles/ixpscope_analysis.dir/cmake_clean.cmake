@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixpscope_analysis.dir/attribution.cpp.o"
+  "CMakeFiles/ixpscope_analysis.dir/attribution.cpp.o.d"
+  "CMakeFiles/ixpscope_analysis.dir/blind_spots.cpp.o"
+  "CMakeFiles/ixpscope_analysis.dir/blind_spots.cpp.o.d"
+  "CMakeFiles/ixpscope_analysis.dir/case_studies.cpp.o"
+  "CMakeFiles/ixpscope_analysis.dir/case_studies.cpp.o.d"
+  "CMakeFiles/ixpscope_analysis.dir/churn_tracker.cpp.o"
+  "CMakeFiles/ixpscope_analysis.dir/churn_tracker.cpp.o.d"
+  "CMakeFiles/ixpscope_analysis.dir/heterogeneity.cpp.o"
+  "CMakeFiles/ixpscope_analysis.dir/heterogeneity.cpp.o.d"
+  "CMakeFiles/ixpscope_analysis.dir/weekly_delta.cpp.o"
+  "CMakeFiles/ixpscope_analysis.dir/weekly_delta.cpp.o.d"
+  "libixpscope_analysis.a"
+  "libixpscope_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixpscope_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

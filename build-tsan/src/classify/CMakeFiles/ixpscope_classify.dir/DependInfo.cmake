@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/dissector.cpp" "src/classify/CMakeFiles/ixpscope_classify.dir/dissector.cpp.o" "gcc" "src/classify/CMakeFiles/ixpscope_classify.dir/dissector.cpp.o.d"
+  "/root/repo/src/classify/http_matcher.cpp" "src/classify/CMakeFiles/ixpscope_classify.dir/http_matcher.cpp.o" "gcc" "src/classify/CMakeFiles/ixpscope_classify.dir/http_matcher.cpp.o.d"
+  "/root/repo/src/classify/https_prober.cpp" "src/classify/CMakeFiles/ixpscope_classify.dir/https_prober.cpp.o" "gcc" "src/classify/CMakeFiles/ixpscope_classify.dir/https_prober.cpp.o.d"
+  "/root/repo/src/classify/metadata.cpp" "src/classify/CMakeFiles/ixpscope_classify.dir/metadata.cpp.o" "gcc" "src/classify/CMakeFiles/ixpscope_classify.dir/metadata.cpp.o.d"
+  "/root/repo/src/classify/peering_filter.cpp" "src/classify/CMakeFiles/ixpscope_classify.dir/peering_filter.cpp.o" "gcc" "src/classify/CMakeFiles/ixpscope_classify.dir/peering_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/net/CMakeFiles/ixpscope_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sflow/CMakeFiles/ixpscope_sflow.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fabric/CMakeFiles/ixpscope_fabric.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dns/CMakeFiles/ixpscope_dns.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/x509/CMakeFiles/ixpscope_x509.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ixpscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixpscope_classify.dir/dissector.cpp.o"
+  "CMakeFiles/ixpscope_classify.dir/dissector.cpp.o.d"
+  "CMakeFiles/ixpscope_classify.dir/http_matcher.cpp.o"
+  "CMakeFiles/ixpscope_classify.dir/http_matcher.cpp.o.d"
+  "CMakeFiles/ixpscope_classify.dir/https_prober.cpp.o"
+  "CMakeFiles/ixpscope_classify.dir/https_prober.cpp.o.d"
+  "CMakeFiles/ixpscope_classify.dir/metadata.cpp.o"
+  "CMakeFiles/ixpscope_classify.dir/metadata.cpp.o.d"
+  "CMakeFiles/ixpscope_classify.dir/peering_filter.cpp.o"
+  "CMakeFiles/ixpscope_classify.dir/peering_filter.cpp.o.d"
+  "libixpscope_classify.a"
+  "libixpscope_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixpscope_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/org_clusterer.cpp" "src/core/CMakeFiles/ixpscope_core.dir/org_clusterer.cpp.o" "gcc" "src/core/CMakeFiles/ixpscope_core.dir/org_clusterer.cpp.o.d"
+  "/root/repo/src/core/parallel_analyzer.cpp" "src/core/CMakeFiles/ixpscope_core.dir/parallel_analyzer.cpp.o" "gcc" "src/core/CMakeFiles/ixpscope_core.dir/parallel_analyzer.cpp.o.d"
+  "/root/repo/src/core/vantage_point.cpp" "src/core/CMakeFiles/ixpscope_core.dir/vantage_point.cpp.o" "gcc" "src/core/CMakeFiles/ixpscope_core.dir/vantage_point.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/classify/CMakeFiles/ixpscope_classify.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/ixpscope_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geo/CMakeFiles/ixpscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dns/CMakeFiles/ixpscope_dns.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/x509/CMakeFiles/ixpscope_x509.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fabric/CMakeFiles/ixpscope_fabric.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sflow/CMakeFiles/ixpscope_sflow.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ixpscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

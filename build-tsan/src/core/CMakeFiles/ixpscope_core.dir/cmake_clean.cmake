@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixpscope_core.dir/org_clusterer.cpp.o"
+  "CMakeFiles/ixpscope_core.dir/org_clusterer.cpp.o.d"
+  "CMakeFiles/ixpscope_core.dir/parallel_analyzer.cpp.o"
+  "CMakeFiles/ixpscope_core.dir/parallel_analyzer.cpp.o.d"
+  "CMakeFiles/ixpscope_core.dir/vantage_point.cpp.o"
+  "CMakeFiles/ixpscope_core.dir/vantage_point.cpp.o.d"
+  "libixpscope_core.a"
+  "libixpscope_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixpscope_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

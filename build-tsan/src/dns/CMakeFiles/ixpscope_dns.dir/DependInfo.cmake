@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/name.cpp" "src/dns/CMakeFiles/ixpscope_dns.dir/name.cpp.o" "gcc" "src/dns/CMakeFiles/ixpscope_dns.dir/name.cpp.o.d"
+  "/root/repo/src/dns/public_suffix.cpp" "src/dns/CMakeFiles/ixpscope_dns.dir/public_suffix.cpp.o" "gcc" "src/dns/CMakeFiles/ixpscope_dns.dir/public_suffix.cpp.o.d"
+  "/root/repo/src/dns/resolver.cpp" "src/dns/CMakeFiles/ixpscope_dns.dir/resolver.cpp.o" "gcc" "src/dns/CMakeFiles/ixpscope_dns.dir/resolver.cpp.o.d"
+  "/root/repo/src/dns/uri.cpp" "src/dns/CMakeFiles/ixpscope_dns.dir/uri.cpp.o" "gcc" "src/dns/CMakeFiles/ixpscope_dns.dir/uri.cpp.o.d"
+  "/root/repo/src/dns/zone_db.cpp" "src/dns/CMakeFiles/ixpscope_dns.dir/zone_db.cpp.o" "gcc" "src/dns/CMakeFiles/ixpscope_dns.dir/zone_db.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/net/CMakeFiles/ixpscope_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ixpscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

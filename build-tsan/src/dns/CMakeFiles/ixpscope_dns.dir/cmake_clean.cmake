@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixpscope_dns.dir/name.cpp.o"
+  "CMakeFiles/ixpscope_dns.dir/name.cpp.o.d"
+  "CMakeFiles/ixpscope_dns.dir/public_suffix.cpp.o"
+  "CMakeFiles/ixpscope_dns.dir/public_suffix.cpp.o.d"
+  "CMakeFiles/ixpscope_dns.dir/resolver.cpp.o"
+  "CMakeFiles/ixpscope_dns.dir/resolver.cpp.o.d"
+  "CMakeFiles/ixpscope_dns.dir/uri.cpp.o"
+  "CMakeFiles/ixpscope_dns.dir/uri.cpp.o.d"
+  "CMakeFiles/ixpscope_dns.dir/zone_db.cpp.o"
+  "CMakeFiles/ixpscope_dns.dir/zone_db.cpp.o.d"
+  "libixpscope_dns.a"
+  "libixpscope_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixpscope_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ixpscope_dns.
+# This may be replaced when dependencies are built.

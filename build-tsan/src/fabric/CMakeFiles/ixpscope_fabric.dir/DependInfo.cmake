@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/ixp.cpp" "src/fabric/CMakeFiles/ixpscope_fabric.dir/ixp.cpp.o" "gcc" "src/fabric/CMakeFiles/ixpscope_fabric.dir/ixp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/net/CMakeFiles/ixpscope_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sflow/CMakeFiles/ixpscope_sflow.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ixpscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixpscope_fabric.dir/ixp.cpp.o"
+  "CMakeFiles/ixpscope_fabric.dir/ixp.cpp.o.d"
+  "libixpscope_fabric.a"
+  "libixpscope_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixpscope_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/internet.cpp" "src/gen/CMakeFiles/ixpscope_gen.dir/internet.cpp.o" "gcc" "src/gen/CMakeFiles/ixpscope_gen.dir/internet.cpp.o.d"
+  "/root/repo/src/gen/internet_build.cpp" "src/gen/CMakeFiles/ixpscope_gen.dir/internet_build.cpp.o" "gcc" "src/gen/CMakeFiles/ixpscope_gen.dir/internet_build.cpp.o.d"
+  "/root/repo/src/gen/isp_observer.cpp" "src/gen/CMakeFiles/ixpscope_gen.dir/isp_observer.cpp.o" "gcc" "src/gen/CMakeFiles/ixpscope_gen.dir/isp_observer.cpp.o.d"
+  "/root/repo/src/gen/org_catalog.cpp" "src/gen/CMakeFiles/ixpscope_gen.dir/org_catalog.cpp.o" "gcc" "src/gen/CMakeFiles/ixpscope_gen.dir/org_catalog.cpp.o.d"
+  "/root/repo/src/gen/scale.cpp" "src/gen/CMakeFiles/ixpscope_gen.dir/scale.cpp.o" "gcc" "src/gen/CMakeFiles/ixpscope_gen.dir/scale.cpp.o.d"
+  "/root/repo/src/gen/workload.cpp" "src/gen/CMakeFiles/ixpscope_gen.dir/workload.cpp.o" "gcc" "src/gen/CMakeFiles/ixpscope_gen.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/ixpscope_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/ixpscope_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geo/CMakeFiles/ixpscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dns/CMakeFiles/ixpscope_dns.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/x509/CMakeFiles/ixpscope_x509.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sflow/CMakeFiles/ixpscope_sflow.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fabric/CMakeFiles/ixpscope_fabric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixpscope_gen.dir/internet.cpp.o"
+  "CMakeFiles/ixpscope_gen.dir/internet.cpp.o.d"
+  "CMakeFiles/ixpscope_gen.dir/internet_build.cpp.o"
+  "CMakeFiles/ixpscope_gen.dir/internet_build.cpp.o.d"
+  "CMakeFiles/ixpscope_gen.dir/isp_observer.cpp.o"
+  "CMakeFiles/ixpscope_gen.dir/isp_observer.cpp.o.d"
+  "CMakeFiles/ixpscope_gen.dir/org_catalog.cpp.o"
+  "CMakeFiles/ixpscope_gen.dir/org_catalog.cpp.o.d"
+  "CMakeFiles/ixpscope_gen.dir/scale.cpp.o"
+  "CMakeFiles/ixpscope_gen.dir/scale.cpp.o.d"
+  "CMakeFiles/ixpscope_gen.dir/workload.cpp.o"
+  "CMakeFiles/ixpscope_gen.dir/workload.cpp.o.d"
+  "libixpscope_gen.a"
+  "libixpscope_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixpscope_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libixpscope_gen.a"
+)

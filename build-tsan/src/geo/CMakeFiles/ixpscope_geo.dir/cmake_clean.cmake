@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixpscope_geo.dir/country.cpp.o"
+  "CMakeFiles/ixpscope_geo.dir/country.cpp.o.d"
+  "CMakeFiles/ixpscope_geo.dir/geo_database.cpp.o"
+  "CMakeFiles/ixpscope_geo.dir/geo_database.cpp.o.d"
+  "libixpscope_geo.a"
+  "libixpscope_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixpscope_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/as_graph.cpp" "src/net/CMakeFiles/ixpscope_net.dir/as_graph.cpp.o" "gcc" "src/net/CMakeFiles/ixpscope_net.dir/as_graph.cpp.o.d"
+  "/root/repo/src/net/bgp_dump.cpp" "src/net/CMakeFiles/ixpscope_net.dir/bgp_dump.cpp.o" "gcc" "src/net/CMakeFiles/ixpscope_net.dir/bgp_dump.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/ixpscope_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/ixpscope_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/routing_table.cpp" "src/net/CMakeFiles/ixpscope_net.dir/routing_table.cpp.o" "gcc" "src/net/CMakeFiles/ixpscope_net.dir/routing_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/ixpscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

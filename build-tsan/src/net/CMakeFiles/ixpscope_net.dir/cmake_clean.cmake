@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixpscope_net.dir/as_graph.cpp.o"
+  "CMakeFiles/ixpscope_net.dir/as_graph.cpp.o.d"
+  "CMakeFiles/ixpscope_net.dir/bgp_dump.cpp.o"
+  "CMakeFiles/ixpscope_net.dir/bgp_dump.cpp.o.d"
+  "CMakeFiles/ixpscope_net.dir/ipv4.cpp.o"
+  "CMakeFiles/ixpscope_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/ixpscope_net.dir/routing_table.cpp.o"
+  "CMakeFiles/ixpscope_net.dir/routing_table.cpp.o.d"
+  "libixpscope_net.a"
+  "libixpscope_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixpscope_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

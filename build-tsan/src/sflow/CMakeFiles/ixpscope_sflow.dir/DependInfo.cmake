@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sflow/collector.cpp" "src/sflow/CMakeFiles/ixpscope_sflow.dir/collector.cpp.o" "gcc" "src/sflow/CMakeFiles/ixpscope_sflow.dir/collector.cpp.o.d"
+  "/root/repo/src/sflow/datagram.cpp" "src/sflow/CMakeFiles/ixpscope_sflow.dir/datagram.cpp.o" "gcc" "src/sflow/CMakeFiles/ixpscope_sflow.dir/datagram.cpp.o.d"
+  "/root/repo/src/sflow/frame.cpp" "src/sflow/CMakeFiles/ixpscope_sflow.dir/frame.cpp.o" "gcc" "src/sflow/CMakeFiles/ixpscope_sflow.dir/frame.cpp.o.d"
+  "/root/repo/src/sflow/headers.cpp" "src/sflow/CMakeFiles/ixpscope_sflow.dir/headers.cpp.o" "gcc" "src/sflow/CMakeFiles/ixpscope_sflow.dir/headers.cpp.o.d"
+  "/root/repo/src/sflow/ipv6.cpp" "src/sflow/CMakeFiles/ixpscope_sflow.dir/ipv6.cpp.o" "gcc" "src/sflow/CMakeFiles/ixpscope_sflow.dir/ipv6.cpp.o.d"
+  "/root/repo/src/sflow/trace.cpp" "src/sflow/CMakeFiles/ixpscope_sflow.dir/trace.cpp.o" "gcc" "src/sflow/CMakeFiles/ixpscope_sflow.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/net/CMakeFiles/ixpscope_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ixpscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

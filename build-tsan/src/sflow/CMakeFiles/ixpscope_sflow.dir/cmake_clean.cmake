@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixpscope_sflow.dir/collector.cpp.o"
+  "CMakeFiles/ixpscope_sflow.dir/collector.cpp.o.d"
+  "CMakeFiles/ixpscope_sflow.dir/datagram.cpp.o"
+  "CMakeFiles/ixpscope_sflow.dir/datagram.cpp.o.d"
+  "CMakeFiles/ixpscope_sflow.dir/frame.cpp.o"
+  "CMakeFiles/ixpscope_sflow.dir/frame.cpp.o.d"
+  "CMakeFiles/ixpscope_sflow.dir/headers.cpp.o"
+  "CMakeFiles/ixpscope_sflow.dir/headers.cpp.o.d"
+  "CMakeFiles/ixpscope_sflow.dir/ipv6.cpp.o"
+  "CMakeFiles/ixpscope_sflow.dir/ipv6.cpp.o.d"
+  "CMakeFiles/ixpscope_sflow.dir/trace.cpp.o"
+  "CMakeFiles/ixpscope_sflow.dir/trace.cpp.o.d"
+  "libixpscope_sflow.a"
+  "libixpscope_sflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixpscope_sflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

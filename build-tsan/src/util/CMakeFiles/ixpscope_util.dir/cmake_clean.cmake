@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixpscope_util.dir/format.cpp.o"
+  "CMakeFiles/ixpscope_util.dir/format.cpp.o.d"
+  "CMakeFiles/ixpscope_util.dir/rng.cpp.o"
+  "CMakeFiles/ixpscope_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ixpscope_util.dir/stats.cpp.o"
+  "CMakeFiles/ixpscope_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ixpscope_util.dir/table.cpp.o"
+  "CMakeFiles/ixpscope_util.dir/table.cpp.o.d"
+  "CMakeFiles/ixpscope_util.dir/zipf.cpp.o"
+  "CMakeFiles/ixpscope_util.dir/zipf.cpp.o.d"
+  "libixpscope_util.a"
+  "libixpscope_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixpscope_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixpscope_x509.dir/validator.cpp.o"
+  "CMakeFiles/ixpscope_x509.dir/validator.cpp.o.d"
+  "libixpscope_x509.a"
+  "libixpscope_x509.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixpscope_x509.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_test.dir/analysis/attribution_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/attribution_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/blind_spots_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/blind_spots_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/case_studies_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/case_studies_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/churn_tracker_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/churn_tracker_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/heterogeneity_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/heterogeneity_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/weekly_delta_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/weekly_delta_test.cpp.o.d"
+  "analysis_test"
+  "analysis_test.pdb"
+  "analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/classify/dissector_test.cpp" "tests/CMakeFiles/classify_test.dir/classify/dissector_test.cpp.o" "gcc" "tests/CMakeFiles/classify_test.dir/classify/dissector_test.cpp.o.d"
+  "/root/repo/tests/classify/http_matcher_test.cpp" "tests/CMakeFiles/classify_test.dir/classify/http_matcher_test.cpp.o" "gcc" "tests/CMakeFiles/classify_test.dir/classify/http_matcher_test.cpp.o.d"
+  "/root/repo/tests/classify/https_prober_test.cpp" "tests/CMakeFiles/classify_test.dir/classify/https_prober_test.cpp.o" "gcc" "tests/CMakeFiles/classify_test.dir/classify/https_prober_test.cpp.o.d"
+  "/root/repo/tests/classify/matcher_property_test.cpp" "tests/CMakeFiles/classify_test.dir/classify/matcher_property_test.cpp.o" "gcc" "tests/CMakeFiles/classify_test.dir/classify/matcher_property_test.cpp.o.d"
+  "/root/repo/tests/classify/metadata_test.cpp" "tests/CMakeFiles/classify_test.dir/classify/metadata_test.cpp.o" "gcc" "tests/CMakeFiles/classify_test.dir/classify/metadata_test.cpp.o.d"
+  "/root/repo/tests/classify/peering_filter_test.cpp" "tests/CMakeFiles/classify_test.dir/classify/peering_filter_test.cpp.o" "gcc" "tests/CMakeFiles/classify_test.dir/classify/peering_filter_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/classify/CMakeFiles/ixpscope_classify.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fabric/CMakeFiles/ixpscope_fabric.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sflow/CMakeFiles/ixpscope_sflow.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/x509/CMakeFiles/ixpscope_x509.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dns/CMakeFiles/ixpscope_dns.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/ixpscope_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ixpscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

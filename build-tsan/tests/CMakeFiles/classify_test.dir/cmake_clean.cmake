@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_test.dir/classify/dissector_test.cpp.o"
+  "CMakeFiles/classify_test.dir/classify/dissector_test.cpp.o.d"
+  "CMakeFiles/classify_test.dir/classify/http_matcher_test.cpp.o"
+  "CMakeFiles/classify_test.dir/classify/http_matcher_test.cpp.o.d"
+  "CMakeFiles/classify_test.dir/classify/https_prober_test.cpp.o"
+  "CMakeFiles/classify_test.dir/classify/https_prober_test.cpp.o.d"
+  "CMakeFiles/classify_test.dir/classify/matcher_property_test.cpp.o"
+  "CMakeFiles/classify_test.dir/classify/matcher_property_test.cpp.o.d"
+  "CMakeFiles/classify_test.dir/classify/metadata_test.cpp.o"
+  "CMakeFiles/classify_test.dir/classify/metadata_test.cpp.o.d"
+  "CMakeFiles/classify_test.dir/classify/peering_filter_test.cpp.o"
+  "CMakeFiles/classify_test.dir/classify/peering_filter_test.cpp.o.d"
+  "classify_test"
+  "classify_test.pdb"
+  "classify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

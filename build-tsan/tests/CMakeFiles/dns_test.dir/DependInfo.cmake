@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dns/name_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/name_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/name_test.cpp.o.d"
+  "/root/repo/tests/dns/public_suffix_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/public_suffix_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/public_suffix_test.cpp.o.d"
+  "/root/repo/tests/dns/resolver_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/resolver_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/resolver_test.cpp.o.d"
+  "/root/repo/tests/dns/uri_edge_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/uri_edge_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/uri_edge_test.cpp.o.d"
+  "/root/repo/tests/dns/uri_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/uri_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/uri_test.cpp.o.d"
+  "/root/repo/tests/dns/zone_db_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/zone_db_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/zone_db_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/dns/CMakeFiles/ixpscope_dns.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/ixpscope_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ixpscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_test.dir/dns/name_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/name_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/public_suffix_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/public_suffix_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/resolver_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/resolver_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/uri_edge_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/uri_edge_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/uri_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/uri_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/zone_db_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/zone_db_test.cpp.o.d"
+  "dns_test"
+  "dns_test.pdb"
+  "dns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_test.dir/gen/internet_test.cpp.o"
+  "CMakeFiles/gen_test.dir/gen/internet_test.cpp.o.d"
+  "CMakeFiles/gen_test.dir/gen/scale_test.cpp.o"
+  "CMakeFiles/gen_test.dir/gen/scale_test.cpp.o.d"
+  "CMakeFiles/gen_test.dir/gen/workload_sweep_test.cpp.o"
+  "CMakeFiles/gen_test.dir/gen/workload_sweep_test.cpp.o.d"
+  "CMakeFiles/gen_test.dir/gen/workload_test.cpp.o"
+  "CMakeFiles/gen_test.dir/gen/workload_test.cpp.o.d"
+  "gen_test"
+  "gen_test.pdb"
+  "gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

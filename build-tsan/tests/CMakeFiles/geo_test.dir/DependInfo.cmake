@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/geo/country_test.cpp" "tests/CMakeFiles/geo_test.dir/geo/country_test.cpp.o" "gcc" "tests/CMakeFiles/geo_test.dir/geo/country_test.cpp.o.d"
+  "/root/repo/tests/geo/geo_database_test.cpp" "tests/CMakeFiles/geo_test.dir/geo/geo_database_test.cpp.o" "gcc" "tests/CMakeFiles/geo_test.dir/geo/geo_database_test.cpp.o.d"
+  "/root/repo/tests/geo/region_traffic_test.cpp" "tests/CMakeFiles/geo_test.dir/geo/region_traffic_test.cpp.o" "gcc" "tests/CMakeFiles/geo_test.dir/geo/region_traffic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/geo/CMakeFiles/ixpscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/ixpscope_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ixpscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

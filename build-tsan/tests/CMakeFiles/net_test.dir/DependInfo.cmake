@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/as_graph_test.cpp" "tests/CMakeFiles/net_test.dir/net/as_graph_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/as_graph_test.cpp.o.d"
+  "/root/repo/tests/net/bgp_dump_test.cpp" "tests/CMakeFiles/net_test.dir/net/bgp_dump_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/bgp_dump_test.cpp.o.d"
+  "/root/repo/tests/net/ipv4_test.cpp" "tests/CMakeFiles/net_test.dir/net/ipv4_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/ipv4_test.cpp.o.d"
+  "/root/repo/tests/net/prefix_trie_test.cpp" "tests/CMakeFiles/net_test.dir/net/prefix_trie_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/prefix_trie_test.cpp.o.d"
+  "/root/repo/tests/net/routing_table_test.cpp" "tests/CMakeFiles/net_test.dir/net/routing_table_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/routing_table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/net/CMakeFiles/ixpscope_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ixpscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_test.dir/net/as_graph_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/as_graph_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/bgp_dump_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/bgp_dump_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/ipv4_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/ipv4_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/prefix_trie_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/prefix_trie_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/routing_table_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/routing_table_test.cpp.o.d"
+  "net_test"
+  "net_test.pdb"
+  "net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sflow/codec_fuzz_test.cpp" "tests/CMakeFiles/sflow_test.dir/sflow/codec_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/sflow_test.dir/sflow/codec_fuzz_test.cpp.o.d"
+  "/root/repo/tests/sflow/collector_test.cpp" "tests/CMakeFiles/sflow_test.dir/sflow/collector_test.cpp.o" "gcc" "tests/CMakeFiles/sflow_test.dir/sflow/collector_test.cpp.o.d"
+  "/root/repo/tests/sflow/datagram_test.cpp" "tests/CMakeFiles/sflow_test.dir/sflow/datagram_test.cpp.o" "gcc" "tests/CMakeFiles/sflow_test.dir/sflow/datagram_test.cpp.o.d"
+  "/root/repo/tests/sflow/frame_test.cpp" "tests/CMakeFiles/sflow_test.dir/sflow/frame_test.cpp.o" "gcc" "tests/CMakeFiles/sflow_test.dir/sflow/frame_test.cpp.o.d"
+  "/root/repo/tests/sflow/headers_test.cpp" "tests/CMakeFiles/sflow_test.dir/sflow/headers_test.cpp.o" "gcc" "tests/CMakeFiles/sflow_test.dir/sflow/headers_test.cpp.o.d"
+  "/root/repo/tests/sflow/ipv6_test.cpp" "tests/CMakeFiles/sflow_test.dir/sflow/ipv6_test.cpp.o" "gcc" "tests/CMakeFiles/sflow_test.dir/sflow/ipv6_test.cpp.o.d"
+  "/root/repo/tests/sflow/sampler_test.cpp" "tests/CMakeFiles/sflow_test.dir/sflow/sampler_test.cpp.o" "gcc" "tests/CMakeFiles/sflow_test.dir/sflow/sampler_test.cpp.o.d"
+  "/root/repo/tests/sflow/trace_test.cpp" "tests/CMakeFiles/sflow_test.dir/sflow/trace_test.cpp.o" "gcc" "tests/CMakeFiles/sflow_test.dir/sflow/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sflow/CMakeFiles/ixpscope_sflow.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/ixpscope_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ixpscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sflow_test.dir/sflow/codec_fuzz_test.cpp.o"
+  "CMakeFiles/sflow_test.dir/sflow/codec_fuzz_test.cpp.o.d"
+  "CMakeFiles/sflow_test.dir/sflow/collector_test.cpp.o"
+  "CMakeFiles/sflow_test.dir/sflow/collector_test.cpp.o.d"
+  "CMakeFiles/sflow_test.dir/sflow/datagram_test.cpp.o"
+  "CMakeFiles/sflow_test.dir/sflow/datagram_test.cpp.o.d"
+  "CMakeFiles/sflow_test.dir/sflow/frame_test.cpp.o"
+  "CMakeFiles/sflow_test.dir/sflow/frame_test.cpp.o.d"
+  "CMakeFiles/sflow_test.dir/sflow/headers_test.cpp.o"
+  "CMakeFiles/sflow_test.dir/sflow/headers_test.cpp.o.d"
+  "CMakeFiles/sflow_test.dir/sflow/ipv6_test.cpp.o"
+  "CMakeFiles/sflow_test.dir/sflow/ipv6_test.cpp.o.d"
+  "CMakeFiles/sflow_test.dir/sflow/sampler_test.cpp.o"
+  "CMakeFiles/sflow_test.dir/sflow/sampler_test.cpp.o.d"
+  "CMakeFiles/sflow_test.dir/sflow/trace_test.cpp.o"
+  "CMakeFiles/sflow_test.dir/sflow/trace_test.cpp.o.d"
+  "sflow_test"
+  "sflow_test.pdb"
+  "sflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

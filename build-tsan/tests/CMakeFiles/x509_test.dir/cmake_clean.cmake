@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x509_test.dir/x509/validator_sweep_test.cpp.o"
+  "CMakeFiles/x509_test.dir/x509/validator_sweep_test.cpp.o.d"
+  "CMakeFiles/x509_test.dir/x509/validator_test.cpp.o"
+  "CMakeFiles/x509_test.dir/x509/validator_test.cpp.o.d"
+  "x509_test"
+  "x509_test.pdb"
+  "x509_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x509_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/net_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/geo_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/dns_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/x509_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sflow_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/classify_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/gen_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/parallel_engine_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/pipeline_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixpscope.dir/ixpscope_cli.cpp.o"
+  "CMakeFiles/ixpscope.dir/ixpscope_cli.cpp.o.d"
+  "ixpscope"
+  "ixpscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixpscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
