@@ -4,7 +4,9 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <mutex>
+#include <numeric>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -20,23 +22,29 @@ struct Batch {
 };
 
 /// Bounded MPMC queue: the reader blocks when the workers fall behind,
-/// the workers block when the reader does.
+/// the workers block when the reader does. abort() is the poison pill of
+/// the failure path — it drains the queue and wakes every blocked thread,
+/// so neither a reader stuck in push() nor a worker stuck in pop() can
+/// outlive a worker failure.
 class BatchQueue {
  public:
   explicit BatchQueue(std::size_t capacity) : capacity_(capacity) {}
 
-  void push(Batch&& batch) {
+  /// False when the queue was aborted (the batch is discarded).
+  bool push(Batch&& batch) {
     std::unique_lock lock{mutex_};
-    not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
+    not_full_.wait(lock, [&] { return queue_.size() < capacity_ || aborted_; });
+    if (aborted_) return false;
     queue_.push_back(std::move(batch));
     lock.unlock();
     not_empty_.notify_one();
+    return true;
   }
 
   bool pop(Batch& out) {
     std::unique_lock lock{mutex_};
-    not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
-    if (queue_.empty()) return false;
+    not_empty_.wait(lock, [&] { return !queue_.empty() || closed_ || aborted_; });
+    if (aborted_ || queue_.empty()) return false;
     out = std::move(queue_.front());
     queue_.pop_front();
     lock.unlock();
@@ -44,12 +52,24 @@ class BatchQueue {
     return true;
   }
 
+  /// Clean end-of-stream: workers drain what is queued, then stop.
   void close() {
     {
       std::lock_guard lock{mutex_};
       closed_ = true;
     }
     not_empty_.notify_all();
+  }
+
+  /// Failure path: discard everything, wake everyone, refuse new work.
+  void abort() {
+    {
+      std::lock_guard lock{mutex_};
+      aborted_ = true;
+      queue_.clear();
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
   }
 
  private:
@@ -59,6 +79,7 @@ class BatchQueue {
   std::deque<Batch> queue_;
   std::size_t capacity_;
   bool closed_ = false;
+  bool aborted_ = false;
 };
 
 unsigned resolve_threads(unsigned requested) {
@@ -67,13 +88,46 @@ unsigned resolve_threads(unsigned requested) {
   return hw == 0 ? 1 : hw;
 }
 
+/// Captures the first worker exception; later ones are dropped (their
+/// batches are already counted in the per-worker error tallies).
+class FirstError {
+ public:
+  void capture() noexcept {
+    std::lock_guard lock{mutex_};
+    if (!error_) error_ = std::current_exception();
+  }
+  void rethrow_if_set() {
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::exception_ptr error_;
+};
+
+/// Stamps the failure-containment outcome onto a finished report.
+/// worker_errors is attached only when batches were actually dropped, so
+/// a clean run's report stays byte-identical across thread counts.
+WeeklyReport finish_flagged(WeekSession& session,
+                            const classify::ChainFetcher& fetch,
+                            std::vector<std::uint64_t>&& worker_errors) {
+  WeeklyReport report = session.finish(fetch);
+  const std::uint64_t dropped = std::accumulate(
+      worker_errors.begin(), worker_errors.end(), std::uint64_t{0});
+  if (dropped > 0) {
+    report.degraded = true;
+    report.worker_errors = std::move(worker_errors);
+  }
+  return report;
+}
+
 }  // namespace
 
 ParallelAnalyzer::ParallelAnalyzer(VantagePoint& vantage,
                                    ParallelOptions options)
     : vantage_(&vantage),
-      options_(options),
-      threads_(resolve_threads(options.threads)) {
+      options_(std::move(options)),
+      threads_(resolve_threads(options_.threads)) {
   if (options_.batch_size == 0) options_.batch_size = 1;
   if (options_.max_queued_batches == 0) options_.max_queued_batches = 1;
 }
@@ -81,47 +135,89 @@ ParallelAnalyzer::ParallelAnalyzer(VantagePoint& vantage,
 WeeklyReport ParallelAnalyzer::analyze(int week, const BatchSource& source,
                                        const classify::ChainFetcher& fetch) {
   WeekSession session = vantage_->open_week(week);
+  const bool lenient = options_.lenient_workers;
+  const auto& hook = options_.worker_hook;
 
   if (threads_ <= 1) {
+    // Same batch/seq bookkeeping as the threaded path so a dropped batch
+    // leaves the same sequence gap regardless of thread count.
+    WeekShard shard = session.make_shard();
+    std::vector<std::uint64_t> errors(1, 0);
     std::vector<sflow::FlowSample> batch;
-    while (source(batch) > 0) session.observe_batch(batch);
-    return session.finish(fetch);
+    std::uint64_t next_seq = 0;
+    std::size_t n;
+    while ((n = source(batch)) > 0) {
+      try {
+        if (hook) hook(batch, next_seq);
+        shard.observe_batch(batch, next_seq);
+      } catch (...) {
+        if (!lenient) throw;
+        ++errors[0];
+      }
+      next_seq += n;
+    }
+    session.absorb(std::move(shard));
+    return finish_flagged(session, fetch, std::move(errors));
   }
 
   std::vector<WeekShard> shards;
   shards.reserve(threads_);
   for (unsigned t = 0; t < threads_; ++t) shards.push_back(session.make_shard());
+  std::vector<std::uint64_t> errors(threads_, 0);
+  FirstError first_error;
 
   BatchQueue queue{options_.max_queued_batches};
   std::vector<std::thread> workers;
   workers.reserve(threads_);
   for (unsigned t = 0; t < threads_; ++t) {
-    workers.emplace_back([&queue, &shard = shards[t]] {
+    workers.emplace_back([&, t] {
+      WeekShard& shard = shards[t];
       Batch batch;
-      while (queue.pop(batch))
-        shard.observe_batch(batch.samples, batch.first_seq);
+      while (queue.pop(batch)) {
+        try {
+          if (hook) hook(batch.samples, batch.first_seq);
+          shard.observe_batch(batch.samples, batch.first_seq);
+        } catch (...) {
+          ++errors[t];
+          if (!lenient) {
+            first_error.capture();
+            queue.abort();
+            return;
+          }
+        }
+      }
     });
   }
 
-  std::uint64_t next_seq = 0;
-  std::vector<sflow::FlowSample> scratch;
-  while (true) {
-    const std::size_t n = source(scratch);
-    if (n == 0) break;
-    Batch batch;
-    batch.samples = std::move(scratch);
-    batch.first_seq = next_seq;
-    next_seq += n;
-    scratch = {};
-    queue.push(std::move(batch));
+  try {
+    std::uint64_t next_seq = 0;
+    std::vector<sflow::FlowSample> scratch;
+    while (true) {
+      const std::size_t n = source(scratch);
+      if (n == 0) break;
+      Batch batch;
+      batch.samples = std::move(scratch);
+      batch.first_seq = next_seq;
+      next_seq += n;
+      scratch = {};
+      if (!queue.push(std::move(batch))) break;  // a worker aborted the week
+    }
+  } catch (...) {
+    // The source itself threw: unblock and collect every worker before
+    // letting the exception continue — a joinable thread in a destructor
+    // would terminate the process.
+    queue.abort();
+    for (auto& worker : workers) worker.join();
+    throw;
   }
   queue.close();
   for (auto& worker : workers) worker.join();
+  first_error.rethrow_if_set();
 
   // Ordered reduce: shard 0, then 1, ... Merge is commutative anyway, but
   // a fixed order keeps the reduce itself schedule-independent.
   for (auto& shard : shards) session.absorb(std::move(shard));
-  return session.finish(fetch);
+  return finish_flagged(session, fetch, std::move(errors));
 }
 
 WeeklyReport ParallelAnalyzer::analyze(int week, sflow::TraceReader& reader,
@@ -139,37 +235,69 @@ WeeklyReport ParallelAnalyzer::analyze(int week,
                                        std::span<const sflow::FlowSample> samples,
                                        const classify::ChainFetcher& fetch) {
   WeekSession session = vantage_->open_week(week);
+  const bool lenient = options_.lenient_workers;
+  const auto& hook = options_.worker_hook;
 
   if (threads_ <= 1) {
-    session.observe_batch(samples);
-    return session.finish(fetch);
+    WeekShard shard = session.make_shard();
+    std::vector<std::uint64_t> errors(1, 0);
+    const std::size_t batch_size = options_.batch_size;
+    for (std::size_t begin = 0; begin < samples.size(); begin += batch_size) {
+      const std::size_t count = std::min(batch_size, samples.size() - begin);
+      const auto chunk = samples.subspan(begin, count);
+      try {
+        if (hook) hook(chunk, begin);
+        shard.observe_batch(chunk, begin);
+      } catch (...) {
+        if (!lenient) throw;
+        ++errors[0];
+      }
+    }
+    session.absorb(std::move(shard));
+    return finish_flagged(session, fetch, std::move(errors));
   }
 
   std::vector<WeekShard> shards;
   shards.reserve(threads_);
   for (unsigned t = 0; t < threads_; ++t) shards.push_back(session.make_shard());
+  std::vector<std::uint64_t> errors(threads_, 0);
+  FirstError first_error;
 
   const std::size_t batch_size = options_.batch_size;
   const std::size_t batches = (samples.size() + batch_size - 1) / batch_size;
   std::atomic<std::size_t> next_batch{0};
+  std::atomic<bool> aborted{false};
 
   std::vector<std::thread> workers;
   workers.reserve(threads_);
   for (unsigned t = 0; t < threads_; ++t) {
     workers.emplace_back([&, t] {
       WeekShard& shard = shards[t];
-      for (std::size_t b = next_batch.fetch_add(1); b < batches;
+      for (std::size_t b = next_batch.fetch_add(1);
+           b < batches && !aborted.load(std::memory_order_relaxed);
            b = next_batch.fetch_add(1)) {
         const std::size_t begin = b * batch_size;
         const std::size_t count = std::min(batch_size, samples.size() - begin);
-        shard.observe_batch(samples.subspan(begin, count), begin);
+        const auto chunk = samples.subspan(begin, count);
+        try {
+          if (hook) hook(chunk, begin);
+          shard.observe_batch(chunk, begin);
+        } catch (...) {
+          ++errors[t];
+          if (!lenient) {
+            first_error.capture();
+            aborted.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
       }
     });
   }
   for (auto& worker : workers) worker.join();
+  first_error.rethrow_if_set();
 
   for (auto& shard : shards) session.absorb(std::move(shard));
-  return session.finish(fetch);
+  return finish_flagged(session, fetch, std::move(errors));
 }
 
 }  // namespace ixp::core

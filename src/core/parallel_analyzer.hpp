@@ -16,6 +16,13 @@
 // The calling thread acts as the reader: trace decoding stays serial
 // (istreams are), while filtering, HTTP string matching, and per-IP
 // evidence accumulation — the hot path — run on the workers.
+//
+// Worker failures are contained (DESIGN.md §8): an exception escaping a
+// worker can never deadlock the bounded queue or terminate the process.
+// By default the queue is aborted, every thread is joined, and the first
+// exception is rethrown on the calling thread. With lenient_workers set,
+// the failing batch is dropped, the week completes, and the report comes
+// back with degraded=true plus per-worker dropped-batch counts.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +41,15 @@ struct ParallelOptions {
   std::size_t batch_size = 512;
   /// Bound on batches buffered between the reader and the workers.
   std::size_t max_queued_batches = 64;
+  /// When false (default), the first worker exception aborts the week and
+  /// is rethrown from analyze(). When true, a throwing batch is dropped
+  /// and the week completes with WeeklyReport::degraded set.
+  bool lenient_workers = false;
+  /// Instrumentation hook run on the worker thread before each batch is
+  /// observed (metrics, chaos testing). An exception it throws is handled
+  /// exactly like a classifier exception on that batch.
+  std::function<void(std::span<const sflow::FlowSample>, std::uint64_t)>
+      worker_hook;
 };
 
 class ParallelAnalyzer {

@@ -108,6 +108,14 @@ struct WeeklyReport {
   /// Sorted by address — canonical regardless of ingest order.
   std::vector<ServerObservation> servers;
 
+  /// Failure containment (DESIGN.md §8): set by the parallel engine when
+  /// lenient worker mode dropped batches on worker exceptions. The report
+  /// then under-counts by exactly those batches. worker_errors holds the
+  /// per-worker dropped-batch counts and is attached only when degraded,
+  /// so clean reports stay byte-identical across thread counts.
+  bool degraded = false;
+  std::vector<std::uint64_t> worker_errors;
+
   [[nodiscard]] double peering_bytes() const noexcept {
     return filters.bytes_of(classify::TrafficClass::kPeering);
   }

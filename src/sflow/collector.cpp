@@ -20,7 +20,14 @@ void Collector::ingest(const Datagram& datagram) {
   // forward gaps (the standard collector heuristic).
   const auto [it, first_time] =
       last_sequence_.try_emplace(datagram.agent, datagram.sequence);
-  if (!first_time) {
+  if (first_time) {
+    arrival_order_.push_back(datagram.agent);
+    if (last_sequence_.size() > max_agents_) {
+      last_sequence_.erase(arrival_order_.front());
+      arrival_order_.pop_front();
+      ++stats_.evicted_agents;
+    }
+  } else {
     const std::uint32_t expected = it->second + 1;
     if (datagram.sequence > expected)
       stats_.lost_datagrams += datagram.sequence - expected;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <span>
 #include <unordered_map>
@@ -25,6 +26,9 @@ struct CollectorStats {
   /// Datagrams inferred lost from per-agent sequence gaps.
   std::uint64_t lost_datagrams = 0;
   std::uint64_t agents = 0;
+  /// Agents whose sequence tracking was evicted to honor the agent cap.
+  /// A re-appearing evicted agent restarts gap accounting from scratch.
+  std::uint64_t evicted_agents = 0;
 };
 
 class Collector {
@@ -32,9 +36,17 @@ class Collector {
   using FlowSink = std::function<void(const FlowSample&)>;
   using CounterSink = std::function<void(net::Ipv4Addr agent, const CounterSample&)>;
 
-  explicit Collector(FlowSink flow_sink, CounterSink counter_sink = {})
+  /// Per-agent sequence state tracked before oldest-first eviction kicks
+  /// in. A real fabric has hundreds of agents; the cap only matters when
+  /// forged agent addresses flood the collector, which must not be able
+  /// to grow memory without bound.
+  static constexpr std::size_t kDefaultMaxAgents = 4096;
+
+  explicit Collector(FlowSink flow_sink, CounterSink counter_sink = {},
+                     std::size_t max_agents = kDefaultMaxAgents)
       : flow_sink_(std::move(flow_sink)),
-        counter_sink_(std::move(counter_sink)) {}
+        counter_sink_(std::move(counter_sink)),
+        max_agents_(max_agents == 0 ? 1 : max_agents) {}
 
   /// Ingests one raw datagram payload (as read off the wire or a file).
   /// Returns false when the payload failed to decode.
@@ -48,9 +60,13 @@ class Collector {
  private:
   FlowSink flow_sink_;
   CounterSink counter_sink_;
+  std::size_t max_agents_;
   CollectorStats stats_;
-  /// Last sequence number seen per agent, for gap accounting.
+  /// Last sequence number seen per agent, for gap accounting. Bounded by
+  /// max_agents_: when full, the longest-tracked agent is evicted
+  /// (arrival_order_ is the FIFO of first appearances).
   std::unordered_map<net::Ipv4Addr, std::uint32_t> last_sequence_;
+  std::deque<net::Ipv4Addr> arrival_order_;
 };
 
 }  // namespace ixp::sflow

@@ -1,0 +1,88 @@
+// Deterministic trace corruption for robustness testing.
+//
+// A live collector's stream suffers datagram loss, reordering, and the
+// occasional corrupt payload; recorded traces additionally pick up bit
+// rot and truncation. FaultInjector reproduces that damage on demand:
+// it parses an intact trace, then — driven entirely by a seeded Rng, so
+// the same (input, seed, mix) always yields the same corrupted bytes —
+// applies a configurable mix of
+//   - bit flips inside a record's payload,
+//   - datagram truncation (the length prefix promises more than follows),
+//   - bogus length prefixes (the payload is intact but unreachable),
+//   - duplicated records,
+//   - reordered (swapped) adjacent records,
+//   - a mid-file EOF that cuts the trace inside a record.
+//
+// This is the adversary the TraceReader resynchronization path (DESIGN.md
+// §8) is tested against, and what `ixpscope corrupt` exposes on the CLI.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ixp::sflow {
+
+/// Per-record fault probabilities; all independent except that a record
+/// hit by mid-file EOF ends the output. default_mix() spreads a few
+/// percent across every kind — enough damage to exercise resync without
+/// drowning the trace.
+struct FaultMix {
+  double bit_flip = 0.0;
+  double truncate = 0.0;
+  double bogus_length = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+  double mid_file_eof = 0.0;
+
+  [[nodiscard]] static FaultMix default_mix() noexcept {
+    return {0.02, 0.01, 0.01, 0.01, 0.02, 0.0};
+  }
+  [[nodiscard]] static FaultMix none() noexcept { return {}; }
+};
+
+/// What one corruption pass actually did.
+struct FaultReport {
+  std::uint64_t records_in = 0;
+  std::uint64_t records_out = 0;  ///< records written (duplicates add, EOF cuts)
+  std::uint64_t bit_flips = 0;
+  std::uint64_t truncations = 0;
+  std::uint64_t bogus_lengths = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t reorders = 0;
+  bool cut_short = false;  ///< mid-file EOF fired
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+
+  [[nodiscard]] std::uint64_t faults() const noexcept {
+    return bit_flips + truncations + bogus_lengths + duplicates + reorders +
+           (cut_short ? 1 : 0);
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed,
+                         FaultMix mix = FaultMix::default_mix())
+      : seed_(seed), mix_(mix) {}
+
+  /// Corrupts the trace in `bytes` into `out` (cleared first). Returns
+  /// nullopt when the input is not a valid ixpscope trace — the injector
+  /// only damages traces it can parse, so every fault is intentional.
+  std::optional<FaultReport> corrupt(std::span<const std::byte> bytes,
+                                     std::vector<std::byte>& out) const;
+
+  /// Stream form: reads the whole trace from `in`, writes to `out`.
+  std::optional<FaultReport> corrupt(std::istream& in, std::ostream& out) const;
+
+ private:
+  std::uint64_t seed_;
+  FaultMix mix_;
+};
+
+}  // namespace ixp::sflow

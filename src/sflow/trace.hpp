@@ -9,11 +9,22 @@
 //
 // File layout: magic "IXPSCOPE" + u32 version, then repeated
 // [u32 datagram length][datagram bytes] until EOF.
+//
+// Real traces get damaged: bits flip on disk, transfers truncate, a
+// crashed collector leaves a half-written record. TraceReader therefore
+// carries a failure model (DESIGN.md §8): every corrupt record is
+// classified into an error taxonomy (ReaderStats), and — budget
+// permitting (ReadPolicy) — the reader resynchronizes by scanning
+// forward for the next plausible length-prefixed datagram instead of
+// halting. Every byte of the input is accounted for: it is either the
+// 12-byte header, part of a delivered record, or counted in
+// `bytes_skipped`.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <istream>
+#include <limits>
 #include <optional>
 #include <ostream>
 
@@ -23,6 +34,12 @@ namespace ixp::sflow {
 
 inline constexpr char kTraceMagic[8] = {'I', 'X', 'P', 'S', 'C', 'O', 'P', 'E'};
 inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Smallest encodable datagram: five header u32s plus the counter count.
+inline constexpr std::uint32_t kMinDatagramBytes = 24;
+/// Upper bound on a plausible record; anything larger is a bad length.
+/// (The writer's 128-sample batches are ~20 KiB; 1 MiB leaves headroom.)
+inline constexpr std::uint32_t kMaxDatagramBytes = 1u << 20;
 
 /// Buffers samples and writes them as datagrams of up to `batch` samples.
 /// Flushes on destruction; call flush() to force a partial batch out.
@@ -55,40 +72,100 @@ class TraceWriter {
   std::uint64_t samples_written_ = 0;
 };
 
+/// How a TraceReader responds to corruption. `max_errors` is the number
+/// of corrupt records tolerated (each one resynchronized past) before the
+/// reader gives up and clears ok(). strict() tolerates none — the first
+/// corrupt record halts the read, which is the historical behavior and
+/// the default.
+struct ReadPolicy {
+  std::uint64_t max_errors = 0;
+
+  [[nodiscard]] static constexpr ReadPolicy strict() noexcept { return {0}; }
+  [[nodiscard]] static constexpr ReadPolicy lenient(
+      std::uint64_t budget =
+          std::numeric_limits<std::uint64_t>::max()) noexcept {
+    return {budget};
+  }
+};
+
+/// Error taxonomy and byte accounting for one TraceReader. The invariant
+/// (tested by the corruption matrix) is exact accounting once the reader
+/// reaches end-of-input:
+///   input_size == 12 (header) + bytes_delivered + bytes_skipped
+struct ReaderStats {
+  // Delivery side.
+  std::uint64_t datagrams = 0;        ///< records decoded and delivered
+  std::uint64_t samples = 0;          ///< flow samples delivered
+  std::uint64_t bytes_delivered = 0;  ///< length prefix + payload of each
+
+  // Error taxonomy.
+  std::uint64_t bad_magic = 0;     ///< header magic/version rejected
+  std::uint64_t bad_length = 0;    ///< length prefix of 0 or > kMaxDatagramBytes
+  std::uint64_t truncated = 0;     ///< EOF inside a length prefix or payload
+  std::uint64_t decode_errors = 0; ///< payload failed Datagram decode
+
+  // Recovery.
+  std::uint64_t resyncs = 0;        ///< successful scans to a later record
+  std::uint64_t bytes_skipped = 0;  ///< every byte not header / delivered
+
+  [[nodiscard]] std::uint64_t errors() const noexcept {
+    return bad_magic + bad_length + truncated + decode_errors;
+  }
+  [[nodiscard]] bool degraded() const noexcept { return errors() > 0; }
+};
+
 /// Streams samples back out of a recorded trace.
 ///
 /// read_batch() is the primitive: it pulls samples in stream order across
 /// datagram boundaries, which is what the parallel analysis engine feeds
 /// its worker threads with. next() and for_each() are conveniences built
 /// on top of it; the three can be interleaved freely.
+///
+/// Corruption handling is governed by the ReadPolicy: under the default
+/// strict policy the first corrupt record clears ok() and ends the read;
+/// under a lenient policy the reader seeks past the damage to the next
+/// plausible record (the stream must be seekable — files and
+/// stringstreams are) and keeps going until the error budget is spent.
+/// stats() tells you exactly what was lost either way.
 class TraceReader {
  public:
   /// Batch size used by for_each()'s internal pulls.
   static constexpr std::size_t kDefaultBatch = 256;
 
   /// Validates the header; `ok()` is false on a bad magic/version.
-  explicit TraceReader(std::istream& in);
+  explicit TraceReader(std::istream& in,
+                       ReadPolicy policy = ReadPolicy::strict());
 
+  /// True until the header is rejected or the error budget is exceeded.
+  /// A lenient reader that resynchronized past damage stays ok(); check
+  /// stats().degraded() to see whether anything was lost.
   [[nodiscard]] bool ok() const noexcept { return ok_; }
 
+  [[nodiscard]] const ReaderStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ReadPolicy& policy() const noexcept { return policy_; }
+
   /// Clears `out` and refills it with up to `max` samples in stream
-  /// order; returns the number delivered (0 at end-of-trace). Stops
-  /// early (and clears ok()) at the first corrupt datagram.
+  /// order; returns the number delivered (0 at end-of-trace or once the
+  /// error budget clears ok()).
   std::size_t read_batch(std::vector<FlowSample>& out, std::size_t max);
 
   /// Invokes `sink` for every sample in order; returns the number of
-  /// samples delivered. Stops (and clears ok()) at the first corrupt
-  /// datagram.
+  /// samples delivered.
   std::uint64_t for_each(const std::function<void(const FlowSample&)>& sink);
 
-  /// Pulls the next sample, or nullopt at end-of-trace / on corruption.
+  /// Pulls the next sample, or nullopt at end-of-trace / on failure.
   [[nodiscard]] std::optional<FlowSample> next();
 
  private:
   bool refill();
+  bool resync(std::uint64_t bad_record_start);
+  [[nodiscard]] bool spend_error();
 
   std::istream* in_;
+  ReadPolicy policy_;
+  ReaderStats stats_;
   bool ok_ = false;
+  std::uint64_t pos_ = 0;  ///< absolute offset of the next unread byte
   Datagram current_;
   std::size_t cursor_ = 0;
   std::vector<FlowSample> one_;  // next()'s single-sample batch

@@ -1,0 +1,195 @@
+// Failure containment in the parallel engine (DESIGN.md §8):
+//   - a worker-thread exception must never deadlock the bounded batch
+//     queue or take the process down — strict mode joins every thread and
+//     rethrows on the calling thread, lenient mode completes the week
+//     with a degraded report;
+//   - a trace damaged by the FaultInjector, read leniently, must produce
+//     a byte-identical report for any thread count (the reader is the
+//     serial resync point, so corruption cannot break determinism).
+// Runs under the tsan preset: the interesting bugs here are lock-order
+// and lost-wakeup races on the failure path.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/parallel_analyzer.hpp"
+#include "core/vantage_point.hpp"
+#include "gen/internet.hpp"
+#include "gen/workload.hpp"
+#include "sflow/fault_injector.hpp"
+#include "sflow/trace.hpp"
+
+namespace ixp::core {
+namespace {
+
+constexpr int kWeek = 45;
+
+class ParallelFaultTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_ = new gen::InternetModel{gen::ScaleConfig::test()};
+    std::vector<net::Asn> members;
+    for (const auto* m : model_->ixp().members_at(kWeek))
+      members.push_back(m->asn);
+    locality_ = new std::unordered_map<net::Asn, net::Locality>(
+        model_->as_graph().classify(members));
+    samples_ = new std::vector<sflow::FlowSample>;
+    const gen::Workload workload{*model_};
+    workload.generate_week(
+        kWeek, [](const sflow::FlowSample& s) { samples_->push_back(s); });
+  }
+
+  static void TearDownTestSuite() {
+    delete samples_;
+    delete locality_;
+    delete model_;
+  }
+
+  static VantagePoint make_vantage() {
+    return VantagePoint{model_->ixp(),   model_->routing(),
+                        model_->geo_db(), *locality_,
+                        model_->dns_db(), dns::PublicSuffixList::builtin(),
+                        model_->root_store()};
+  }
+
+  static classify::ChainFetcher fetcher() {
+    return [](net::Ipv4Addr addr, int times) {
+      return model_->fetch_chains(addr, times, kWeek);
+    };
+  }
+
+  static sflow::FlowSample sample(std::size_t i) { return (*samples_)[i]; }
+
+  static gen::InternetModel* model_;
+  static std::unordered_map<net::Asn, net::Locality>* locality_;
+  static std::vector<sflow::FlowSample>* samples_;
+};
+
+gen::InternetModel* ParallelFaultTest::model_ = nullptr;
+std::unordered_map<net::Asn, net::Locality>* ParallelFaultTest::locality_ =
+    nullptr;
+std::vector<sflow::FlowSample>* ParallelFaultTest::samples_ = nullptr;
+
+/// The determinism contract, reduced to its load-bearing fields.
+void expect_reports_equal(const WeeklyReport& a, const WeeklyReport& b) {
+  EXPECT_EQ(a.filters, b.filters);
+  EXPECT_EQ(a.dissection, b.dissection);
+  EXPECT_EQ(a.https_funnel.candidates, b.https_funnel.candidates);
+  EXPECT_EQ(a.https_funnel.responded, b.https_funnel.responded);
+  EXPECT_EQ(a.https_funnel.confirmed, b.https_funnel.confirmed);
+  EXPECT_EQ(a.by_as, b.by_as);
+  EXPECT_EQ(a.by_country, b.by_country);
+  ASSERT_EQ(a.servers.size(), b.servers.size());
+  for (std::size_t i = 0; i < a.servers.size(); ++i) {
+    EXPECT_EQ(a.servers[i].addr, b.servers[i].addr);
+    EXPECT_EQ(a.servers[i].bytes, b.servers[i].bytes);
+  }
+}
+
+ParallelOptions throwing_options(unsigned threads, std::uint64_t bad_seq) {
+  ParallelOptions options;
+  options.threads = threads;
+  options.batch_size = 64;
+  options.max_queued_batches = 2;  // small: force reader/worker blocking
+  options.worker_hook = [bad_seq](std::span<const sflow::FlowSample>,
+                                  std::uint64_t first_seq) {
+    if (first_seq == bad_seq) throw std::runtime_error{"classifier blew up"};
+  };
+  return options;
+}
+
+TEST_F(ParallelFaultTest, StrictWorkerExceptionRethrownNoDeadlock) {
+  auto vp = make_vantage();
+  // The poisoned batch sits mid-stream: the reader will still be pushing
+  // against the tiny queue when the worker dies, which is exactly the
+  // blocked-push scenario abort() must unwedge.
+  ParallelAnalyzer analyzer{vp, throwing_options(4, 512)};
+  const auto source = [at = std::size_t{0}](
+                          std::vector<sflow::FlowSample>& out) mutable {
+    out.clear();
+    while (out.size() < 64 && at < samples_->size()) out.push_back(sample(at++));
+    return out.size();
+  };
+  EXPECT_THROW((void)analyzer.analyze(kWeek, source, fetcher()),
+               std::runtime_error);
+}
+
+TEST_F(ParallelFaultTest, StrictSpanWorkerExceptionRethrown) {
+  auto vp = make_vantage();
+  ParallelAnalyzer analyzer{vp, throwing_options(4, 512)};
+  EXPECT_THROW((void)analyzer.analyze(
+                   kWeek, std::span<const sflow::FlowSample>{*samples_},
+                   fetcher()),
+               std::runtime_error);
+}
+
+TEST_F(ParallelFaultTest, LenientWorkerCompletesDegraded) {
+  auto options = throwing_options(4, 512);
+  options.lenient_workers = true;
+  auto vp = make_vantage();
+  ParallelAnalyzer analyzer{vp, options};
+  const auto report = analyzer.analyze(
+      kWeek, std::span<const sflow::FlowSample>{*samples_}, fetcher());
+  EXPECT_TRUE(report.degraded);
+  ASSERT_EQ(report.worker_errors.size(), 4u);
+  std::uint64_t dropped = 0;
+  for (const auto count : report.worker_errors) dropped += count;
+  EXPECT_EQ(dropped, 1u);  // exactly the poisoned batch
+}
+
+TEST_F(ParallelFaultTest, CleanRunIsNotDegraded) {
+  auto vp = make_vantage();
+  ParallelOptions options;
+  options.threads = 2;
+  options.batch_size = 64;
+  ParallelAnalyzer analyzer{vp, options};
+  const auto report = analyzer.analyze(
+      kWeek, std::span<const sflow::FlowSample>{*samples_}, fetcher());
+  EXPECT_FALSE(report.degraded);
+  EXPECT_TRUE(report.worker_errors.empty());
+}
+
+TEST_F(ParallelFaultTest, CorruptTraceLenientReportIdenticalAcrossThreads) {
+  // Record the week, damage it with the default mix, then demand the
+  // 1-, 2-, and 8-thread lenient analyses agree bit for bit.
+  std::stringstream intact;
+  {
+    sflow::TraceWriter writer{intact, net::Ipv4Addr{172, 16, 0, 1}, 128};
+    for (const auto& s : *samples_) writer.write(s);
+  }
+  std::stringstream corrupted;
+  const sflow::FaultInjector injector{42};
+  const auto fault_report = injector.corrupt(intact, corrupted);
+  ASSERT_TRUE(fault_report);
+  ASSERT_GT(fault_report->faults(), 0u);
+  const std::string damaged = corrupted.str();
+
+  std::vector<WeeklyReport> reports;
+  std::vector<sflow::ReaderStats> stats;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    std::stringstream in{damaged};
+    sflow::TraceReader reader{in, sflow::ReadPolicy::lenient()};
+    ASSERT_TRUE(reader.ok());
+    auto vp = make_vantage();
+    ParallelOptions options;
+    options.threads = threads;
+    options.batch_size = 256;
+    ParallelAnalyzer analyzer{vp, options};
+    reports.push_back(analyzer.analyze(kWeek, reader, fetcher()));
+    EXPECT_TRUE(reader.ok()) << threads << " threads";
+    EXPECT_TRUE(reader.stats().degraded()) << threads << " threads";
+    stats.push_back(reader.stats());
+  }
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    SCOPED_TRACE("thread variant " + std::to_string(i));
+    expect_reports_equal(reports[0], reports[i]);
+    EXPECT_EQ(stats[0].samples, stats[i].samples);
+    EXPECT_EQ(stats[0].bytes_skipped, stats[i].bytes_skipped);
+    EXPECT_EQ(stats[0].errors(), stats[i].errors());
+  }
+}
+
+}  // namespace
+}  // namespace ixp::core

@@ -81,6 +81,42 @@ TEST(Collector, CorruptPayloadCounted) {
   EXPECT_EQ(collector.stats().datagrams, 0u);
 }
 
+TEST(Collector, EvictsOldestAgentAtTheCap) {
+  // Cap of 2 tracked agents: a forged-agent flood must not grow the
+  // sequence map without bound, and evictions are visible in the stats.
+  Collector collector{[](const FlowSample&) {}, {}, /*max_agents=*/2};
+  const Ipv4Addr a{1, 1, 1, 1};
+  const Ipv4Addr b{2, 2, 2, 2};
+  const Ipv4Addr c{3, 3, 3, 3};
+  collector.ingest(make_datagram(a, 0));
+  collector.ingest(make_datagram(b, 0));
+  collector.ingest(make_datagram(c, 0));  // evicts a (oldest)
+  auto stats = collector.stats();
+  EXPECT_EQ(stats.agents, 2u);
+  EXPECT_EQ(stats.evicted_agents, 1u);
+
+  // A re-appearing evicted agent restarts from scratch: no phantom gap
+  // from its pre-eviction sequence number.
+  collector.ingest(make_datagram(a, 1000));  // evicts b
+  stats = collector.stats();
+  EXPECT_EQ(stats.agents, 2u);
+  EXPECT_EQ(stats.evicted_agents, 2u);
+  EXPECT_EQ(stats.lost_datagrams, 0u);
+}
+
+TEST(Collector, FloodOfForgedAgentsStaysBounded) {
+  Collector collector{[](const FlowSample&) {}, {}, /*max_agents=*/16};
+  for (std::uint32_t i = 0; i < 1000; ++i)
+    collector.ingest(make_datagram(Ipv4Addr{10, 0,
+                                            static_cast<std::uint8_t>(i >> 8),
+                                            static_cast<std::uint8_t>(i)},
+                                   0));
+  const auto stats = collector.stats();
+  EXPECT_EQ(stats.agents, 16u);
+  EXPECT_EQ(stats.evicted_agents, 1000u - 16u);
+  EXPECT_EQ(stats.datagrams, 1000u);
+}
+
 TEST(Collector, NoCounterSinkIsFine) {
   Collector collector{[](const FlowSample&) {}};
   collector.ingest(make_datagram(Ipv4Addr{1, 1, 1, 1}, 0, 1, 3));

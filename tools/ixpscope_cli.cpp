@@ -3,6 +3,7 @@
 //   ixpscope info                      model inventory at the chosen scale
 //   ixpscope generate --week N --out F record one week of sFlow to a trace
 //   ixpscope analyze --week N --in F   run the pipeline on a recorded trace
+//   ixpscope corrupt --in F --out F    damage a trace with seeded faults
 //   ixpscope diff --from A --to B      week-over-week change report (§4.2)
 //   ixpscope bgp-export --out F        dump the routing table (BGP text)
 //
@@ -12,10 +13,19 @@
 // so the report is byte-identical for any N.
 // The trace must have been generated at the same scale settings, since
 // analysis resolves IPs against the same (deterministic) databases.
+//
+// Ingest robustness (DESIGN.md §8): analyze is lenient by default — the
+// reader resynchronizes past corrupt records and an ingest-health table
+// plus exit code 3 report the loss. --strict fails at the first corrupt
+// record; --max-errors N tolerates at most N. `corrupt` is the matching
+// fault injector: deterministic per --seed, so damaged fixtures are
+// reproducible.
 #include <charconv>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
 
@@ -25,6 +35,7 @@
 #include "gen/internet.hpp"
 #include "gen/workload.hpp"
 #include "net/bgp_dump.hpp"
+#include "sflow/fault_injector.hpp"
 #include "sflow/trace.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -41,6 +52,9 @@ struct Options {
   double volume = 1.0 / 256.0;
   int threads = 1;
   bool quick = false;
+  bool strict = false;
+  std::uint64_t max_errors = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t seed = 1;
   std::string in_path;
   std::string out_path;
 };
@@ -52,9 +66,14 @@ int usage() {
       "  generate --week N --out FILE  record one week of sFlow samples\n"
       "  analyze  --week N --in FILE   run the pipeline on a trace\n"
       "           [--threads N]        shard the analysis over N threads\n"
+      "           [--strict]           fail at the first corrupt record\n"
+      "           [--max-errors N]     tolerate at most N corrupt records\n"
+      "  corrupt  --in FILE --out FILE damage a trace (deterministic)\n"
+      "           [--seed S]           fault-injection seed (default 1)\n"
       "  diff     --from A --to B      week-over-week change report\n"
       "  bgp-export --out FILE         dump the routing table\n"
-      "flags: --volume <0..1> (default 0.00390625), --quick\n";
+      "flags: --volume <0..1> (default 0.00390625), --quick\n"
+      "exit codes: 0 ok, 1 error, 2 usage, 3 analysis completed degraded\n";
   return 2;
 }
 
@@ -73,6 +92,12 @@ bool parse_double(const char* text, double& out) {
   return ec == std::errc{} && ptr == end;
 }
 
+bool parse_u64(const char* text, std::uint64_t& out) {
+  const char* end = text + std::strlen(text);
+  const auto [ptr, ec] = std::from_chars(text, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
 bool parse(int argc, char** argv, Options& opt) {
   if (argc < 2) return false;
   opt.command = argv[1];
@@ -85,6 +110,13 @@ bool parse(int argc, char** argv, Options& opt) {
     };
     if (flag == "--quick") {
       opt.quick = true;
+    } else if (flag == "--strict") {
+      opt.strict = true;
+      opt.max_errors = 0;
+    } else if (flag == "--max-errors" && need_value(i)) {
+      if (!parse_u64(argv[++i], opt.max_errors)) return bad_number(argv[i]);
+    } else if (flag == "--seed" && need_value(i)) {
+      if (!parse_u64(argv[++i], opt.seed)) return bad_number(argv[i]);
     } else if (flag == "--week" && need_value(i)) {
       if (!parse_int(argv[++i], opt.week)) return bad_number(argv[i]);
     } else if (flag == "--from" && need_value(i)) {
@@ -104,7 +136,7 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.out_path = argv[++i];
     } else if (flag == "--week" || flag == "--from" || flag == "--to" ||
                flag == "--threads" || flag == "--volume" || flag == "--in" ||
-               flag == "--out") {
+               flag == "--out" || flag == "--max-errors" || flag == "--seed") {
       std::cerr << "missing value for " << flag << "\n";
       return false;
     } else {
@@ -208,6 +240,23 @@ int cmd_generate(const Options& opt) {
   return 0;
 }
 
+/// The ingest-health table: what the reader delivered, what it lost, and
+/// how. Printed whenever anything was lost (DESIGN.md §8).
+void print_ingest_health(const sflow::ReaderStats& stats) {
+  util::Table table{"ingest health"};
+  table.header({"counter", "value"});
+  table.row({"datagrams delivered", util::with_thousands(stats.datagrams)});
+  table.row({"samples delivered", util::with_thousands(stats.samples)});
+  table.row({"bytes delivered", util::with_thousands(stats.bytes_delivered)});
+  table.row({"bad magic", util::with_thousands(stats.bad_magic)});
+  table.row({"bad length", util::with_thousands(stats.bad_length)});
+  table.row({"truncated", util::with_thousands(stats.truncated)});
+  table.row({"decode errors", util::with_thousands(stats.decode_errors)});
+  table.row({"resyncs", util::with_thousands(stats.resyncs)});
+  table.row({"bytes skipped", util::with_thousands(stats.bytes_skipped)});
+  table.print(std::cerr);
+}
+
 int cmd_analyze(const Options& opt) {
   if (opt.in_path.empty()) return usage();
   const auto world = build_world(opt);
@@ -216,7 +265,9 @@ int cmd_analyze(const Options& opt) {
     std::cerr << "cannot read " << opt.in_path << "\n";
     return 1;
   }
-  sflow::TraceReader reader{in};
+  const auto policy = opt.strict ? sflow::ReadPolicy::strict()
+                                 : sflow::ReadPolicy{opt.max_errors};
+  sflow::TraceReader reader{in, policy};
   if (!reader.ok()) {
     std::cerr << opt.in_path << ": not an ixpscope trace\n";
     return 1;
@@ -227,9 +278,62 @@ int cmd_analyze(const Options& opt) {
   core::ParallelAnalyzer analyzer{vantage, popt};
   const auto report =
       analyzer.analyze(opt.week, reader, make_fetcher(world, opt.week));
-  if (!reader.ok())
-    std::cerr << "warning: trace was truncated; results are partial\n";
+
+  const sflow::ReaderStats& stats = reader.stats();
+  if (!reader.ok()) {
+    // The error budget was exhausted mid-trace: the report would be
+    // silently partial, so refuse to pretend otherwise.
+    std::cerr << opt.in_path << ": corrupt trace, error budget ("
+              << (opt.strict ? "strict" : std::to_string(opt.max_errors))
+              << ") exceeded after " << util::with_thousands(stats.samples)
+              << " samples\n";
+    print_ingest_health(stats);
+    return 1;
+  }
   print_report(report);
+  if (stats.degraded()) {
+    std::cerr << "warning: trace is damaged; " << stats.errors()
+              << " corrupt records resynchronized past, "
+              << util::with_thousands(stats.bytes_skipped)
+              << " bytes skipped\n";
+    print_ingest_health(stats);
+    return 3;
+  }
+  return 0;
+}
+
+int cmd_corrupt(const Options& opt) {
+  if (opt.in_path.empty() || opt.out_path.empty()) return usage();
+  std::ifstream in{opt.in_path, std::ios::binary};
+  if (!in) {
+    std::cerr << "cannot read " << opt.in_path << "\n";
+    return 1;
+  }
+  std::ofstream out{opt.out_path, std::ios::binary};
+  if (!out) {
+    std::cerr << "cannot write " << opt.out_path << "\n";
+    return 1;
+  }
+  const sflow::FaultInjector injector{opt.seed};
+  const auto report = injector.corrupt(in, out);
+  if (!report) {
+    std::cerr << opt.in_path << ": not an ixpscope trace\n";
+    return 1;
+  }
+  util::Table table{"injected faults (seed " + std::to_string(opt.seed) + ")"};
+  table.header({"fault", "count"});
+  table.row({"bit flips", util::with_thousands(report->bit_flips)});
+  table.row({"truncations", util::with_thousands(report->truncations)});
+  table.row({"bogus lengths", util::with_thousands(report->bogus_lengths)});
+  table.row({"duplicates", util::with_thousands(report->duplicates)});
+  table.row({"reorders", util::with_thousands(report->reorders)});
+  table.row({"mid-file EOF", report->cut_short ? "1" : "0"});
+  table.print(std::cout);
+  std::cout << "wrote " << util::with_thousands(report->records_out)
+            << " records (" << util::with_thousands(report->bytes_out)
+            << " bytes, from " << util::with_thousands(report->records_in)
+            << " records / " << util::with_thousands(report->bytes_in)
+            << " bytes) to " << opt.out_path << "\n";
   return 0;
 }
 
@@ -287,6 +391,7 @@ int main(int argc, char** argv) {
   if (opt.command == "info") return cmd_info(opt);
   if (opt.command == "generate") return cmd_generate(opt);
   if (opt.command == "analyze") return cmd_analyze(opt);
+  if (opt.command == "corrupt") return cmd_corrupt(opt);
   if (opt.command == "diff") return cmd_diff(opt);
   if (opt.command == "bgp-export") return cmd_bgp_export(opt);
   return usage();
