@@ -12,13 +12,18 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "sflow/sampler.hpp"
 #include "util/format.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ixp;
+  // Validate the uniform bench command line; this experiment is
+  // single-threaded analytic code, so only --json/--iters would matter
+  // and neither changes the deterministic outputs below.
+  (void)bench::BenchArgs::parse(argc, argv);
   util::print_banner(std::cout, "Calibration: sampling estimation accuracy");
 
   util::Rng rng{0x5a3b17};

@@ -3,8 +3,21 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <span>
+#include <vector>
+
+#include "core/parallel_analyzer.hpp"
 
 namespace ixp::expcommon {
+
+Context Context::create(const std::string& experiment, int argc, char** argv) {
+  bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  Context ctx = create(experiment);
+  ctx.args = std::move(args);
+  if (!ctx.args.json_path.empty())
+    ctx.timeline = std::make_shared<bench::Suite>(experiment, ctx.args);
+  return ctx;
+}
 
 Context Context::create(const std::string& experiment) {
   Context ctx;
@@ -46,13 +59,50 @@ core::WeeklyReport Context::run_week(int week) const {
   core::VantagePoint vp{model->ixp(),   model->routing(), model->geo_db(),
                         locality,       model->dns_db(),
                         dns::PublicSuffixList::builtin(), model->root_store()};
-  core::WeekSession session = vp.open_week(week);
-  (void)workload->generate_week(
-      week,
-      [&session](const sflow::FlowSample& sample) { session.observe(sample); });
-  return session.finish([this, week](net::Ipv4Addr addr, int times) {
+  const auto fetch = [this, week](net::Ipv4Addr addr, int times) {
     return model->fetch_chains(addr, times, week);
-  });
+  };
+
+  // The report is identical at every thread count (merge is a monoid),
+  // so repeats and threading only change wall-clock, never the output.
+  const std::uint64_t repeats = args.iters > 0 ? args.iters : 1;
+  core::WeeklyReport report;
+  std::uint64_t samples = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t r = 0; r < repeats; ++r) {
+    if (args.threads > 1) {
+      std::vector<sflow::FlowSample> stream;
+      (void)workload->generate_week(
+          week,
+          [&stream](const sflow::FlowSample& sample) { stream.push_back(sample); });
+      core::ParallelOptions options;
+      options.threads = static_cast<unsigned>(args.threads);
+      core::ParallelAnalyzer analyzer{vp, options};
+      report = analyzer.analyze(
+          week, std::span<const sflow::FlowSample>{stream}, fetch);
+      samples += stream.size();
+    } else {
+      core::WeekSession session = vp.open_week(week);
+      (void)workload->generate_week(
+          week, [&session](const sflow::FlowSample& sample) {
+            session.observe(sample);
+          });
+      samples += session.samples_observed();
+      report = session.finish(fetch);
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  if (timeline) {
+    bench::BenchResult timing;
+    timing.name = "week" + std::to_string(week);
+    timing.iters = repeats;
+    timing.threads = args.threads;
+    timing.items = samples;
+    timing.seconds = std::chrono::duration<double>(t1 - t0).count();
+    timeline->add(std::move(timing));
+  }
+  return report;
 }
 
 std::string Context::scaled_row(double measured, double paper, double scale) {

@@ -7,12 +7,19 @@
 //   IXPSCOPE_QUICK=1           tiny test-scale run (smoke mode)
 // Every binary prints the scale header so the "measured" columns can be
 // compared against the paper's absolute numbers.
+//
+// All bench binaries share the uniform command line of
+// bench::BenchArgs (`--json PATH --iters N --threads N`): --threads
+// runs the week analysis through the parallel engine, --iters repeats
+// each week that many times, --json records per-week timing as a
+// bench-v1 trajectory document.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <unordered_map>
 
+#include "bench_json.hpp"
 #include "core/vantage_point.hpp"
 #include "gen/internet.hpp"
 #include "gen/workload.hpp"
@@ -28,10 +35,16 @@ struct Context {
   std::unordered_map<net::Asn, net::Locality> locality;
   double volume = 1.0;   // population scale vs. paper
   bool quick = false;
+  bench::BenchArgs args;
+  /// Per-week timing trajectory; non-null when --json was given.
+  std::shared_ptr<bench::Suite> timeline;
 
   /// Builds the model per environment configuration and prints the
   /// scale banner for `experiment`.
   static Context create(const std::string& experiment);
+
+  /// As above, but parses the uniform bench command line first.
+  static Context create(const std::string& experiment, int argc, char** argv);
 
   /// Runs the full measurement pipeline for one week.
   [[nodiscard]] core::WeeklyReport run_week(int week) const;

@@ -16,10 +16,9 @@
 
 #include "exp_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ixp;
-  const auto ctx = expcommon::Context::create(
-      "Extension (§7): server-to-server vs user-to-server traffic trend");
+  const auto ctx = expcommon::Context::create("Extension (§7): server-to-server vs user-to-server traffic trend", argc, argv);
   const auto& cfg = ctx.cfg;
 
   util::Table table{"Weekly composition of server-related peering bytes"};

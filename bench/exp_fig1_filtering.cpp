@@ -7,10 +7,9 @@
 
 #include "exp_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ixp;
-  const auto ctx = expcommon::Context::create(
-      "Figure 1: traffic filtering steps (week 45)");
+  const auto ctx = expcommon::Context::create("Figure 1: traffic filtering steps (week 45)", argc, argv);
   const auto report = ctx.run_week(45);
   const auto& f = report.filters;
   const double total_bytes = f.total_bytes();

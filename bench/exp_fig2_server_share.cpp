@@ -11,10 +11,9 @@
 #include "exp_common.hpp"
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ixp;
-  const auto ctx = expcommon::Context::create(
-      "Figure 2: per-server-IP traffic shares (week 45)");
+  const auto ctx = expcommon::Context::create("Figure 2: per-server-IP traffic shares (week 45)", argc, argv);
   const auto report = ctx.run_week(45);
 
   std::vector<double> bytes;

@@ -10,10 +10,9 @@
 
 #include "exp_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ixp;
-  const auto ctx = expcommon::Context::create(
-      "Figure 3: share of observed IPs per country (week 45)");
+  const auto ctx = expcommon::Context::create("Figure 3: share of observed IPs per country (week 45)", argc, argv);
   const auto report = ctx.run_week(45);
 
   std::vector<std::pair<geo::CountryCode, std::size_t>> countries(

@@ -10,10 +10,9 @@
 #include "analysis/churn_tracker.hpp"
 #include "exp_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ixp;
-  const auto ctx = expcommon::Context::create(
-      "Figure 4: churn of server IPs and server-hosting ASes (weeks 35-51)");
+  const auto ctx = expcommon::Context::create("Figure 4: churn of server IPs and server-hosting ASes (weeks 35-51)", argc, argv);
   const auto& cfg = ctx.cfg;
 
   analysis::ChurnTracker servers{cfg.first_week, cfg.last_week};

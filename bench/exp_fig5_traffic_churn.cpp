@@ -11,10 +11,9 @@
 #include "analysis/churn_tracker.hpp"
 #include "exp_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ixp;
-  const auto ctx = expcommon::Context::create(
-      "Figure 5: server-traffic churn by region (weeks 35-51)");
+  const auto ctx = expcommon::Context::create("Figure 5: server-traffic churn by region (weeks 35-51)", argc, argv);
   const auto& cfg = ctx.cfg;
 
   analysis::ChurnTracker tracker{cfg.first_week, cfg.last_week};

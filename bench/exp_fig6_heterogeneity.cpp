@@ -13,10 +13,9 @@
 #include "analysis/heterogeneity.hpp"
 #include "exp_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ixp;
-  const auto ctx = expcommon::Context::create(
-      "Figure 6: heterogeneity of organizations and ASes (week 45)");
+  const auto ctx = expcommon::Context::create("Figure 6: heterogeneity of organizations and ASes (week 45)", argc, argv);
   const auto report = ctx.run_week(45);
 
   // Cluster the harvested metadata (§5.1) to obtain organizations.

@@ -79,10 +79,11 @@ void analyze_org(const expcommon::Context& ctx, const char* name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const auto ctx = expcommon::Context::create(
       "Figure 7: AS-link heterogeneity — direct vs indirect org traffic "
-      "(week 45)");
+      "(week 45)",
+      argc, argv);
   analyze_org(ctx, "akamai", "(paper: 11.1%)");
   analyze_org(ctx, "cloudflare",
               "(paper: scattered like Akamai despite own-DC model)");

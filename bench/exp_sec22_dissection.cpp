@@ -10,10 +10,9 @@
 #include "analysis/attribution.hpp"
 #include "exp_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ixp;
-  const auto ctx = expcommon::Context::create(
-      "Section 2.2.2: dissecting the Web-server-related traffic (week 45)");
+  const auto ctx = expcommon::Context::create("Section 2.2.2: dissecting the Web-server-related traffic (week 45)", argc, argv);
   const auto report = ctx.run_week(45);
   const auto& d = report.dissection;
   const double server_scale = ctx.quick ? 0.0 : ctx.server_scale();

@@ -7,10 +7,10 @@
 
 #include "exp_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ixp;
   const auto ctx =
-      expcommon::Context::create("Section 2.4: server meta-data coverage (week 45)");
+      expcommon::Context::create("Section 2.4: server meta-data coverage (week 45)", argc, argv);
   const auto report = ctx.run_week(45);
   const auto& mc = report.metadata_coverage;
   const double n = static_cast<double>(mc.servers);

@@ -10,10 +10,9 @@
 #include "exp_common.hpp"
 #include "gen/isp_observer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ixp;
-  const auto ctx = expcommon::Context::create(
-      "Section 3.1: cross-validation with a Tier-1 ISP's logs (week 45)");
+  const auto ctx = expcommon::Context::create("Section 3.1: cross-validation with a Tier-1 ISP's logs (week 45)", argc, argv);
   const auto report = ctx.run_week(45);
 
   std::unordered_set<net::Ipv4Addr> ixp_servers;

@@ -15,10 +15,10 @@
 #include "dns/public_suffix.hpp"
 #include "exp_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ixp;
   const auto ctx =
-      expcommon::Context::create("Section 3.3: blind spots (week 45)");
+      expcommon::Context::create("Section 3.3: blind spots (week 45)", argc, argv);
   const auto report = ctx.run_week(45);
 
   // --- resolver filtering (§2.3) -------------------------------------------

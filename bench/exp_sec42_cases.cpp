@@ -16,10 +16,9 @@
 #include "analysis/case_studies.hpp"
 #include "exp_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ixp;
-  const auto ctx = expcommon::Context::create(
-      "Section 4.2: changes in the face of significant stability");
+  const auto ctx = expcommon::Context::create("Section 4.2: changes in the face of significant stability", argc, argv);
   const auto& cfg = ctx.cfg;
 
   const auto ec2 = ctx.model->org_by_name("ec2");

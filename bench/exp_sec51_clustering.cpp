@@ -52,9 +52,8 @@ Validation validate(const expcommon::Context& ctx,
 
 }  // namespace
 
-int main() {
-  const auto ctx = expcommon::Context::create(
-      "Section 5.1: clustering server IPs by organization (week 45)");
+int main(int argc, char** argv) {
+  const auto ctx = expcommon::Context::create("Section 5.1: clustering server IPs by organization (week 45)", argc, argv);
   const auto report = ctx.run_week(45);
 
   std::vector<classify::ServerMetadata> metadata;

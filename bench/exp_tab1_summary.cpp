@@ -7,9 +7,9 @@
 
 #include "exp_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ixp;
-  const auto ctx = expcommon::Context::create("Table 1: IXP summary statistics (week 45)");
+  const auto ctx = expcommon::Context::create("Table 1: IXP summary statistics (week 45)", argc, argv);
   const auto report = ctx.run_week(45);
 
   const double ip_scale = ctx.quick ? 0.0 : ctx.ip_scale();

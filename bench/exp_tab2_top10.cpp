@@ -43,9 +43,9 @@ void print_top10(const std::string& title, const Map& map, Value value,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ixp;
-  const auto ctx = expcommon::Context::create("Table 2: top-10 contributors (week 45)");
+  const auto ctx = expcommon::Context::create("Table 2: top-10 contributors (week 45)", argc, argv);
   const auto report = ctx.run_week(45);
 
   const auto country_label = [](geo::CountryCode code) { return code.to_string(); };

@@ -11,10 +11,10 @@
 
 #include "exp_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ixp;
   const auto ctx =
-      expcommon::Context::create("Table 3: A(L)/A(M)/A(G) breakdown (week 45)");
+      expcommon::Context::create("Table 3: A(L)/A(M)/A(G) breakdown (week 45)", argc, argv);
   const auto report = ctx.run_week(45);
 
   const auto print_block = [&](const char* title,

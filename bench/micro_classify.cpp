@@ -1,9 +1,11 @@
 // Micro-benchmarks: the per-sample measurement hot path — HTTP string
-// matching and the filter+dissect pipeline.
-#include <benchmark/benchmark.h>
-
+// matching and the filter+dissect pipeline. (micro_hotpath carries the
+// flat-vs-legacy A/B; this binary tracks the production path alone.)
 #include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "classify/dissector.hpp"
 #include "classify/http_matcher.hpp"
 #include "classify/peering_filter.hpp"
@@ -13,71 +15,68 @@ namespace {
 
 using namespace ixp;
 
-void BM_HttpMatchRequest(benchmark::State& state) {
-  const std::string payload =
-      "GET /content/12345 HTTP/1.1\r\nHost: www.example.com\r\nAccept: */*\r\n";
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(classify::HttpMatcher::match(payload));
-  }
-  state.SetItemsProcessed(state.iterations());
+void bench_match(bench::Suite& suite, const std::string& name,
+                 const std::string& payload) {
+  suite.run_case(name, 5'000'000, [&](std::uint64_t iters, int) {
+    for (std::uint64_t it = 0; it < iters; ++it)
+      bench::keep(classify::HttpMatcher::match(payload));
+    return iters;
+  });
 }
-BENCHMARK(BM_HttpMatchRequest);
-
-void BM_HttpMatchResponse(benchmark::State& state) {
-  const std::string payload =
-      "HTTP/1.1 200 OK\r\nServer: nginx\r\nContent-Type: text/html\r\n";
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(classify::HttpMatcher::match(payload));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_HttpMatchResponse);
-
-void BM_HttpMatchMiss(benchmark::State& state) {
-  std::string payload(74, '\0');
-  util::Rng rng{1};
-  for (auto& c : payload) c = static_cast<char>(rng.next_below(256));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(classify::HttpMatcher::match(payload));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_HttpMatchMiss);
-
-void BM_FilterAndDissect(benchmark::State& state) {
-  fabric::Ixp ixp;
-  fabric::Member a;
-  a.asn = net::Asn{100};
-  ixp.add_member(a);
-  fabric::Member b;
-  b.asn = net::Asn{200};
-  ixp.add_member(b);
-
-  const char payload[] = "GET / HTTP/1.1\r\nHost: bench.example.com\r\n";
-  std::vector<std::byte> data(sizeof payload - 1);
-  std::memcpy(data.data(), payload, data.size());
-  sflow::FrameSpec spec;
-  spec.src_mac = fabric::Ixp::port_mac_for(net::Asn{100});
-  spec.dst_mac = fabric::Ixp::port_mac_for(net::Asn{200});
-  spec.src_ip = net::Ipv4Addr{10, 0, 0, 1};
-  spec.dst_ip = net::Ipv4Addr{10, 0, 0, 2};
-  spec.src_port = 43210;
-  spec.dst_port = 80;
-  sflow::FlowSample sample;
-  sample.sampling_rate = 16384;
-  sample.frame = sflow::build_tcp_frame(spec, data, 600);
-
-  const classify::PeeringFilter filter{ixp, 45};
-  classify::FilterCounters counters;
-  classify::TrafficDissector dissector;
-  for (auto _ : state) {
-    const auto peering = filter.filter(sample, counters);
-    if (peering) dissector.ingest(*peering);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_FilterAndDissect);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::Suite suite{"classify", args};
+
+  bench_match(suite, "http_match_request",
+              "GET /content/12345 HTTP/1.1\r\nHost: www.example.com\r\n"
+              "Accept: */*\r\n");
+  bench_match(suite, "http_match_response",
+              "HTTP/1.1 200 OK\r\nServer: nginx\r\nContent-Type: text/html\r\n");
+  {
+    std::string payload(74, '\0');
+    util::Rng rng{1};
+    for (auto& c : payload) c = static_cast<char>(rng.next_below(256));
+    bench_match(suite, "http_match_miss", payload);
+  }
+
+  {
+    fabric::Ixp ixp;
+    fabric::Member a;
+    a.asn = net::Asn{100};
+    ixp.add_member(a);
+    fabric::Member b;
+    b.asn = net::Asn{200};
+    ixp.add_member(b);
+
+    const char payload[] = "GET / HTTP/1.1\r\nHost: bench.example.com\r\n";
+    std::vector<std::byte> data(sizeof payload - 1);
+    std::memcpy(data.data(), payload, data.size());
+    sflow::FrameSpec spec;
+    spec.src_mac = fabric::Ixp::port_mac_for(net::Asn{100});
+    spec.dst_mac = fabric::Ixp::port_mac_for(net::Asn{200});
+    spec.src_ip = net::Ipv4Addr{10, 0, 0, 1};
+    spec.dst_ip = net::Ipv4Addr{10, 0, 0, 2};
+    spec.src_port = 43210;
+    spec.dst_port = 80;
+    sflow::FlowSample sample;
+    sample.sampling_rate = 16384;
+    sample.frame = sflow::build_tcp_frame(spec, data, 600);
+
+    const classify::PeeringFilter filter{ixp, 45};
+    classify::FilterCounters counters;
+    classify::TrafficDissector dissector;
+    suite.run_case("filter_and_dissect", 5'000'000,
+                   [&](std::uint64_t iters, int) {
+                     for (std::uint64_t it = 0; it < iters; ++it) {
+                       const auto peering = filter.filter(sample, counters);
+                       if (peering) dissector.ingest(*peering);
+                     }
+                     return iters;
+                   });
+    bench::keep(dissector.summarize());
+  }
+  return 0;
+}

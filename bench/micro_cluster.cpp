@@ -1,7 +1,9 @@
 // Micro-benchmarks: §5.1 clustering throughput over synthetic metadata
 // pools of increasing size.
-#include <benchmark/benchmark.h>
+#include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "core/org_clusterer.hpp"
 #include "util/rng.hpp"
 
@@ -42,29 +44,40 @@ struct Fixture {
   }
 };
 
-void BM_ClusterServers(benchmark::State& state) {
-  const Fixture fixture{static_cast<std::size_t>(state.range(0))};
+void bench_cluster(bench::Suite& suite, std::size_t servers,
+                   std::uint64_t default_iters) {
+  const Fixture fixture{servers};
   const core::OrgClusterer clusterer{fixture.db,
                                      dns::PublicSuffixList::builtin()};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(clusterer.cluster(fixture.metadata));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+  suite.run_case("cluster_servers/" + std::to_string(servers), default_iters,
+                 [&](std::uint64_t iters, int) {
+                   for (std::uint64_t it = 0; it < iters; ++it)
+                     bench::keep(clusterer.cluster(fixture.metadata));
+                   return iters * fixture.metadata.size();
+                 });
 }
-BENCHMARK(BM_ClusterServers)->Arg(1000)->Arg(10000)->Arg(50000);
-
-void BM_ClusterIpsOnlyVote(benchmark::State& state) {
-  const Fixture fixture{static_cast<std::size_t>(state.range(0))};
-  const core::OrgClusterer clusterer{
-      fixture.db, dns::PublicSuffixList::builtin(),
-      core::ClusterOptions{core::VoteKey::kIpsOnly, 3}};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(clusterer.cluster(fixture.metadata));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_ClusterIpsOnlyVote)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::Suite suite{"cluster", args};
+
+  bench_cluster(suite, 1000, 100);
+  bench_cluster(suite, 10000, 10);
+  bench_cluster(suite, 50000, 2);
+
+  {
+    const Fixture fixture{10000};
+    const core::OrgClusterer clusterer{
+        fixture.db, dns::PublicSuffixList::builtin(),
+        core::ClusterOptions{core::VoteKey::kIpsOnly, 3}};
+    suite.run_case("cluster_ips_only_vote/10000", 10,
+                   [&](std::uint64_t iters, int) {
+                     for (std::uint64_t it = 0; it < iters; ++it)
+                       bench::keep(clusterer.cluster(fixture.metadata));
+                     return iters * fixture.metadata.size();
+                   });
+  }
+  return 0;
+}

@@ -1,0 +1,407 @@
+// The zero-allocation hot-path benchmark: filter + dissect throughput on
+// the production (flat-table, string_view) path, A/B'd against a replica
+// of the pre-optimization path (node-based hash maps, allocating header
+// extraction) kept here as the fixed baseline. Both numbers land in the
+// JSON trajectory (--json BENCH_hotpath.json), so the speedup claim is
+// reproducible from one binary:
+//
+//   build/bench/micro_hotpath --json BENCH_hotpath.json
+//
+// The flat case must also show 0 allocs/item once tables reach steady
+// state (the suite's warmup pass gets them there); the harness measures
+// that via the interposed allocation counter rather than trusting the
+// code to be allocation-free by inspection.
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "classify/dissector.hpp"
+#include "classify/http_matcher.hpp"
+#include "classify/peering_filter.hpp"
+#include "fabric/ixp.hpp"
+#include "sflow/frame.hpp"
+#include "sflow/trace.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ixp;
+
+constexpr int kWeek = 45;
+constexpr std::size_t kPoolSamples = 4096;
+constexpr std::size_t kServerIps = 8192;
+constexpr std::size_t kClientIps = 8192;
+constexpr std::size_t kHosts = 64;
+
+struct Fixture {
+  fabric::Ixp ixp;
+  std::vector<sflow::FlowSample> pool;
+
+  Fixture() {
+    fabric::Member a;
+    a.asn = net::Asn{100};
+    ixp.add_member(a);
+    fabric::Member b;
+    b.asn = net::Asn{200};
+    ixp.add_member(b);
+
+    std::vector<std::string> hosts;
+    hosts.reserve(kHosts);
+    for (std::size_t h = 0; h < kHosts; ++h)
+      hosts.push_back("cdn" + std::to_string(h) + ".bench.example");
+
+    util::Rng rng{0x10c4f00d};
+    pool.reserve(kPoolSamples);
+    for (std::size_t i = 0; i < kPoolSamples; ++i) {
+      const auto server = net::Ipv4Addr{static_cast<std::uint32_t>(
+          0x0a000000u + rng.next_below(kServerIps))};
+      const auto client = net::Ipv4Addr{static_cast<std::uint32_t>(
+          0x0a010000u + rng.next_below(kClientIps))};
+
+      sflow::FrameSpec spec;
+      spec.src_mac = fabric::Ixp::port_mac_for(net::Asn{100});
+      spec.dst_mac = fabric::Ixp::port_mac_for(net::Asn{200});
+
+      std::string payload;
+      const double kind = rng.next_double();
+      if (kind < 0.45) {  // HTTP request with a Host header
+        spec.src_ip = client;
+        spec.dst_ip = server;
+        spec.src_port = static_cast<std::uint16_t>(40000 + rng.next_below(8000));
+        spec.dst_port = 80;
+        payload = "GET /content/" + std::to_string(rng.next_below(100000)) +
+                  " HTTP/1.1\r\nHost: " + hosts[rng.next_below(kHosts)] +
+                  "\r\nAccept: */*\r\n";
+      } else if (kind < 0.70) {  // HTTP response
+        spec.src_ip = server;
+        spec.dst_ip = client;
+        spec.src_port = 80;
+        spec.dst_port = static_cast<std::uint16_t>(40000 + rng.next_below(8000));
+        payload = "HTTP/1.1 200 OK\r\nServer: bench\r\nContent-Type: "
+                  "text/html\r\n";
+      } else if (kind < 0.85) {  // HTTPS candidate (opaque payload)
+        spec.src_ip = client;
+        spec.dst_ip = server;
+        spec.src_port = static_cast<std::uint16_t>(40000 + rng.next_below(8000));
+        spec.dst_port = 443;
+        payload.assign(48, '\0');
+        for (auto& c : payload) c = static_cast<char>(rng.next_below(256));
+      } else {  // non-HTTP noise
+        spec.src_ip = client;
+        spec.dst_ip = server;
+        spec.src_port = static_cast<std::uint16_t>(40000 + rng.next_below(8000));
+        spec.dst_port = static_cast<std::uint16_t>(1024 + rng.next_below(30000));
+        payload.assign(64, '\0');
+        for (auto& c : payload) c = static_cast<char>(rng.next_below(256));
+      }
+
+      std::vector<std::byte> data(payload.size());
+      std::memcpy(data.data(), payload.data(), data.size());
+      sflow::FlowSample sample;
+      sample.sampling_rate = 16384;
+      sample.frame = sflow::build_tcp_frame(spec, data, 600);
+      pool.push_back(std::move(sample));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
+// Pre-optimization replica: exactly the containers and copies the hot
+// path used before the flat rework — std::optional<std::string> header
+// extraction, node-based unordered_maps, std::string host evidence.
+// Kept verbatim-in-spirit so the A/B measures the data-structure change,
+// not a strawman.
+// ---------------------------------------------------------------------
+
+struct LegacyMatch {
+  classify::HttpIndication indication = classify::HttpIndication::kNone;
+  std::optional<std::string> host;
+  std::optional<std::string> path;
+};
+
+constexpr std::array<std::string_view, 8> kLegacyMethods{
+    "GET ", "HEAD ", "POST ", "PUT ", "DELETE ", "OPTIONS ", "TRACE ",
+    "CONNECT "};
+
+constexpr std::array<std::string_view, 10> kLegacyHeaderFields{
+    "Host:", "Server:", "Content-Type:", "Content-Length:", "User-Agent:",
+    "Accept:", "Set-Cookie:", "Cache-Control:", "Location:",
+    "Access-Control-Allow-Methods:"};
+
+bool legacy_starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool legacy_request_line_has_version(std::string_view line) {
+  const std::size_t at = line.rfind("HTTP/1.");
+  if (at == std::string_view::npos) return false;
+  if (at + 8 > line.size()) return false;
+  const char minor = line[at + 7];
+  return minor == '0' || minor == '1';
+}
+
+std::string_view legacy_first_line(std::string_view text) {
+  const std::size_t eol = text.find("\r\n");
+  return eol == std::string_view::npos ? text : text.substr(0, eol);
+}
+
+std::optional<std::string> legacy_extract_header(std::string_view text,
+                                                 std::string_view field) {
+  const std::size_t at = text.find(field);
+  if (at == std::string_view::npos) return std::nullopt;
+  std::size_t begin = at + field.size();
+  while (begin < text.size() && text[begin] == ' ') ++begin;
+  std::size_t end = begin;
+  while (end < text.size() && text[end] != '\r' && text[end] != '\n') ++end;
+  if (end == begin) return std::nullopt;
+  return std::string{text.substr(begin, end - begin)};
+}
+
+// The pre-PR HttpMatcher::match, verbatim: allocating header extraction
+// and a substring search per header-field word on the miss path.
+LegacyMatch legacy_match_impl(std::string_view payload) {
+  LegacyMatch result;
+  if (payload.empty()) return result;
+
+  const std::string_view line = legacy_first_line(payload);
+
+  for (const std::string_view method : kLegacyMethods) {
+    if (!legacy_starts_with(line, method)) continue;
+    if (!legacy_request_line_has_version(line)) break;
+    result.indication = classify::HttpIndication::kRequest;
+    const std::size_t path_begin = method.size();
+    const std::size_t path_end = line.find(' ', path_begin);
+    if (path_end != std::string_view::npos && path_end > path_begin)
+      result.path = std::string{line.substr(path_begin, path_end - path_begin)};
+    result.host = legacy_extract_header(payload, "Host:");
+    return result;
+  }
+
+  if (legacy_starts_with(line, "HTTP/1.") && line.size() >= 12 &&
+      (line[7] == '0' || line[7] == '1') && line[8] == ' ' &&
+      std::isdigit(static_cast<unsigned char>(line[9])) &&
+      std::isdigit(static_cast<unsigned char>(line[10])) &&
+      std::isdigit(static_cast<unsigned char>(line[11]))) {
+    result.indication = classify::HttpIndication::kResponse;
+    result.host = legacy_extract_header(payload, "Host:");
+    return result;
+  }
+
+  for (const std::string_view field : kLegacyHeaderFields) {
+    const std::size_t at = payload.find(field);
+    if (at == std::string_view::npos) continue;
+    if (at != 0 && payload[at - 1] != '\n') continue;
+    result.indication = classify::HttpIndication::kHeaderOnly;
+    result.host = legacy_extract_header(payload, "Host:");
+    return result;
+  }
+  return result;
+}
+
+LegacyMatch legacy_match(std::span<const std::byte> payload) {
+  return legacy_match_impl(std::string_view{
+      reinterpret_cast<const char*>(payload.data()), payload.size()});
+}
+
+class LegacyDissector {
+ public:
+  LegacyDissector() { activity_.reserve(1 << 16); }
+
+  void ingest(const classify::PeeringSample& sample) {
+    const sflow::ParsedFrame& frame = sample.frame;
+    const net::Ipv4Addr src = frame.ip->src;
+    const net::Ipv4Addr dst = frame.ip->dst;
+
+    classify::IpActivity& src_info = activity_[src];
+    classify::IpActivity& dst_info = activity_[dst];
+    src_info.samples += 1;
+    dst_info.samples += 1;
+    src_info.bytes += sample.expanded_bytes;
+    dst_info.bytes += sample.expanded_bytes;
+    total_bytes_ += sample.expanded_bytes;
+
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    bool tcp = false;
+    if (frame.is_tcp()) {
+      src_port = frame.tcp->src_port;
+      dst_port = frame.tcp->dst_port;
+      tcp = true;
+    } else if (frame.is_udp()) {
+      src_port = frame.udp->src_port;
+      dst_port = frame.udp->dst_port;
+    }
+    if (tcp) {
+      if (src_port == 443) src_info.flags |= classify::kCandidate443;
+      if (dst_port == 443) dst_info.flags |= classify::kCandidate443;
+      if (src_port == 1935) src_info.flags |= classify::kSeenRtmp1935;
+      if (dst_port == 1935) dst_info.flags |= classify::kSeenRtmp1935;
+    }
+    if (!tcp || frame.payload.empty()) return;
+
+    const LegacyMatch match = legacy_match(frame.payload);
+    switch (match.indication) {
+      case classify::HttpIndication::kNone:
+        return;
+      case classify::HttpIndication::kRequest:
+        dst_info.flags |= classify::kSeenHttpServer |
+                          (dst_port == 8080 ? classify::kSeenPort8080
+                                            : classify::kSeenPort80);
+        src_info.flags |= classify::kSeenHttpClient;
+        if (match.host) note_host(dst, *match.host, sample.seq);
+        return;
+      case classify::HttpIndication::kResponse:
+        src_info.flags |= classify::kSeenHttpServer |
+                          (src_port == 8080 ? classify::kSeenPort8080
+                                            : classify::kSeenPort80);
+        dst_info.flags |= classify::kSeenHttpClient;
+        if (match.host) note_host(src, *match.host, sample.seq);
+        return;
+      case classify::HttpIndication::kHeaderOnly:
+        return;
+    }
+  }
+
+  [[nodiscard]] std::size_t unique_ips() const { return activity_.size(); }
+
+ private:
+  static constexpr std::size_t kMaxHostsPerServer = 8;
+
+  void note_host(net::Ipv4Addr server, const std::string& host,
+                 std::uint64_t seq) {
+    auto& hosts = hosts_[server];
+    for (auto& seen : hosts) {
+      if (seen.first == host) {
+        seen.second = std::min(seen.second, seq);
+        return;
+      }
+    }
+    if (hosts.size() < kMaxHostsPerServer) hosts.emplace_back(host, seq);
+  }
+
+  std::unordered_map<net::Ipv4Addr, classify::IpActivity> activity_;
+  std::unordered_map<net::Ipv4Addr,
+                     std::vector<std::pair<std::string, std::uint64_t>>>
+      hosts_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::Suite suite{"hotpath", args};
+  const Fixture fixture;
+
+  // The A/B isolates the dissect+observe loop — the part this PR moved
+  // onto flat tables and string_view extraction. Filtering and frame
+  // parsing are identical on both sides, so they run once up front; the
+  // pool outlives the PeeringSamples whose spans point into it.
+  std::vector<classify::PeeringSample> peering;
+  {
+    const classify::PeeringFilter filter{fixture.ixp, kWeek};
+    classify::FilterCounters counters;
+    peering.reserve(fixture.pool.size());
+    std::uint64_t seq = 0;
+    for (const sflow::FlowSample& sample : fixture.pool) {
+      auto p = filter.filter(sample, counters);
+      if (p) {
+        p->seq = seq++;
+        peering.push_back(*p);
+      }
+    }
+  }
+
+  // Production path: flat tables, string_view dissection, batch ingest
+  // with lookahead prefetch (the shard path). Steady-state expectation
+  // after the warmup pass: 0 allocs/item.
+  {
+    classify::TrafficDissector dissector;
+    suite.run_case(
+        "dissect_observe_flat", 2000,
+        [&](std::uint64_t iters, int) {
+          for (std::uint64_t it = 0; it < iters; ++it)
+            dissector.ingest(std::span<const classify::PeeringSample>{peering});
+          return iters * peering.size();
+        });
+    bench::keep(dissector.summarize());
+  }
+
+  // Pre-optimization baseline replica (see above).
+  {
+    LegacyDissector dissector;
+    suite.run_case(
+        "dissect_observe_legacy", 2000,
+        [&](std::uint64_t iters, int) {
+          for (std::uint64_t it = 0; it < iters; ++it)
+            for (const classify::PeeringSample& sample : peering)
+              dissector.ingest(sample);
+          return iters * peering.size();
+        });
+    bench::keep(dissector.unique_ips());
+  }
+
+  // End-to-end context: filter + dissect together, as production runs it.
+  {
+    const classify::PeeringFilter filter{fixture.ixp, kWeek};
+    classify::FilterCounters counters;
+    classify::TrafficDissector dissector;
+    std::uint64_t seq = 0;
+    suite.run_case(
+        "filter_dissect_flat", 600,
+        [&](std::uint64_t iters, int) {
+          for (std::uint64_t it = 0; it < iters; ++it) {
+            for (const sflow::FlowSample& sample : fixture.pool) {
+              auto p = filter.filter(sample, counters);
+              if (p) {
+                p->seq = seq++;
+                dissector.ingest(*p);
+              }
+            }
+          }
+          return iters * fixture.pool.size();
+        });
+    bench::keep(dissector.summarize());
+  }
+
+  // Trace replay through the reused-batch cursor (next() path).
+  {
+    std::string trace;
+    {
+      std::ostringstream raw;
+      sflow::TraceWriter writer{raw, net::Ipv4Addr{172, 16, 0, 1}, 128};
+      for (const auto& sample : fixture.pool) writer.write(sample);
+      writer.flush();
+      trace = raw.str();
+    }
+    suite.run_case(
+        "trace_replay_next", 150,
+        [&](std::uint64_t iters, int) {
+          std::uint64_t delivered = 0;
+          for (std::uint64_t it = 0; it < iters; ++it) {
+            std::istringstream in{trace};
+            sflow::TraceReader reader{in};
+            while (auto sample = reader.next()) {
+              bench::keep(sample->sampling_rate);
+              ++delivered;
+            }
+          }
+          return delivered;
+        });
+  }
+
+  const auto& results = suite.results();
+  const double flat = results[0].items_per_sec();
+  const double legacy = results[1].items_per_sec();
+  if (legacy > 0.0)
+    std::printf(
+        "dissect+observe speedup flat vs legacy: %.2fx"
+        "  (flat allocs/item: %.4f)\n",
+        flat / legacy, results[0].allocs_per_item());
+  return 0;
+}

@@ -1,7 +1,8 @@
 // Micro-benchmarks: longest-prefix-match structures (DESIGN.md ablation
 // #4 — pooled binary trie vs. the length-indexed hash-table LPM).
-#include <benchmark/benchmark.h>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "net/prefix_trie.hpp"
 #include "net/routing_table.hpp"
 #include "util/rng.hpp"
@@ -22,60 +23,82 @@ std::vector<net::Ipv4Prefix> make_prefixes(std::size_t n, std::uint64_t seed) {
   return prefixes;
 }
 
-void BM_TrieInsert(benchmark::State& state) {
-  const auto prefixes = make_prefixes(static_cast<std::size_t>(state.range(0)), 1);
-  for (auto _ : state) {
-    net::PrefixTrie<std::uint32_t> trie;
-    for (std::size_t i = 0; i < prefixes.size(); ++i)
-      trie.insert(prefixes[i], static_cast<std::uint32_t>(i));
-    benchmark::DoNotOptimize(trie.size());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+void bench_trie_insert(bench::Suite& suite, std::size_t n,
+                       std::uint64_t default_iters) {
+  const auto prefixes = make_prefixes(n, 1);
+  suite.run_case("trie_insert/" + std::to_string(n), default_iters,
+                 [&](std::uint64_t iters, int) {
+                   for (std::uint64_t it = 0; it < iters; ++it) {
+                     net::PrefixTrie<std::uint32_t> trie;
+                     for (std::size_t i = 0; i < prefixes.size(); ++i)
+                       trie.insert(prefixes[i], static_cast<std::uint32_t>(i));
+                     bench::keep(trie.size());
+                   }
+                   return iters * prefixes.size();
+                 });
 }
-BENCHMARK(BM_TrieInsert)->Arg(1000)->Arg(10000)->Arg(100000);
 
-void BM_TrieLookup(benchmark::State& state) {
-  const auto prefixes = make_prefixes(static_cast<std::size_t>(state.range(0)), 1);
+void bench_trie_lookup(bench::Suite& suite, std::size_t n,
+                       std::uint64_t default_iters) {
+  const auto prefixes = make_prefixes(n, 1);
   net::PrefixTrie<std::uint32_t> trie;
   for (std::size_t i = 0; i < prefixes.size(); ++i)
     trie.insert(prefixes[i], static_cast<std::uint32_t>(i));
   util::Rng rng{2};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        trie.lookup_ptr(net::Ipv4Addr{static_cast<std::uint32_t>(rng())}));
-  }
-  state.SetItemsProcessed(state.iterations());
+  suite.run_case("trie_lookup/" + std::to_string(n), default_iters,
+                 [&](std::uint64_t iters, int) {
+                   for (std::uint64_t it = 0; it < iters; ++it)
+                     bench::keep(trie.lookup_ptr(
+                         net::Ipv4Addr{static_cast<std::uint32_t>(rng())}));
+                   return iters;
+                 });
 }
-BENCHMARK(BM_TrieLookup)->Arg(1000)->Arg(100000)->Arg(400000);
 
-void BM_LengthIndexedLookup(benchmark::State& state) {
-  const auto prefixes = make_prefixes(static_cast<std::size_t>(state.range(0)), 1);
+void bench_lpm_lookup(bench::Suite& suite, std::size_t n,
+                      std::uint64_t default_iters) {
+  const auto prefixes = make_prefixes(n, 1);
   net::LengthIndexedLpm<std::uint32_t> lpm;
   for (std::size_t i = 0; i < prefixes.size(); ++i)
     lpm.insert(prefixes[i], static_cast<std::uint32_t>(i));
   util::Rng rng{2};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        lpm.lookup(net::Ipv4Addr{static_cast<std::uint32_t>(rng())}));
-  }
-  state.SetItemsProcessed(state.iterations());
+  suite.run_case("length_indexed_lookup/" + std::to_string(n), default_iters,
+                 [&](std::uint64_t iters, int) {
+                   for (std::uint64_t it = 0; it < iters; ++it)
+                     bench::keep(lpm.lookup(
+                         net::Ipv4Addr{static_cast<std::uint32_t>(rng())}));
+                   return iters;
+                 });
 }
-BENCHMARK(BM_LengthIndexedLookup)->Arg(1000)->Arg(100000)->Arg(400000);
-
-void BM_RoutingTableRouteOf(benchmark::State& state) {
-  const auto prefixes = make_prefixes(400000, 3);
-  net::RoutingTable table;
-  for (std::size_t i = 0; i < prefixes.size(); ++i)
-    table.announce(prefixes[i], net::Asn{static_cast<std::uint32_t>(i)});
-  util::Rng rng{4};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        table.route_of(net::Ipv4Addr{static_cast<std::uint32_t>(rng())}));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_RoutingTableRouteOf);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::Suite suite{"net", args};
+
+  bench_trie_insert(suite, 1000, 500);
+  bench_trie_insert(suite, 10000, 50);
+  bench_trie_insert(suite, 100000, 5);
+  bench_trie_lookup(suite, 1000, 2'000'000);
+  bench_trie_lookup(suite, 100000, 2'000'000);
+  bench_trie_lookup(suite, 400000, 2'000'000);
+  bench_lpm_lookup(suite, 1000, 2'000'000);
+  bench_lpm_lookup(suite, 100000, 2'000'000);
+  bench_lpm_lookup(suite, 400000, 2'000'000);
+
+  {
+    const auto prefixes = make_prefixes(400000, 3);
+    net::RoutingTable table;
+    for (std::size_t i = 0; i < prefixes.size(); ++i)
+      table.announce(prefixes[i], net::Asn{static_cast<std::uint32_t>(i)});
+    util::Rng rng{4};
+    suite.run_case("routing_table_route_of", 2'000'000,
+                   [&](std::uint64_t iters, int) {
+                     for (std::uint64_t it = 0; it < iters; ++it)
+                       bench::keep(table.route_of(
+                           net::Ipv4Addr{static_cast<std::uint32_t>(rng())}));
+                     return iters;
+                   });
+  }
+  return 0;
+}

@@ -1,12 +1,14 @@
 // Micro-benchmarks: sFlow wire codecs and sampling (DESIGN.md ablation
 // #1 — binomial flow thinning vs. exact per-packet Bernoulli sampling).
-#include <benchmark/benchmark.h>
-
+#include <array>
 #include <cstring>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "sflow/datagram.hpp"
 #include "sflow/frame.hpp"
 #include "sflow/sampler.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -23,83 +25,100 @@ sflow::FrameSpec spec() {
   return s;
 }
 
-void BM_BuildTcpFrame(benchmark::State& state) {
-  const char payload[] = "HTTP/1.1 200 OK\r\nServer: bench\r\n";
-  std::vector<std::byte> data(sizeof payload - 1);
-  std::memcpy(data.data(), payload, data.size());
-  const auto s = spec();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sflow::build_tcp_frame(s, data, 1400));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_BuildTcpFrame);
-
-void BM_ParseFrame(benchmark::State& state) {
-  const auto frame = sflow::build_tcp_frame(spec(), {}, 1400);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sflow::parse_frame(frame));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_ParseFrame);
-
-void BM_Ipv4Checksum(benchmark::State& state) {
-  std::array<std::byte, 20> header{};
-  sflow::Ipv4Header h;
-  h.total_length = 1500;
-  h.src = net::Ipv4Addr{10, 1, 2, 3};
-  h.dst = net::Ipv4Addr{10, 4, 5, 6};
-  h.serialize(header);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sflow::Ipv4Header::checksum(header));
-  }
-}
-BENCHMARK(BM_Ipv4Checksum);
-
-void BM_DatagramRoundTrip(benchmark::State& state) {
-  sflow::Datagram d;
-  d.agent = net::Ipv4Addr{172, 16, 0, 1};
-  for (int i = 0; i < 32; ++i) {
-    sflow::FlowSample sample;
-    sample.sampling_rate = 16384;
-    sample.frame = sflow::build_tcp_frame(spec(), {}, 1400);
-    d.samples.push_back(sample);
-  }
-  for (auto _ : state) {
-    const auto bytes = sflow::encode(d);
-    benchmark::DoNotOptimize(sflow::decode(bytes));
-  }
-  state.SetItemsProcessed(state.iterations() * 32);
-}
-BENCHMARK(BM_DatagramRoundTrip);
-
-// Ablation #1: the two sampling paths at the paper's 1:16384 rate.
-void BM_SampleFlowBinomial(benchmark::State& state) {
+void bench_sample_flow(bench::Suite& suite, std::uint64_t packets,
+                       std::uint64_t default_iters) {
   const sflow::Sampler sampler;
   util::Rng rng{7};
-  const auto packets = static_cast<std::uint64_t>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sampler.sample_flow(rng, packets));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+  suite.run_case("sample_flow_binomial/" + std::to_string(packets),
+                 default_iters, [&](std::uint64_t iters, int) {
+                   for (std::uint64_t it = 0; it < iters; ++it)
+                     bench::keep(sampler.sample_flow(rng, packets));
+                   return iters * packets;
+                 });
 }
-BENCHMARK(BM_SampleFlowBinomial)->Arg(1000)->Arg(100000)->Arg(10000000);
 
-void BM_SamplePerPacketBernoulli(benchmark::State& state) {
+void bench_sample_bernoulli(bench::Suite& suite, std::uint64_t packets,
+                            std::uint64_t default_iters) {
   const sflow::Sampler sampler;
   util::Rng rng{7};
-  const auto packets = static_cast<std::uint64_t>(state.range(0));
-  for (auto _ : state) {
-    std::uint64_t count = 0;
-    for (std::uint64_t p = 0; p < packets; ++p)
-      count += sampler.sample_packet(rng) ? 1 : 0;
-    benchmark::DoNotOptimize(count);
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+  suite.run_case("sample_per_packet_bernoulli/" + std::to_string(packets),
+                 default_iters, [&](std::uint64_t iters, int) {
+                   for (std::uint64_t it = 0; it < iters; ++it) {
+                     std::uint64_t count = 0;
+                     for (std::uint64_t p = 0; p < packets; ++p)
+                       count += sampler.sample_packet(rng) ? 1 : 0;
+                     bench::keep(count);
+                   }
+                   return iters * packets;
+                 });
 }
-BENCHMARK(BM_SamplePerPacketBernoulli)->Arg(1000)->Arg(100000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::Suite suite{"sflow", args};
+
+  {
+    const char payload[] = "HTTP/1.1 200 OK\r\nServer: bench\r\n";
+    std::vector<std::byte> data(sizeof payload - 1);
+    std::memcpy(data.data(), payload, data.size());
+    const auto s = spec();
+    suite.run_case("build_tcp_frame", 1'000'000,
+                   [&](std::uint64_t iters, int) {
+                     for (std::uint64_t it = 0; it < iters; ++it)
+                       bench::keep(sflow::build_tcp_frame(s, data, 1400));
+                     return iters;
+                   });
+  }
+
+  {
+    const auto frame = sflow::build_tcp_frame(spec(), {}, 1400);
+    suite.run_case("parse_frame", 5'000'000, [&](std::uint64_t iters, int) {
+      for (std::uint64_t it = 0; it < iters; ++it)
+        bench::keep(sflow::parse_frame(frame));
+      return iters;
+    });
+  }
+
+  {
+    std::array<std::byte, 20> header{};
+    sflow::Ipv4Header h;
+    h.total_length = 1500;
+    h.src = net::Ipv4Addr{10, 1, 2, 3};
+    h.dst = net::Ipv4Addr{10, 4, 5, 6};
+    h.serialize(header);
+    suite.run_case("ipv4_checksum", 10'000'000, [&](std::uint64_t iters, int) {
+      for (std::uint64_t it = 0; it < iters; ++it)
+        bench::keep(sflow::Ipv4Header::checksum(header));
+      return iters;
+    });
+  }
+
+  {
+    sflow::Datagram d;
+    d.agent = net::Ipv4Addr{172, 16, 0, 1};
+    for (int i = 0; i < 32; ++i) {
+      sflow::FlowSample sample;
+      sample.sampling_rate = 16384;
+      sample.frame = sflow::build_tcp_frame(spec(), {}, 1400);
+      d.samples.push_back(sample);
+    }
+    suite.run_case("datagram_round_trip", 20'000,
+                   [&](std::uint64_t iters, int) {
+                     for (std::uint64_t it = 0; it < iters; ++it) {
+                       const auto bytes = sflow::encode(d);
+                       bench::keep(sflow::decode(bytes));
+                     }
+                     return iters * 32;
+                   });
+  }
+
+  // Ablation #1: the two sampling paths at the paper's 1:16384 rate.
+  bench_sample_flow(suite, 1000, 1'000'000);
+  bench_sample_flow(suite, 100000, 1'000'000);
+  bench_sample_flow(suite, 10000000, 1'000'000);
+  bench_sample_bernoulli(suite, 1000, 10'000);
+  bench_sample_bernoulli(suite, 100000, 100);
+  return 0;
+}

@@ -6,10 +6,12 @@ AttributionPass::AttributionPass(
     const fabric::Ixp& ixp, int week,
     std::unordered_map<net::Ipv4Addr, std::uint32_t> server_org,
     std::unordered_map<std::uint32_t, net::Asn> org_home)
-    : filter_(ixp, week),
-      server_org_(std::move(server_org)),
-      org_home_(std::move(org_home)),
-      ixp_(&ixp) {}
+    : filter_(ixp, week), ixp_(&ixp) {
+  server_org_.reserve(server_org.size());
+  for (const auto& [addr, org] : server_org) server_org_.try_emplace(addr, org);
+  org_home_.reserve(org_home.size());
+  for (const auto& [org, home] : org_home) org_home_.try_emplace(org, home);
+}
 
 void AttributionPass::observe(const sflow::FlowSample& sample) {
   const auto peering = filter_.filter(sample, counters_);
@@ -48,7 +50,7 @@ void AttributionPass::observe(const sflow::FlowSample& sample) {
       peering->expanded_bytes;
 }
 
-const std::unordered_map<net::Asn, LinkUsage>* AttributionPass::links_of(
+const AttributionPass::LinkMap* AttributionPass::links_of(
     std::uint32_t org) const {
   const auto it = links_.find(org);
   return it == links_.end() ? nullptr : &it->second;

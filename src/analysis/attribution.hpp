@@ -15,6 +15,7 @@
 
 #include "classify/peering_filter.hpp"
 #include "net/ipv4.hpp"
+#include "util/flat_hash_map.hpp"
 
 namespace ixp::analysis {
 
@@ -34,9 +35,13 @@ struct LinkUsage {
 
 class AttributionPass {
  public:
+  /// Per-org link usage keyed by peer member ASN.
+  using LinkMap = util::FlatHashMap<net::Asn, LinkUsage>;
+
   /// `server_org` maps every identified server IP to its organization id
   /// (from clustering); `org_home` maps org ids to their own member ASN
-  /// where they have one.
+  /// where they have one. The pass re-indexes both into flat tables —
+  /// the per-sample observe() path probes them for every peering sample.
   AttributionPass(const fabric::Ixp& ixp, int week,
                   std::unordered_map<net::Ipv4Addr, std::uint32_t> server_org,
                   std::unordered_map<std::uint32_t, net::Asn> org_home);
@@ -52,14 +57,13 @@ class AttributionPass {
   }
 
   /// Total bytes attributed to each org.
-  [[nodiscard]] const std::unordered_map<std::uint32_t, double>& org_bytes()
+  [[nodiscard]] const util::FlatHashMap<std::uint32_t, double>& org_bytes()
       const noexcept {
     return org_bytes_;
   }
 
   /// Link usage of `org` per peer member ASN.
-  [[nodiscard]] const std::unordered_map<net::Asn, LinkUsage>* links_of(
-      std::uint32_t org) const;
+  [[nodiscard]] const LinkMap* links_of(std::uint32_t org) const;
 
   /// Fraction of `org`'s traffic that did NOT use its own member link
   /// (the paper: 11.1% for Akamai).
@@ -67,8 +71,8 @@ class AttributionPass {
 
   /// Server-side bytes that entered through a given member port
   /// (used for the reseller case study).
-  [[nodiscard]] const std::unordered_map<net::Asn, double>& ingress_server_bytes()
-      const noexcept {
+  [[nodiscard]] const util::FlatHashMap<net::Asn, double>&
+  ingress_server_bytes() const noexcept {
     return ingress_server_bytes_;
   }
 
@@ -78,17 +82,16 @@ class AttributionPass {
  private:
   classify::PeeringFilter filter_;
   classify::FilterCounters counters_;
-  std::unordered_map<net::Ipv4Addr, std::uint32_t> server_org_;
-  std::unordered_map<std::uint32_t, net::Asn> org_home_;
+  util::FlatHashMap<net::Ipv4Addr, std::uint32_t> server_org_;
+  util::FlatHashMap<std::uint32_t, net::Asn> org_home_;
   const fabric::Ixp* ixp_;
 
   double peering_bytes_ = 0.0;
   double server_bytes_ = 0.0;
-  std::unordered_map<std::uint32_t, double> org_bytes_;
-  std::unordered_map<std::uint32_t, std::unordered_map<net::Asn, LinkUsage>>
-      links_;
-  std::unordered_map<net::Asn, double> ingress_server_bytes_;
-  std::unordered_map<net::Asn, std::unordered_set<std::uint32_t>>
+  util::FlatHashMap<std::uint32_t, double> org_bytes_;
+  util::FlatHashMap<std::uint32_t, LinkMap> links_;
+  util::FlatHashMap<net::Asn, double> ingress_server_bytes_;
+  util::FlatHashMap<net::Asn, std::unordered_set<std::uint32_t>>
       ingress_server_ips_;
 };
 

@@ -17,7 +17,7 @@ TrafficDissector::TrafficDissector() {
   activity_.reserve(1 << 16);
 }
 
-void TrafficDissector::note_host(net::Ipv4Addr server, const std::string& host,
+void TrafficDissector::note_host(net::Ipv4Addr server, std::string_view host,
                                  std::uint64_t seq) {
   auto& hosts = hosts_[server];
   for (auto& seen : hosts) {
@@ -27,7 +27,7 @@ void TrafficDissector::note_host(net::Ipv4Addr server, const std::string& host,
     }
   }
   if (hosts.size() < kMaxHostsPerServer) {
-    hosts.push_back({host, seq});
+    hosts.push_back({util::InlineString<kHostCapacity>{host}, seq});
     return;
   }
   // Keep the kMaxHostsPerServer smallest (first_seq, name) keys: evict the
@@ -36,8 +36,8 @@ void TrafficDissector::note_host(net::Ipv4Addr server, const std::string& host,
       hosts.begin(), hosts.end(), [](const auto& a, const auto& b) {
         return std::tie(a.first_seq, a.name) < std::tie(b.first_seq, b.name);
       });
-  if (std::tie(seq, host) < std::tie(latest->first_seq, latest->name)) {
-    latest->name = host;
+  if (std::tuple{seq, host} < std::tuple{latest->first_seq, latest->name.view()}) {
+    latest->name.assign(host);
     latest->first_seq = seq;
   }
 }
@@ -47,13 +47,10 @@ void TrafficDissector::ingest(const PeeringSample& sample) {
   const net::Ipv4Addr src = frame.ip->src;
   const net::Ipv4Addr dst = frame.ip->dst;
 
-  IpActivity& src_info = activity_[src];
-  IpActivity& dst_info = activity_[dst];
-  src_info.samples += 1;
-  dst_info.samples += 1;
-  src_info.bytes += sample.expanded_bytes;
-  dst_info.bytes += sample.expanded_bytes;
-  total_bytes_ += sample.expanded_bytes;
+  // Both table touches are random-access; issue the prefetches first and
+  // run the payload match while the lines arrive.
+  activity_.prefetch(src);
+  activity_.prefetch(dst);
 
   std::uint16_t src_port = 0;
   std::uint16_t dst_port = 0;
@@ -67,6 +64,20 @@ void TrafficDissector::ingest(const PeeringSample& sample) {
     dst_port = frame.udp->dst_port;
   }
 
+  const bool dissect = tcp && !frame.payload.empty();
+  HttpMatch match;
+  if (dissect) match = HttpMatcher::match(frame.payload);
+  if (!match.host.empty())
+    hosts_.prefetch(match.indication == HttpIndication::kRequest ? dst : src);
+
+  IpActivity& src_info = activity_[src];
+  IpActivity& dst_info = activity_[dst];
+  src_info.samples += 1;
+  dst_info.samples += 1;
+  src_info.bytes += sample.expanded_bytes;
+  dst_info.bytes += sample.expanded_bytes;
+  total_bytes_ += sample.expanded_bytes;
+
   // Port-based candidate evidence (HTTPS cannot be string-matched).
   if (tcp) {
     if (src_port == 443) src_info.flags |= kCandidate443;
@@ -75,9 +86,8 @@ void TrafficDissector::ingest(const PeeringSample& sample) {
     if (dst_port == 1935) dst_info.flags |= kSeenRtmp1935;
   }
 
-  if (!tcp || frame.payload.empty()) return;
+  if (!dissect) return;
 
-  const HttpMatch match = HttpMatcher::match(frame.payload);
   switch (match.indication) {
     case HttpIndication::kNone:
       return;
@@ -88,7 +98,7 @@ void TrafficDissector::ingest(const PeeringSample& sample) {
       else
         dst_info.flags |= kSeenPort80;
       src_info.flags |= kSeenHttpClient;
-      if (match.host) note_host(dst, *match.host, sample.seq);
+      if (!match.host.empty()) note_host(dst, match.host, sample.seq);
       return;
     }
     case HttpIndication::kResponse: {
@@ -98,7 +108,7 @@ void TrafficDissector::ingest(const PeeringSample& sample) {
       else
         src_info.flags |= kSeenPort80;
       dst_info.flags |= kSeenHttpClient;
-      if (match.host) note_host(src, *match.host, sample.seq);
+      if (!match.host.empty()) note_host(src, match.host, sample.seq);
       return;
     }
     case HttpIndication::kHeaderOnly: {
@@ -121,6 +131,20 @@ void TrafficDissector::ingest(const PeeringSample& sample) {
   }
 }
 
+void TrafficDissector::ingest(std::span<const PeeringSample> batch) {
+  // Far enough ahead that the prefetched lines arrive before use, close
+  // enough that they are not evicted again in between.
+  constexpr std::size_t kLookahead = 4;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (i + kLookahead < batch.size()) {
+      const sflow::ParsedFrame& ahead = batch[i + kLookahead].frame;
+      activity_.prefetch(ahead.ip->src);
+      activity_.prefetch(ahead.ip->dst);
+    }
+    ingest(batch[i]);
+  }
+}
+
 void TrafficDissector::confirm_https(net::Ipv4Addr addr) {
   activity_[addr].flags |= kConfirmedHttps;
 }
@@ -133,7 +157,8 @@ void TrafficDissector::merge(TrafficDissector&& other) {
     mine.flags |= info.flags;
   }
   for (auto& [addr, hosts] : other.hosts_) {
-    for (const auto& seen : hosts) note_host(addr, seen.name, seen.first_seq);
+    for (const auto& seen : hosts)
+      note_host(addr, seen.name.view(), seen.first_seq);
   }
   total_bytes_ += other.total_bytes_;
   other.activity_.clear();
@@ -150,7 +175,7 @@ std::vector<std::string> TrafficDissector::hosts_of(net::Ipv4Addr addr) const {
   });
   std::vector<std::string> out;
   out.reserve(ordered.size());
-  for (auto& seen : ordered) out.push_back(std::move(seen.name));
+  for (const auto& seen : ordered) out.push_back(seen.name.str());
   return out;
 }
 

@@ -17,13 +17,16 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "classify/http_matcher.hpp"
 #include "classify/peering_filter.hpp"
 #include "net/ipv4.hpp"
+#include "util/flat_hash_map.hpp"
+#include "util/inline_string.hpp"
 
 namespace ixp::classify {
 
@@ -82,6 +85,12 @@ class TrafficDissector {
   /// sample's `seq` orders Host-header first-seen tie-breaks.
   void ingest(const PeeringSample& sample);
 
+  /// Batch form: equivalent to ingesting each sample in order, but the
+  /// flat tables' probe slots for upcoming samples are prefetched a few
+  /// iterations ahead, overlapping their cache misses with payload
+  /// matching. Use this when samples arrive in runs (the shard path).
+  void ingest(std::span<const PeeringSample> batch);
+
   /// Marks an IP as a confirmed HTTPS server (prober feedback).
   void confirm_https(net::Ipv4Addr addr);
 
@@ -89,8 +98,9 @@ class TrafficDissector {
   /// commutative; the other dissector is consumed.
   void merge(TrafficDissector&& other);
 
-  [[nodiscard]] const std::unordered_map<net::Ipv4Addr, IpActivity>& activity()
-      const noexcept {
+  using ActivityMap = util::FlatHashMap<net::Ipv4Addr, IpActivity>;
+
+  [[nodiscard]] const ActivityMap& activity() const noexcept {
     return activity_;
   }
 
@@ -110,20 +120,28 @@ class TrafficDissector {
  private:
   static constexpr std::size_t kMaxHostsPerServer = 8;
 
+  /// Host headers come out of the 128-byte capture minus the "Host:"
+  /// prefix, so kHostCapacity bytes always hold a full value and the
+  /// inline copy is lossless.
+  static constexpr std::size_t kHostCapacity =
+      sflow::kCaptureBytes - sizeof("Host:") + 1;
+
   /// One Host header with the global sequence number of its earliest
   /// sighting; the per-server set keeps the kMaxHostsPerServer smallest
   /// (first_seq, name) keys, which makes the bounded set an exact
-  /// order-statistics monoid under merge.
+  /// order-statistics monoid under merge. The name lives inline — the
+  /// single copy out of the capture buffer happens right here, at
+  /// evidence-set insertion, never per sample.
   struct HostObservation {
-    std::string name;
+    util::InlineString<kHostCapacity> name;
     std::uint64_t first_seq = 0;
   };
 
-  void note_host(net::Ipv4Addr server, const std::string& host,
+  void note_host(net::Ipv4Addr server, std::string_view host,
                  std::uint64_t seq);
 
-  std::unordered_map<net::Ipv4Addr, IpActivity> activity_;
-  std::unordered_map<net::Ipv4Addr, std::vector<HostObservation>> hosts_;
+  ActivityMap activity_;
+  util::FlatHashMap<net::Ipv4Addr, std::vector<HostObservation>> hosts_;
   std::uint64_t total_bytes_ = 0;
 };
 

@@ -20,6 +20,22 @@ bool starts_with(std::string_view text, std::string_view prefix) {
   return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
 }
 
+/// True at byte `b` for every byte that starts one of `words`. Each
+/// starts_with probe costs a library memcmp; on the per-sample hot path
+/// that is the dominant cost for non-HTTP payloads, so gate the whole
+/// probe loop behind a single table lookup on the first byte.
+template <std::size_t N>
+constexpr std::array<bool, 256> first_byte_table(
+    const std::array<std::string_view, N>& words) {
+  std::array<bool, 256> table{};
+  for (const std::string_view word : words)
+    table[static_cast<unsigned char>(word.front())] = true;
+  return table;
+}
+
+constexpr auto kMethodFirst = first_byte_table(kMethods);
+constexpr auto kFieldFirst = first_byte_table(kHeaderFields);
+
 /// True when `line` (a request's first line) ends in HTTP/1.0 or HTTP/1.1.
 bool request_line_has_version(std::string_view line) {
   const std::size_t at = line.rfind("HTTP/1.");
@@ -34,18 +50,18 @@ std::string_view first_line(std::string_view text) {
   return eol == std::string_view::npos ? text : text.substr(0, eol);
 }
 
-/// Extracts the value following "Host:" up to CRLF (trimmed).
-std::optional<std::string> extract_header(std::string_view text,
-                                          std::string_view field) {
+/// Extracts the value following "Host:" up to CRLF (trimmed). Returns a
+/// view into `text` — no allocation; empty view when the field is absent
+/// or its value empty.
+std::string_view extract_header(std::string_view text, std::string_view field) {
   const std::size_t at = text.find(field);
-  if (at == std::string_view::npos) return std::nullopt;
+  if (at == std::string_view::npos) return {};
   std::size_t begin = at + field.size();
   while (begin < text.size() && text[begin] == ' ') ++begin;
   std::size_t end = begin;
   while (end < text.size() && text[end] != '\r' && text[end] != '\n') ++end;
   // A value truncated by the capture boundary is unusable only if empty.
-  if (end == begin) return std::nullopt;
-  return std::string{text.substr(begin, end - begin)};
+  return text.substr(begin, end - begin);
 }
 
 }  // namespace
@@ -56,17 +72,20 @@ HttpMatch HttpMatcher::match(std::string_view payload) {
 
   const std::string_view line = first_line(payload);
 
-  // Pattern 1a: request line "METHOD SP path SP HTTP/1.x".
-  for (const std::string_view method : kMethods) {
-    if (!starts_with(line, method)) continue;
-    if (!request_line_has_version(line)) break;  // e.g. RTSP or truncated
-    result.indication = HttpIndication::kRequest;
-    const std::size_t path_begin = method.size();
-    const std::size_t path_end = line.find(' ', path_begin);
-    if (path_end != std::string_view::npos && path_end > path_begin)
-      result.path = std::string{line.substr(path_begin, path_end - path_begin)};
-    result.host = extract_header(payload, "Host:");
-    return result;
+  // Pattern 1a: request line "METHOD SP path SP HTTP/1.x". (line[0], when
+  // it exists, equals payload[0]; an empty line can't start a method.)
+  if (kMethodFirst[static_cast<unsigned char>(payload[0])]) {
+    for (const std::string_view method : kMethods) {
+      if (!starts_with(line, method)) continue;
+      if (!request_line_has_version(line)) break;  // e.g. RTSP or truncated
+      result.indication = HttpIndication::kRequest;
+      const std::size_t path_begin = method.size();
+      const std::size_t path_end = line.find(' ', path_begin);
+      if (path_end != std::string_view::npos && path_end > path_begin)
+        result.path = line.substr(path_begin, path_end - path_begin);
+      result.host = extract_header(payload, "Host:");
+      return result;
+    }
   }
 
   // Pattern 1b: response status line "HTTP/1.x NNN".
@@ -80,16 +99,28 @@ HttpMatch HttpMatcher::match(std::string_view payload) {
     return result;
   }
 
-  // Pattern 2: header field words anywhere in the snippet (mid-connection
-  // packets of a header that spans frames).
-  for (const std::string_view field : kHeaderFields) {
-    const std::size_t at = payload.find(field);
-    if (at == std::string_view::npos) continue;
-    // Require begin-of-line to avoid matching random payload bytes.
-    if (at != 0 && payload[at - 1] != '\n') continue;
-    result.indication = HttpIndication::kHeaderOnly;
-    result.host = extract_header(payload, "Host:");
-    return result;
+  // Pattern 2: header field words at the start of a line, anywhere in the
+  // snippet (mid-connection packets of a header that spans frames; the
+  // begin-of-line anchor avoids matching random payload bytes). One walk
+  // over line starts rather than one substring search per field word: a
+  // non-HTTP capture has almost no '\n' bytes, so this decides "miss" in
+  // a handful of prefix probes instead of ten scans of the payload.
+  std::size_t pos = 0;
+  while (true) {
+    if (pos < payload.size() &&
+        kFieldFirst[static_cast<unsigned char>(payload[pos])]) {
+      const std::string_view rest = payload.substr(pos);
+      for (const std::string_view field : kHeaderFields) {
+        if (starts_with(rest, field)) {
+          result.indication = HttpIndication::kHeaderOnly;
+          result.host = extract_header(payload, "Host:");
+          return result;
+        }
+      }
+    }
+    const std::size_t nl = payload.find('\n', pos);
+    if (nl == std::string_view::npos) break;
+    pos = nl + 1;
   }
   return result;
 }

@@ -11,9 +11,7 @@
 #pragma once
 
 #include <cstddef>
-#include <optional>
 #include <span>
-#include <string>
 #include <string_view>
 
 namespace ixp::classify {
@@ -25,12 +23,17 @@ enum class HttpIndication : std::uint8_t {
   kHeaderOnly,  // header field words mid-connection (direction unknown)
 };
 
+/// Zero-allocation match result: `host` and `path` are views into the
+/// payload buffer handed to match() and share its lifetime. An empty
+/// view means "not present" (an empty header value is never returned).
+/// Callers that keep a value beyond the sample copy it at the point of
+/// storage — one copy at the evidence-set insert, none per sample.
 struct HttpMatch {
   HttpIndication indication = HttpIndication::kNone;
   /// Host header value, when the snippet contains one.
-  std::optional<std::string> host;
+  std::string_view host;
   /// Request path (first line of a request), when present.
-  std::optional<std::string> path;
+  std::string_view path;
 };
 
 /// Stateless matcher; safe to share across threads.

@@ -35,6 +35,7 @@
 #include "geo/geo_database.hpp"
 #include "net/as_graph.hpp"
 #include "net/routing_table.hpp"
+#include "util/flat_hash_map.hpp"
 
 namespace ixp::core {
 
@@ -99,8 +100,8 @@ struct WeeklyReport {
   std::size_t server_ases = 0;
   std::size_t server_countries = 0;
 
-  std::unordered_map<geo::CountryCode, CountryTally> by_country;
-  std::unordered_map<net::Asn, AsTally> by_as;
+  util::FlatHashMap<geo::CountryCode, CountryTally> by_country;
+  util::FlatHashMap<net::Asn, AsTally> by_as;
   /// Index 0/1/2 = A(L)/A(M)/A(G); peering and server variants.
   LocalityTally peering_locality[3];
   LocalityTally server_locality[3];

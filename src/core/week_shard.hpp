@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "classify/dissector.hpp"
 #include "classify/peering_filter.hpp"
@@ -43,10 +44,24 @@ class WeekShard {
   }
 
   /// Batch form: samples occupy stream positions
-  /// [first_seq, first_seq + batch.size()).
+  /// [first_seq, first_seq + batch.size()). Equivalent to observe() per
+  /// sample, but peering survivors are staged (in a buffer reused across
+  /// batches) and handed to the dissector's batch ingest, which prefetches
+  /// upcoming table slots. The staged PeeringSamples hold views into
+  /// `batch`, so they must be drained before this call returns.
   void observe_batch(std::span<const sflow::FlowSample> batch,
                      std::uint64_t first_seq) {
-    for (const auto& sample : batch) observe(sample, first_seq++);
+    staged_.clear();
+    for (const auto& sample : batch) {
+      auto peering = filter_.filter(sample, counters_);
+      if (peering) {
+        peering->seq = first_seq;
+        staged_.push_back(*peering);
+      }
+      ++first_seq;
+      ++samples_observed_;
+    }
+    dissector_.ingest(std::span<const classify::PeeringSample>{staged_});
   }
 
   /// Folds another shard of the same week into this one; associative and
@@ -77,6 +92,7 @@ class WeekShard {
   classify::FilterCounters counters_;
   classify::TrafficDissector dissector_;
   std::uint64_t samples_observed_ = 0;
+  std::vector<classify::PeeringSample> staged_;  // observe_batch scratch
 };
 
 }  // namespace ixp::core

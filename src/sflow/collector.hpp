@@ -12,9 +12,9 @@
 #include <deque>
 #include <functional>
 #include <span>
-#include <unordered_map>
 
 #include "sflow/datagram.hpp"
+#include "util/flat_hash_map.hpp"
 
 namespace ixp::sflow {
 
@@ -65,7 +65,7 @@ class Collector {
   /// Last sequence number seen per agent, for gap accounting. Bounded by
   /// max_agents_: when full, the longest-tracked agent is evicted
   /// (arrival_order_ is the FIFO of first appearances).
-  std::unordered_map<net::Ipv4Addr, std::uint32_t> last_sequence_;
+  util::FlatHashMap<net::Ipv4Addr, std::uint32_t> last_sequence_;
   std::deque<net::Ipv4Addr> arrival_order_;
 };
 

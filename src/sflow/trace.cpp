@@ -181,21 +181,24 @@ std::size_t TraceReader::read_batch(std::vector<FlowSample>& out,
 }
 
 std::optional<FlowSample> TraceReader::next() {
-  if (read_batch(one_, 1) == 0) return std::nullopt;
-  return std::move(one_.front());
+  // Consume straight from the decoded datagram's sample vector — no
+  // intermediate single-sample batch, no per-call vector churn.
+  if (cursor_ >= current_.samples.size() && !refill()) return std::nullopt;
+  return std::move(current_.samples[cursor_++]);
 }
 
 std::uint64_t TraceReader::for_each(
     const std::function<void(const FlowSample&)>& sink) {
-  std::vector<FlowSample> batch;
+  // Drain the current datagram in place, then refill; the decode buffer
+  // inside refill() is the only per-record allocation.
   std::uint64_t delivered = 0;
-  while (read_batch(batch, kDefaultBatch) > 0) {
-    for (const FlowSample& sample : batch) {
-      sink(sample);
+  while (true) {
+    while (cursor_ < current_.samples.size()) {
+      sink(current_.samples[cursor_++]);
       ++delivered;
     }
+    if (!refill()) return delivered;
   }
-  return delivered;
 }
 
 }  // namespace ixp::sflow

@@ -166,9 +166,8 @@ class TraceReader {
   ReaderStats stats_;
   bool ok_ = false;
   std::uint64_t pos_ = 0;  ///< absolute offset of the next unread byte
-  Datagram current_;
-  std::size_t cursor_ = 0;
-  std::vector<FlowSample> one_;  // next()'s single-sample batch
+  Datagram current_;       ///< decoded datagram being drained
+  std::size_t cursor_ = 0; ///< next undelivered sample in current_
 };
 
 }  // namespace ixp::sflow

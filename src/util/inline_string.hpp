@@ -1,0 +1,100 @@
+// InlineString<N> — a fixed-capacity string with no heap storage.
+//
+// The dissector's Host-header evidence used to hold a std::string per
+// observation: one heap allocation (plus a copy) for every header that
+// survives dedup. Host headers come out of 128-byte sFlow captures, so
+// their length is bounded by the capture — a small inline buffer holds
+// any of them. InlineString stores up to N bytes plus a length in the
+// object itself; construction from a longer view truncates (callers in
+// this codebase can never hit that: pick N >= the source bound).
+//
+// The type is trivially copyable, totally ordered by byte-wise
+// lexicographic comparison (identical to std::string ordering over the
+// same bytes), and hashes transparently against std::string_view via
+// StringHash, so FlatHashMap keyed on InlineString supports
+// heterogeneous find(string_view) without constructing a key.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace ixp::util {
+
+template <std::size_t N>
+class InlineString {
+  static_assert(N > 0 && N < 256, "length is stored in a single byte");
+
+ public:
+  constexpr InlineString() = default;
+
+  /// Copies at most N bytes of `text` (silently truncates beyond).
+  constexpr InlineString(std::string_view text) {  // NOLINT(google-explicit-constructor)
+    assign(text);
+  }
+
+  constexpr void assign(std::string_view text) {
+    size_ = static_cast<std::uint8_t>(text.size() > N ? N : text.size());
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = text[i];
+  }
+
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] static constexpr std::size_t capacity() noexcept { return N; }
+  [[nodiscard]] constexpr const char* data() const noexcept { return data_; }
+
+  [[nodiscard]] constexpr std::string_view view() const noexcept {
+    return std::string_view{data_, size_};
+  }
+  constexpr operator std::string_view() const noexcept {  // NOLINT(google-explicit-constructor)
+    return view();
+  }
+  [[nodiscard]] std::string str() const { return std::string{view()}; }
+
+  friend constexpr bool operator==(const InlineString& a,
+                                   const InlineString& b) noexcept {
+    return a.view() == b.view();
+  }
+  friend constexpr bool operator==(const InlineString& a,
+                                   std::string_view b) noexcept {
+    return a.view() == b;
+  }
+  friend constexpr auto operator<=>(const InlineString& a,
+                                    const InlineString& b) noexcept {
+    return a.view() <=> b.view();
+  }
+  friend constexpr auto operator<=>(const InlineString& a,
+                                    std::string_view b) noexcept {
+    return a.view() <=> b;
+  }
+
+ private:
+  char data_[N] = {};
+  std::uint8_t size_ = 0;
+};
+
+/// Transparent string hasher (FNV-1a) for heterogeneous lookup across
+/// InlineString / std::string / std::string_view keys.
+struct StringHash {
+  using is_transparent = void;
+
+  [[nodiscard]] std::size_t operator()(std::string_view text) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : text) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+  template <std::size_t N>
+  [[nodiscard]] std::size_t operator()(const InlineString<N>& s) const noexcept {
+    return (*this)(s.view());
+  }
+  [[nodiscard]] std::size_t operator()(const std::string& s) const noexcept {
+    return (*this)(std::string_view{s});
+  }
+};
+
+}  // namespace ixp::util

@@ -232,6 +232,17 @@ TEST_F(ParallelEngineTest, SpanAnalyzerFourThreadsMatchesBaseline) {
   expect_matches_baseline(report);
 }
 
+TEST_F(ParallelEngineTest, SpanAnalyzerEightThreadsMatchesBaseline) {
+  auto vp = make_vantage();
+  ParallelOptions options;
+  options.threads = 8;  // more workers than a shard's worth of batches
+  options.batch_size = 51;
+  ParallelAnalyzer analyzer{vp, options};
+  const auto report = analyzer.analyze(
+      kWeek, std::span<const sflow::FlowSample>{*samples_}, fetcher());
+  expect_matches_baseline(report);
+}
+
 TEST_F(ParallelEngineTest, TraceReplayThreadedMatchesBaseline) {
   // Full loop: record the stream, replay it through the queue-fed engine.
   std::stringstream buffer;

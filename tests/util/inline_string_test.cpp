@@ -1,0 +1,75 @@
+#include "util/inline_string.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace ixp::util {
+namespace {
+
+TEST(InlineString, DefaultIsEmpty) {
+  InlineString<16> s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.view(), "");
+  EXPECT_EQ(InlineString<16>::capacity(), 16u);
+}
+
+TEST(InlineString, CopiesAndRoundTrips) {
+  InlineString<32> s{"www.example.com"};
+  EXPECT_EQ(s.size(), 15u);
+  EXPECT_EQ(s.view(), "www.example.com");
+  EXPECT_EQ(s.str(), std::string{"www.example.com"});
+  const std::string_view as_view = s;  // implicit conversion
+  EXPECT_EQ(as_view, "www.example.com");
+}
+
+TEST(InlineString, TruncatesAtCapacity) {
+  InlineString<4> s{"abcdef"};
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.view(), "abcd");
+  s.assign("xy");
+  EXPECT_EQ(s.view(), "xy");
+}
+
+TEST(InlineString, IsTriviallyCopyable) {
+  EXPECT_TRUE(std::is_trivially_copyable_v<InlineString<64>>);
+}
+
+TEST(InlineString, ComparisonMatchesStdStringOrdering) {
+  const InlineString<16> a{"alpha"};
+  const InlineString<16> b{"beta"};
+  const InlineString<16> a2{"alpha"};
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(std::string{"alpha"} < std::string{"beta"}, a < b);
+  // Prefix ordering: "alp" < "alpha", like std::string.
+  EXPECT_LT(InlineString<16>{"alp"}, a);
+  // Embedded NUL bytes compare byte-wise, not C-string-wise.
+  const InlineString<16> nul1{std::string_view{"a\0b", 3}};
+  const InlineString<16> nul2{std::string_view{"a\0c", 3}};
+  EXPECT_LT(nul1, nul2);
+  EXPECT_EQ(nul1.size(), 3u);
+}
+
+TEST(InlineString, ComparesAgainstStringView) {
+  const InlineString<16> s{"host"};
+  EXPECT_EQ(s, std::string_view{"host"});
+  EXPECT_NE(s, std::string_view{"hosts"});
+  EXPECT_LT(s, std::string_view{"hosts"});
+  EXPECT_GT(s, std::string_view{"ho"});
+}
+
+TEST(StringHash, AgreesAcrossKeyTypes) {
+  const StringHash hash;
+  const std::string_view view = "cdn.example.net";
+  EXPECT_EQ(hash(view), hash(InlineString<32>{view}));
+  EXPECT_EQ(hash(view), hash(std::string{view}));
+  EXPECT_NE(hash(view), hash(std::string_view{"cdn.example.org"}));
+}
+
+}  // namespace
+}  // namespace ixp::util
