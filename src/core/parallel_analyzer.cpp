@@ -222,13 +222,182 @@ WeeklyReport ParallelAnalyzer::analyze(int week, const BatchSource& source,
 
 WeeklyReport ParallelAnalyzer::analyze(int week, sflow::TraceReader& reader,
                                        const classify::ChainFetcher& fetch) {
-  const std::size_t batch_size = options_.batch_size;
-  return analyze(
-      week,
-      [&reader, batch_size](std::vector<sflow::FlowSample>& out) {
-        return reader.read_batch(out, batch_size);
-      },
-      fetch);
+  // Record-granular batches with offset-derived stream keys: the same
+  // (key, sample) pairs a mapped-trace analysis produces, so the two
+  // paths yield byte-identical reports over the same trace bytes. The
+  // BatchSource plumbing keeps its running-index keys, hence the
+  // dedicated pump here instead of a source lambda.
+  WeekSession session = vantage_->open_week(week);
+  const bool lenient = options_.lenient_workers;
+  const auto& hook = options_.worker_hook;
+
+  if (threads_ <= 1) {
+    WeekShard shard = session.make_shard();
+    std::vector<std::uint64_t> errors(1, 0);
+    std::vector<sflow::FlowSample> batch;
+    std::uint64_t seq_base = 0;
+    while (reader.read_record(batch, seq_base) > 0) {
+      try {
+        if (hook) hook(batch, seq_base);
+        shard.observe_batch(batch, seq_base);
+      } catch (...) {
+        if (!lenient) throw;
+        ++errors[0];
+      }
+    }
+    session.absorb(std::move(shard));
+    return finish_flagged(session, fetch, std::move(errors));
+  }
+
+  std::vector<WeekShard> shards;
+  shards.reserve(threads_);
+  for (unsigned t = 0; t < threads_; ++t) shards.push_back(session.make_shard());
+  std::vector<std::uint64_t> errors(threads_, 0);
+  FirstError first_error;
+
+  BatchQueue queue{options_.max_queued_batches};
+  std::vector<std::thread> workers;
+  workers.reserve(threads_);
+  for (unsigned t = 0; t < threads_; ++t) {
+    workers.emplace_back([&, t] {
+      WeekShard& shard = shards[t];
+      Batch batch;
+      while (queue.pop(batch)) {
+        try {
+          if (hook) hook(batch.samples, batch.first_seq);
+          shard.observe_batch(batch.samples, batch.first_seq);
+        } catch (...) {
+          ++errors[t];
+          if (!lenient) {
+            first_error.capture();
+            queue.abort();
+            return;
+          }
+        }
+      }
+    });
+  }
+
+  try {
+    std::vector<sflow::FlowSample> scratch;
+    std::uint64_t seq_base = 0;
+    while (reader.read_record(scratch, seq_base) > 0) {
+      Batch batch;
+      batch.samples = std::move(scratch);
+      batch.first_seq = seq_base;
+      scratch = {};
+      if (!queue.push(std::move(batch))) break;  // a worker aborted the week
+    }
+  } catch (...) {
+    queue.abort();
+    for (auto& worker : workers) worker.join();
+    throw;
+  }
+  queue.close();
+  for (auto& worker : workers) worker.join();
+  first_error.rethrow_if_set();
+
+  for (auto& shard : shards) session.absorb(std::move(shard));
+  return finish_flagged(session, fetch, std::move(errors));
+}
+
+WeeklyReport ParallelAnalyzer::analyze(int week, const sflow::MappedTrace& trace,
+                                       const classify::ChainFetcher& fetch,
+                                       sflow::ReadPolicy policy,
+                                       MappedIngest* ingest) {
+  WeekSession session = vantage_->open_week(week);
+  const bool lenient = options_.lenient_workers;
+  const auto& hook = options_.worker_hook;
+
+  // 2× over-segmentation keeps workers busy when corruption (resync
+  // scans) makes segment costs uneven; one segment when single-threaded
+  // makes the walk literally the streamed reader's walk.
+  const std::size_t want = threads_ <= 1 ? 1 : std::size_t{threads_} * 2;
+  const std::vector<sflow::TraceSegment> segments =
+      sflow::TraceSegmenter::split(trace.bytes(), want);
+  std::vector<sflow::ReaderStats> per_segment(segments.size());
+
+  const auto finalize_ingest = [&] {
+    if (ingest == nullptr) return;
+    ingest->segments = segments;
+    ingest->total = sflow::ReaderStats{};
+    for (const auto& stats : per_segment) ingest->total += stats;
+    ingest->per_segment = std::move(per_segment);
+    ingest->within_budget = ingest->total.errors() <= policy.max_errors;
+  };
+
+  if (threads_ <= 1) {
+    WeekShard shard = session.make_shard();
+    std::vector<std::uint64_t> errors(1, 0);
+    sflow::TraceCursor cursor{trace.bytes(), {}};
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+      cursor.reset(trace.bytes(), segments[s]);
+      std::uint64_t seq_base = 0;
+      for (auto batch = cursor.read_record(seq_base); !batch.empty();
+           batch = cursor.read_record(seq_base)) {
+        try {
+          if (hook) hook(batch, seq_base);
+          shard.observe_batch(batch, seq_base);
+        } catch (...) {
+          if (!lenient) {
+            per_segment[s] = cursor.stats();
+            finalize_ingest();
+            throw;
+          }
+          ++errors[0];
+        }
+      }
+      per_segment[s] = cursor.stats();
+    }
+    session.absorb(std::move(shard));
+    finalize_ingest();
+    return finish_flagged(session, fetch, std::move(errors));
+  }
+
+  std::vector<WeekShard> shards;
+  shards.reserve(threads_);
+  for (unsigned t = 0; t < threads_; ++t) shards.push_back(session.make_shard());
+  std::vector<std::uint64_t> errors(threads_, 0);
+  FirstError first_error;
+  std::atomic<std::size_t> next_segment{0};
+  std::atomic<bool> aborted{false};
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads_);
+  for (unsigned t = 0; t < threads_; ++t) {
+    workers.emplace_back([&, t] {
+      WeekShard& shard = shards[t];
+      sflow::TraceCursor cursor{trace.bytes(), {}};
+      for (std::size_t s = next_segment.fetch_add(1);
+           s < segments.size() && !aborted.load(std::memory_order_relaxed);
+           s = next_segment.fetch_add(1)) {
+        cursor.reset(trace.bytes(), segments[s]);
+        std::uint64_t seq_base = 0;
+        for (auto batch = cursor.read_record(seq_base); !batch.empty();
+             batch = cursor.read_record(seq_base)) {
+          try {
+            if (hook) hook(batch, seq_base);
+            shard.observe_batch(batch, seq_base);
+          } catch (...) {
+            ++errors[t];
+            if (!lenient) {
+              first_error.capture();
+              aborted.store(true, std::memory_order_relaxed);
+              per_segment[s] = cursor.stats();
+              return;
+            }
+          }
+        }
+        per_segment[s] = cursor.stats();
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  finalize_ingest();
+  first_error.rethrow_if_set();
+
+  for (auto& shard : shards) session.absorb(std::move(shard));
+  return finish_flagged(session, fetch, std::move(errors));
 }
 
 WeeklyReport ParallelAnalyzer::analyze(int week,

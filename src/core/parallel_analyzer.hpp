@@ -8,14 +8,22 @@
 // order is fixed, the N-thread report is byte-identical to the 1-thread
 // report for any N — the determinism contract the parity tests pin down.
 //
-// Three input shapes:
+// Four input shapes:
 //   - a BatchSource pull function (anything that can fill a batch),
-//   - a sflow::TraceReader (recorded traces; read_batch feeds the queue),
-//   - an in-memory sample span (zero-copy; workers claim chunks).
+//   - a sflow::TraceReader (recorded traces; read_record feeds the queue),
+//   - an in-memory sample span (zero-copy; workers claim chunks),
+//   - a sflow::MappedTrace (zero-copy; workers claim byte segments and
+//     decode them in parallel with per-worker TraceCursors).
 //
-// The calling thread acts as the reader: trace decoding stays serial
-// (istreams are), while filtering, HTTP string matching, and per-IP
-// evidence accumulation — the hot path — run on the workers.
+// For the streamed shapes the calling thread acts as the reader: trace
+// decoding through an istream is serial by nature, while filtering, HTTP
+// string matching, and per-IP evidence accumulation — the hot path — run
+// on the workers. The mapped shape removes that Amdahl bottleneck:
+// decoding itself fans out, because TraceSegmenter cuts the byte span on
+// plausible record boundaries and every sample's stream key is derived
+// from its byte offset (sflow::stream_seq_key) instead of a running
+// counter — no sequence handoff between workers, and the N-thread mapped
+// report stays byte-identical to the 1-thread streamed report.
 //
 // Worker failures are contained (DESIGN.md §8): an exception escaping a
 // worker can never deadlock the bounded queue or terminate the process.
@@ -30,9 +38,25 @@
 #include <span>
 
 #include "core/vantage_point.hpp"
+#include "sflow/mapped_trace.hpp"
 #include "sflow/trace.hpp"
+#include "sflow/trace_segment.hpp"
 
 namespace ixp::core {
+
+/// Ingest health of one mapped-trace analysis: the per-segment error
+/// taxonomies in segment (= stream) order, their sum, and whether that
+/// sum stayed within the caller's ReadPolicy budget. Segments always
+/// decode leniently — a worker cannot know how many errors the other
+/// segments hit — so the budget is applied to the summed taxonomy after
+/// the fact. The accounting invariant carries over exactly:
+///   trace size == 12 + total.bytes_delivered + total.bytes_skipped.
+struct MappedIngest {
+  std::vector<sflow::TraceSegment> segments;
+  std::vector<sflow::ReaderStats> per_segment;
+  sflow::ReaderStats total;
+  bool within_budget = true;
+};
 
 struct ParallelOptions {
   /// Worker thread count; 0 means std::thread::hardware_concurrency().
@@ -64,9 +88,21 @@ class ParallelAnalyzer {
   [[nodiscard]] WeeklyReport analyze(int week, const BatchSource& source,
                                      const classify::ChainFetcher& fetch);
 
-  /// Analyzes one week from a recorded trace.
+  /// Analyzes one week from a recorded trace. Batches are record-granular
+  /// and carry offset-derived stream keys, so the result is byte-identical
+  /// to a mapped analysis of the same bytes at any thread count.
   [[nodiscard]] WeeklyReport analyze(int week, sflow::TraceReader& reader,
                                      const classify::ChainFetcher& fetch);
+
+  /// Analyzes one week from a mapped trace: the span is cut into
+  /// 2×threads segments and workers claim and decode them in parallel.
+  /// `policy` is applied to the summed per-segment taxonomy (see
+  /// MappedIngest); pass `ingest` to receive the accounting breakdown.
+  [[nodiscard]] WeeklyReport analyze(
+      int week, const sflow::MappedTrace& trace,
+      const classify::ChainFetcher& fetch,
+      sflow::ReadPolicy policy = sflow::ReadPolicy::strict(),
+      MappedIngest* ingest = nullptr);
 
   /// Analyzes one week of in-memory samples (zero-copy fan-out).
   [[nodiscard]] WeeklyReport analyze(int week,

@@ -23,53 +23,6 @@ void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
   put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
 }
 
-class Reader {
- public:
-  explicit Reader(std::span<const std::byte> bytes) noexcept : bytes_(bytes) {}
-
-  [[nodiscard]] std::optional<std::uint16_t> u16() noexcept {
-    if (at_ + 2 > bytes_.size()) return std::nullopt;
-    const auto v = static_cast<std::uint16_t>(
-        (std::to_integer<std::uint16_t>(bytes_[at_]) << 8) |
-        std::to_integer<std::uint16_t>(bytes_[at_ + 1]));
-    at_ += 2;
-    return v;
-  }
-
-  [[nodiscard]] std::optional<std::uint32_t> u32() noexcept {
-    if (at_ + 4 > bytes_.size()) return std::nullopt;
-    const std::uint32_t v =
-        (std::to_integer<std::uint32_t>(bytes_[at_]) << 24) |
-        (std::to_integer<std::uint32_t>(bytes_[at_ + 1]) << 16) |
-        (std::to_integer<std::uint32_t>(bytes_[at_ + 2]) << 8) |
-        std::to_integer<std::uint32_t>(bytes_[at_ + 3]);
-    at_ += 4;
-    return v;
-  }
-
-  [[nodiscard]] std::optional<std::uint64_t> u64() noexcept {
-    const auto high = u32();
-    if (!high) return std::nullopt;
-    const auto low = u32();
-    if (!low) return std::nullopt;
-    return (std::uint64_t{*high} << 32) | *low;
-  }
-
-  [[nodiscard]] bool read_into(std::span<std::byte> out) noexcept {
-    if (at_ + out.size() > bytes_.size()) return false;
-    std::copy_n(bytes_.begin() + static_cast<std::ptrdiff_t>(at_), out.size(),
-                out.begin());
-    at_ += out.size();
-    return true;
-  }
-
-  [[nodiscard]] bool exhausted() const noexcept { return at_ == bytes_.size(); }
-
- private:
-  std::span<const std::byte> bytes_;
-  std::size_t at_ = 0;
-};
-
 }  // namespace
 
 std::vector<std::byte> encode(const Datagram& datagram) {
@@ -100,62 +53,79 @@ std::vector<std::byte> encode(const Datagram& datagram) {
   return out;
 }
 
+bool decode_into(std::span<const std::byte> bytes, Datagram& out) {
+  out.samples.clear();
+  out.counters.clear();
+  const std::byte* const p = bytes.data();
+  const std::size_t size = bytes.size();
+  if (size < 20) return false;
+  if (load_be32(p) != Datagram::kVersion) return false;
+  out.agent = net::Ipv4Addr{load_be32(p + 4)};
+  out.sequence = load_be32(p + 8);
+  out.uptime_ms = load_be32(p + 12);
+  const std::uint32_t count = load_be32(p + 16);
+  std::size_t at = 20;
+
+  // Each sample occupies at least its 16 fixed header bytes, so an
+  // implausible count is rejected before any storage is touched.
+  if (std::uint64_t{count} * 16 > size - at) return false;
+  out.samples.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (size - at < 16) {
+      out.samples.clear();
+      return false;
+    }
+    FlowSample& sample = out.samples[i];
+    sample.sequence = load_be32(p + at);
+    sample.source_port = load_be32(p + at + 4);
+    sample.sampling_rate = load_be32(p + at + 8);
+    sample.frame.frame_length = load_be16(p + at + 12);
+    const std::uint16_t captured = load_be16(p + at + 14);
+    at += 16;
+    if (captured > kCaptureBytes || size - at < captured) {
+      out.samples.clear();
+      return false;
+    }
+    sample.frame.captured = captured;
+    std::memcpy(sample.frame.data.data(), p + at, captured);
+    at += captured;
+  }
+
+  if (size - at < 4) {
+    out.samples.clear();
+    return false;
+  }
+  const std::uint32_t counter_count = load_be32(p + at);
+  at += 4;
+  if (std::uint64_t{counter_count} * 36 > size - at) {
+    out.samples.clear();
+    return false;
+  }
+  out.counters.resize(counter_count);
+  for (std::uint32_t i = 0; i < counter_count; ++i) {
+    CounterSample& counter = out.counters[i];
+    counter.port = load_be32(p + at);
+    counter.in_frames = (std::uint64_t{load_be32(p + at + 4)} << 32) |
+                        load_be32(p + at + 8);
+    counter.in_bytes = (std::uint64_t{load_be32(p + at + 12)} << 32) |
+                       load_be32(p + at + 16);
+    counter.out_frames = (std::uint64_t{load_be32(p + at + 20)} << 32) |
+                         load_be32(p + at + 24);
+    counter.out_bytes = (std::uint64_t{load_be32(p + at + 28)} << 32) |
+                        load_be32(p + at + 32);
+    at += 36;
+  }
+  if (at != size) {
+    out.samples.clear();
+    out.counters.clear();
+    return false;
+  }
+  return true;
+}
+
 std::optional<Datagram> decode(std::span<const std::byte> bytes) {
-  Reader reader{bytes};
-  const auto version = reader.u32();
-  if (!version || *version != Datagram::kVersion) return std::nullopt;
-
   Datagram datagram;
-  const auto agent = reader.u32();
-  const auto sequence = reader.u32();
-  const auto uptime = reader.u32();
-  const auto count = reader.u32();
-  if (!agent || !sequence || !uptime || !count) return std::nullopt;
-  datagram.agent = net::Ipv4Addr{*agent};
-  datagram.sequence = *sequence;
-  datagram.uptime_ms = *uptime;
-
-  datagram.samples.reserve(std::min<std::uint32_t>(*count, 4096));
-  for (std::uint32_t i = 0; i < *count; ++i) {
-    FlowSample sample;
-    const auto seq = reader.u32();
-    const auto port = reader.u32();
-    const auto rate = reader.u32();
-    const auto frame_length = reader.u16();
-    const auto captured = reader.u16();
-    if (!seq || !port || !rate || !frame_length || !captured)
-      return std::nullopt;
-    if (*captured > kCaptureBytes) return std::nullopt;
-    sample.sequence = *seq;
-    sample.source_port = *port;
-    sample.sampling_rate = *rate;
-    sample.frame.frame_length = *frame_length;
-    sample.frame.captured = *captured;
-    if (!reader.read_into(
-            std::span<std::byte>{sample.frame.data}.first(*captured)))
-      return std::nullopt;
-    datagram.samples.push_back(sample);
-  }
-  const auto counter_count = reader.u32();
-  if (!counter_count) return std::nullopt;
-  datagram.counters.reserve(std::min<std::uint32_t>(*counter_count, 4096));
-  for (std::uint32_t i = 0; i < *counter_count; ++i) {
-    CounterSample counter;
-    const auto port = reader.u32();
-    const auto in_frames = reader.u64();
-    const auto in_bytes = reader.u64();
-    const auto out_frames = reader.u64();
-    const auto out_bytes = reader.u64();
-    if (!port || !in_frames || !in_bytes || !out_frames || !out_bytes)
-      return std::nullopt;
-    counter.port = *port;
-    counter.in_frames = *in_frames;
-    counter.in_bytes = *in_bytes;
-    counter.out_frames = *out_frames;
-    counter.out_bytes = *out_bytes;
-    datagram.counters.push_back(counter);
-  }
-  if (!reader.exhausted()) return std::nullopt;
+  if (!decode_into(bytes, datagram)) return std::nullopt;
   return datagram;
 }
 

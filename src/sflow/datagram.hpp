@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <span>
 #include <vector>
@@ -17,6 +18,22 @@
 #include "sflow/frame.hpp"
 
 namespace ixp::sflow {
+
+/// Big-endian integer loads shared by the codec, the trace reader, and
+/// the mapped-trace segmenter. Written as byte composition so they are
+/// correct on any host endianness and alignment; compilers fold the
+/// pattern into a single byte-swapped load.
+[[nodiscard]] inline std::uint16_t load_be16(const std::byte* p) noexcept {
+  return static_cast<std::uint16_t>((std::to_integer<std::uint16_t>(p[0]) << 8) |
+                                    std::to_integer<std::uint16_t>(p[1]));
+}
+
+[[nodiscard]] inline std::uint32_t load_be32(const std::byte* p) noexcept {
+  return (std::to_integer<std::uint32_t>(p[0]) << 24) |
+         (std::to_integer<std::uint32_t>(p[1]) << 16) |
+         (std::to_integer<std::uint32_t>(p[2]) << 8) |
+         std::to_integer<std::uint32_t>(p[3]);
+}
 
 /// One flow sample inside a datagram.
 struct FlowSample {
@@ -59,5 +76,12 @@ struct Datagram {
 /// Decodes; nullopt on any truncation, bad version, captured > 128, or
 /// trailing garbage.
 [[nodiscard]] std::optional<Datagram> decode(std::span<const std::byte> bytes);
+
+/// Allocation-free form of decode(): refills `out`'s sample and counter
+/// vectors in place, reusing their capacity across calls — the primitive
+/// the trace-replay hot path is built on (one datagram scratch per
+/// reader/cursor, zero steady-state heap traffic). Returns false and
+/// clears `out`'s vectors on any malformation decode() would reject.
+[[nodiscard]] bool decode_into(std::span<const std::byte> bytes, Datagram& out);
 
 }  // namespace ixp::sflow

@@ -1,0 +1,164 @@
+#include "sflow/mapped_trace.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "sflow/trace.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define IXPSCOPE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define IXPSCOPE_HAVE_MMAP 0
+#endif
+
+namespace ixp::sflow {
+
+MappedTrace::~MappedTrace() { release(); }
+
+MappedTrace::MappedTrace(MappedTrace&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      owned_(std::move(other.owned_)),
+      error_(other.error_) {
+  if (!mapped_ && !owned_.empty()) data_ = owned_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  other.error_ = Error::kOpenFailed;
+}
+
+MappedTrace& MappedTrace::operator=(MappedTrace&& other) noexcept {
+  if (this != &other) {
+    release();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    owned_ = std::move(other.owned_);
+    error_ = other.error_;
+    if (!mapped_ && !owned_.empty()) data_ = owned_.data();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+    other.error_ = Error::kOpenFailed;
+  }
+  return *this;
+}
+
+void MappedTrace::release() noexcept {
+#if IXPSCOPE_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  owned_.clear();
+  owned_.shrink_to_fit();
+}
+
+void MappedTrace::validate_header() noexcept {
+  if (size_ < kTraceHeaderBytes) {
+    error_ = Error::kTooShort;
+    return;
+  }
+  if (std::memcmp(data_, kTraceMagic, sizeof kTraceMagic) != 0 ||
+      load_be32(data_ + sizeof kTraceMagic) != kTraceVersion) {
+    error_ = Error::kBadHeader;
+    return;
+  }
+  error_ = Error::kNone;
+}
+
+MappedTrace MappedTrace::open(const std::string& path) {
+  MappedTrace trace;
+#if IXPSCOPE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    trace.error_ = Error::kOpenFailed;
+    return trace;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    trace.error_ = Error::kOpenFailed;
+    return trace;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size < kTraceHeaderBytes) {
+    ::close(fd);
+    trace.size_ = size;
+    trace.error_ = Error::kTooShort;
+    return trace;
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the pages alive
+  if (map != MAP_FAILED) {
+    trace.data_ = static_cast<const std::byte*>(map);
+    trace.size_ = size;
+    trace.mapped_ = true;
+    trace.validate_header();
+    if (!trace.ok()) {
+      const Error error = trace.error_;
+      trace.release();
+      trace.error_ = error;
+    }
+    return trace;
+  }
+  // mmap refused (e.g. special file, resource limit): fall through to the
+  // portable read path below.
+#endif
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    trace.error_ = Error::kOpenFailed;
+    return trace;
+  }
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  if (end < 0) {
+    trace.error_ = Error::kOpenFailed;
+    return trace;
+  }
+  in.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(end));
+  if (!bytes.empty() &&
+      !in.read(reinterpret_cast<char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()))) {
+    trace.error_ = Error::kOpenFailed;
+    return trace;
+  }
+  return adopt(std::move(bytes));
+}
+
+MappedTrace MappedTrace::adopt(std::vector<std::byte> bytes) {
+  MappedTrace trace;
+  trace.owned_ = std::move(bytes);
+  trace.data_ = trace.owned_.data();
+  trace.size_ = trace.owned_.size();
+  trace.mapped_ = false;
+  trace.validate_header();
+  if (!trace.ok()) {
+    const Error error = trace.error_;
+    trace.release();
+    trace.error_ = error;
+  }
+  return trace;
+}
+
+const char* MappedTrace::error_name(Error error) noexcept {
+  switch (error) {
+    case Error::kNone: return "ok";
+    case Error::kOpenFailed: return "cannot open trace file";
+    case Error::kTooShort: return "trace shorter than the 12-byte header";
+    case Error::kBadHeader: return "not an ixpscope trace (bad magic/version)";
+  }
+  return "unknown error";
+}
+
+}  // namespace ixp::sflow

@@ -57,8 +57,20 @@ void TraceWriter::flush() {
   pending_.samples.clear();
 }
 
-TraceReader::TraceReader(std::istream& in, ReadPolicy policy)
-    : in_(&in), policy_(policy) {
+TraceReader::TraceReader(std::istream& in, ReadPolicy policy) {
+  reset(in, policy);
+}
+
+void TraceReader::reset(std::istream& in, ReadPolicy policy) {
+  in_ = &in;
+  policy_ = policy;
+  stats_ = ReaderStats{};
+  ok_ = false;
+  pos_ = 0;
+  cursor_ = 0;
+  current_.samples.clear();
+  current_.counters.clear();
+  current_offset_ = 0;
   char magic[sizeof kTraceMagic] = {};
   if (!in_->read(magic, sizeof magic) ||
       std::memcmp(magic, kTraceMagic, sizeof magic) != 0) {
@@ -70,7 +82,7 @@ TraceReader::TraceReader(std::istream& in, ReadPolicy policy)
     ++stats_.bad_magic;
     return;
   }
-  pos_ = sizeof kTraceMagic + 4;
+  pos_ = kTraceHeaderBytes;
   ok_ = true;
 }
 
@@ -90,7 +102,6 @@ bool TraceReader::spend_error() {
 // everything from the bad record to the end of input is skipped.
 bool TraceReader::resync(std::uint64_t bad_record_start) {
   std::uint64_t candidate = bad_record_start + 1;
-  std::vector<std::byte> payload;
   while (true) {
     in_->clear();
     in_->seekg(static_cast<std::streamoff>(candidate));
@@ -106,13 +117,13 @@ bool TraceReader::resync(std::uint64_t bad_record_start) {
     const std::uint32_t length = be32(head);
     if (length >= kMinDatagramBytes && length <= kMaxDatagramBytes &&
         be32(head + 4) == Datagram::kVersion) {
-      payload.assign(length, std::byte{});
+      scratch_.assign(length, std::byte{});
       in_->clear();
       in_->seekg(static_cast<std::streamoff>(candidate + 4));
-      in_->read(reinterpret_cast<char*>(payload.data()),
+      in_->read(reinterpret_cast<char*>(scratch_.data()),
                 static_cast<std::streamsize>(length));
       if (static_cast<std::uint32_t>(in_->gcount()) == length &&
-          decode(payload)) {
+          decode_into(scratch_, probe_)) {
         stats_.bytes_skipped += candidate - bad_record_start;
         ++stats_.resyncs;
         in_->clear();
@@ -141,16 +152,16 @@ bool TraceReader::refill() {
       if (length < kMinDatagramBytes || length > kMaxDatagramBytes) {
         ++stats_.bad_length;
       } else {
-        std::vector<std::byte> payload(length);
-        in_->read(reinterpret_cast<char*>(payload.data()),
+        scratch_.resize(length);
+        in_->read(reinterpret_cast<char*>(scratch_.data()),
                   static_cast<std::streamsize>(length));
         const auto body = static_cast<std::uint64_t>(in_->gcount());
         pos_ += body;
         if (body < length) {
           ++stats_.truncated;  // EOF inside the payload
-        } else if (auto datagram = decode(payload)) {
-          current_ = std::move(*datagram);
+        } else if (decode_into(scratch_, current_)) {
           cursor_ = 0;
+          current_offset_ = record_start;
           ++stats_.datagrams;
           stats_.samples += current_.samples.size();
           stats_.bytes_delivered += sizeof len_bytes + length;
@@ -175,6 +186,17 @@ std::size_t TraceReader::read_batch(std::vector<FlowSample>& out,
   out.clear();
   while (out.size() < max) {
     if (cursor_ >= current_.samples.size() && !refill()) break;
+    out.push_back(std::move(current_.samples[cursor_++]));
+  }
+  return out.size();
+}
+
+std::size_t TraceReader::read_record(std::vector<FlowSample>& out,
+                                     std::uint64_t& seq_base) {
+  out.clear();
+  if (cursor_ >= current_.samples.size() && !refill()) return 0;
+  seq_base = stream_seq_key(current_offset_, cursor_);
+  while (cursor_ < current_.samples.size()) {
     out.push_back(std::move(current_.samples[cursor_++]));
   }
   return out.size();

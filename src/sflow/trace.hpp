@@ -40,6 +40,22 @@ inline constexpr std::uint32_t kMinDatagramBytes = 24;
 /// Upper bound on a plausible record; anything larger is a bad length.
 /// (The writer's 128-sample batches are ~20 KiB; 1 MiB leaves headroom.)
 inline constexpr std::uint32_t kMaxDatagramBytes = 1u << 20;
+/// Bytes of trace header: the magic plus the u32 version.
+inline constexpr std::uint64_t kTraceHeaderBytes = sizeof kTraceMagic + 4;
+
+/// Stream-position key of sample `index` inside the record whose length
+/// prefix starts at byte `offset`. Strictly increasing along the stream
+/// (records are ≥ 28 bytes apart and a ≤1 MiB payload holds < 2^16
+/// samples), so it totally orders samples the same way a running sample
+/// counter would — which is all the analysis pipeline's order statistics
+/// consume. Unlike a counter, it is computable for any record in
+/// isolation: the property that lets mapped-trace segments be decoded and
+/// analyzed in parallel with no sequence handoff between workers.
+/// (Offsets stay below 2^48 — 256 TiB per trace file — by construction.)
+[[nodiscard]] constexpr std::uint64_t stream_seq_key(std::uint64_t offset,
+                                                     std::size_t index) noexcept {
+  return (offset << 16) | static_cast<std::uint64_t>(index);
+}
 
 /// Buffers samples and writes them as datagrams of up to `batch` samples.
 /// Flushes on destruction; call flush() to force a partial batch out.
@@ -112,6 +128,23 @@ struct ReaderStats {
     return bad_magic + bad_length + truncated + decode_errors;
   }
   [[nodiscard]] bool degraded() const noexcept { return errors() > 0; }
+
+  /// Field-wise sum — what rolls per-segment cursor stats up into the
+  /// whole-file taxonomy (segments partition the byte accounting).
+  ReaderStats& operator+=(const ReaderStats& other) noexcept {
+    datagrams += other.datagrams;
+    samples += other.samples;
+    bytes_delivered += other.bytes_delivered;
+    bad_magic += other.bad_magic;
+    bad_length += other.bad_length;
+    truncated += other.truncated;
+    decode_errors += other.decode_errors;
+    resyncs += other.resyncs;
+    bytes_skipped += other.bytes_skipped;
+    return *this;
+  }
+
+  friend bool operator==(const ReaderStats&, const ReaderStats&) = default;
 };
 
 /// Streams samples back out of a recorded trace.
@@ -136,6 +169,12 @@ class TraceReader {
   explicit TraceReader(std::istream& in,
                        ReadPolicy policy = ReadPolicy::strict());
 
+  /// Re-targets the reader at `in` (which the caller has positioned at the
+  /// start of a trace), clearing stats and position but keeping every
+  /// internal buffer's capacity. A replay loop that seeks one stream back
+  /// to 0 and reset()s runs allocation-free after the first pass.
+  void reset(std::istream& in, ReadPolicy policy = ReadPolicy::strict());
+
   /// True until the header is rejected or the error budget is exceeded.
   /// A lenient reader that resynchronized past damage stays ok(); check
   /// stats().degraded() to see whether anything was lost.
@@ -148,6 +187,14 @@ class TraceReader {
   /// order; returns the number delivered (0 at end-of-trace or once the
   /// error budget clears ok()).
   std::size_t read_batch(std::vector<FlowSample>& out, std::size_t max);
+
+  /// Clears `out` and refills it with the (remaining) samples of exactly
+  /// one delivered record, setting `seq_base` to the stream_seq_key of the
+  /// first sample delivered. Returns the number delivered, 0 at
+  /// end-of-trace. Record-granular batches carry position-derived keys,
+  /// which is what keeps a streamed analysis byte-identical to a
+  /// mapped-parallel one over the same trace.
+  std::size_t read_record(std::vector<FlowSample>& out, std::uint64_t& seq_base);
 
   /// Invokes `sink` for every sample in order; returns the number of
   /// samples delivered.
@@ -168,6 +215,9 @@ class TraceReader {
   std::uint64_t pos_ = 0;  ///< absolute offset of the next unread byte
   Datagram current_;       ///< decoded datagram being drained
   std::size_t cursor_ = 0; ///< next undelivered sample in current_
+  std::uint64_t current_offset_ = 0;  ///< record start of current_
+  std::vector<std::byte> scratch_;    ///< payload bytes, reused per record
+  Datagram probe_;                    ///< resync decode probe, reused
 };
 
 }  // namespace ixp::sflow

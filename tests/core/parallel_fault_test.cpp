@@ -10,6 +10,9 @@
 // and lost-wakeup races on the failure path.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstring>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -19,6 +22,7 @@
 #include "gen/internet.hpp"
 #include "gen/workload.hpp"
 #include "sflow/fault_injector.hpp"
+#include "sflow/mapped_trace.hpp"
 #include "sflow/trace.hpp"
 
 namespace ixp::core {
@@ -189,6 +193,132 @@ TEST_F(ParallelFaultTest, CorruptTraceLenientReportIdenticalAcrossThreads) {
     EXPECT_EQ(stats[0].bytes_skipped, stats[i].bytes_skipped);
     EXPECT_EQ(stats[0].errors(), stats[i].errors());
   }
+}
+
+/// Records a sample stream to trace bytes (TraceWriter framing).
+std::vector<std::byte> record_trace(const std::vector<sflow::FlowSample>& samples) {
+  std::stringstream buffer;
+  {
+    sflow::TraceWriter writer{buffer, net::Ipv4Addr{172, 16, 0, 1}, 128};
+    for (const auto& s : samples) writer.write(s);
+  }
+  const std::string raw = buffer.str();
+  std::vector<std::byte> bytes(raw.size());
+  std::memcpy(bytes.data(), raw.data(), raw.size());
+  return bytes;
+}
+
+/// The ISSUE 4 tentpole contract: the mapped N-thread report is
+/// byte-identical to the streamed 1-thread report over the same trace
+/// bytes, and the per-segment ReaderStats sum to the streamed reader's
+/// exact whole-file taxonomy — on a clean trace and on a damaged one.
+TEST_F(ParallelFaultTest, MappedReportMatchesStreamedOnCleanAndCorrupt) {
+  const std::vector<std::byte> clean = record_trace(*samples_);
+  std::vector<std::byte> corrupted;
+  {
+    const sflow::FaultInjector injector{42};
+    const auto fault_report = injector.corrupt(clean, corrupted);
+    ASSERT_TRUE(fault_report);
+    ASSERT_GT(fault_report->faults(), 0u);
+  }
+
+  const std::vector<std::byte>* variants[] = {&clean, &corrupted};
+  for (const auto* bytes : variants) {
+    SCOPED_TRACE(bytes == &clean ? "clean trace" : "corrupted trace");
+
+    // Streamed baseline: one thread, lenient.
+    std::stringstream in{std::string{
+        reinterpret_cast<const char*>(bytes->data()), bytes->size()}};
+    sflow::TraceReader reader{in, sflow::ReadPolicy::lenient()};
+    ASSERT_TRUE(reader.ok());
+    auto vp = make_vantage();
+    ParallelAnalyzer baseline{vp, ParallelOptions{.threads = 1}};
+    const auto streamed = baseline.analyze(kWeek, reader, fetcher());
+    ASSERT_TRUE(reader.ok());
+
+    auto copy = *bytes;
+    const auto trace = sflow::MappedTrace::adopt(std::move(copy));
+    ASSERT_TRUE(trace.ok());
+    for (const unsigned threads : {1u, 8u}) {
+      SCOPED_TRACE(std::to_string(threads) + " mapped threads");
+      auto vp2 = make_vantage();
+      ParallelAnalyzer analyzer{vp2, ParallelOptions{.threads = threads}};
+      MappedIngest ingest;
+      const auto mapped = analyzer.analyze(
+          kWeek, trace, fetcher(), sflow::ReadPolicy::lenient(), &ingest);
+      expect_reports_equal(streamed, mapped);
+
+      // Exact accounting: the summed per-segment taxonomy equals the
+      // streamed whole-file one, field for field, and covers every byte.
+      EXPECT_EQ(ingest.total, reader.stats());
+      EXPECT_TRUE(ingest.within_budget);
+      ASSERT_EQ(ingest.per_segment.size(), ingest.segments.size());
+      sflow::ReaderStats resummed;
+      for (const auto& stats : ingest.per_segment) resummed += stats;
+      EXPECT_EQ(resummed, ingest.total);
+      EXPECT_EQ(sflow::kTraceHeaderBytes + ingest.total.bytes_delivered +
+                    ingest.total.bytes_skipped,
+                bytes->size());
+    }
+  }
+}
+
+TEST_F(ParallelFaultTest, MappedStrictPolicyReportsBudgetExceeded) {
+  const std::vector<std::byte> clean = record_trace(*samples_);
+  std::vector<std::byte> corrupted;
+  const sflow::FaultInjector injector{42};
+  ASSERT_TRUE(injector.corrupt(clean, corrupted));
+
+  const auto trace = sflow::MappedTrace::adopt(std::move(corrupted));
+  ASSERT_TRUE(trace.ok());
+  auto vp = make_vantage();
+  ParallelAnalyzer analyzer{vp, ParallelOptions{.threads = 4}};
+  MappedIngest ingest;
+  (void)analyzer.analyze(kWeek, trace, fetcher(), sflow::ReadPolicy::strict(),
+                         &ingest);
+  EXPECT_GT(ingest.total.errors(), 0u);
+  EXPECT_FALSE(ingest.within_budget);
+}
+
+TEST_F(ParallelFaultTest, MappedStrictWorkerExceptionRethrownNoDeadlock) {
+  const auto trace = sflow::MappedTrace::adopt(record_trace(*samples_));
+  ASSERT_TRUE(trace.ok());
+  ParallelOptions options;
+  options.threads = 4;
+  // Poison one mid-stream record: segment claiming must still join every
+  // worker and rethrow on the calling thread.
+  auto hits = std::make_shared<std::atomic<std::uint64_t>>(0);
+  options.worker_hook = [hits](std::span<const sflow::FlowSample>,
+                               std::uint64_t) {
+    if (hits->fetch_add(1) == 40) throw std::runtime_error{"classifier blew up"};
+  };
+  auto vp = make_vantage();
+  ParallelAnalyzer analyzer{vp, options};
+  EXPECT_THROW((void)analyzer.analyze(kWeek, trace, fetcher(),
+                                      sflow::ReadPolicy::lenient()),
+               std::runtime_error);
+}
+
+TEST_F(ParallelFaultTest, MappedLenientWorkerCompletesDegraded) {
+  const auto trace = sflow::MappedTrace::adopt(record_trace(*samples_));
+  ASSERT_TRUE(trace.ok());
+  ParallelOptions options;
+  options.threads = 4;
+  options.lenient_workers = true;
+  auto hits = std::make_shared<std::atomic<std::uint64_t>>(0);
+  options.worker_hook = [hits](std::span<const sflow::FlowSample>,
+                               std::uint64_t) {
+    if (hits->fetch_add(1) == 40) throw std::runtime_error{"classifier blew up"};
+  };
+  auto vp = make_vantage();
+  ParallelAnalyzer analyzer{vp, options};
+  const auto report = analyzer.analyze(kWeek, trace, fetcher(),
+                                       sflow::ReadPolicy::lenient());
+  EXPECT_TRUE(report.degraded);
+  ASSERT_EQ(report.worker_errors.size(), 4u);
+  std::uint64_t dropped = 0;
+  for (const auto count : report.worker_errors) dropped += count;
+  EXPECT_EQ(dropped, 1u);  // exactly the poisoned record
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include <charconv>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -36,6 +37,7 @@
 #include "gen/workload.hpp"
 #include "net/bgp_dump.hpp"
 #include "sflow/fault_injector.hpp"
+#include "sflow/mapped_trace.hpp"
 #include "sflow/trace.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -53,6 +55,7 @@ struct Options {
   int threads = 1;
   bool quick = false;
   bool strict = false;
+  bool mmap = false;
   std::uint64_t max_errors = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t seed = 1;
   std::string in_path;
@@ -68,12 +71,15 @@ int usage() {
       "           [--threads N]        shard the analysis over N threads\n"
       "           [--strict]           fail at the first corrupt record\n"
       "           [--max-errors N]     tolerate at most N corrupt records\n"
+      "           [--mmap]             map the trace; decode segments in\n"
+      "                                parallel instead of streaming it\n"
       "  corrupt  --in FILE --out FILE damage a trace (deterministic)\n"
       "           [--seed S]           fault-injection seed (default 1)\n"
       "  diff     --from A --to B      week-over-week change report\n"
       "  bgp-export --out FILE         dump the routing table\n"
       "flags: --volume <0..1> (default 0.00390625), --quick\n"
-      "exit codes: 0 ok, 1 error, 2 usage, 3 analysis completed degraded\n";
+      "exit codes: 0 ok, 1 error, 2 usage, 3 analysis completed degraded,\n"
+      "            4 input trace unreadable (missing or shorter than header)\n";
   return 2;
 }
 
@@ -110,6 +116,8 @@ bool parse(int argc, char** argv, Options& opt) {
     };
     if (flag == "--quick") {
       opt.quick = true;
+    } else if (flag == "--mmap") {
+      opt.mmap = true;
     } else if (flag == "--strict") {
       opt.strict = true;
       opt.max_errors = 0;
@@ -257,21 +265,91 @@ void print_ingest_health(const sflow::ReaderStats& stats) {
   table.print(std::cerr);
 }
 
+/// Reports a degraded-but-complete analysis (exit 3) or a clean one
+/// (exit 0) — shared by the streamed and mapped analyze paths.
+int report_analysis(const core::WeeklyReport& report,
+                    const sflow::ReaderStats& stats) {
+  print_report(report);
+  if (stats.degraded()) {
+    std::cerr << "warning: trace is damaged; " << stats.errors()
+              << " corrupt records resynchronized past, "
+              << util::with_thousands(stats.bytes_skipped)
+              << " bytes skipped\n";
+    print_ingest_health(stats);
+    return 3;
+  }
+  return 0;
+}
+
 int cmd_analyze(const Options& opt) {
   if (opt.in_path.empty()) return usage();
-  const auto world = build_world(opt);
-  std::ifstream in{opt.in_path, std::ios::binary};
-  if (!in) {
-    std::cerr << "cannot read " << opt.in_path << "\n";
-    return 1;
+
+  // Unreadable input is diagnosed before the (expensive) model build, and
+  // distinctly from a corrupt-but-present trace: a missing file or one
+  // shorter than the 12-byte header exits 4, a bad magic/version exits 1.
+  {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(opt.in_path, ec);
+    if (ec) {
+      std::cerr << opt.in_path << ": "
+                << sflow::MappedTrace::error_name(
+                       sflow::MappedTrace::Error::kOpenFailed)
+                << "\n";
+      return 4;
+    }
+    if (size < sflow::kTraceHeaderBytes) {
+      std::cerr << opt.in_path << ": "
+                << sflow::MappedTrace::error_name(
+                       sflow::MappedTrace::Error::kTooShort)
+                << "\n";
+      return 4;
+    }
   }
+
   const auto policy = opt.strict ? sflow::ReadPolicy::strict()
                                  : sflow::ReadPolicy{opt.max_errors};
+
+  if (opt.mmap) {
+    sflow::MappedTrace trace = sflow::MappedTrace::open(opt.in_path);
+    if (!trace.ok()) {
+      std::cerr << opt.in_path << ": "
+                << sflow::MappedTrace::error_name(trace.error()) << "\n";
+      return trace.error() == sflow::MappedTrace::Error::kBadHeader ? 1 : 4;
+    }
+    const auto world = build_world(opt);
+    core::VantagePoint vantage = make_vantage(world);
+    core::ParallelOptions popt;
+    popt.threads = static_cast<unsigned>(opt.threads);
+    core::ParallelAnalyzer analyzer{vantage, popt};
+    core::MappedIngest ingest;
+    const auto report = analyzer.analyze(
+        opt.week, trace, make_fetcher(world, opt.week), policy, &ingest);
+    if (!ingest.within_budget) {
+      std::cerr << opt.in_path << ": corrupt trace, error budget ("
+                << (opt.strict ? "strict" : std::to_string(opt.max_errors))
+                << ") exceeded: " << util::with_thousands(ingest.total.errors())
+                << " corrupt records across " << ingest.segments.size()
+                << " segments\n";
+      print_ingest_health(ingest.total);
+      return 1;
+    }
+    return report_analysis(report, ingest.total);
+  }
+
+  std::ifstream in{opt.in_path, std::ios::binary};
+  if (!in) {
+    std::cerr << opt.in_path << ": "
+              << sflow::MappedTrace::error_name(
+                     sflow::MappedTrace::Error::kOpenFailed)
+              << "\n";
+    return 4;
+  }
   sflow::TraceReader reader{in, policy};
   if (!reader.ok()) {
     std::cerr << opt.in_path << ": not an ixpscope trace\n";
     return 1;
   }
+  const auto world = build_world(opt);
   core::VantagePoint vantage = make_vantage(world);
   core::ParallelOptions popt;
   popt.threads = static_cast<unsigned>(opt.threads);
@@ -290,16 +368,7 @@ int cmd_analyze(const Options& opt) {
     print_ingest_health(stats);
     return 1;
   }
-  print_report(report);
-  if (stats.degraded()) {
-    std::cerr << "warning: trace is damaged; " << stats.errors()
-              << " corrupt records resynchronized past, "
-              << util::with_thousands(stats.bytes_skipped)
-              << " bytes skipped\n";
-    print_ingest_health(stats);
-    return 3;
-  }
-  return 0;
+  return report_analysis(report, stats);
 }
 
 int cmd_corrupt(const Options& opt) {
