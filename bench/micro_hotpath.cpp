@@ -332,6 +332,24 @@ int main(int argc, char** argv) {
     bench::keep(dissector.summarize());
   }
 
+  // Structure-of-arrays path: the same survivors staged through a
+  // FrameBatch (fields derived once, at staging time — exactly what
+  // WeekShard::observe_batch does per batch), ingested via the SoA pass.
+  // Steady-state expectation after the warmup pass: 0 allocs/item.
+  {
+    classify::FrameBatch batch;
+    batch.reserve(peering.size());
+    for (const classify::PeeringSample& sample : peering) batch.push(sample);
+    classify::TrafficDissector dissector;
+    suite.run_case(
+        "dissect_observe_batched", 2000,
+        [&](std::uint64_t iters, int) {
+          for (std::uint64_t it = 0; it < iters; ++it) dissector.ingest(batch);
+          return iters * batch.size();
+        });
+    bench::keep(dissector.summarize());
+  }
+
   // Pre-optimization baseline replica (see above).
   {
     LegacyDissector dissector;
@@ -402,12 +420,26 @@ int main(int argc, char** argv) {
   }
 
   const auto& results = suite.results();
-  const double flat = results[0].items_per_sec();
-  const double legacy = results[1].items_per_sec();
-  if (legacy > 0.0)
+  double flat = 0.0;
+  double batched = 0.0;
+  double legacy = 0.0;
+  double flat_allocs = 0.0;
+  double batched_allocs = 0.0;
+  for (const auto& result : results) {
+    if (result.name == "dissect_observe_flat") {
+      flat = result.items_per_sec();
+      flat_allocs = result.allocs_per_item();
+    } else if (result.name == "dissect_observe_batched") {
+      batched = result.items_per_sec();
+      batched_allocs = result.allocs_per_item();
+    } else if (result.name == "dissect_observe_legacy") {
+      legacy = result.items_per_sec();
+    }
+  }
+  if (legacy > 0.0 && flat > 0.0)
     std::printf(
-        "dissect+observe speedup flat vs legacy: %.2fx"
-        "  (flat allocs/item: %.4f)\n",
-        flat / legacy, results[0].allocs_per_item());
+        "dissect+observe speedup flat vs legacy: %.2fx, batched vs flat: "
+        "%.2fx  (allocs/item flat: %.4f, batched: %.4f)\n",
+        flat / legacy, batched / flat, flat_allocs, batched_allocs);
   return 0;
 }

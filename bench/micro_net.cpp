@@ -1,8 +1,19 @@
 // Micro-benchmarks: longest-prefix-match structures (DESIGN.md ablation
-// #4 — pooled binary trie vs. the length-indexed hash-table LPM).
+// #4 — DIR-24-8 flat table vs. pooled binary trie vs. the
+// length-indexed hash-table LPM).
+//
+// The headline A/B runs on a synthetic table of 445K prefixes — the
+// paper-era RouteViews table size — with a realistic length mix
+// including a /25–/32 tail that exercises the flat table's spill
+// blocks. Results land in BENCH_net.json:
+//
+//   build/bench/micro_net --json BENCH_net.json
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_json.hpp"
+#include "net/flat_lpm.hpp"
 #include "net/prefix_trie.hpp"
 #include "net/routing_table.hpp"
 #include "util/rng.hpp"
@@ -11,12 +22,37 @@ namespace {
 
 using namespace ixp;
 
+/// The paper-era RouteViews table size (§2: "445K prefixes").
+constexpr std::size_t kFullTable = 445'000;
+
 std::vector<net::Ipv4Prefix> make_prefixes(std::size_t n, std::uint64_t seed) {
   util::Rng rng{seed};
   std::vector<net::Ipv4Prefix> prefixes;
   prefixes.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const auto length = static_cast<std::uint8_t>(rng.next_in(12, 24));
+    prefixes.emplace_back(net::Ipv4Addr{static_cast<std::uint32_t>(rng())},
+                          length);
+  }
+  return prefixes;
+}
+
+/// Routing-table-shaped length mix: dominated by /16–/24, a thin head of
+/// short prefixes, and a /25–/32 tail that lands in spill blocks.
+std::vector<net::Ipv4Prefix> make_routing_prefixes(std::size_t n,
+                                                   std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<net::Ipv4Prefix> prefixes;
+  prefixes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double bucket = rng.next_double();
+    std::uint8_t length;
+    if (bucket < 0.02)
+      length = static_cast<std::uint8_t>(rng.next_in(8, 11));
+    else if (bucket < 0.95)
+      length = static_cast<std::uint8_t>(rng.next_in(12, 24));
+    else
+      length = static_cast<std::uint8_t>(rng.next_in(25, 32));
     prefixes.emplace_back(net::Ipv4Addr{static_cast<std::uint32_t>(rng())},
                           length);
   }
@@ -86,19 +122,95 @@ int main(int argc, char** argv) {
   bench_lpm_lookup(suite, 100000, 2'000'000);
   bench_lpm_lookup(suite, 400000, 2'000'000);
 
+  // ---- the flat-vs-trie A/B on the full-size table ----------------------
+  const auto full = make_routing_prefixes(kFullTable, 5);
+
+  suite.run_case("flat_lpm_build/445000", 3, [&](std::uint64_t iters, int) {
+    for (std::uint64_t it = 0; it < iters; ++it) {
+      net::FlatLpm<std::uint32_t> flat;
+      for (std::size_t i = 0; i < full.size(); ++i)
+        flat.insert(full[i], static_cast<std::uint32_t>(i));
+      bench::keep(flat.size());
+    }
+    return iters * full.size();
+  });
+
+  net::PrefixTrie<std::uint32_t> trie;
+  net::FlatLpm<std::uint32_t> flat;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    trie.insert(full[i], static_cast<std::uint32_t>(i));
+    flat.insert(full[i], static_cast<std::uint32_t>(i));
+  }
+
   {
-    const auto prefixes = make_prefixes(400000, 3);
-    net::RoutingTable table;
-    for (std::size_t i = 0; i < prefixes.size(); ++i)
-      table.announce(prefixes[i], net::Asn{static_cast<std::uint32_t>(i)});
-    util::Rng rng{4};
-    suite.run_case("routing_table_route_of", 2'000'000,
+    util::Rng rng{6};
+    suite.run_case("trie_lookup/445000", 2'000'000,
                    [&](std::uint64_t iters, int) {
                      for (std::uint64_t it = 0; it < iters; ++it)
-                       bench::keep(table.route_of(
+                       bench::keep(trie.lookup_ptr(
                            net::Ipv4Addr{static_cast<std::uint32_t>(rng())}));
                      return iters;
                    });
   }
+  {
+    util::Rng rng{6};
+    suite.run_case("flat_lpm_lookup/445000", 2'000'000,
+                   [&](std::uint64_t iters, int) {
+                     for (std::uint64_t it = 0; it < iters; ++it)
+                       bench::keep(flat.lookup_ptr(
+                           net::Ipv4Addr{static_cast<std::uint32_t>(rng())}));
+                     return iters;
+                   });
+  }
+
+  // Batched form: the attribution loop's shape — one array of addresses
+  // in, one array of payload pointers out, spill blocks prefetched.
+  {
+    constexpr std::size_t kBatch = 4096;
+    util::Rng rng{7};
+    std::vector<net::Ipv4Addr> addrs;
+    addrs.reserve(kBatch);
+    for (std::size_t i = 0; i < kBatch; ++i)
+      addrs.emplace_back(static_cast<std::uint32_t>(rng()));
+    std::vector<const std::uint32_t*> out(kBatch);
+    suite.run_case("flat_lpm_lookup_batch/445000", 2000,
+                   [&](std::uint64_t iters, int) {
+                     for (std::uint64_t it = 0; it < iters; ++it) {
+                       flat.lookup_batch(addrs, out);
+                       bench::keep(out[kBatch - 1]);
+                     }
+                     return iters * kBatch;
+                   });
+  }
+
+  // The production wrapper (FlatLpm<Route> behind the lookup API).
+  {
+    net::RoutingTable table;
+    for (std::size_t i = 0; i < full.size(); ++i)
+      table.announce(full[i], net::Asn{static_cast<std::uint32_t>(i)});
+    util::Rng rng{8};
+    suite.run_case("routing_table_route_ptr", 2'000'000,
+                   [&](std::uint64_t iters, int) {
+                     for (std::uint64_t it = 0; it < iters; ++it)
+                       bench::keep(table.route_ptr(
+                           net::Ipv4Addr{static_cast<std::uint32_t>(rng())}));
+                     return iters;
+                   });
+  }
+
+  const auto& results = suite.results();
+  double trie_ns = 0.0;
+  double flat_ns = 0.0;
+  double batch_ns = 0.0;
+  for (const auto& result : results) {
+    if (result.name == "trie_lookup/445000") trie_ns = result.ns_per_item();
+    if (result.name == "flat_lpm_lookup/445000") flat_ns = result.ns_per_item();
+    if (result.name == "flat_lpm_lookup_batch/445000")
+      batch_ns = result.ns_per_item();
+  }
+  if (flat_ns > 0.0 && batch_ns > 0.0)
+    std::printf(
+        "445K-prefix lookup: flat vs trie %.2fx, batched vs trie %.2fx\n",
+        trie_ns / flat_ns, trie_ns / batch_ns);
   return 0;
 }

@@ -36,7 +36,7 @@ HeterogeneityView build_heterogeneity(const core::ClusteringResult& clustering,
     footprint.server_ips = servers.size();
     std::unordered_set<net::Asn> ases;
     for (const net::Ipv4Addr addr : servers) {
-      const auto origin = routing.origin_of(addr);
+      const net::Asn* origin = routing.origin_ptr(addr);
       if (!origin) continue;
       ases.insert(*origin);
       AsAccumulator& acc = per_as[*origin];

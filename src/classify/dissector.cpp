@@ -44,14 +44,6 @@ void TrafficDissector::note_host(net::Ipv4Addr server, std::string_view host,
 
 void TrafficDissector::ingest(const PeeringSample& sample) {
   const sflow::ParsedFrame& frame = sample.frame;
-  const net::Ipv4Addr src = frame.ip->src;
-  const net::Ipv4Addr dst = frame.ip->dst;
-
-  // Both table touches are random-access; issue the prefetches first and
-  // run the payload match while the lines arrive.
-  activity_.prefetch(src);
-  activity_.prefetch(dst);
-
   std::uint16_t src_port = 0;
   std::uint16_t dst_port = 0;
   bool tcp = false;
@@ -64,19 +56,35 @@ void TrafficDissector::ingest(const PeeringSample& sample) {
     dst_port = frame.udp->dst_port;
   }
 
-  const bool dissect = tcp && !frame.payload.empty();
+  // Both table touches are random-access; issue the prefetches first and
+  // run the payload match while the lines arrive.
+  activity_.prefetch(frame.ip->src);
+  activity_.prefetch(frame.ip->dst);
+
   HttpMatch match;
-  if (dissect) match = HttpMatcher::match(frame.payload);
-  if (!match.host.empty())
-    hosts_.prefetch(match.indication == HttpIndication::kRequest ? dst : src);
+  if (tcp && !frame.payload.empty()) match = HttpMatcher::match(frame.payload);
+  ingest_fields(frame.ip->src, frame.ip->dst, src_port, dst_port, tcp,
+                match.indication, match.host, sample.expanded_bytes,
+                sample.seq);
+}
+
+void TrafficDissector::ingest_fields(net::Ipv4Addr src, net::Ipv4Addr dst,
+                                     std::uint16_t src_port,
+                                     std::uint16_t dst_port, bool tcp,
+                                     HttpIndication indication,
+                                     std::string_view host,
+                                     std::uint64_t expanded_bytes,
+                                     std::uint64_t seq) {
+  if (!host.empty())
+    hosts_.prefetch(indication == HttpIndication::kRequest ? dst : src);
 
   IpActivity& src_info = activity_[src];
   IpActivity& dst_info = activity_[dst];
   src_info.samples += 1;
   dst_info.samples += 1;
-  src_info.bytes += sample.expanded_bytes;
-  dst_info.bytes += sample.expanded_bytes;
-  total_bytes_ += sample.expanded_bytes;
+  src_info.bytes += expanded_bytes;
+  dst_info.bytes += expanded_bytes;
+  total_bytes_ += expanded_bytes;
 
   // Port-based candidate evidence (HTTPS cannot be string-matched).
   if (tcp) {
@@ -86,9 +94,7 @@ void TrafficDissector::ingest(const PeeringSample& sample) {
     if (dst_port == 1935) dst_info.flags |= kSeenRtmp1935;
   }
 
-  if (!dissect) return;
-
-  switch (match.indication) {
+  switch (indication) {
     case HttpIndication::kNone:
       return;
     case HttpIndication::kRequest: {
@@ -98,7 +104,7 @@ void TrafficDissector::ingest(const PeeringSample& sample) {
       else
         dst_info.flags |= kSeenPort80;
       src_info.flags |= kSeenHttpClient;
-      if (!match.host.empty()) note_host(dst, match.host, sample.seq);
+      if (!host.empty()) note_host(dst, host, seq);
       return;
     }
     case HttpIndication::kResponse: {
@@ -108,7 +114,7 @@ void TrafficDissector::ingest(const PeeringSample& sample) {
       else
         src_info.flags |= kSeenPort80;
       dst_info.flags |= kSeenHttpClient;
-      if (!match.host.empty()) note_host(src, match.host, sample.seq);
+      if (!host.empty()) note_host(src, host, seq);
       return;
     }
     case HttpIndication::kHeaderOnly: {
@@ -142,6 +148,34 @@ void TrafficDissector::ingest(std::span<const PeeringSample> batch) {
       activity_.prefetch(ahead.ip->dst);
     }
     ingest(batch[i]);
+  }
+}
+
+void TrafficDissector::ingest(const FrameBatch& batch) {
+  const std::size_t n = batch.size();
+  const net::Ipv4Addr* src = batch.src();
+  const net::Ipv4Addr* dst = batch.dst();
+  const std::uint16_t* src_port = batch.src_port();
+  const std::uint16_t* dst_port = batch.dst_port();
+  const std::uint8_t* tcp = batch.tcp();
+  const std::uint64_t* bytes = batch.bytes();
+  const std::uint64_t* seq = batch.seq();
+  const std::uint8_t* indication = batch.indication();
+  const std::string_view* host = batch.host();
+
+  // The address arrays are contiguous, so the lookahead reads cost a
+  // fraction of a cache line each; a deeper distance than the AoS path
+  // keeps more probe lines in flight without thrashing.
+  constexpr std::size_t kLookahead = 8;
+  const std::size_t fetchable = n > kLookahead ? n - kLookahead : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < fetchable) {
+      activity_.prefetch(src[i + kLookahead]);
+      activity_.prefetch(dst[i + kLookahead]);
+    }
+    ingest_fields(src[i], dst[i], src_port[i], dst_port[i], tcp[i] != 0,
+                  static_cast<HttpIndication>(indication[i]), host[i],
+                  bytes[i], seq[i]);
   }
 }
 

@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "classify/frame_batch.hpp"
 #include "classify/http_matcher.hpp"
 #include "classify/peering_filter.hpp"
 #include "net/ipv4.hpp"
@@ -91,6 +92,13 @@ class TrafficDissector {
   /// matching. Use this when samples arrive in runs (the shard path).
   void ingest(std::span<const PeeringSample> batch);
 
+  /// Structure-of-arrays form: equivalent to ingesting each staged
+  /// sample in order, but the per-sample fields were derived once at
+  /// filter time and stream out of FrameBatch's parallel arrays, and
+  /// the address arrays drive the prefetch lookahead directly. This is
+  /// the production shard path (WeekShard::observe_batch).
+  void ingest(const FrameBatch& batch);
+
   /// Marks an IP as a confirmed HTTPS server (prober feedback).
   void confirm_https(net::Ipv4Addr addr);
 
@@ -139,6 +147,15 @@ class TrafficDissector {
 
   void note_host(net::Ipv4Addr server, std::string_view host,
                  std::uint64_t seq);
+
+  /// The per-sample update, shared by every ingest form: fields arrive
+  /// flat — including the HTTP match verdict, computed exactly once
+  /// upstream (at staging time on the batch path, inline on the
+  /// single-sample path) — so no path re-derives them from ParsedFrame.
+  void ingest_fields(net::Ipv4Addr src, net::Ipv4Addr dst,
+                     std::uint16_t src_port, std::uint16_t dst_port, bool tcp,
+                     HttpIndication indication, std::string_view host,
+                     std::uint64_t expanded_bytes, std::uint64_t seq);
 
   ActivityMap activity_;
   util::FlatHashMap<net::Ipv4Addr, std::vector<HostObservation>> hosts_;

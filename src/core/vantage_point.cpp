@@ -96,11 +96,20 @@ WeeklyReport VantagePoint::finish_week(WeekShard&& shard,
   for (const auto& [addr, info] : dissector.activity()) addrs.push_back(addr);
   std::sort(addrs.begin(), addrs.end());
 
-  for (const net::Ipv4Addr addr : addrs) {
+  // Attribute every address in one batched LPM pass per table: the flat
+  // tables prefetch their own arrays a window ahead, and the loop below
+  // reads the results through pointers (no per-IP optional copies).
+  std::vector<const net::Route*> routes(addrs.size());
+  std::vector<const geo::CountryCode*> countries(addrs.size());
+  routing_->routes_of(addrs, routes);
+  geo_->countries_of(addrs, countries);
+
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    const net::Ipv4Addr addr = addrs[i];
     const classify::IpActivity& info = dissector.activity().at(addr);
     ++report.peering_ips;
-    const auto route = routing_->route_of(addr);
-    const auto country = geo_->country_of(addr);
+    const net::Route* route = routes[i];
+    const geo::CountryCode* country = countries[i];
     const bool server = info.web_server();
     const double info_bytes = static_cast<double>(info.bytes);
 

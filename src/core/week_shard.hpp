@@ -45,10 +45,11 @@ class WeekShard {
 
   /// Batch form: samples occupy stream positions
   /// [first_seq, first_seq + batch.size()). Equivalent to observe() per
-  /// sample, but peering survivors are staged (in a buffer reused across
-  /// batches) and handed to the dissector's batch ingest, which prefetches
-  /// upcoming table slots. The staged PeeringSamples hold views into
-  /// `batch`, so they must be drained before this call returns.
+  /// sample, but peering survivors have their hot fields derived once,
+  /// here, into a structure-of-arrays FrameBatch (reused across batches)
+  /// and handed to the dissector's batch ingest, which prefetches
+  /// upcoming table slots. The staged payload views point into `batch`,
+  /// so they must be drained before this call returns.
   void observe_batch(std::span<const sflow::FlowSample> batch,
                      std::uint64_t first_seq) {
     staged_.clear();
@@ -56,12 +57,12 @@ class WeekShard {
       auto peering = filter_.filter(sample, counters_);
       if (peering) {
         peering->seq = first_seq;
-        staged_.push_back(*peering);
+        staged_.push(*peering);
       }
       ++first_seq;
       ++samples_observed_;
     }
-    dissector_.ingest(std::span<const classify::PeeringSample>{staged_});
+    dissector_.ingest(staged_);
   }
 
   /// Folds another shard of the same week into this one; associative and
@@ -92,7 +93,7 @@ class WeekShard {
   classify::FilterCounters counters_;
   classify::TrafficDissector dissector_;
   std::uint64_t samples_observed_ = 0;
-  std::vector<classify::PeeringSample> staged_;  // observe_batch scratch
+  classify::FrameBatch staged_;  // observe_batch scratch, reused
 };
 
 }  // namespace ixp::core

@@ -3,15 +3,17 @@
 namespace ixp::geo {
 
 void GeoDatabase::assign(net::Ipv4Prefix prefix, CountryCode country) {
-  trie_.insert(prefix, country);
+  lpm_.insert(prefix, country);
 }
 
 std::optional<CountryCode> GeoDatabase::country_of(net::Ipv4Addr addr) const {
-  return trie_.lookup(addr);
+  const CountryCode* country = lpm_.lookup_ptr(addr);
+  if (!country) return std::nullopt;
+  return *country;
 }
 
 Region GeoDatabase::region_of(net::Ipv4Addr addr) const {
-  const auto country = trie_.lookup(addr);
+  const CountryCode* country = lpm_.lookup_ptr(addr);
   return country ? ixp::geo::region_of(*country) : Region::kRoW;
 }
 

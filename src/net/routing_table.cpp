@@ -3,31 +3,32 @@
 namespace ixp::net {
 
 void RoutingTable::announce(Ipv4Prefix prefix, Asn origin) {
-  trie_.insert(prefix, origin);
+  lpm_.insert(prefix, Route{prefix, origin});
 }
 
 std::optional<Asn> RoutingTable::origin_of(Ipv4Addr addr) const {
-  return trie_.lookup(addr);
+  const Route* route = lpm_.lookup_ptr(addr);
+  if (!route) return std::nullopt;
+  return route->origin;
 }
 
 std::optional<Ipv4Prefix> RoutingTable::prefix_of(Ipv4Addr addr) const {
-  const auto hit = trie_.lookup_prefix(addr);
-  if (!hit) return std::nullopt;
-  return hit->first;
+  const Route* route = lpm_.lookup_ptr(addr);
+  if (!route) return std::nullopt;
+  return route->prefix;
 }
 
 std::optional<Route> RoutingTable::route_of(Ipv4Addr addr) const {
-  const auto hit = trie_.lookup_prefix(addr);
-  if (!hit) return std::nullopt;
-  return Route{hit->first, hit->second};
+  const Route* route = lpm_.lookup_ptr(addr);
+  if (!route) return std::nullopt;
+  return *route;
 }
 
 std::vector<Route> RoutingTable::routes() const {
   std::vector<Route> out;
-  out.reserve(trie_.size());
-  trie_.for_each([&out](Ipv4Prefix prefix, Asn origin) {
-    out.push_back(Route{prefix, origin});
-  });
+  out.reserve(lpm_.size());
+  lpm_.for_each(
+      [&out](Ipv4Prefix, const Route& route) { out.push_back(route); });
   return out;
 }
 

@@ -2,14 +2,19 @@
 // origin ASes, as one would assemble from RouteViews/RIPE RIS dumps.
 // The vantage-point analyses use it to map observed IPs to prefixes and
 // ASes (Table 1, Table 3, Figure 4(c)).
+//
+// Lookups ride on net::FlatLpm (DIR-24-8): one or two array loads per
+// address instead of a trie walk. Hot callers should use the pointer
+// and batch forms; the optional-returning forms remain for convenience.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "net/flat_lpm.hpp"
 #include "net/ipv4.hpp"
-#include "net/prefix_trie.hpp"
 
 namespace ixp::net {
 
@@ -32,18 +37,35 @@ class RoutingTable {
   /// The most specific routed prefix covering `addr`.
   [[nodiscard]] std::optional<Ipv4Prefix> prefix_of(Ipv4Addr addr) const;
 
-  /// Both at once (single trie walk) for hot analysis loops.
+  /// Both at once (single table probe) for hot analysis loops.
   [[nodiscard]] std::optional<Route> route_of(Ipv4Addr addr) const;
 
+  /// Pointer forms for per-sample paths: no optional, no copy. Stable
+  /// until the next announce.
+  [[nodiscard]] const Route* route_ptr(Ipv4Addr addr) const noexcept {
+    return lpm_.lookup_ptr(addr);
+  }
+  [[nodiscard]] const Asn* origin_ptr(Ipv4Addr addr) const noexcept {
+    const Route* route = lpm_.lookup_ptr(addr);
+    return route ? &route->origin : nullptr;
+  }
+
+  /// Batched attribution: out[i] = route_ptr(addrs[i]), with the LPM
+  /// arrays software-prefetched ahead. Requires out.size() >= addrs.size().
+  void routes_of(std::span<const Ipv4Addr> addrs,
+                 std::span<const Route*> out) const noexcept {
+    lpm_.lookup_batch(addrs, out);
+  }
+
   [[nodiscard]] std::size_t prefix_count() const noexcept {
-    return trie_.size();
+    return lpm_.size();
   }
 
   /// All routes in lexicographic prefix order.
   [[nodiscard]] std::vector<Route> routes() const;
 
  private:
-  PrefixTrie<Asn> trie_;
+  FlatLpm<Route> lpm_;
 };
 
 }  // namespace ixp::net

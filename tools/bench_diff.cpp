@@ -1,11 +1,12 @@
 // bench_diff — compares two ixpscope-bench-v1 JSON files and flags
 // per-case regressions, for wiring into CI and PR checklists:
 //
-//   bench_diff BASELINE.json CURRENT.json [--threshold PCT]
+//   bench_diff BASELINE.json CURRENT.json [--tolerance PCT]
 //
-// A case regresses when its ns_per_item grows by more than the threshold
+// A case regresses when its ns_per_item grows by more than the tolerance
 // (default 10%), or when a case that was allocation-free starts
-// allocating. Cases present in only one file are reported but do not
+// allocating. (--threshold is accepted as a synonym for --tolerance.)
+// Cases present in only one file are reported but do not
 // fail the diff (benches come and go across PRs). Exit codes: 0 no
 // regressions, 1 regression found, 2 usage or unreadable input.
 //
@@ -121,7 +122,7 @@ const CaseResult* find_case(const std::vector<CaseResult>& results,
 
 int usage() {
   std::cerr << "usage: bench_diff BASELINE.json CURRENT.json "
-               "[--threshold PCT]\n";
+               "[--tolerance PCT]\n";
   return 2;
 }
 
@@ -130,16 +131,16 @@ int usage() {
 int main(int argc, char** argv) {
   std::string base_path;
   std::string current_path;
-  double threshold = 10.0;
+  double tolerance = 10.0;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg == "--threshold") {
+    if (arg == "--tolerance" || arg == "--threshold") {
       if (i + 1 >= argc) return usage();
       const std::string_view text = argv[++i];
       const auto [ptr, ec] = std::from_chars(
-          text.data(), text.data() + text.size(), threshold);
+          text.data(), text.data() + text.size(), tolerance);
       if (ec != std::errc{} || ptr != text.data() + text.size() ||
-          threshold <= 0.0)
+          tolerance <= 0.0)
         return usage();
     } else if (base_path.empty()) {
       base_path = arg;
@@ -176,7 +177,7 @@ int main(int argc, char** argv) {
         was->ns_per_item > 0.0
             ? (now.ns_per_item - was->ns_per_item) / was->ns_per_item * 100.0
             : 0.0;
-    const bool slower = delta > threshold;
+    const bool slower = delta > tolerance;
     // An allocation-free case starting to allocate is a regression even
     // when it stays fast: the zero-alloc contract is load-bearing.
     const bool allocs = was->allocs_per_item < 0.005 &&
@@ -195,9 +196,9 @@ int main(int argc, char** argv) {
 
   if (regressions > 0) {
     std::printf("%d regression%s beyond %.0f%%\n", regressions,
-                regressions == 1 ? "" : "s", threshold);
+                regressions == 1 ? "" : "s", tolerance);
     return 1;
   }
-  std::printf("no regressions beyond %.0f%%\n", threshold);
+  std::printf("no regressions beyond %.0f%%\n", tolerance);
   return 0;
 }
