@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/parallel_analyzer.hpp"
+#include "ingest/ingest_source.hpp"
 
 namespace ixp::expcommon {
 
@@ -78,8 +79,8 @@ core::WeeklyReport Context::run_week(int week) const {
       core::ParallelOptions options;
       options.threads = static_cast<unsigned>(args.threads);
       core::ParallelAnalyzer analyzer{vp, options};
-      report = analyzer.analyze(
-          week, std::span<const sflow::FlowSample>{stream}, fetch);
+      ingest::SpanSource source{stream, options.batch_size};
+      report = analyzer.analyze(week, source, fetch);
       samples += stream.size();
     } else {
       core::WeekSession session = vp.open_week(week);

@@ -21,6 +21,7 @@
 #include "core/vantage_point.hpp"
 #include "gen/internet.hpp"
 #include "gen/workload.hpp"
+#include "ingest/ingest_source.hpp"
 
 namespace {
 
@@ -67,9 +68,9 @@ void bench_week(bench::Suite& suite, const World& w, unsigned threads) {
   suite.run_case("parallel_week/t" + std::to_string(threads), 3,
                  [&](std::uint64_t iters, int) {
                    for (std::uint64_t it = 0; it < iters; ++it) {
-                     const auto report = analyzer.analyze(
-                         kWeek, std::span<const sflow::FlowSample>{w.samples},
-                         no_probe);
+                     ingest::SpanSource source{w.samples, options.batch_size};
+                     const auto report =
+                         analyzer.analyze(kWeek, source, no_probe);
                      bench::keep(report.peering_ips);
                    }
                    return iters * w.samples.size();

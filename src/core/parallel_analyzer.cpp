@@ -15,7 +15,9 @@ namespace ixp::core {
 
 namespace {
 
-/// One unit of work: a batch of samples plus its global stream position.
+/// One queued unit of work: an owned copy of a pumped batch plus its
+/// global stream position. Claim-mode workers never touch this — their
+/// batches stay zero-copy views into the sub-source they drain.
 struct Batch {
   std::vector<sflow::FlowSample> samples;
   std::uint64_t first_seq = 0;
@@ -132,29 +134,42 @@ ParallelAnalyzer::ParallelAnalyzer(VantagePoint& vantage,
   if (options_.max_queued_batches == 0) options_.max_queued_batches = 1;
 }
 
-WeeklyReport ParallelAnalyzer::analyze(int week, const BatchSource& source,
+WeeklyReport ParallelAnalyzer::analyze(int week, ingest::IngestSource& source,
                                        const classify::ChainFetcher& fetch) {
   WeekSession session = vantage_->open_week(week);
   const bool lenient = options_.lenient_workers;
   const auto& hook = options_.worker_hook;
 
+  // Ask the source for a parallel plan. 2× over-partitioning keeps
+  // workers busy when part costs are uneven (resync scans in corrupted
+  // segments); exactly one part when single-threaded makes the walk
+  // literally the serial one.
+  const std::size_t want = threads_ <= 1 ? 1 : std::size_t{threads_} * 2;
+  std::vector<std::unique_ptr<ingest::IngestSource>> parts = source.split(want);
+
   if (threads_ <= 1) {
-    // Same batch/seq bookkeeping as the threaded path so a dropped batch
-    // leaves the same sequence gap regardless of thread count.
+    // Serial: drain the parts in order (or the source itself if it has no
+    // plan) on the calling thread. Same batch/seq bookkeeping as the
+    // threaded paths so a dropped batch leaves the same sequence gap
+    // regardless of thread count.
     WeekShard shard = session.make_shard();
     std::vector<std::uint64_t> errors(1, 0);
-    std::vector<sflow::FlowSample> batch;
-    std::uint64_t next_seq = 0;
-    std::size_t n;
-    while ((n = source(batch)) > 0) {
-      try {
-        if (hook) hook(batch, next_seq);
-        shard.observe_batch(batch, next_seq);
-      } catch (...) {
-        if (!lenient) throw;
-        ++errors[0];
+    const auto consume = [&](ingest::IngestSource& src) {
+      ingest::SampleBatch batch;
+      while (src.next_batch(batch) == ingest::SourceStatus::kBatch) {
+        try {
+          if (hook) hook(batch.samples, batch.first_seq);
+          shard.observe_batch(batch.samples, batch.first_seq);
+        } catch (...) {
+          if (!lenient) throw;
+          ++errors[0];
+        }
       }
-      next_seq += n;
+    };
+    if (parts.empty()) {
+      consume(source);
+    } else {
+      for (const auto& part : parts) consume(*part);
     }
     session.absorb(std::move(shard));
     return finish_flagged(session, fetch, std::move(errors));
@@ -166,6 +181,53 @@ WeeklyReport ParallelAnalyzer::analyze(int week, const BatchSource& source,
   std::vector<std::uint64_t> errors(threads_, 0);
   FirstError first_error;
 
+  if (!parts.empty()) {
+    // Claim mode: workers claim whole sub-sources via an atomic counter
+    // and decode them concurrently — no pump thread, no copies. A strict
+    // failure stops claiming; workers already inside a part finish or
+    // bail on their own batch boundary.
+    std::atomic<std::size_t> next_part{0};
+    std::atomic<bool> aborted{false};
+
+    std::vector<std::thread> workers;
+    workers.reserve(threads_);
+    for (unsigned t = 0; t < threads_; ++t) {
+      workers.emplace_back([&, t] {
+        WeekShard& shard = shards[t];
+        for (std::size_t p = next_part.fetch_add(1);
+             p < parts.size() && !aborted.load(std::memory_order_relaxed);
+             p = next_part.fetch_add(1)) {
+          ingest::IngestSource& part = *parts[p];
+          ingest::SampleBatch batch;
+          while (part.next_batch(batch) == ingest::SourceStatus::kBatch) {
+            try {
+              if (hook) hook(batch.samples, batch.first_seq);
+              shard.observe_batch(batch.samples, batch.first_seq);
+            } catch (...) {
+              ++errors[t];
+              if (!lenient) {
+                first_error.capture();
+                aborted.store(true, std::memory_order_relaxed);
+                return;
+              }
+            }
+          }
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    first_error.rethrow_if_set();
+
+    // Ordered reduce: shard 0, then 1, ... Merge is commutative anyway,
+    // but a fixed order keeps the reduce itself schedule-independent.
+    for (auto& shard : shards) session.absorb(std::move(shard));
+    return finish_flagged(session, fetch, std::move(errors));
+  }
+
+  // Pump mode: the source is serial (an istream, a pull function, a live
+  // feed), so the calling thread pulls batches — copying each view into
+  // queue-owned storage, since the view dies on the next pull — and the
+  // workers run the hot path behind the bounded queue.
   BatchQueue queue{options_.max_queued_batches};
   std::vector<std::thread> workers;
   workers.reserve(threads_);
@@ -190,16 +252,11 @@ WeeklyReport ParallelAnalyzer::analyze(int week, const BatchSource& source,
   }
 
   try {
-    std::uint64_t next_seq = 0;
-    std::vector<sflow::FlowSample> scratch;
-    while (true) {
-      const std::size_t n = source(scratch);
-      if (n == 0) break;
+    ingest::SampleBatch pulled;
+    while (source.next_batch(pulled) == ingest::SourceStatus::kBatch) {
       Batch batch;
-      batch.samples = std::move(scratch);
-      batch.first_seq = next_seq;
-      next_seq += n;
-      scratch = {};
+      batch.samples.assign(pulled.samples.begin(), pulled.samples.end());
+      batch.first_seq = pulled.first_seq;
       if (!queue.push(std::move(batch))) break;  // a worker aborted the week
     }
   } catch (...) {
@@ -214,259 +271,52 @@ WeeklyReport ParallelAnalyzer::analyze(int week, const BatchSource& source,
   for (auto& worker : workers) worker.join();
   first_error.rethrow_if_set();
 
-  // Ordered reduce: shard 0, then 1, ... Merge is commutative anyway, but
-  // a fixed order keeps the reduce itself schedule-independent.
   for (auto& shard : shards) session.absorb(std::move(shard));
   return finish_flagged(session, fetch, std::move(errors));
 }
 
+WeeklyReport ParallelAnalyzer::analyze(int week, const BatchSource& source,
+                                       const classify::ChainFetcher& fetch) {
+  ingest::FunctionSource wrapped{source};
+  return analyze(week, static_cast<ingest::IngestSource&>(wrapped), fetch);
+}
+
 WeeklyReport ParallelAnalyzer::analyze(int week, sflow::TraceReader& reader,
                                        const classify::ChainFetcher& fetch) {
-  // Record-granular batches with offset-derived stream keys: the same
-  // (key, sample) pairs a mapped-trace analysis produces, so the two
-  // paths yield byte-identical reports over the same trace bytes. The
-  // BatchSource plumbing keeps its running-index keys, hence the
-  // dedicated pump here instead of a source lambda.
-  WeekSession session = vantage_->open_week(week);
-  const bool lenient = options_.lenient_workers;
-  const auto& hook = options_.worker_hook;
-
-  if (threads_ <= 1) {
-    WeekShard shard = session.make_shard();
-    std::vector<std::uint64_t> errors(1, 0);
-    std::vector<sflow::FlowSample> batch;
-    std::uint64_t seq_base = 0;
-    while (reader.read_record(batch, seq_base) > 0) {
-      try {
-        if (hook) hook(batch, seq_base);
-        shard.observe_batch(batch, seq_base);
-      } catch (...) {
-        if (!lenient) throw;
-        ++errors[0];
-      }
-    }
-    session.absorb(std::move(shard));
-    return finish_flagged(session, fetch, std::move(errors));
-  }
-
-  std::vector<WeekShard> shards;
-  shards.reserve(threads_);
-  for (unsigned t = 0; t < threads_; ++t) shards.push_back(session.make_shard());
-  std::vector<std::uint64_t> errors(threads_, 0);
-  FirstError first_error;
-
-  BatchQueue queue{options_.max_queued_batches};
-  std::vector<std::thread> workers;
-  workers.reserve(threads_);
-  for (unsigned t = 0; t < threads_; ++t) {
-    workers.emplace_back([&, t] {
-      WeekShard& shard = shards[t];
-      Batch batch;
-      while (queue.pop(batch)) {
-        try {
-          if (hook) hook(batch.samples, batch.first_seq);
-          shard.observe_batch(batch.samples, batch.first_seq);
-        } catch (...) {
-          ++errors[t];
-          if (!lenient) {
-            first_error.capture();
-            queue.abort();
-            return;
-          }
-        }
-      }
-    });
-  }
-
-  try {
-    std::vector<sflow::FlowSample> scratch;
-    std::uint64_t seq_base = 0;
-    while (reader.read_record(scratch, seq_base) > 0) {
-      Batch batch;
-      batch.samples = std::move(scratch);
-      batch.first_seq = seq_base;
-      scratch = {};
-      if (!queue.push(std::move(batch))) break;  // a worker aborted the week
-    }
-  } catch (...) {
-    queue.abort();
-    for (auto& worker : workers) worker.join();
-    throw;
-  }
-  queue.close();
-  for (auto& worker : workers) worker.join();
-  first_error.rethrow_if_set();
-
-  for (auto& shard : shards) session.absorb(std::move(shard));
-  return finish_flagged(session, fetch, std::move(errors));
+  ingest::ReaderSource wrapped{reader};
+  return analyze(week, static_cast<ingest::IngestSource&>(wrapped), fetch);
 }
 
 WeeklyReport ParallelAnalyzer::analyze(int week, const sflow::MappedTrace& trace,
                                        const classify::ChainFetcher& fetch,
                                        sflow::ReadPolicy policy,
-                                       MappedIngest* ingest) {
-  WeekSession session = vantage_->open_week(week);
-  const bool lenient = options_.lenient_workers;
-  const auto& hook = options_.worker_hook;
-
-  // 2× over-segmentation keeps workers busy when corruption (resync
-  // scans) makes segment costs uneven; one segment when single-threaded
-  // makes the walk literally the streamed reader's walk.
-  const std::size_t want = threads_ <= 1 ? 1 : std::size_t{threads_} * 2;
-  const std::vector<sflow::TraceSegment> segments =
-      sflow::TraceSegmenter::split(trace.bytes(), want);
-  std::vector<sflow::ReaderStats> per_segment(segments.size());
-
-  const auto finalize_ingest = [&] {
-    if (ingest == nullptr) return;
-    ingest->segments = segments;
-    ingest->total = sflow::ReaderStats{};
-    for (const auto& stats : per_segment) ingest->total += stats;
-    ingest->per_segment = std::move(per_segment);
-    ingest->within_budget = ingest->total.errors() <= policy.max_errors;
+                                       MappedIngest* ingest_out) {
+  ingest::MappedSource wrapped{trace, policy};
+  const auto fill = [&] {
+    if (ingest_out == nullptr) return;
+    ingest_out->segments = wrapped.segments();
+    ingest_out->per_segment = wrapped.per_segment();
+    ingest_out->total = wrapped.stats();
+    ingest_out->within_budget = wrapped.within_budget();
   };
-
-  if (threads_ <= 1) {
-    WeekShard shard = session.make_shard();
-    std::vector<std::uint64_t> errors(1, 0);
-    sflow::TraceCursor cursor{trace.bytes(), {}};
-    for (std::size_t s = 0; s < segments.size(); ++s) {
-      cursor.reset(trace.bytes(), segments[s]);
-      std::uint64_t seq_base = 0;
-      for (auto batch = cursor.read_record(seq_base); !batch.empty();
-           batch = cursor.read_record(seq_base)) {
-        try {
-          if (hook) hook(batch, seq_base);
-          shard.observe_batch(batch, seq_base);
-        } catch (...) {
-          if (!lenient) {
-            per_segment[s] = cursor.stats();
-            finalize_ingest();
-            throw;
-          }
-          ++errors[0];
-        }
-      }
-      per_segment[s] = cursor.stats();
-    }
-    session.absorb(std::move(shard));
-    finalize_ingest();
-    return finish_flagged(session, fetch, std::move(errors));
+  try {
+    WeeklyReport report =
+        analyze(week, static_cast<ingest::IngestSource&>(wrapped), fetch);
+    fill();
+    return report;
+  } catch (...) {
+    // Accounting reflects everything decoded up to the failure, exactly
+    // as the pre-IngestSource mapped path reported it.
+    fill();
+    throw;
   }
-
-  std::vector<WeekShard> shards;
-  shards.reserve(threads_);
-  for (unsigned t = 0; t < threads_; ++t) shards.push_back(session.make_shard());
-  std::vector<std::uint64_t> errors(threads_, 0);
-  FirstError first_error;
-  std::atomic<std::size_t> next_segment{0};
-  std::atomic<bool> aborted{false};
-
-  std::vector<std::thread> workers;
-  workers.reserve(threads_);
-  for (unsigned t = 0; t < threads_; ++t) {
-    workers.emplace_back([&, t] {
-      WeekShard& shard = shards[t];
-      sflow::TraceCursor cursor{trace.bytes(), {}};
-      for (std::size_t s = next_segment.fetch_add(1);
-           s < segments.size() && !aborted.load(std::memory_order_relaxed);
-           s = next_segment.fetch_add(1)) {
-        cursor.reset(trace.bytes(), segments[s]);
-        std::uint64_t seq_base = 0;
-        for (auto batch = cursor.read_record(seq_base); !batch.empty();
-             batch = cursor.read_record(seq_base)) {
-          try {
-            if (hook) hook(batch, seq_base);
-            shard.observe_batch(batch, seq_base);
-          } catch (...) {
-            ++errors[t];
-            if (!lenient) {
-              first_error.capture();
-              aborted.store(true, std::memory_order_relaxed);
-              per_segment[s] = cursor.stats();
-              return;
-            }
-          }
-        }
-        per_segment[s] = cursor.stats();
-      }
-    });
-  }
-  for (auto& worker : workers) worker.join();
-  finalize_ingest();
-  first_error.rethrow_if_set();
-
-  for (auto& shard : shards) session.absorb(std::move(shard));
-  return finish_flagged(session, fetch, std::move(errors));
 }
 
 WeeklyReport ParallelAnalyzer::analyze(int week,
                                        std::span<const sflow::FlowSample> samples,
                                        const classify::ChainFetcher& fetch) {
-  WeekSession session = vantage_->open_week(week);
-  const bool lenient = options_.lenient_workers;
-  const auto& hook = options_.worker_hook;
-
-  if (threads_ <= 1) {
-    WeekShard shard = session.make_shard();
-    std::vector<std::uint64_t> errors(1, 0);
-    const std::size_t batch_size = options_.batch_size;
-    for (std::size_t begin = 0; begin < samples.size(); begin += batch_size) {
-      const std::size_t count = std::min(batch_size, samples.size() - begin);
-      const auto chunk = samples.subspan(begin, count);
-      try {
-        if (hook) hook(chunk, begin);
-        shard.observe_batch(chunk, begin);
-      } catch (...) {
-        if (!lenient) throw;
-        ++errors[0];
-      }
-    }
-    session.absorb(std::move(shard));
-    return finish_flagged(session, fetch, std::move(errors));
-  }
-
-  std::vector<WeekShard> shards;
-  shards.reserve(threads_);
-  for (unsigned t = 0; t < threads_; ++t) shards.push_back(session.make_shard());
-  std::vector<std::uint64_t> errors(threads_, 0);
-  FirstError first_error;
-
-  const std::size_t batch_size = options_.batch_size;
-  const std::size_t batches = (samples.size() + batch_size - 1) / batch_size;
-  std::atomic<std::size_t> next_batch{0};
-  std::atomic<bool> aborted{false};
-
-  std::vector<std::thread> workers;
-  workers.reserve(threads_);
-  for (unsigned t = 0; t < threads_; ++t) {
-    workers.emplace_back([&, t] {
-      WeekShard& shard = shards[t];
-      for (std::size_t b = next_batch.fetch_add(1);
-           b < batches && !aborted.load(std::memory_order_relaxed);
-           b = next_batch.fetch_add(1)) {
-        const std::size_t begin = b * batch_size;
-        const std::size_t count = std::min(batch_size, samples.size() - begin);
-        const auto chunk = samples.subspan(begin, count);
-        try {
-          if (hook) hook(chunk, begin);
-          shard.observe_batch(chunk, begin);
-        } catch (...) {
-          ++errors[t];
-          if (!lenient) {
-            first_error.capture();
-            aborted.store(true, std::memory_order_relaxed);
-            return;
-          }
-        }
-      }
-    });
-  }
-  for (auto& worker : workers) worker.join();
-  first_error.rethrow_if_set();
-
-  for (auto& shard : shards) session.absorb(std::move(shard));
-  return finish_flagged(session, fetch, std::move(errors));
+  ingest::SpanSource wrapped{samples, options_.batch_size};
+  return analyze(week, static_cast<ingest::IngestSource&>(wrapped), fetch);
 }
 
 }  // namespace ixp::core

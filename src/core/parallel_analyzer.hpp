@@ -8,22 +8,16 @@
 // order is fixed, the N-thread report is byte-identical to the 1-thread
 // report for any N — the determinism contract the parity tests pin down.
 //
-// Four input shapes:
-//   - a BatchSource pull function (anything that can fill a batch),
-//   - a sflow::TraceReader (recorded traces; read_record feeds the queue),
-//   - an in-memory sample span (zero-copy; workers claim chunks),
-//   - a sflow::MappedTrace (zero-copy; workers claim byte segments and
-//     decode them in parallel with per-worker TraceCursors).
-//
-// For the streamed shapes the calling thread acts as the reader: trace
-// decoding through an istream is serial by nature, while filtering, HTTP
-// string matching, and per-IP evidence accumulation — the hot path — run
-// on the workers. The mapped shape removes that Amdahl bottleneck:
-// decoding itself fans out, because TraceSegmenter cuts the byte span on
-// plausible record boundaries and every sample's stream key is derived
-// from its byte offset (sflow::stream_seq_key) instead of a running
-// counter — no sequence handoff between workers, and the N-thread mapped
-// report stays byte-identical to the 1-thread streamed report.
+// One input shape: an ingest::IngestSource. The engine asks the source
+// for a parallel plan (split()); a splittable source — a mapped trace, an
+// in-memory span — hands back sub-sources that workers claim and decode
+// concurrently with no sequence handoff, because every batch carries its
+// own position-derived stream key. A serial source — an istream-backed
+// TraceReader, a pull function, a live socket feed — is pumped by the
+// calling thread through a bounded queue while the workers run the hot
+// path (filtering, HTTP matching, evidence accumulation). The former
+// per-shape analyze() overloads survive as deprecated shims over the
+// corresponding ingest:: adapters.
 //
 // Worker failures are contained (DESIGN.md §8): an exception escaping a
 // worker can never deadlock the bounded queue or terminate the process.
@@ -38,6 +32,7 @@
 #include <span>
 
 #include "core/vantage_point.hpp"
+#include "ingest/ingest_source.hpp"
 #include "sflow/mapped_trace.hpp"
 #include "sflow/trace.hpp"
 #include "sflow/trace_segment.hpp"
@@ -46,11 +41,10 @@ namespace ixp::core {
 
 /// Ingest health of one mapped-trace analysis: the per-segment error
 /// taxonomies in segment (= stream) order, their sum, and whether that
-/// sum stayed within the caller's ReadPolicy budget. Segments always
-/// decode leniently — a worker cannot know how many errors the other
-/// segments hit — so the budget is applied to the summed taxonomy after
-/// the fact. The accounting invariant carries over exactly:
-///   trace size == 12 + total.bytes_delivered + total.bytes_skipped.
+/// sum stayed within the caller's ReadPolicy budget. Kept for the
+/// deprecated mapped-trace shim; new callers read the same facts off
+/// ingest::MappedSource directly. The accounting invariant carries over
+/// exactly: trace size == 12 + total.bytes_delivered + total.bytes_skipped.
 struct MappedIngest {
   std::vector<sflow::TraceSegment> segments;
   std::vector<sflow::ReaderStats> per_segment;
@@ -84,27 +78,38 @@ class ParallelAnalyzer {
 
   explicit ParallelAnalyzer(VantagePoint& vantage, ParallelOptions options = {});
 
-  /// Analyzes one week pulled from `source`.
+  /// Analyzes one week pulled from `source` — the single entry point for
+  /// every input shape. The source's split() decides between concurrent
+  /// claim-and-decode (mapped traces, spans) and a pumped bounded queue
+  /// (streamed readers, pull functions, live feeds); either way the
+  /// report is byte-identical for any thread count. Check the source's
+  /// ok()/stats() afterwards for ingest health.
+  [[nodiscard]] WeeklyReport analyze(int week, ingest::IngestSource& source,
+                                     const classify::ChainFetcher& fetch);
+
+  // ---- deprecated per-shape overloads (thin shims over ingest::
+  // adapters; one release, then they go) -------------------------------
+
+  [[deprecated("wrap the callable in ingest::FunctionSource and call "
+               "analyze(IngestSource&)")]]
   [[nodiscard]] WeeklyReport analyze(int week, const BatchSource& source,
                                      const classify::ChainFetcher& fetch);
 
-  /// Analyzes one week from a recorded trace. Batches are record-granular
-  /// and carry offset-derived stream keys, so the result is byte-identical
-  /// to a mapped analysis of the same bytes at any thread count.
+  [[deprecated("wrap the reader in ingest::ReaderSource and call "
+               "analyze(IngestSource&)")]]
   [[nodiscard]] WeeklyReport analyze(int week, sflow::TraceReader& reader,
                                      const classify::ChainFetcher& fetch);
 
-  /// Analyzes one week from a mapped trace: the span is cut into
-  /// 2×threads segments and workers claim and decode them in parallel.
-  /// `policy` is applied to the summed per-segment taxonomy (see
-  /// MappedIngest); pass `ingest` to receive the accounting breakdown.
+  [[deprecated("wrap the trace in ingest::MappedSource and call "
+               "analyze(IngestSource&)")]]
   [[nodiscard]] WeeklyReport analyze(
       int week, const sflow::MappedTrace& trace,
       const classify::ChainFetcher& fetch,
       sflow::ReadPolicy policy = sflow::ReadPolicy::strict(),
       MappedIngest* ingest = nullptr);
 
-  /// Analyzes one week of in-memory samples (zero-copy fan-out).
+  [[deprecated("wrap the span in ingest::SpanSource and call "
+               "analyze(IngestSource&)")]]
   [[nodiscard]] WeeklyReport analyze(int week,
                                      std::span<const sflow::FlowSample> samples,
                                      const classify::ChainFetcher& fetch);

@@ -1,0 +1,174 @@
+#include "core/serve_service.hpp"
+
+#include <utility>
+
+namespace ixp::core {
+
+namespace {
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ingest::SourceStatus LiveQueueSource::next_batch(ingest::SampleBatch& out) {
+  while (queues_->take(envelope_)) {
+    if (!sflow::decode_into(envelope_.payload, scratch_)) {
+      ++stats_.decode_errors;
+      stats_.bytes_skipped += 4 + envelope_.payload.size();
+      decode_errors_->fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    {
+      std::lock_guard lock{*collector_mutex_};
+      collector_->ingest(scratch_);
+    }
+    ++stats_.datagrams;
+    stats_.samples += scratch_.samples.size();
+    // Accounted like a trace record: 4-byte length prefix plus payload —
+    // the same arithmetic the virtual offset advances by.
+    stats_.bytes_delivered += 4 + envelope_.payload.size();
+    const std::uint64_t offset =
+        envelope_.framed()
+            ? envelope_.offset
+            : virtual_offset_->fetch_add(4 + envelope_.payload.size(),
+                                         std::memory_order_relaxed);
+    if (scratch_.samples.empty()) continue;  // counters-only datagram
+    out.samples = scratch_.samples;
+    out.first_seq = sflow::stream_seq_key(offset, 0);
+    return ingest::SourceStatus::kBatch;
+  }
+  return ingest::SourceStatus::kEnd;
+}
+
+ServeService::ServeService(VantagePoint& vantage, classify::ChainFetcher fetch,
+                           ServeOptions options)
+    : vantage_(&vantage),
+      fetch_(std::move(fetch)),
+      options_(options),
+      queues_(options.queue_capacity, options.max_agents),
+      collector_(sflow::Collector::FlowSink{}, sflow::Collector::CounterSink{},
+                 options.max_agents),
+      session_(vantage.open_week(options.week)) {
+  collector_.set_eviction_hook(
+      [this](net::Ipv4Addr agent, std::uint32_t last_sequence) {
+        sequence_evictions_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.eviction_log) options_.eviction_log(agent, last_sequence);
+      });
+}
+
+ServeService::~ServeService() {
+  if (started_) (void)drain();
+}
+
+void ServeService::start() {
+  if (started_) return;
+  started_ = true;
+  const unsigned threads = resolve_threads(options_.threads);
+  slots_.reserve(threads);
+  sources_.reserve(threads);
+  workers_.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    slots_.push_back(std::make_unique<WorkerSlot>(session_.make_shard()));
+    sources_.push_back(std::make_unique<LiveQueueSource>(
+        queues_, collector_, collector_mutex_, virtual_offset_,
+        decode_errors_));
+  }
+  for (unsigned t = 0; t < threads; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+void ServeService::worker_loop(std::size_t index) {
+  WorkerSlot& slot = *slots_[index];
+  LiveQueueSource& source = *sources_[index];
+  ingest::SampleBatch batch;
+  while (source.next_batch(batch) == ingest::SourceStatus::kBatch) {
+    {
+      std::lock_guard lock{slot.mutex};
+      slot.shard.observe_batch(batch.samples, batch.first_seq);
+    }
+    observed_batches_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+std::shared_ptr<const ServeSnapshot> ServeService::snapshot() {
+  std::lock_guard publish_lock{publish_mutex_};
+
+  // Seal the epoch: swap every worker's live shard for a fresh one. Each
+  // swap holds that worker's lock only for the exchange; decoding and
+  // queueing never pause.
+  WeekShard epoch = session_.make_shard();
+  for (const auto& slot : slots_) {
+    WeekShard fresh = session_.make_shard();
+    {
+      std::lock_guard lock{slot->mutex};
+      std::swap(slot->shard, fresh);
+    }
+    epoch.merge(std::move(fresh));
+  }
+
+  if (options_.window_epochs == 0) {
+    // Cumulative: one ever-growing sealed shard.
+    if (epochs_.empty()) {
+      epochs_.push_back(std::move(epoch));
+    } else {
+      epochs_.front().merge(std::move(epoch));
+    }
+  } else {
+    epochs_.push_back(std::move(epoch));
+    while (epochs_.size() > options_.window_epochs) epochs_.pop_front();
+  }
+
+  // The window report: fold copies of the retained epochs (merge consumes,
+  // and the epochs must survive for the next snapshot), then run the
+  // probe/aggregate phase. All outside the workers' locks.
+  WeekShard folded = session_.make_shard();
+  for (const WeekShard& sealed : epochs_) {
+    WeekShard copy = sealed;
+    folded.merge(std::move(copy));
+  }
+
+  auto snap = std::make_shared<ServeSnapshot>();
+  snap->epoch = next_epoch_++;
+  snap->report = vantage_->finish_week(std::move(folded), fetch_);
+  snap->accounting = accounting();
+  published_ = snap;
+  return snap;
+}
+
+std::shared_ptr<const ServeSnapshot> ServeService::current() const {
+  std::lock_guard lock{publish_mutex_};
+  return published_;
+}
+
+std::shared_ptr<const ServeSnapshot> ServeService::drain() {
+  {
+    std::lock_guard lock{publish_mutex_};
+    if (drained_) return published_;
+    drained_ = true;
+  }
+  queues_.close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  return snapshot();
+}
+
+ServeAccounting ServeService::accounting() const {
+  ServeAccounting out;
+  out.intake = queues_.stats();
+  {
+    std::lock_guard lock{collector_mutex_};
+    out.collector = collector_.stats();
+  }
+  out.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  out.sequence_evictions = sequence_evictions_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace ixp::core

@@ -23,9 +23,16 @@ void Collector::ingest(const Datagram& datagram) {
   if (first_time) {
     arrival_order_.push_back(datagram.agent);
     if (last_sequence_.size() > max_agents_) {
-      last_sequence_.erase(arrival_order_.front());
+      const net::Ipv4Addr victim = arrival_order_.front();
       arrival_order_.pop_front();
+      std::uint32_t victim_sequence = 0;
+      if (const auto found = last_sequence_.find(victim);
+          found != last_sequence_.end()) {
+        victim_sequence = found->second;
+      }
+      last_sequence_.erase(victim);
       ++stats_.evicted_agents;
+      if (eviction_hook_) eviction_hook_(victim, victim_sequence);
     }
   } else {
     const std::uint32_t expected = it->second + 1;

@@ -55,11 +55,20 @@ class Collector {
   /// Ingests an already-decoded datagram.
   void ingest(const Datagram& datagram);
 
+  /// Called whenever an agent's sequence tracking is evicted to honor the
+  /// agent cap, with the agent and the last sequence number it had
+  /// reached. The collector service logs and counts these; a hook must
+  /// not re-enter the collector.
+  using EvictionHook =
+      std::function<void(net::Ipv4Addr agent, std::uint32_t last_sequence)>;
+  void set_eviction_hook(EvictionHook hook) { eviction_hook_ = std::move(hook); }
+
   [[nodiscard]] CollectorStats stats() const;
 
  private:
   FlowSink flow_sink_;
   CounterSink counter_sink_;
+  EvictionHook eviction_hook_;
   std::size_t max_agents_;
   CollectorStats stats_;
   /// Last sequence number seen per agent, for gap accounting. Bounded by

@@ -98,6 +98,20 @@ class TraceCursor {
   /// Empty at the end of the segment or once the budget clears ok().
   std::span<const FlowSample> read_record(std::uint64_t& seq_base);
 
+  /// Absolute trace offset of the last delivered record's length prefix.
+  /// Meaningful only after a non-empty read_record().
+  [[nodiscard]] std::uint64_t record_offset() const noexcept {
+    return current_offset_;
+  }
+
+  /// Raw encoded payload of the last delivered record (length prefix
+  /// stripped) — what a live agent would have sent as one datagram. The
+  /// replayer pairs this with record_offset() to re-send a trace through
+  /// the collector service with its original stream keys intact.
+  [[nodiscard]] std::span<const std::byte> record_bytes() const noexcept {
+    return trace_.subspan(current_offset_ + 4, pos_ - current_offset_ - 4);
+  }
+
  private:
   bool refill();
   bool resync(std::uint64_t bad_record_start);

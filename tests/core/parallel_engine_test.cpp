@@ -13,6 +13,7 @@
 #include "core/vantage_point.hpp"
 #include "gen/internet.hpp"
 #include "gen/workload.hpp"
+#include "ingest/ingest_source.hpp"
 #include "sflow/trace.hpp"
 
 namespace ixp::core {
@@ -216,9 +217,8 @@ TEST_F(ParallelEngineTest, SpanAnalyzerTwoThreadsMatchesBaseline) {
   options.threads = 2;
   options.batch_size = 64;  // many batches -> real interleaving
   ParallelAnalyzer analyzer{vp, options};
-  const auto report = analyzer.analyze(
-      kWeek, std::span<const sflow::FlowSample>{*samples_}, fetcher());
-  expect_matches_baseline(report);
+  ingest::SpanSource source{*samples_, options.batch_size};
+  expect_matches_baseline(analyzer.analyze(kWeek, source, fetcher()));
 }
 
 TEST_F(ParallelEngineTest, SpanAnalyzerFourThreadsMatchesBaseline) {
@@ -227,9 +227,8 @@ TEST_F(ParallelEngineTest, SpanAnalyzerFourThreadsMatchesBaseline) {
   options.threads = 4;
   options.batch_size = 37;  // deliberately odd: ragged final batch
   ParallelAnalyzer analyzer{vp, options};
-  const auto report = analyzer.analyze(
-      kWeek, std::span<const sflow::FlowSample>{*samples_}, fetcher());
-  expect_matches_baseline(report);
+  ingest::SpanSource source{*samples_, options.batch_size};
+  expect_matches_baseline(analyzer.analyze(kWeek, source, fetcher()));
 }
 
 TEST_F(ParallelEngineTest, SpanAnalyzerEightThreadsMatchesBaseline) {
@@ -238,9 +237,8 @@ TEST_F(ParallelEngineTest, SpanAnalyzerEightThreadsMatchesBaseline) {
   options.threads = 8;  // more workers than a shard's worth of batches
   options.batch_size = 51;
   ParallelAnalyzer analyzer{vp, options};
-  const auto report = analyzer.analyze(
-      kWeek, std::span<const sflow::FlowSample>{*samples_}, fetcher());
-  expect_matches_baseline(report);
+  ingest::SpanSource source{*samples_, options.batch_size};
+  expect_matches_baseline(analyzer.analyze(kWeek, source, fetcher()));
 }
 
 TEST_F(ParallelEngineTest, TraceReplayThreadedMatchesBaseline) {
@@ -259,8 +257,9 @@ TEST_F(ParallelEngineTest, TraceReplayThreadedMatchesBaseline) {
   options.threads = 3;
   options.batch_size = 128;
   ParallelAnalyzer analyzer{vp, options};
-  const auto report = analyzer.analyze(kWeek, reader, fetcher());
-  EXPECT_TRUE(reader.ok());
+  ingest::ReaderSource source{reader};
+  const auto report = analyzer.analyze(kWeek, source, fetcher());
+  EXPECT_TRUE(source.ok());
   expect_matches_baseline(report);
 }
 
@@ -269,9 +268,8 @@ TEST_F(ParallelEngineTest, SingleThreadAnalyzerMatchesBaseline) {
   ParallelOptions options;
   options.threads = 1;
   ParallelAnalyzer analyzer{vp, options};
-  const auto report = analyzer.analyze(
-      kWeek, std::span<const sflow::FlowSample>{*samples_}, fetcher());
-  expect_matches_baseline(report);
+  ingest::SpanSource source{*samples_, options.batch_size};
+  expect_matches_baseline(analyzer.analyze(kWeek, source, fetcher()));
 }
 
 }  // namespace

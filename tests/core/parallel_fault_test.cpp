@@ -21,6 +21,7 @@
 #include "core/vantage_point.hpp"
 #include "gen/internet.hpp"
 #include "gen/workload.hpp"
+#include "ingest/ingest_source.hpp"
 #include "sflow/fault_injector.hpp"
 #include "sflow/mapped_trace.hpp"
 #include "sflow/trace.hpp"
@@ -110,12 +111,12 @@ TEST_F(ParallelFaultTest, StrictWorkerExceptionRethrownNoDeadlock) {
   // against the tiny queue when the worker dies, which is exactly the
   // blocked-push scenario abort() must unwedge.
   ParallelAnalyzer analyzer{vp, throwing_options(4, 512)};
-  const auto source = [at = std::size_t{0}](
-                          std::vector<sflow::FlowSample>& out) mutable {
+  ingest::FunctionSource source{[at = std::size_t{0}](
+                                    std::vector<sflow::FlowSample>& out) mutable {
     out.clear();
     while (out.size() < 64 && at < samples_->size()) out.push_back(sample(at++));
     return out.size();
-  };
+  }};
   EXPECT_THROW((void)analyzer.analyze(kWeek, source, fetcher()),
                std::runtime_error);
 }
@@ -123,9 +124,8 @@ TEST_F(ParallelFaultTest, StrictWorkerExceptionRethrownNoDeadlock) {
 TEST_F(ParallelFaultTest, StrictSpanWorkerExceptionRethrown) {
   auto vp = make_vantage();
   ParallelAnalyzer analyzer{vp, throwing_options(4, 512)};
-  EXPECT_THROW((void)analyzer.analyze(
-                   kWeek, std::span<const sflow::FlowSample>{*samples_},
-                   fetcher()),
+  ingest::SpanSource source{*samples_, 64};
+  EXPECT_THROW((void)analyzer.analyze(kWeek, source, fetcher()),
                std::runtime_error);
 }
 
@@ -134,8 +134,8 @@ TEST_F(ParallelFaultTest, LenientWorkerCompletesDegraded) {
   options.lenient_workers = true;
   auto vp = make_vantage();
   ParallelAnalyzer analyzer{vp, options};
-  const auto report = analyzer.analyze(
-      kWeek, std::span<const sflow::FlowSample>{*samples_}, fetcher());
+  ingest::SpanSource source{*samples_, options.batch_size};
+  const auto report = analyzer.analyze(kWeek, source, fetcher());
   EXPECT_TRUE(report.degraded);
   ASSERT_EQ(report.worker_errors.size(), 4u);
   std::uint64_t dropped = 0;
@@ -149,8 +149,8 @@ TEST_F(ParallelFaultTest, CleanRunIsNotDegraded) {
   options.threads = 2;
   options.batch_size = 64;
   ParallelAnalyzer analyzer{vp, options};
-  const auto report = analyzer.analyze(
-      kWeek, std::span<const sflow::FlowSample>{*samples_}, fetcher());
+  ingest::SpanSource source{*samples_, options.batch_size};
+  const auto report = analyzer.analyze(kWeek, source, fetcher());
   EXPECT_FALSE(report.degraded);
   EXPECT_TRUE(report.worker_errors.empty());
 }
@@ -181,10 +181,11 @@ TEST_F(ParallelFaultTest, CorruptTraceLenientReportIdenticalAcrossThreads) {
     options.threads = threads;
     options.batch_size = 256;
     ParallelAnalyzer analyzer{vp, options};
-    reports.push_back(analyzer.analyze(kWeek, reader, fetcher()));
-    EXPECT_TRUE(reader.ok()) << threads << " threads";
-    EXPECT_TRUE(reader.stats().degraded()) << threads << " threads";
-    stats.push_back(reader.stats());
+    ingest::ReaderSource source{reader};
+    reports.push_back(analyzer.analyze(kWeek, source, fetcher()));
+    EXPECT_TRUE(source.ok()) << threads << " threads";
+    EXPECT_TRUE(source.stats().degraded()) << threads << " threads";
+    stats.push_back(source.stats());
   }
   for (std::size_t i = 1; i < reports.size(); ++i) {
     SCOPED_TRACE("thread variant " + std::to_string(i));
@@ -208,10 +209,11 @@ std::vector<std::byte> record_trace(const std::vector<sflow::FlowSample>& sample
   return bytes;
 }
 
-/// The ISSUE 4 tentpole contract: the mapped N-thread report is
-/// byte-identical to the streamed 1-thread report over the same trace
-/// bytes, and the per-segment ReaderStats sum to the streamed reader's
-/// exact whole-file taxonomy — on a clean trace and on a damaged one.
+/// The mapped-path contract, now through IngestSource: the mapped
+/// N-thread report is byte-identical to the streamed 1-thread report
+/// over the same trace bytes, and the MappedSource's per-segment
+/// ReaderStats sum to the streamed reader's exact whole-file taxonomy —
+/// on a clean trace and on a damaged one.
 TEST_F(ParallelFaultTest, MappedReportMatchesStreamedOnCleanAndCorrupt) {
   const std::vector<std::byte> clean = record_trace(*samples_);
   std::vector<std::byte> corrupted;
@@ -233,8 +235,9 @@ TEST_F(ParallelFaultTest, MappedReportMatchesStreamedOnCleanAndCorrupt) {
     ASSERT_TRUE(reader.ok());
     auto vp = make_vantage();
     ParallelAnalyzer baseline{vp, ParallelOptions{.threads = 1}};
-    const auto streamed = baseline.analyze(kWeek, reader, fetcher());
-    ASSERT_TRUE(reader.ok());
+    ingest::ReaderSource reader_source{reader};
+    const auto streamed = baseline.analyze(kWeek, reader_source, fetcher());
+    ASSERT_TRUE(reader_source.ok());
 
     auto copy = *bytes;
     const auto trace = sflow::MappedTrace::adopt(std::move(copy));
@@ -243,21 +246,22 @@ TEST_F(ParallelFaultTest, MappedReportMatchesStreamedOnCleanAndCorrupt) {
       SCOPED_TRACE(std::to_string(threads) + " mapped threads");
       auto vp2 = make_vantage();
       ParallelAnalyzer analyzer{vp2, ParallelOptions{.threads = threads}};
-      MappedIngest ingest;
-      const auto mapped = analyzer.analyze(
-          kWeek, trace, fetcher(), sflow::ReadPolicy::lenient(), &ingest);
+      ingest::MappedSource source{trace, sflow::ReadPolicy::lenient()};
+      const auto mapped = analyzer.analyze(kWeek, source, fetcher());
       expect_reports_equal(streamed, mapped);
 
       // Exact accounting: the summed per-segment taxonomy equals the
       // streamed whole-file one, field for field, and covers every byte.
-      EXPECT_EQ(ingest.total, reader.stats());
-      EXPECT_TRUE(ingest.within_budget);
-      ASSERT_EQ(ingest.per_segment.size(), ingest.segments.size());
+      const sflow::ReaderStats total = source.stats();
+      EXPECT_EQ(total, reader.stats());
+      EXPECT_TRUE(source.within_budget());
+      EXPECT_TRUE(source.ok());
+      ASSERT_EQ(source.per_segment().size(), source.segments().size());
       sflow::ReaderStats resummed;
-      for (const auto& stats : ingest.per_segment) resummed += stats;
-      EXPECT_EQ(resummed, ingest.total);
-      EXPECT_EQ(sflow::kTraceHeaderBytes + ingest.total.bytes_delivered +
-                    ingest.total.bytes_skipped,
+      for (const auto& stats : source.per_segment()) resummed += stats;
+      EXPECT_EQ(resummed, total);
+      EXPECT_EQ(sflow::kTraceHeaderBytes + total.bytes_delivered +
+                    total.bytes_skipped,
                 bytes->size());
     }
   }
@@ -273,11 +277,11 @@ TEST_F(ParallelFaultTest, MappedStrictPolicyReportsBudgetExceeded) {
   ASSERT_TRUE(trace.ok());
   auto vp = make_vantage();
   ParallelAnalyzer analyzer{vp, ParallelOptions{.threads = 4}};
-  MappedIngest ingest;
-  (void)analyzer.analyze(kWeek, trace, fetcher(), sflow::ReadPolicy::strict(),
-                         &ingest);
-  EXPECT_GT(ingest.total.errors(), 0u);
-  EXPECT_FALSE(ingest.within_budget);
+  ingest::MappedSource source{trace, sflow::ReadPolicy::strict()};
+  (void)analyzer.analyze(kWeek, source, fetcher());
+  EXPECT_GT(source.stats().errors(), 0u);
+  EXPECT_FALSE(source.within_budget());
+  EXPECT_FALSE(source.ok());
 }
 
 TEST_F(ParallelFaultTest, MappedStrictWorkerExceptionRethrownNoDeadlock) {
@@ -294,8 +298,8 @@ TEST_F(ParallelFaultTest, MappedStrictWorkerExceptionRethrownNoDeadlock) {
   };
   auto vp = make_vantage();
   ParallelAnalyzer analyzer{vp, options};
-  EXPECT_THROW((void)analyzer.analyze(kWeek, trace, fetcher(),
-                                      sflow::ReadPolicy::lenient()),
+  ingest::MappedSource source{trace, sflow::ReadPolicy::lenient()};
+  EXPECT_THROW((void)analyzer.analyze(kWeek, source, fetcher()),
                std::runtime_error);
 }
 
@@ -312,8 +316,8 @@ TEST_F(ParallelFaultTest, MappedLenientWorkerCompletesDegraded) {
   };
   auto vp = make_vantage();
   ParallelAnalyzer analyzer{vp, options};
-  const auto report = analyzer.analyze(kWeek, trace, fetcher(),
-                                       sflow::ReadPolicy::lenient());
+  ingest::MappedSource source{trace, sflow::ReadPolicy::lenient()};
+  const auto report = analyzer.analyze(kWeek, source, fetcher());
   EXPECT_TRUE(report.degraded);
   ASSERT_EQ(report.worker_errors.size(), 4u);
   std::uint64_t dropped = 0;

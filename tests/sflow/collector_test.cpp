@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 namespace ixp::sflow {
 namespace {
 
@@ -121,6 +124,36 @@ TEST(Collector, NoCounterSinkIsFine) {
   Collector collector{[](const FlowSample&) {}};
   collector.ingest(make_datagram(Ipv4Addr{1, 1, 1, 1}, 0, 1, 3));
   EXPECT_EQ(collector.stats().counter_samples, 3u);  // counted, not dispatched
+}
+
+TEST(Collector, EvictionHookObservesVictimAndLastSequence) {
+  // The serve service logs and counts sequence-tracking evictions through
+  // this hook; it must fire once per eviction with the FIFO victim and
+  // the sequence number tracking had reached for it.
+  Collector collector{[](const FlowSample&) {}, {}, /*max_agents=*/2};
+  std::vector<std::pair<Ipv4Addr, std::uint32_t>> evictions;
+  collector.set_eviction_hook([&](Ipv4Addr agent, std::uint32_t last_seq) {
+    evictions.emplace_back(agent, last_seq);
+  });
+
+  const Ipv4Addr a{1, 1, 1, 1};
+  const Ipv4Addr b{2, 2, 2, 2};
+  const Ipv4Addr c{3, 3, 3, 3};
+  collector.ingest(make_datagram(a, 5));
+  collector.ingest(make_datagram(a, 6));  // advances a's tracked sequence
+  collector.ingest(make_datagram(b, 0));
+  EXPECT_TRUE(evictions.empty());  // at the cap, nothing over it yet
+
+  collector.ingest(make_datagram(c, 0));  // evicts a (oldest)
+  ASSERT_EQ(evictions.size(), 1u);
+  EXPECT_EQ(evictions[0].first, a);
+  EXPECT_EQ(evictions[0].second, 6u);
+
+  collector.ingest(make_datagram(a, 100));  // evicts b
+  ASSERT_EQ(evictions.size(), 2u);
+  EXPECT_EQ(evictions[1].first, b);
+  EXPECT_EQ(evictions[1].second, 0u);
+  EXPECT_EQ(collector.stats().evicted_agents, 2u);
 }
 
 }  // namespace

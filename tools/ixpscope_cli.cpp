@@ -4,23 +4,29 @@
 //   ixpscope generate --week N --out F record one week of sFlow to a trace
 //   ixpscope analyze --week N --in F   run the pipeline on a recorded trace
 //   ixpscope corrupt --in F --out F    damage a trace with seeded faults
+//   ixpscope serve --listen PATH       run the streaming collector service
+//   ixpscope replay --in F --connect P replay a trace into a running serve
 //   ixpscope diff --from A --to B      week-over-week change report (§4.2)
 //   ixpscope bgp-export --out F        dump the routing table (BGP text)
 //
 // Global flags: --volume <double> (default 1/256), --quick (test preset).
-// analyze also takes --threads N: the sharded parallel engine splits the
-// trace across N worker threads and reduces the shards deterministically,
-// so the report is byte-identical for any N.
-// The trace must have been generated at the same scale settings, since
-// analysis resolves IPs against the same (deterministic) databases.
 //
-// Ingest robustness (DESIGN.md §8): analyze is lenient by default — the
-// reader resynchronizes past corrupt records and an ingest-health table
-// plus exit code 3 report the loss. --strict fails at the first corrupt
-// record; --max-errors N tolerates at most N. `corrupt` is the matching
-// fault injector: deterministic per --seed, so damaged fixtures are
-// reproducible.
+// Ingest flags are shared by every trace-consuming command (analyze,
+// corrupt, serve) and parsed in one place with one set of semantics:
+// --threads N shards the work over N workers (byte-identical report for
+// any N), --strict fails at the first corrupt record, --max-errors N
+// tolerates at most N, --mmap maps a trace instead of streaming it.
+//
+// serve is the live collector (DESIGN.md §12): datagrams arrive over a
+// Unix socket and/or UDP, flow through bounded per-agent queues into the
+// same batched analysis hot path, and the service publishes a snapshot
+// report every --snapshot-every datagrams plus a final one on SIGTERM /
+// SIGINT drain. replay feeds a recorded trace into a running serve with
+// each record's original offset framed in, which makes the service's
+// final cumulative snapshot byte-identical to `ixpscope analyze` of the
+// same file.
 #include <charconv>
+#include <csignal>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -32,13 +38,17 @@
 
 #include "analysis/weekly_delta.hpp"
 #include "core/parallel_analyzer.hpp"
+#include "core/serve_service.hpp"
 #include "core/vantage_point.hpp"
 #include "gen/internet.hpp"
 #include "gen/workload.hpp"
+#include "ingest/ingest_source.hpp"
 #include "net/bgp_dump.hpp"
 #include "sflow/fault_injector.hpp"
 #include "sflow/mapped_trace.hpp"
+#include "sflow/socket_intake.hpp"
 #include "sflow/trace.hpp"
+#include "sflow/trace_segment.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -46,20 +56,43 @@ namespace {
 
 using namespace ixp;
 
+/// Ingest flags shared across analyze / corrupt / serve — one struct, one
+/// parse site, one meaning.
+struct IngestOptions {
+  int threads = 1;
+  bool strict = false;
+  bool mmap = false;
+  std::uint64_t max_errors = std::numeric_limits<std::uint64_t>::max();
+
+  [[nodiscard]] sflow::ReadPolicy policy() const {
+    return strict ? sflow::ReadPolicy::strict()
+                  : sflow::ReadPolicy{max_errors};
+  }
+};
+
 struct Options {
   std::string command;
   int week = 45;
   int from_week = 44;
   int to_week = 45;
   double volume = 1.0 / 256.0;
-  int threads = 1;
   bool quick = false;
-  bool strict = false;
-  bool mmap = false;
-  std::uint64_t max_errors = std::numeric_limits<std::uint64_t>::max();
+  IngestOptions ingest;
   std::uint64_t seed = 1;
   std::string in_path;
   std::string out_path;
+
+  // serve / replay
+  std::string listen_path;             // --listen (unix socket)
+  bool udp = false;                    // --udp given
+  int udp_port = 0;                    // 0 = ephemeral
+  std::size_t window_epochs = 0;       // --window (0 = cumulative)
+  std::uint64_t snapshot_every = 0;    // --snapshot-every (datagrams)
+  std::size_t queue_capacity = sflow::AgentQueues::kDefaultCapacity;
+  std::size_t max_agents = sflow::AgentQueues::kDefaultMaxAgents;
+  std::uint64_t max_datagrams = 0;     // --max-datagrams (0 = until signal)
+  int agents = 1;                      // replay --agents
+  std::string connect_path;            // replay --connect
 };
 
 int usage() {
@@ -68,15 +101,25 @@ int usage() {
       "  info                          print the model inventory\n"
       "  generate --week N --out FILE  record one week of sFlow samples\n"
       "  analyze  --week N --in FILE   run the pipeline on a trace\n"
-      "           [--threads N]        shard the analysis over N threads\n"
-      "           [--strict]           fail at the first corrupt record\n"
-      "           [--max-errors N]     tolerate at most N corrupt records\n"
-      "           [--mmap]             map the trace; decode segments in\n"
-      "                                parallel instead of streaming it\n"
       "  corrupt  --in FILE --out FILE damage a trace (deterministic)\n"
       "           [--seed S]           fault-injection seed (default 1)\n"
+      "  serve    --listen PATH | --udp [PORT]   streaming collector\n"
+      "           [--week N]           week the service accumulates\n"
+      "           [--window E]         report covers last E snapshot epochs\n"
+      "                                (default 0 = cumulative)\n"
+      "           [--snapshot-every D] publish every D datagrams\n"
+      "           [--queue-cap Q]      per-agent queue bound (drop beyond)\n"
+      "           [--max-agents M]     tracked-agent cap (FIFO eviction)\n"
+      "           [--max-datagrams N]  drain after N datagrams (testing)\n"
+      "  replay   --in FILE --connect PATH       replay a trace into serve\n"
+      "           [--agents N]         spread records over N synthetic agents\n"
       "  diff     --from A --to B      week-over-week change report\n"
       "  bgp-export --out FILE         dump the routing table\n"
+      "ingest flags (analyze/corrupt/serve, same semantics everywhere):\n"
+      "  --threads N    shard the analysis over N workers\n"
+      "  --strict       fail at the first corrupt record\n"
+      "  --max-errors N tolerate at most N corrupt records\n"
+      "  --mmap         map the trace; decode segments in parallel\n"
       "flags: --volume <0..1> (default 0.00390625), --quick\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 analysis completed degraded,\n"
       "            4 input trace unreadable (missing or shorter than header)\n";
@@ -104,6 +147,13 @@ bool parse_u64(const char* text, std::uint64_t& out) {
   return ec == std::errc{} && ptr == end;
 }
 
+bool parse_size(const char* text, std::size_t& out) {
+  std::uint64_t value = 0;
+  if (!parse_u64(text, value)) return false;
+  out = static_cast<std::size_t>(value);
+  return true;
+}
+
 bool parse(int argc, char** argv, Options& opt) {
   if (argc < 2) return false;
   opt.command = argv[1];
@@ -117,12 +167,21 @@ bool parse(int argc, char** argv, Options& opt) {
     if (flag == "--quick") {
       opt.quick = true;
     } else if (flag == "--mmap") {
-      opt.mmap = true;
+      opt.ingest.mmap = true;
     } else if (flag == "--strict") {
-      opt.strict = true;
-      opt.max_errors = 0;
+      opt.ingest.strict = true;
+      opt.ingest.max_errors = 0;
+    } else if (flag == "--udp") {
+      // Optional value: `--udp` alone binds an ephemeral port.
+      opt.udp = true;
+      if (need_value(i) && argv[i + 1][0] != '-') {
+        if (!parse_int(argv[++i], opt.udp_port) || opt.udp_port < 0 ||
+            opt.udp_port > 65535)
+          return bad_number(argv[i]);
+      }
     } else if (flag == "--max-errors" && need_value(i)) {
-      if (!parse_u64(argv[++i], opt.max_errors)) return bad_number(argv[i]);
+      if (!parse_u64(argv[++i], opt.ingest.max_errors))
+        return bad_number(argv[i]);
     } else if (flag == "--seed" && need_value(i)) {
       if (!parse_u64(argv[++i], opt.seed)) return bad_number(argv[i]);
     } else if (flag == "--week" && need_value(i)) {
@@ -132,19 +191,43 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (flag == "--to" && need_value(i)) {
       if (!parse_int(argv[++i], opt.to_week)) return bad_number(argv[i]);
     } else if (flag == "--threads" && need_value(i)) {
-      if (!parse_int(argv[++i], opt.threads) || opt.threads < 1)
+      if (!parse_int(argv[++i], opt.ingest.threads) || opt.ingest.threads < 1)
         return bad_number(argv[i]);
     } else if (flag == "--volume" && need_value(i)) {
       if (!parse_double(argv[++i], opt.volume) || opt.volume <= 0.0 ||
           opt.volume > 1.0)
         return bad_number(argv[i]);
+    } else if (flag == "--window" && need_value(i)) {
+      if (!parse_size(argv[++i], opt.window_epochs)) return bad_number(argv[i]);
+    } else if (flag == "--snapshot-every" && need_value(i)) {
+      if (!parse_u64(argv[++i], opt.snapshot_every)) return bad_number(argv[i]);
+    } else if (flag == "--queue-cap" && need_value(i)) {
+      if (!parse_size(argv[++i], opt.queue_capacity) ||
+          opt.queue_capacity == 0)
+        return bad_number(argv[i]);
+    } else if (flag == "--max-agents" && need_value(i)) {
+      if (!parse_size(argv[++i], opt.max_agents) || opt.max_agents == 0)
+        return bad_number(argv[i]);
+    } else if (flag == "--max-datagrams" && need_value(i)) {
+      if (!parse_u64(argv[++i], opt.max_datagrams)) return bad_number(argv[i]);
+    } else if (flag == "--agents" && need_value(i)) {
+      if (!parse_int(argv[++i], opt.agents) || opt.agents < 1)
+        return bad_number(argv[i]);
+    } else if (flag == "--listen" && need_value(i)) {
+      opt.listen_path = argv[++i];
+    } else if (flag == "--connect" && need_value(i)) {
+      opt.connect_path = argv[++i];
     } else if (flag == "--in" && need_value(i)) {
       opt.in_path = argv[++i];
     } else if (flag == "--out" && need_value(i)) {
       opt.out_path = argv[++i];
     } else if (flag == "--week" || flag == "--from" || flag == "--to" ||
                flag == "--threads" || flag == "--volume" || flag == "--in" ||
-               flag == "--out" || flag == "--max-errors" || flag == "--seed") {
+               flag == "--out" || flag == "--max-errors" || flag == "--seed" ||
+               flag == "--window" || flag == "--snapshot-every" ||
+               flag == "--queue-cap" || flag == "--max-agents" ||
+               flag == "--max-datagrams" || flag == "--agents" ||
+               flag == "--listen" || flag == "--connect") {
       std::cerr << "missing value for " << flag << "\n";
       return false;
     } else {
@@ -281,6 +364,15 @@ int report_analysis(const core::WeeklyReport& report,
   return 0;
 }
 
+void print_budget_exceeded(const Options& opt, const sflow::ReaderStats& stats,
+                           const std::string& detail) {
+  std::cerr << opt.in_path << ": corrupt trace, error budget ("
+            << (opt.ingest.strict ? "strict"
+                                  : std::to_string(opt.ingest.max_errors))
+            << ") exceeded" << detail << "\n";
+  print_ingest_health(stats);
+}
+
 int cmd_analyze(const Options& opt) {
   if (opt.in_path.empty()) return usage();
 
@@ -306,10 +398,9 @@ int cmd_analyze(const Options& opt) {
     }
   }
 
-  const auto policy = opt.strict ? sflow::ReadPolicy::strict()
-                                 : sflow::ReadPolicy{opt.max_errors};
+  const auto policy = opt.ingest.policy();
 
-  if (opt.mmap) {
+  if (opt.ingest.mmap) {
     sflow::MappedTrace trace = sflow::MappedTrace::open(opt.in_path);
     if (!trace.ok()) {
       std::cerr << opt.in_path << ": "
@@ -319,21 +410,20 @@ int cmd_analyze(const Options& opt) {
     const auto world = build_world(opt);
     core::VantagePoint vantage = make_vantage(world);
     core::ParallelOptions popt;
-    popt.threads = static_cast<unsigned>(opt.threads);
+    popt.threads = static_cast<unsigned>(opt.ingest.threads);
     core::ParallelAnalyzer analyzer{vantage, popt};
-    core::MappedIngest ingest;
-    const auto report = analyzer.analyze(
-        opt.week, trace, make_fetcher(world, opt.week), policy, &ingest);
-    if (!ingest.within_budget) {
-      std::cerr << opt.in_path << ": corrupt trace, error budget ("
-                << (opt.strict ? "strict" : std::to_string(opt.max_errors))
-                << ") exceeded: " << util::with_thousands(ingest.total.errors())
-                << " corrupt records across " << ingest.segments.size()
-                << " segments\n";
-      print_ingest_health(ingest.total);
+    ingest::MappedSource source{trace, policy};
+    const auto report =
+        analyzer.analyze(opt.week, source, make_fetcher(world, opt.week));
+    if (!source.within_budget()) {
+      print_budget_exceeded(
+          opt, source.stats(),
+          ": " + util::with_thousands(source.stats().errors()) +
+              " corrupt records across " +
+              std::to_string(source.segments().size()) + " segments");
       return 1;
     }
-    return report_analysis(report, ingest.total);
+    return report_analysis(report, source.stats());
   }
 
   std::ifstream in{opt.in_path, std::ios::binary};
@@ -352,23 +442,22 @@ int cmd_analyze(const Options& opt) {
   const auto world = build_world(opt);
   core::VantagePoint vantage = make_vantage(world);
   core::ParallelOptions popt;
-  popt.threads = static_cast<unsigned>(opt.threads);
+  popt.threads = static_cast<unsigned>(opt.ingest.threads);
   core::ParallelAnalyzer analyzer{vantage, popt};
+  ingest::ReaderSource source{reader};
   const auto report =
-      analyzer.analyze(opt.week, reader, make_fetcher(world, opt.week));
+      analyzer.analyze(opt.week, source, make_fetcher(world, opt.week));
 
-  const sflow::ReaderStats& stats = reader.stats();
-  if (!reader.ok()) {
+  if (!source.ok()) {
     // The error budget was exhausted mid-trace: the report would be
     // silently partial, so refuse to pretend otherwise.
-    std::cerr << opt.in_path << ": corrupt trace, error budget ("
-              << (opt.strict ? "strict" : std::to_string(opt.max_errors))
-              << ") exceeded after " << util::with_thousands(stats.samples)
-              << " samples\n";
-    print_ingest_health(stats);
+    print_budget_exceeded(opt, source.stats(),
+                          " after " +
+                              util::with_thousands(source.stats().samples) +
+                              " samples");
     return 1;
   }
-  return report_analysis(report, stats);
+  return report_analysis(report, source.stats());
 }
 
 int cmd_corrupt(const Options& opt) {
@@ -403,6 +492,195 @@ int cmd_corrupt(const Options& opt) {
             << " bytes, from " << util::with_thousands(report->records_in)
             << " records / " << util::with_thousands(report->bytes_in)
             << " bytes) to " << opt.out_path << "\n";
+  return 0;
+}
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+extern "C" void handle_stop_signal(int) { g_stop_requested = 1; }
+
+void print_serve_accounting(const core::ServeAccounting& accounting) {
+  util::Table agents{"per-agent intake"};
+  agents.header({"agent", "received", "processed", "dropped"});
+  for (const auto& row : accounting.intake.rows) {
+    agents.row({row.agent.to_string(),
+                util::with_thousands(row.counters.received),
+                util::with_thousands(row.counters.taken),
+                util::with_thousands(row.counters.dropped)});
+  }
+  const auto totals = accounting.intake.totals();
+  agents.row({"total", util::with_thousands(totals.received),
+              util::with_thousands(totals.taken),
+              util::with_thousands(totals.dropped)});
+  agents.print(std::cout);
+
+  util::Table service{"service accounting"};
+  service.header({"counter", "value"});
+  service.row({"datagrams decoded",
+               util::with_thousands(accounting.collector.datagrams)});
+  service.row({"decode errors", util::with_thousands(accounting.decode_errors)});
+  service.row({"flow samples",
+               util::with_thousands(accounting.collector.flow_samples)});
+  service.row({"counter samples",
+               util::with_thousands(accounting.collector.counter_samples)});
+  service.row({"lost datagrams (seq gaps)",
+               util::with_thousands(accounting.collector.lost_datagrams)});
+  service.row({"live agents", util::with_thousands(accounting.collector.agents)});
+  service.row({"agent rows evicted",
+               util::with_thousands(accounting.intake.evicted_agents)});
+  service.row({"sequence evictions",
+               util::with_thousands(accounting.sequence_evictions)});
+  service.print(std::cout);
+}
+
+int cmd_serve(const Options& opt) {
+  if (opt.listen_path.empty() && !opt.udp) {
+    std::cerr << "serve needs --listen PATH and/or --udp [PORT]\n";
+    return usage();
+  }
+
+  sflow::SocketIntake intake;
+  std::string error;
+  if (!opt.listen_path.empty() &&
+      !intake.listen_unix(opt.listen_path, &error)) {
+    std::cerr << "serve: " << error << "\n";
+    return 1;
+  }
+  if (opt.udp &&
+      !intake.listen_udp(static_cast<std::uint16_t>(opt.udp_port), &error)) {
+    std::cerr << "serve: " << error << "\n";
+    return 1;
+  }
+
+  const auto world = build_world(opt);
+  core::VantagePoint vantage = make_vantage(world);
+  core::ServeOptions sopt;
+  sopt.week = opt.week;
+  sopt.threads = static_cast<unsigned>(opt.ingest.threads);
+  sopt.queue_capacity = opt.queue_capacity;
+  sopt.max_agents = opt.max_agents;
+  sopt.window_epochs = opt.window_epochs;
+  sopt.eviction_log = [](net::Ipv4Addr agent, std::uint32_t last_sequence) {
+    std::cerr << "serve: evicted sequence tracking for agent "
+              << agent.to_string() << " (last seq " << last_sequence << ")\n";
+  };
+  core::ServeService service{vantage, make_fetcher(world, opt.week), sopt};
+  service.start();
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  std::cout << "serving week " << opt.week << " on";
+  if (!intake.unix_path().empty()) std::cout << " unix:" << intake.unix_path();
+  if (opt.udp) std::cout << " udp:127.0.0.1:" << intake.udp_port();
+  std::cout << " (" << service.threads() << " workers, window "
+            << (opt.window_epochs == 0 ? std::string{"cumulative"}
+                                       : std::to_string(opt.window_epochs))
+            << ")\n"
+            << std::flush;
+
+  std::uint64_t received = 0;
+  std::uint64_t last_snapshot_at = 0;
+  while (g_stop_requested == 0 &&
+         (opt.max_datagrams == 0 || received < opt.max_datagrams)) {
+    received += intake.poll_once(
+        200, [&](sflow::DatagramEnvelope&& envelope) {
+          (void)service.offer(std::move(envelope));
+        });
+    if (opt.snapshot_every != 0 &&
+        received - last_snapshot_at >= opt.snapshot_every) {
+      last_snapshot_at = received;
+      const auto snap = service.snapshot();
+      std::cout << "epoch " << snap->epoch << ": "
+                << util::with_thousands(snap->report.peering_ips)
+                << " peering IPs, "
+                << util::with_thousands(snap->report.server_ips)
+                << " server IPs ("
+                << util::with_thousands(
+                       snap->accounting.intake.totals().received)
+                << " datagrams received, "
+                << util::with_thousands(
+                       snap->accounting.intake.totals().dropped)
+                << " dropped)\n"
+                << std::flush;
+    }
+  }
+
+  intake.shutdown();
+  const auto final_snapshot = service.drain();
+  std::cout << "drained after "
+            << util::with_thousands(
+                   final_snapshot->accounting.intake.totals().received)
+            << " datagrams (final epoch " << final_snapshot->epoch << ")\n";
+  print_report(final_snapshot->report);
+  print_serve_accounting(final_snapshot->accounting);
+  return 0;
+}
+
+int cmd_replay(const Options& opt) {
+  if (opt.in_path.empty() || opt.connect_path.empty()) return usage();
+
+  sflow::MappedTrace trace = sflow::MappedTrace::open(opt.in_path);
+  if (!trace.ok()) {
+    std::cerr << opt.in_path << ": "
+              << sflow::MappedTrace::error_name(trace.error()) << "\n";
+    return trace.error() == sflow::MappedTrace::Error::kBadHeader ? 1 : 4;
+  }
+
+  std::string error;
+  auto sender = sflow::DatagramSender::connect_unix(opt.connect_path, &error);
+  if (!sender.ok()) {
+    std::cerr << "replay: " << error << "\n";
+    return 1;
+  }
+
+  // Walk the trace exactly as a lenient streamed analysis would and send
+  // each cleanly-decoded record as one datagram, framed with its original
+  // offset so the service reproduces the offline stream keys. With
+  // --agents N the sFlow agent field (payload bytes 4..8) is rewritten
+  // round-robin — the analysis ignores the agent, so the report stays
+  // byte-identical while the service sees N concurrent senders.
+  const auto segments =
+      sflow::TraceSegmenter::split(trace.bytes(), 1);
+  std::uint64_t records = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t bytes_sent = 0;
+  std::vector<std::byte> patched;
+  for (const auto& segment : segments) {
+    sflow::TraceCursor cursor{trace.bytes(), segment,
+                              sflow::ReadPolicy::lenient()};
+    std::uint64_t seq_base = 0;
+    for (auto batch = cursor.read_record(seq_base); !batch.empty();
+         batch = cursor.read_record(seq_base)) {
+      std::span<const std::byte> payload = cursor.record_bytes();
+      if (opt.agents > 1) {
+        patched.assign(payload.begin(), payload.end());
+        const auto agent = static_cast<std::uint32_t>(
+            net::Ipv4Addr{10, 99, 0, 0}.value() + records % opt.agents);
+        patched[4] = static_cast<std::byte>(agent >> 24);
+        patched[5] = static_cast<std::byte>(agent >> 16);
+        patched[6] = static_cast<std::byte>(agent >> 8);
+        patched[7] = static_cast<std::byte>(agent);
+        payload = patched;
+      }
+      if (!sender.send_framed(cursor.record_offset(), payload)) {
+        std::cerr << "replay: send failed after "
+                  << util::with_thousands(records) << " records: "
+                  << std::strerror(errno) << "\n";
+        return 1;
+      }
+      ++records;
+      samples += batch.size();
+      bytes_sent += payload.size();
+    }
+  }
+  std::cout << "replayed " << util::with_thousands(records) << " records ("
+            << util::with_thousands(samples) << " samples, "
+            << util::bytes(static_cast<double>(bytes_sent)) << ") to "
+            << opt.connect_path
+            << (opt.agents > 1
+                    ? " as " + std::to_string(opt.agents) + " agents"
+                    : std::string{})
+            << "\n";
   return 0;
 }
 
@@ -461,6 +739,8 @@ int main(int argc, char** argv) {
   if (opt.command == "generate") return cmd_generate(opt);
   if (opt.command == "analyze") return cmd_analyze(opt);
   if (opt.command == "corrupt") return cmd_corrupt(opt);
+  if (opt.command == "serve") return cmd_serve(opt);
+  if (opt.command == "replay") return cmd_replay(opt);
   if (opt.command == "diff") return cmd_diff(opt);
   if (opt.command == "bgp-export") return cmd_bgp_export(opt);
   return usage();
