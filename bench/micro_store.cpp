@@ -1,0 +1,112 @@
+// Snapshot-store microbenchmarks: what durability costs on the weekly
+// path. One binary emits the ixpscope-bench-v1 JSON trajectory:
+//
+//   build/bench/micro_store --json BENCH_store.json
+//
+// Cases:
+//   crc32c_1mib            raw checksum throughput (the per-byte floor
+//                          every save and open pays twice)
+//   encode_snapshot        build a sealed two-section image from payloads
+//                          shaped like a real week (shard + report)
+//   validate_image         full open-time validation of that image —
+//                          framing walk + every section CRC
+//   commit_open_roundtrip  the whole durable cycle against a real
+//                          filesystem: temp write + fsync + rename, then
+//                          mmap + validate (fsync-bound, so iters are low)
+//
+// Items/sec means bytes for the first three cases and completed
+// round-trip cycles for the last.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "store/crc32c.hpp"
+#include "store/snapshot_store.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ixp;
+
+std::vector<std::byte> random_payload(std::size_t size, std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<std::byte> bytes(size);
+  for (auto& b : bytes) b = static_cast<std::byte>(rng.next_below(256));
+  return bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::Suite suite{"store", args};
+
+  // Payload sizes shaped like a real completed week: the shard section
+  // dominates, the report section trails (observed ~700 KB files).
+  const auto shard_payload = random_payload(512 * 1024, 0x5704a6e1);
+  const auto report_payload = random_payload(128 * 1024, 0x2e90c57b);
+  const std::vector<store::Section> sections = {
+      {store::kShardSection, shard_payload},
+      {store::kReportSection, report_payload},
+  };
+  const auto image = store::encode_snapshot(sections);
+
+  const auto crc_input = random_payload(1024 * 1024, 0xc4c32c00);
+  suite.run_case("crc32c_1mib", 400, [&](std::uint64_t iters, int) {
+    std::uint64_t bytes = 0;
+    for (std::uint64_t it = 0; it < iters; ++it) {
+      bench::keep(store::crc32c(crc_input));
+      bytes += crc_input.size();
+    }
+    return bytes;
+  });
+
+  suite.run_case("encode_snapshot", 200, [&](std::uint64_t iters, int) {
+    std::uint64_t bytes = 0;
+    for (std::uint64_t it = 0; it < iters; ++it) {
+      const auto encoded = store::encode_snapshot(sections);
+      bench::keep(encoded.size());
+      bytes += encoded.size();
+    }
+    return bytes;
+  });
+
+  suite.run_case("validate_image", 200, [&](std::uint64_t iters, int) {
+    std::uint64_t bytes = 0;
+    std::vector<store::SectionView> views;
+    for (std::uint64_t it = 0; it < iters; ++it) {
+      const auto error = store::validate_image(image, &views);
+      bench::keep(static_cast<int>(error));
+      bytes += image.size();
+    }
+    return bytes;
+  });
+
+  {
+    const auto path = (std::filesystem::temp_directory_path() /
+                       "ixpscope_micro_store.snap")
+                          .string();
+    suite.run_case("commit_open_roundtrip", 8, [&](std::uint64_t iters, int) {
+      std::uint64_t cycles = 0;
+      std::string error;
+      for (std::uint64_t it = 0; it < iters; ++it) {
+        if (!store::commit_snapshot(path, image, &error)) {
+          std::fprintf(stderr, "commit failed: %s\n", error.c_str());
+          break;
+        }
+        const auto file = store::SnapshotFile::open(path);
+        bench::keep(file.ok());
+        if (!file.ok()) break;
+        ++cycles;
+      }
+      return cycles;
+    });
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+
+  suite.flush();
+  return 0;
+}

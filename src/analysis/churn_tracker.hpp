@@ -47,6 +47,9 @@ class ChurnTracker {
     std::array<double, 5> active_bytes_by_region{};
     std::array<double, 5> stable_bytes_by_region{};
     std::array<double, 5> recurrent_bytes_by_region{};
+
+    friend bool operator==(const WeekBreakdown&,
+                           const WeekBreakdown&) = default;
   };
 
   /// One breakdown per observed week, in week order. O(keys x weeks).

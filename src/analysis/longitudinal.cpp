@@ -1,0 +1,48 @@
+#include "analysis/longitudinal.hpp"
+
+namespace ixp::analysis {
+
+LongitudinalSummary summarize_longitudinal(
+    std::span<const core::WeeklyReport> reports) {
+  LongitudinalSummary summary;
+  if (reports.empty()) return summary;
+
+  summary.first_week = reports.front().week;
+  summary.last_week = reports.back().week;
+  summary.weeks = reports.size();
+
+  ChurnTracker servers{summary.first_week, summary.last_week};
+  for (const core::WeeklyReport& report : reports) {
+    for (const core::ServerObservation& server : report.servers) {
+      servers.observe(server.addr.value(), report.week,
+                      geo::region_of(server.country), server.bytes);
+    }
+  }
+
+  summary.server_universe = servers.universe();
+  summary.servers = servers.breakdown();
+
+  if (!summary.servers.empty()) {
+    const auto& final_week = summary.servers.back();
+    summary.always_on_servers = final_week.stable;
+    if (final_week.active_bytes > 0.0)
+      summary.always_on_traffic_share =
+          final_week.stable_bytes / final_week.active_bytes;
+  }
+
+  double churn_sum = 0.0;
+  std::size_t churn_weeks = 0;
+  for (std::size_t i = 1; i < summary.servers.size(); ++i) {
+    const auto& week = summary.servers[i];
+    if (week.active == 0) continue;
+    churn_sum += static_cast<double>(week.fresh) /
+                 static_cast<double>(week.active);
+    ++churn_weeks;
+  }
+  if (churn_weeks > 0)
+    summary.mean_weekly_churn = churn_sum / static_cast<double>(churn_weeks);
+
+  return summary;
+}
+
+}  // namespace ixp::analysis

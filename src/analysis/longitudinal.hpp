@@ -1,0 +1,52 @@
+// Longitudinal persistence metrics over a run of weekly reports (§4).
+//
+// The weeks driver produces one WeeklyReport per contiguous week; this
+// module folds that run into the paper's §4 picture: the server-IP
+// churn classification per week (stable / recurrent / fresh, overall and
+// per region — Figures 4 and 5), the always-on core (servers present in
+// every single week), and the mean weekly churn rate.
+//
+// The summary is a pure function of the report sequence, so a resumed
+// run — some weeks loaded from snapshots, the rest computed — yields a
+// summary identical to the uninterrupted run's. The crash-recovery tests
+// pin exactly that.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/churn_tracker.hpp"
+#include "core/vantage_point.hpp"
+
+namespace ixp::analysis {
+
+struct LongitudinalSummary {
+  int first_week = 0;
+  int last_week = 0;
+  std::size_t weeks = 0;
+
+  /// Distinct server IPs seen across the whole run.
+  std::size_t server_universe = 0;
+  /// Servers classified stable in the final week — present every week.
+  std::size_t always_on_servers = 0;
+  /// Traffic share of the always-on core in the final week (0 when the
+  /// final week saw no server traffic).
+  double always_on_traffic_share = 0.0;
+  /// Mean fresh/active fraction over weeks after the first (the first
+  /// week is all fresh by definition and would only dilute the signal).
+  double mean_weekly_churn = 0.0;
+
+  /// Per-week server churn classification, in week order (Figures 4/5).
+  std::vector<ChurnTracker::WeekBreakdown> servers;
+
+  friend bool operator==(const LongitudinalSummary&,
+                         const LongitudinalSummary&) = default;
+};
+
+/// Folds contiguous weekly reports (ascending week order) into the §4
+/// summary. Reports must cover consecutive weeks; an empty span yields a
+/// default summary.
+[[nodiscard]] LongitudinalSummary summarize_longitudinal(
+    std::span<const core::WeeklyReport> reports);
+
+}  // namespace ixp::analysis

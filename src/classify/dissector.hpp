@@ -29,6 +29,10 @@
 #include "util/flat_hash_map.hpp"
 #include "util/inline_string.hpp"
 
+namespace ixp::store {
+class SnapshotCodec;
+}  // namespace ixp::store
+
 namespace ixp::classify {
 
 /// Evidence bits per IP.
@@ -126,6 +130,10 @@ class TrafficDissector {
   [[nodiscard]] DissectionSummary summarize() const;
 
  private:
+  /// The snapshot codec (store/) serializes the evidence tables in
+  /// canonical sorted order and reconstructs them on load.
+  friend class store::SnapshotCodec;
+
   static constexpr std::size_t kMaxHostsPerServer = 8;
 
   /// Host headers come out of the 128-byte capture minus the "Host:"

@@ -137,6 +137,15 @@ ParallelAnalyzer::ParallelAnalyzer(VantagePoint& vantage,
 WeeklyReport ParallelAnalyzer::analyze(int week, ingest::IngestSource& source,
                                        const classify::ChainFetcher& fetch) {
   WeekSession session = vantage_->open_week(week);
+  std::vector<std::uint64_t> errors;
+  WeekShard shard = reduce(session, source, &errors);
+  session.absorb(std::move(shard));
+  return finish_flagged(session, fetch, std::move(errors));
+}
+
+WeekShard ParallelAnalyzer::reduce(WeekSession& session,
+                                   ingest::IngestSource& source,
+                                   std::vector<std::uint64_t>* worker_errors) {
   const bool lenient = options_.lenient_workers;
   const auto& hook = options_.worker_hook;
 
@@ -171,8 +180,8 @@ WeeklyReport ParallelAnalyzer::analyze(int week, ingest::IngestSource& source,
     } else {
       for (const auto& part : parts) consume(*part);
     }
-    session.absorb(std::move(shard));
-    return finish_flagged(session, fetch, std::move(errors));
+    if (worker_errors != nullptr) *worker_errors = std::move(errors);
+    return shard;
   }
 
   std::vector<WeekShard> shards;
@@ -220,8 +229,10 @@ WeeklyReport ParallelAnalyzer::analyze(int week, ingest::IngestSource& source,
 
     // Ordered reduce: shard 0, then 1, ... Merge is commutative anyway,
     // but a fixed order keeps the reduce itself schedule-independent.
-    for (auto& shard : shards) session.absorb(std::move(shard));
-    return finish_flagged(session, fetch, std::move(errors));
+    for (std::size_t t = 1; t < shards.size(); ++t)
+      shards[0].merge(std::move(shards[t]));
+    if (worker_errors != nullptr) *worker_errors = std::move(errors);
+    return std::move(shards[0]);
   }
 
   // Pump mode: the source is serial (an istream, a pull function, a live
@@ -271,52 +282,10 @@ WeeklyReport ParallelAnalyzer::analyze(int week, ingest::IngestSource& source,
   for (auto& worker : workers) worker.join();
   first_error.rethrow_if_set();
 
-  for (auto& shard : shards) session.absorb(std::move(shard));
-  return finish_flagged(session, fetch, std::move(errors));
-}
-
-WeeklyReport ParallelAnalyzer::analyze(int week, const BatchSource& source,
-                                       const classify::ChainFetcher& fetch) {
-  ingest::FunctionSource wrapped{source};
-  return analyze(week, static_cast<ingest::IngestSource&>(wrapped), fetch);
-}
-
-WeeklyReport ParallelAnalyzer::analyze(int week, sflow::TraceReader& reader,
-                                       const classify::ChainFetcher& fetch) {
-  ingest::ReaderSource wrapped{reader};
-  return analyze(week, static_cast<ingest::IngestSource&>(wrapped), fetch);
-}
-
-WeeklyReport ParallelAnalyzer::analyze(int week, const sflow::MappedTrace& trace,
-                                       const classify::ChainFetcher& fetch,
-                                       sflow::ReadPolicy policy,
-                                       MappedIngest* ingest_out) {
-  ingest::MappedSource wrapped{trace, policy};
-  const auto fill = [&] {
-    if (ingest_out == nullptr) return;
-    ingest_out->segments = wrapped.segments();
-    ingest_out->per_segment = wrapped.per_segment();
-    ingest_out->total = wrapped.stats();
-    ingest_out->within_budget = wrapped.within_budget();
-  };
-  try {
-    WeeklyReport report =
-        analyze(week, static_cast<ingest::IngestSource&>(wrapped), fetch);
-    fill();
-    return report;
-  } catch (...) {
-    // Accounting reflects everything decoded up to the failure, exactly
-    // as the pre-IngestSource mapped path reported it.
-    fill();
-    throw;
-  }
-}
-
-WeeklyReport ParallelAnalyzer::analyze(int week,
-                                       std::span<const sflow::FlowSample> samples,
-                                       const classify::ChainFetcher& fetch) {
-  ingest::SpanSource wrapped{samples, options_.batch_size};
-  return analyze(week, static_cast<ingest::IngestSource&>(wrapped), fetch);
+  for (std::size_t t = 1; t < shards.size(); ++t)
+    shards[0].merge(std::move(shards[t]));
+  if (worker_errors != nullptr) *worker_errors = std::move(errors);
+  return std::move(shards[0]);
 }
 
 }  // namespace ixp::core

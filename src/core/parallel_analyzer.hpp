@@ -15,9 +15,14 @@
 // own position-derived stream key. A serial source — an istream-backed
 // TraceReader, a pull function, a live socket feed — is pumped by the
 // calling thread through a bounded queue while the workers run the hot
-// path (filtering, HTTP matching, evidence accumulation). The former
-// per-shape analyze() overloads survive as deprecated shims over the
-// corresponding ingest:: adapters.
+// path (filtering, HTTP matching, evidence accumulation).
+//
+// The engine exposes its two halves separately: reduce() is the
+// observation phase alone — fan out, merge, hand back the week's fully
+// merged WeekShard — and analyze() is reduce() plus the probe/aggregate
+// phase. The split exists for the snapshot store: the weeks driver
+// persists the merged shard (the mergeable artifact) alongside the
+// report, which only reduce() can provide.
 //
 // Worker failures are contained (DESIGN.md §8): an exception escaping a
 // worker can never deadlock the bounded queue or terminate the process.
@@ -30,27 +35,12 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <vector>
 
 #include "core/vantage_point.hpp"
 #include "ingest/ingest_source.hpp"
-#include "sflow/mapped_trace.hpp"
-#include "sflow/trace.hpp"
-#include "sflow/trace_segment.hpp"
 
 namespace ixp::core {
-
-/// Ingest health of one mapped-trace analysis: the per-segment error
-/// taxonomies in segment (= stream) order, their sum, and whether that
-/// sum stayed within the caller's ReadPolicy budget. Kept for the
-/// deprecated mapped-trace shim; new callers read the same facts off
-/// ingest::MappedSource directly. The accounting invariant carries over
-/// exactly: trace size == 12 + total.bytes_delivered + total.bytes_skipped.
-struct MappedIngest {
-  std::vector<sflow::TraceSegment> segments;
-  std::vector<sflow::ReaderStats> per_segment;
-  sflow::ReaderStats total;
-  bool within_budget = true;
-};
 
 struct ParallelOptions {
   /// Worker thread count; 0 means std::thread::hardware_concurrency().
@@ -72,10 +62,6 @@ struct ParallelOptions {
 
 class ParallelAnalyzer {
  public:
-  /// Fills `out` with the next batch of samples (the callee may clear and
-  /// reuse the vector); returns the number delivered, 0 at end-of-stream.
-  using BatchSource = std::function<std::size_t(std::vector<sflow::FlowSample>&)>;
-
   explicit ParallelAnalyzer(VantagePoint& vantage, ParallelOptions options = {});
 
   /// Analyzes one week pulled from `source` — the single entry point for
@@ -87,32 +73,17 @@ class ParallelAnalyzer {
   [[nodiscard]] WeeklyReport analyze(int week, ingest::IngestSource& source,
                                      const classify::ChainFetcher& fetch);
 
-  // ---- deprecated per-shape overloads (thin shims over ingest::
-  // adapters; one release, then they go) -------------------------------
-
-  [[deprecated("wrap the callable in ingest::FunctionSource and call "
-               "analyze(IngestSource&)")]]
-  [[nodiscard]] WeeklyReport analyze(int week, const BatchSource& source,
-                                     const classify::ChainFetcher& fetch);
-
-  [[deprecated("wrap the reader in ingest::ReaderSource and call "
-               "analyze(IngestSource&)")]]
-  [[nodiscard]] WeeklyReport analyze(int week, sflow::TraceReader& reader,
-                                     const classify::ChainFetcher& fetch);
-
-  [[deprecated("wrap the trace in ingest::MappedSource and call "
-               "analyze(IngestSource&)")]]
-  [[nodiscard]] WeeklyReport analyze(
-      int week, const sflow::MappedTrace& trace,
-      const classify::ChainFetcher& fetch,
-      sflow::ReadPolicy policy = sflow::ReadPolicy::strict(),
-      MappedIngest* ingest = nullptr);
-
-  [[deprecated("wrap the span in ingest::SpanSource and call "
-               "analyze(IngestSource&)")]]
-  [[nodiscard]] WeeklyReport analyze(int week,
-                                     std::span<const sflow::FlowSample> samples,
-                                     const classify::ChainFetcher& fetch);
+  /// The observation phase alone: fans `source` out across the workers
+  /// and returns the fully merged WeekShard for `session`'s week — no
+  /// probing, no aggregation, the session itself is not advanced. The
+  /// caller absorbs the shard (analyze() does) or persists it (the weeks
+  /// driver does, then absorbs a copy). When non-null, `worker_errors`
+  /// receives the per-worker dropped-batch counts — all zero unless
+  /// lenient_workers dropped batches.
+  [[nodiscard]] WeekShard reduce(WeekSession& session,
+                                 ingest::IngestSource& source,
+                                 std::vector<std::uint64_t>* worker_errors =
+                                     nullptr);
 
   [[nodiscard]] unsigned threads() const noexcept { return threads_; }
 

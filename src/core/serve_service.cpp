@@ -134,6 +134,12 @@ std::shared_ptr<const ServeSnapshot> ServeService::snapshot() {
 
   auto snap = std::make_shared<ServeSnapshot>();
   snap->epoch = next_epoch_++;
+  snap->window_epochs = options_.window_epochs;
+  // In cumulative mode epochs_ is one ever-growing shard covering every
+  // sealed interval; in windowed mode each deque entry is one interval.
+  snap->epochs_folded = options_.window_epochs == 0
+                            ? static_cast<std::size_t>(snap->epoch)
+                            : epochs_.size();
   snap->report = vantage_->finish_week(std::move(folded), fetch_);
   snap->accounting = accounting();
   published_ = snap;

@@ -81,6 +81,13 @@ struct ServeSnapshot {
   /// 1 for the first publication, +1 per snapshot; the final drain
   /// snapshot carries the next number in sequence.
   std::uint64_t epoch = 0;
+  /// The configured window (0 = cumulative), echoed for consumers.
+  std::size_t window_epochs = 0;
+  /// How many sealed epochs the report actually folds. Early in a
+  /// windowed run this is below window_epochs — fewer epochs exist than
+  /// the window asks for, and the report honestly covers only what has
+  /// been sealed so far rather than pretending a full window.
+  std::size_t epochs_folded = 0;
   WeeklyReport report;
   ServeAccounting accounting;
 };

@@ -30,20 +30,6 @@ VantagePoint::VantagePoint(
       roots_(&roots),
       options_(options) {}
 
-void VantagePoint::begin_week(int week) {
-  legacy_session_.emplace(WeekSession{*this, week});
-}
-
-void VantagePoint::observe(const sflow::FlowSample& sample) {
-  legacy_session_->observe(sample);
-}
-
-WeeklyReport VantagePoint::end_week(const classify::ChainFetcher& fetch) {
-  WeeklyReport report = legacy_session_->finish(fetch);
-  legacy_session_.reset();
-  return report;
-}
-
 WeeklyReport VantagePoint::finish_week(WeekShard&& shard,
                                        const classify::ChainFetcher& fetch) {
   classify::TrafficDissector& dissector = shard.dissector_;

@@ -10,8 +10,6 @@
 // handle over the week in progress. Feed it samples (one at a time or in
 // batches), optionally absorb worker WeekShards built elsewhere, then
 // finish() it into a WeeklyReport. Dropping a session discards the week.
-// The legacy begin_week/observe/end_week triple survives as deprecated
-// wrappers around an internal session.
 //
 // The VantagePoint never touches generator ground truth: its inputs are
 // the sample stream, active-measurement callbacks, and databases that are
@@ -201,20 +199,6 @@ class VantagePoint {
   [[nodiscard]] WeeklyReport finish_week(WeekShard&& shard,
                                          const classify::ChainFetcher& fetch);
 
-  // ---- deprecated week API (thin wrappers over an internal session) ----
-
-  /// Starts a new observation week; resets per-week state.
-  [[deprecated("use open_week() and the returned WeekSession")]]
-  void begin_week(int week);
-
-  /// Ingests one sFlow sample (call once per sample of the week).
-  [[deprecated("use WeekSession::observe")]]
-  void observe(const sflow::FlowSample& sample);
-
-  /// Finishes the week started with begin_week().
-  [[deprecated("use WeekSession::finish")]]
-  [[nodiscard]] WeeklyReport end_week(const classify::ChainFetcher& fetch);
-
  private:
   friend class WeekSession;
 
@@ -226,9 +210,6 @@ class VantagePoint {
   const dns::PublicSuffixList* psl_;
   const x509::RootStore* roots_;
   VantageOptions options_;
-
-  /// Backs the deprecated begin_week/observe/end_week wrappers.
-  std::optional<WeekSession> legacy_session_;
 };
 
 }  // namespace ixp::core

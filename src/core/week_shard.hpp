@@ -24,6 +24,10 @@
 #include "classify/dissector.hpp"
 #include "classify/peering_filter.hpp"
 
+namespace ixp::store {
+class SnapshotCodec;
+}  // namespace ixp::store
+
 namespace ixp::core {
 
 class WeekShard {
@@ -88,6 +92,9 @@ class WeekShard {
 
  private:
   friend class VantagePoint;
+  /// The snapshot codec (store/) reads and reconstructs shard internals
+  /// when persisting a completed week.
+  friend class store::SnapshotCodec;
 
   classify::PeeringFilter filter_;
   classify::FilterCounters counters_;

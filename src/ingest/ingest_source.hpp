@@ -91,9 +91,8 @@ class IngestSource {
 };
 
 /// Adapts a pull function (anything that can fill a vector of samples)
-/// with running-counter stream keys. This is the old
-/// ParallelAnalyzer::BatchSource contract: the callable clears and
-/// refills the vector, returning the number delivered (0 = end).
+/// with running-counter stream keys: the callable clears and refills the
+/// vector, returning the number delivered (0 = end).
 class FunctionSource final : public IngestSource {
  public:
   using Fn = std::function<std::size_t(std::vector<sflow::FlowSample>&)>;

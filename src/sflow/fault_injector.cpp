@@ -160,6 +160,36 @@ std::optional<FaultReport> FaultInjector::corrupt(
   return report;
 }
 
+void FaultInjector::torn_tail(std::vector<std::byte>& blob, util::Rng& rng) {
+  if (blob.empty()) return;
+  blob.resize(static_cast<std::size_t>(rng.next_below(blob.size())));
+}
+
+void FaultInjector::truncate_blob(std::vector<std::byte>& blob,
+                                  std::size_t keep) {
+  if (keep < blob.size()) blob.resize(keep);
+}
+
+void FaultInjector::flip_bit_in(std::vector<std::byte>& blob,
+                                std::size_t offset, std::size_t length,
+                                util::Rng& rng) {
+  if (offset >= blob.size()) return;
+  length = std::min(length, blob.size() - offset);
+  if (length == 0) return;
+  const auto bit = static_cast<std::size_t>(rng.next_below(length * 8));
+  blob[offset + bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+}
+
+void FaultInjector::duplicate_tail(std::vector<std::byte>& blob,
+                                   std::size_t tail_bytes) {
+  if (tail_bytes == 0 || blob.size() < tail_bytes) return;
+  const std::size_t start = blob.size() - tail_bytes;
+  // Append via index loop: push_back may reallocate, invalidating any
+  // iterator into the tail being copied.
+  for (std::size_t i = 0; i < tail_bytes; ++i)
+    blob.push_back(blob[start + i]);
+}
+
 std::optional<FaultReport> FaultInjector::corrupt(std::istream& in,
                                                   std::ostream& out) const {
   std::vector<char> raw{std::istreambuf_iterator<char>{in},

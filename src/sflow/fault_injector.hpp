@@ -80,6 +80,29 @@ class FaultInjector {
   /// Stream form: reads the whole trace from `in`, writes to `out`.
   std::optional<FaultReport> corrupt(std::istream& in, std::ostream& out) const;
 
+  // ---- storage blob primitives (the snapshot store's fault profile) ----
+  //
+  // Unlike corrupt(), these treat the input as an opaque blob: nothing is
+  // parsed, so any on-disk artifact — snapshot files included — can be
+  // damaged the way real storage damages it (a torn write, a lost tail,
+  // a flipped bit, a doubled sector). store::StoreFaultInjector composes
+  // them into the per-fault-class snapshot matrix.
+
+  /// Cuts the blob to a random strictly-shorter length in [0, size).
+  static void torn_tail(std::vector<std::byte>& blob, util::Rng& rng);
+
+  /// Cuts the blob to exactly `keep` bytes (no-op when keep >= size).
+  static void truncate_blob(std::vector<std::byte>& blob, std::size_t keep);
+
+  /// Flips one random bit inside blob[offset, offset + length).
+  static void flip_bit_in(std::vector<std::byte>& blob, std::size_t offset,
+                          std::size_t length, util::Rng& rng);
+
+  /// Appends a copy of the blob's final `tail_bytes` bytes (a duplicated
+  /// footer/sector); no-op when the blob is shorter than that.
+  static void duplicate_tail(std::vector<std::byte>& blob,
+                             std::size_t tail_bytes);
+
  private:
   std::uint64_t seed_;
   FaultMix mix_;

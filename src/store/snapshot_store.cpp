@@ -1,0 +1,480 @@
+#include "store/snapshot_store.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+#include "store/crc32c.hpp"
+#include "store/wire.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define IXPSCOPE_HAVE_POSIX_IO 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define IXPSCOPE_HAVE_POSIX_IO 0
+#endif
+
+namespace ixp::store {
+
+namespace {
+
+std::uint32_t load_le32(const std::byte* p) noexcept {
+  return static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(p[0])) |
+         (static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(p[1])) << 8) |
+         (static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(p[2])) << 16) |
+         (static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(p[3])) << 24);
+}
+
+std::uint64_t load_le64(const std::byte* p) noexcept {
+  return static_cast<std::uint64_t>(load_le32(p)) |
+         (static_cast<std::uint64_t>(load_le32(p + 4)) << 32);
+}
+
+/// Per-section checksum. Covers the section's own id and length fields
+/// as well as the payload — a flipped bit anywhere in the 16-byte section
+/// record (outside the CRC word itself) must fail verification, not just
+/// flips inside the payload.
+std::uint32_t section_crc(std::uint32_t id, std::uint64_t length,
+                          std::span<const std::byte> payload) noexcept {
+  std::byte prefix[12];
+  for (int i = 0; i < 4; ++i)
+    prefix[i] = static_cast<std::byte>((id >> (8 * i)) & 0xFF);
+  for (int i = 0; i < 8; ++i)
+    prefix[4 + i] = static_cast<std::byte>((length >> (8 * i)) & 0xFF);
+  return crc32c(payload, crc32c(std::span<const std::byte>{prefix, 12}));
+}
+
+}  // namespace
+
+const char* error_name(SnapshotError error) noexcept {
+  switch (error) {
+    case SnapshotError::kNone: return "ok";
+    case SnapshotError::kOpenFailed: return "cannot open snapshot file";
+    case SnapshotError::kTooShort:
+      return "snapshot shorter than header + footer";
+    case SnapshotError::kBadMagic: return "not an ixpscope snapshot (bad magic)";
+    case SnapshotError::kBadVersion: return "unsupported snapshot format version";
+    case SnapshotError::kBadCrc: return "snapshot checksum mismatch";
+    case SnapshotError::kTruncatedSection:
+      return "snapshot framing torn (truncated or trailing bytes)";
+  }
+  return "unknown error";
+}
+
+const char* error_tag(SnapshotError error) noexcept {
+  switch (error) {
+    case SnapshotError::kNone: return "ok";
+    case SnapshotError::kOpenFailed: return "open-failed";
+    case SnapshotError::kTooShort: return "short";
+    case SnapshotError::kBadMagic: return "bad-magic";
+    case SnapshotError::kBadVersion: return "bad-version";
+    case SnapshotError::kBadCrc: return "bad-crc";
+    case SnapshotError::kTruncatedSection: return "truncated-section";
+  }
+  return "unknown";
+}
+
+std::vector<std::byte> encode_snapshot(std::span<const Section> sections) {
+  std::uint64_t payload_bytes = 0;
+  for (const Section& s : sections)
+    payload_bytes += kSectionHeaderBytes + s.payload.size();
+
+  wire::Writer out;
+  out.bytes(std::as_bytes(std::span<const char>{kSnapshotMagic}));
+  out.u32(kFormatVersion);
+  out.u32(static_cast<std::uint32_t>(sections.size()));
+  out.u64(payload_bytes);
+
+  for (const Section& s : sections) {
+    out.u32(s.id);
+    out.u32(section_crc(s.id, s.payload.size(), s.payload));
+    out.u64(s.payload.size());
+    out.bytes(s.payload);
+  }
+
+  std::vector<std::byte> image = out.take();
+  const std::uint32_t header_crc =
+      crc32c(std::span<const std::byte>{image.data(), kSnapshotHeaderBytes});
+
+  wire::Writer footer;
+  footer.bytes(std::as_bytes(std::span<const char>{kFooterMagic}));
+  footer.u32(kFormatVersion);
+  footer.u32(header_crc);
+  footer.u64(image.size() + kSnapshotFooterBytes);
+  const std::vector<std::byte> tail = footer.take();
+  image.insert(image.end(), tail.begin(), tail.end());
+  return image;
+}
+
+SnapshotError validate_image(std::span<const std::byte> image,
+                             std::vector<SectionView>* sections_out) {
+  if (image.size() < kSnapshotHeaderBytes + kSnapshotFooterBytes)
+    return SnapshotError::kTooShort;
+  if (std::memcmp(image.data(), kSnapshotMagic, sizeof kSnapshotMagic) != 0)
+    return SnapshotError::kBadMagic;
+  if (load_le32(image.data() + 8) != kFormatVersion)
+    return SnapshotError::kBadVersion;
+
+  // The seal first: a file that does not end in a footer naming its own
+  // exact size is torn (or grew a duplicated tail) — nothing before the
+  // seal can be trusted to frame correctly.
+  const std::byte* footer = image.data() + (image.size() - kSnapshotFooterBytes);
+  if (std::memcmp(footer, kFooterMagic, sizeof kFooterMagic) != 0 ||
+      load_le32(footer + 8) != kFormatVersion ||
+      load_le64(footer + 16) != image.size())
+    return SnapshotError::kTruncatedSection;
+  if (load_le32(footer + 12) !=
+      crc32c(image.subspan(0, kSnapshotHeaderBytes)))
+    return SnapshotError::kBadCrc;
+
+  const std::uint32_t section_count = load_le32(image.data() + 12);
+  const std::uint64_t payload_bytes = load_le64(image.data() + 16);
+  if (payload_bytes !=
+      image.size() - kSnapshotHeaderBytes - kSnapshotFooterBytes)
+    return SnapshotError::kTruncatedSection;
+
+  std::vector<SectionView> sections;
+  sections.reserve(section_count);
+  std::size_t at = kSnapshotHeaderBytes;
+  const std::size_t payload_end = kSnapshotHeaderBytes + payload_bytes;
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    if (payload_end - at < kSectionHeaderBytes)
+      return SnapshotError::kTruncatedSection;
+    const std::uint32_t id = load_le32(image.data() + at);
+    const std::uint32_t crc = load_le32(image.data() + at + 4);
+    const std::uint64_t length = load_le64(image.data() + at + 8);
+    at += kSectionHeaderBytes;
+    if (payload_end - at < length) return SnapshotError::kTruncatedSection;
+    if (section_crc(id, length, image.subspan(at, length)) != crc)
+      return SnapshotError::kBadCrc;
+    sections.push_back({id, at, static_cast<std::size_t>(length)});
+    at += length;
+  }
+  if (at != payload_end) return SnapshotError::kTruncatedSection;
+
+  if (sections_out != nullptr) *sections_out = std::move(sections);
+  return SnapshotError::kNone;
+}
+
+bool commit_snapshot(const std::string& path,
+                     std::span<const std::byte> image, std::string* error,
+                     const CommitHooks* hooks) {
+  const std::string temp = path + ".tmp";
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    return false;
+  };
+
+#if IXPSCOPE_HAVE_POSIX_IO
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail("cannot create " + temp);
+
+  const auto write_all = [&](std::span<const std::byte> bytes) {
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+      const ::ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+
+  // The write happens in two halves so a crash hook can leave a torn temp
+  // on disk — exactly the state a real mid-write kill produces.
+  const std::size_t half = image.size() / 2;
+  try {
+    if (!write_all(image.subspan(0, half))) {
+      ::close(fd);
+      return fail("write " + temp);
+    }
+    if (hooks != nullptr && hooks->mid_temp_write) hooks->mid_temp_write(temp);
+    if (!write_all(image.subspan(half))) {
+      ::close(fd);
+      return fail("write " + temp);
+    }
+    if (hooks != nullptr && hooks->after_temp_write)
+      hooks->after_temp_write(temp);
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      return fail("fsync " + temp);
+    }
+    if (hooks != nullptr && hooks->after_temp_sync) hooks->after_temp_sync(temp);
+  } catch (...) {
+    ::close(fd);
+    throw;  // the simulated crash: temp left exactly as it was
+  }
+  ::close(fd);
+
+  if (::rename(temp.c_str(), path.c_str()) != 0)
+    return fail("rename " + temp + " -> " + path);
+  if (hooks != nullptr && hooks->after_rename) hooks->after_rename(path);
+
+  // Seal the rename itself: the directory entry must be durable before
+  // the caller treats the week as finished.
+  const std::string dir = [&] {
+    const auto slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string{"."}
+                                      : path.substr(0, slash);
+  }();
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    (void)::fsync(dir_fd);  // best effort: some filesystems refuse dir fsync
+    ::close(dir_fd);
+  }
+  return true;
+#else
+  // Portable fallback: no fsync available, but the temp+rename atomicity
+  // still holds.
+  {
+    std::ofstream out{temp, std::ios::binary | std::ios::trunc};
+    if (!out) return fail("cannot create " + temp);
+    const std::size_t half = image.size() / 2;
+    out.write(reinterpret_cast<const char*>(image.data()),
+              static_cast<std::streamsize>(half));
+    out.flush();
+    if (hooks != nullptr && hooks->mid_temp_write) hooks->mid_temp_write(temp);
+    out.write(reinterpret_cast<const char*>(image.data() + half),
+              static_cast<std::streamsize>(image.size() - half));
+    if (!out) return fail("write " + temp);
+    out.flush();
+    if (hooks != nullptr && hooks->after_temp_write)
+      hooks->after_temp_write(temp);
+    if (hooks != nullptr && hooks->after_temp_sync) hooks->after_temp_sync(temp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    if (error != nullptr) *error = "rename " + temp + ": " + ec.message();
+    return false;
+  }
+  if (hooks != nullptr && hooks->after_rename) hooks->after_rename(path);
+  return true;
+#endif
+}
+
+SnapshotFile::~SnapshotFile() { release(); }
+
+SnapshotFile::SnapshotFile(SnapshotFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      owned_(std::move(other.owned_)),
+      sections_(std::move(other.sections_)),
+      error_(other.error_) {
+  if (!mapped_ && !owned_.empty()) data_ = owned_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  other.error_ = SnapshotError::kOpenFailed;
+}
+
+SnapshotFile& SnapshotFile::operator=(SnapshotFile&& other) noexcept {
+  if (this != &other) {
+    release();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    owned_ = std::move(other.owned_);
+    sections_ = std::move(other.sections_);
+    error_ = other.error_;
+    if (!mapped_ && !owned_.empty()) data_ = owned_.data();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+    other.error_ = SnapshotError::kOpenFailed;
+  }
+  return *this;
+}
+
+void SnapshotFile::release() noexcept {
+#if IXPSCOPE_HAVE_POSIX_IO
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  owned_.clear();
+  owned_.shrink_to_fit();
+  sections_.clear();
+}
+
+void SnapshotFile::validate() noexcept {
+  error_ = validate_image({data_, size_}, &sections_);
+  if (!ok()) {
+    const SnapshotError error = error_;
+    release();
+    error_ = error;
+  }
+}
+
+SnapshotFile SnapshotFile::open(const std::string& path) {
+  SnapshotFile file;
+#if IXPSCOPE_HAVE_POSIX_IO
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    file.error_ = SnapshotError::kOpenFailed;
+    return file;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    file.error_ = SnapshotError::kOpenFailed;
+    return file;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size < kSnapshotHeaderBytes + kSnapshotFooterBytes) {
+    ::close(fd);
+    file.error_ = SnapshotError::kTooShort;
+    return file;
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map != MAP_FAILED) {
+    file.data_ = static_cast<const std::byte*>(map);
+    file.size_ = size;
+    file.mapped_ = true;
+    file.validate();
+    return file;
+  }
+  // mmap refused: fall through to the portable read path.
+#endif
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    file.error_ = SnapshotError::kOpenFailed;
+    return file;
+  }
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  if (end < 0) {
+    file.error_ = SnapshotError::kOpenFailed;
+    return file;
+  }
+  in.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(end));
+  if (!bytes.empty() &&
+      !in.read(reinterpret_cast<char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()))) {
+    file.error_ = SnapshotError::kOpenFailed;
+    return file;
+  }
+  return adopt(std::move(bytes));
+}
+
+SnapshotFile SnapshotFile::adopt(std::vector<std::byte> bytes) {
+  SnapshotFile file;
+  file.owned_ = std::move(bytes);
+  file.data_ = file.owned_.data();
+  file.size_ = file.owned_.size();
+  file.mapped_ = false;
+  file.validate();
+  return file;
+}
+
+std::span<const std::byte> SnapshotFile::section(std::uint32_t id) const noexcept {
+  for (const SectionView& s : sections_) {
+    if (s.id == id) return {data_ + s.offset, s.length};
+  }
+  return {};
+}
+
+bool SnapshotStore::ensure_dir(std::string* error) const {
+  std::error_code ec;
+  if (std::filesystem::is_directory(dir_, ec)) return true;
+  if (std::filesystem::exists(dir_, ec)) {
+    if (error != nullptr) *error = dir_ + " exists and is not a directory";
+    return false;
+  }
+  if (!std::filesystem::create_directories(dir_, ec)) {
+    if (error != nullptr) *error = "cannot create " + dir_ + ": " + ec.message();
+    return false;
+  }
+  return true;
+}
+
+std::string SnapshotStore::path_for(int week) const {
+  std::string digits = std::to_string(week);
+  while (digits.size() < 4) digits.insert(digits.begin(), '0');
+  return dir_ + "/week_" + digits + ".snap";
+}
+
+bool SnapshotStore::save(int week, std::span<const Section> sections,
+                         std::string* error, const CommitHooks* hooks) const {
+  const std::vector<std::byte> image = encode_snapshot(sections);
+  return commit_snapshot(path_for(week), image, error, hooks);
+}
+
+QuarantineEvent SnapshotStore::quarantine(const std::string& path,
+                                          SnapshotError error) const {
+  QuarantineEvent event;
+  event.file = path;
+  event.error = error;
+  const std::string target = path + ".quarantined-" + error_tag(error);
+  std::error_code ec;
+  std::filesystem::rename(path, target, ec);
+  if (!ec) event.quarantined_as = target;
+  return event;
+}
+
+SnapshotFile SnapshotStore::load(
+    int week, std::optional<QuarantineEvent>* quarantined) const {
+  if (quarantined != nullptr) quarantined->reset();
+  const std::string path = path_for(week);
+  SnapshotFile file = SnapshotFile::open(path);
+  if (!file.ok() && file.error() != SnapshotError::kOpenFailed) {
+    const QuarantineEvent event = quarantine(path, file.error());
+    if (quarantined != nullptr) *quarantined = event;
+  }
+  return file;
+}
+
+SnapshotStore::ScanResult SnapshotStore::scan() const {
+  ScanResult result;
+  std::error_code ec;
+  std::filesystem::directory_iterator it{dir_, ec};
+  if (ec) {
+    result.readable = false;
+    result.error = dir_ + ": " + ec.message();
+    return result;
+  }
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("week_") && name.ends_with(".snap.tmp")) {
+      // A crash between write and rename: never committed, safe to drop.
+      std::error_code rm_ec;
+      if (std::filesystem::remove(entry.path(), rm_ec))
+        ++result.stale_temps_removed;
+      continue;
+    }
+    if (!name.starts_with("week_") || !name.ends_with(".snap")) continue;
+    const std::string digits = name.substr(5, name.size() - 5 - 5);
+    int week = 0;
+    const auto [ptr, parse_ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), week);
+    if (parse_ec != std::errc{} || ptr != digits.data() + digits.size())
+      continue;
+    const std::string path = entry.path().string();
+    const SnapshotFile file = SnapshotFile::open(path);
+    if (file.ok()) {
+      result.weeks.push_back(week);
+    } else {
+      result.quarantined.push_back(quarantine(path, file.error()));
+    }
+  }
+  std::sort(result.weeks.begin(), result.weeks.end());
+  return result;
+}
+
+}  // namespace ixp::store

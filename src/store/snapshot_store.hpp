@@ -1,0 +1,223 @@
+// SnapshotStore — the crash-consistent on-disk home of a finished week.
+//
+// One snapshot file holds everything a completed week produced: the
+// merged WeekShard (so a later process can keep merging) and the final
+// WeeklyReport (so resume never re-runs the probe/aggregate phase). The
+// format is versioned, checksummed, and sealed:
+//
+//   header  (24 B)  magic "IXPSNAP\0" + u32 format version
+//                   + u32 section count + u64 payload bytes
+//   section (16 B + payload) x N
+//                   u32 section id + u32 CRC-32C(id, length, payload)
+//                   + u64 length
+//   footer  (24 B)  magic "IXPSEAL\0" + u32 format version
+//                   + u32 CRC-32C(header) + u64 total file bytes
+//
+// All integers little-endian. The footer is what makes torn writes
+// detectable without trusting anything that came before it: a file that
+// does not end in a seal naming its own exact size is not a snapshot.
+// Each section CRC covers the section's own id and length fields as well
+// as every payload byte, and the header CRC covers the file header, so a
+// single flipped bit anywhere outside a CRC word fails validation (and a
+// flip inside a CRC word fails it too, by mismatching an intact input).
+//
+// Commit is the classic crash-consistent dance (DESIGN.md §13): write
+// `<path>.tmp`, fsync it, rename() over the destination, fsync the
+// directory. A crash at any point leaves either the old file, no file,
+// or a `.tmp` that open() never considers — never a half-written
+// snapshot under the committed name. Files that fail validation are
+// quarantined (renamed aside with the error class in the name) rather
+// than deleted, so an operator can inspect what the fault matrix chewed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ixp::store {
+
+inline constexpr char kSnapshotMagic[8] = {'I', 'X', 'P', 'S', 'N', 'A', 'P', '\0'};
+inline constexpr char kFooterMagic[8] = {'I', 'X', 'P', 'S', 'E', 'A', 'L', '\0'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kSnapshotHeaderBytes = 24;
+inline constexpr std::size_t kSnapshotFooterBytes = 24;
+inline constexpr std::size_t kSectionHeaderBytes = 16;
+
+/// Section ids (u32, format-stable).
+inline constexpr std::uint32_t kShardSection = 1;
+inline constexpr std::uint32_t kReportSection = 2;
+
+/// Why a snapshot failed to open — the distinct taxonomy the quarantine
+/// path and the CLI report (mirrors sflow::MappedTrace::Error in spirit).
+enum class SnapshotError : std::uint8_t {
+  kNone,              ///< opened and fully validated
+  kOpenFailed,        ///< the file could not be opened or stat'ed
+  kTooShort,          ///< smaller than header + footer
+  kBadMagic,          ///< header magic mismatch
+  kBadVersion,        ///< header format version mismatch
+  kBadCrc,            ///< a section payload or the header failed its CRC
+  kTruncatedSection,  ///< framing does not tile the file (torn/duplicated
+                      ///< tail, section running past the seal, missing seal)
+};
+
+/// Human-readable name for CLI diagnostics and quarantine suffixes.
+[[nodiscard]] const char* error_name(SnapshotError error) noexcept;
+/// Short kebab-case tag used in quarantine file names ("bad-crc").
+[[nodiscard]] const char* error_tag(SnapshotError error) noexcept;
+
+/// One section to be written.
+struct Section {
+  std::uint32_t id = 0;
+  std::span<const std::byte> payload;
+};
+
+/// One validated section inside an open snapshot image.
+struct SectionView {
+  std::uint32_t id = 0;
+  std::size_t offset = 0;  ///< payload offset within the file image
+  std::size_t length = 0;
+};
+
+/// Builds a complete sealed snapshot image (header + sections + footer).
+[[nodiscard]] std::vector<std::byte> encode_snapshot(
+    std::span<const Section> sections);
+
+/// Validates a snapshot image; fills `sections_out` (when non-null) with
+/// the section table on success. Returns kNone when the image is intact.
+[[nodiscard]] SnapshotError validate_image(
+    std::span<const std::byte> image,
+    std::vector<SectionView>* sections_out = nullptr);
+
+/// Crash-point instrumentation for commit(): each hook runs at the named
+/// point of the commit protocol and may throw (StoreFaultInjector throws
+/// InjectedCrash) to simulate the process dying right there. Production
+/// callers pass nullptr.
+struct CommitHooks {
+  /// After roughly half the temp file's bytes are written (torn temp).
+  std::function<void(const std::string& temp_path)> mid_temp_write;
+  /// Temp file fully written, not yet fsync'ed.
+  std::function<void(const std::string& temp_path)> after_temp_write;
+  /// Temp file fsync'ed, not yet renamed.
+  std::function<void(const std::string& temp_path)> after_temp_sync;
+  /// rename() done, directory not yet fsync'ed.
+  std::function<void(const std::string& path)> after_rename;
+};
+
+/// Crash-consistently writes `image` to `path` (temp + fsync + rename +
+/// directory fsync). On failure returns false with a diagnostic in
+/// `*error`; the destination is never left half-written. Hook exceptions
+/// propagate (the simulated crash) after closing the temp descriptor.
+[[nodiscard]] bool commit_snapshot(const std::string& path,
+                                   std::span<const std::byte> image,
+                                   std::string* error,
+                                   const CommitHooks* hooks = nullptr);
+
+/// A read-only validated snapshot file: mmap'ed on POSIX hosts, read into
+/// an owned buffer elsewhere (the MappedTrace pattern). Move-only.
+class SnapshotFile {
+ public:
+  SnapshotFile() = default;
+  ~SnapshotFile();
+
+  SnapshotFile(SnapshotFile&& other) noexcept;
+  SnapshotFile& operator=(SnapshotFile&& other) noexcept;
+  SnapshotFile(const SnapshotFile&) = delete;
+  SnapshotFile& operator=(const SnapshotFile&) = delete;
+
+  /// Maps (or reads) and fully validates the snapshot at `path`.
+  [[nodiscard]] static SnapshotFile open(const std::string& path);
+
+  /// Wraps an in-memory image (tests, benchmarks); validates identically.
+  [[nodiscard]] static SnapshotFile adopt(std::vector<std::byte> bytes);
+
+  [[nodiscard]] bool ok() const noexcept {
+    return error_ == SnapshotError::kNone;
+  }
+  [[nodiscard]] SnapshotError error() const noexcept { return error_; }
+
+  /// Payload of the first section with `id`; empty when absent.
+  [[nodiscard]] std::span<const std::byte> section(std::uint32_t id) const noexcept;
+
+  [[nodiscard]] const std::vector<SectionView>& sections() const noexcept {
+    return sections_;
+  }
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return {data_, size_};
+  }
+  [[nodiscard]] bool is_mapped() const noexcept { return mapped_; }
+
+ private:
+  void release() noexcept;
+  void validate() noexcept;
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<std::byte> owned_;
+  std::vector<SectionView> sections_;
+  SnapshotError error_ = SnapshotError::kOpenFailed;
+};
+
+/// One corrupt file moved aside during load()/scan().
+struct QuarantineEvent {
+  std::string file;            ///< original path
+  std::string quarantined_as;  ///< where it was moved (empty if move failed)
+  SnapshotError error = SnapshotError::kNone;
+};
+
+/// A directory of per-week snapshots (`week_<NNNN>.snap`). The store owns
+/// naming, atomic commit, validation-with-quarantine on load, and the
+/// resume scan. It never deletes data: corrupt files are renamed aside,
+/// stale temp files (a crash between write and rename) are removed on
+/// scan — they were never committed, so nothing durable is lost.
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(std::string dir) : dir_(std::move(dir)) {}
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// Creates the directory if needed. False (with diagnostic) when the
+  /// path exists but is not a directory, or creation fails.
+  [[nodiscard]] bool ensure_dir(std::string* error) const;
+
+  [[nodiscard]] std::string path_for(int week) const;
+
+  /// Atomically commits one week's sections.
+  [[nodiscard]] bool save(int week, std::span<const Section> sections,
+                          std::string* error,
+                          const CommitHooks* hooks = nullptr) const;
+
+  /// Opens and validates week's snapshot. On any validation failure the
+  /// file is quarantined and the event reported through `quarantined`;
+  /// the returned file then carries the error. A missing file is plain
+  /// kOpenFailed with no quarantine.
+  [[nodiscard]] SnapshotFile load(
+      int week, std::optional<QuarantineEvent>* quarantined = nullptr) const;
+
+  struct ScanResult {
+    bool readable = true;    ///< false: the directory itself is unreadable
+    std::string error;       ///< diagnostic when !readable
+    std::vector<int> weeks;  ///< weeks with a valid snapshot, ascending
+    std::vector<QuarantineEvent> quarantined;
+    std::size_t stale_temps_removed = 0;
+  };
+
+  /// Walks the directory: validates every `week_*.snap` (quarantining the
+  /// corrupt ones), removes stale `.tmp` leftovers, and returns the weeks
+  /// that are durably on disk.
+  [[nodiscard]] ScanResult scan() const;
+
+ private:
+  /// Moves a corrupt snapshot aside; returns the event (quarantined_as
+  /// empty when the rename itself failed).
+  [[nodiscard]] QuarantineEvent quarantine(const std::string& path,
+                                           SnapshotError error) const;
+
+  std::string dir_;
+};
+
+}  // namespace ixp::store

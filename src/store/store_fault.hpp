@@ -1,0 +1,92 @@
+// StoreFaultInjector — the snapshot store's adversary.
+//
+// Two families of failure, matching how storage actually fails:
+//
+//   Crash points. The commit protocol (write temp → fsync → rename →
+//   fsync dir) has four interesting places to die. crash_at() arms a
+//   CommitHooks that throws InjectedCrash at exactly one of them, leaving
+//   the filesystem in the state a real kill would: a torn temp, an
+//   unsynced temp, a synced-but-unrenamed temp, or a renamed file whose
+//   directory entry may not be durable. The weeks driver must recover
+//   from every one of these to a byte-identical final report.
+//
+//   Storage faults. A committed snapshot can still rot: lost tail on an
+//   unclean unmount, mid-file truncation, a flipped bit in the header,
+//   a section payload, or a CRC field, a duplicated final sector. apply()
+//   deals exactly one such fault class to a sealed image, deterministic
+//   under the injector's seed. Every class must be caught at open() and
+//   quarantined with the right SnapshotError — never a crash, never a
+//   silently wrong report.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "store/snapshot_store.hpp"
+#include "util/rng.hpp"
+
+namespace ixp::store {
+
+/// Thrown by an armed commit hook: the simulated process death. Carries
+/// the crash point's name so tests can assert where they died.
+class InjectedCrash : public std::runtime_error {
+ public:
+  explicit InjectedCrash(const std::string& where)
+      : std::runtime_error("injected crash at " + where) {}
+};
+
+/// Where in the commit protocol the process dies.
+enum class CrashPoint : std::uint8_t {
+  kMidTempWrite,    ///< half the temp file's bytes on disk
+  kAfterTempWrite,  ///< temp complete but not fsync'ed
+  kAfterTempSync,   ///< temp durable, rename not yet issued
+  kAfterRename,     ///< renamed, directory entry possibly not durable
+};
+
+inline constexpr CrashPoint kAllCrashPoints[] = {
+    CrashPoint::kMidTempWrite,
+    CrashPoint::kAfterTempWrite,
+    CrashPoint::kAfterTempSync,
+    CrashPoint::kAfterRename,
+};
+
+[[nodiscard]] const char* crash_point_name(CrashPoint point) noexcept;
+
+/// The storage-rot fault classes dealt to committed snapshot images.
+enum class StorageFault : std::uint8_t {
+  kTornTail,         ///< tail lost inside the footer region
+  kMidTruncation,    ///< file cut somewhere in its first half
+  kHeaderBitFlip,    ///< one bit in the 24-byte header
+  kSectionBitFlip,   ///< one bit in the section region (payload or framing)
+  kCrcFieldBitFlip,  ///< one bit in the first section's stored CRC
+  kDuplicatedFooter, ///< final footer-sized block appended twice
+};
+
+inline constexpr StorageFault kAllStorageFaults[] = {
+    StorageFault::kTornTail,        StorageFault::kMidTruncation,
+    StorageFault::kHeaderBitFlip,   StorageFault::kSectionBitFlip,
+    StorageFault::kCrcFieldBitFlip, StorageFault::kDuplicatedFooter,
+};
+
+[[nodiscard]] const char* storage_fault_name(StorageFault fault) noexcept;
+
+class StoreFaultInjector {
+ public:
+  explicit StoreFaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  /// Deals one fault class to a sealed snapshot image, in place. Draws
+  /// from the injector's Rng, so a fixed seed and call sequence corrupts
+  /// identically on every run.
+  void apply(StorageFault fault, std::vector<std::byte>& image);
+
+  /// CommitHooks that throw InjectedCrash when commit reaches `point`.
+  [[nodiscard]] static CommitHooks crash_at(CrashPoint point);
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace ixp::store

@@ -1,0 +1,110 @@
+#include "store/weeks_runner.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "store/snapshot_codec.hpp"
+
+namespace ixp::store {
+
+WeeksResult WeeksRunner::run(const WeeksOptions& options,
+                             const SourceFactory& make_source,
+                             const FetcherFactory& make_fetcher,
+                             const CommitHooks* hooks) {
+  WeeksResult result;
+  if (options.to_week < options.from_week) {
+    result.error = "empty week range";
+    return result;
+  }
+
+  if (std::string error; !store_.ensure_dir(&error)) {
+    result.store_unreadable = true;
+    result.error = error;
+    return result;
+  }
+
+  // One scan up front: quarantine rot, sweep crash leftovers, and learn
+  // which weeks are already durable.
+  SnapshotStore::ScanResult scan = store_.scan();
+  if (!scan.readable) {
+    result.store_unreadable = true;
+    result.error = scan.error;
+    return result;
+  }
+  result.quarantined = std::move(scan.quarantined);
+  result.stale_temps_removed = scan.stale_temps_removed;
+
+  for (int week = options.from_week; week <= options.to_week; ++week) {
+    const bool durable = std::binary_search(scan.weeks.begin(),
+                                            scan.weeks.end(), week);
+    WeekOutcome outcome;
+    outcome.week = week;
+
+    if (durable) {
+      std::optional<QuarantineEvent> quarantined;
+      const SnapshotFile file = store_.load(week, &quarantined);
+      if (quarantined) result.quarantined.push_back(*quarantined);
+      if (file.ok()) {
+        auto report = SnapshotCodec::decode_report(file.section(kReportSection));
+        if (!report) {
+          result.error = store_.path_for(week) +
+                         ": snapshot validated but report section does not "
+                         "decode (format bug)";
+          return result;
+        }
+        outcome.resumed = true;
+        outcome.report = std::move(*report);
+        ++result.weeks_resumed;
+        result.weeks.push_back(std::move(outcome));
+        continue;
+      }
+      // The file rotted between scan and load (or scan raced another
+      // process): fall through and recompute the week.
+    }
+
+    std::unique_ptr<ingest::IngestSource> source = make_source(week);
+    core::WeekSession session = vantage_->open_week(week);
+    std::vector<std::uint64_t> errors;
+    core::WeekShard shard = analyzer_->reduce(session, *source, &errors);
+
+    // Encode the mergeable artifact before the session consumes it: the
+    // persisted shard is byte-for-byte the state the report came from.
+    const std::vector<std::byte> shard_bytes = SnapshotCodec::encode_shard(shard);
+    session.absorb(std::move(shard));
+    core::WeeklyReport report = session.finish(make_fetcher(week));
+    const std::uint64_t dropped =
+        std::accumulate(errors.begin(), errors.end(), std::uint64_t{0});
+    if (dropped > 0) {
+      report.degraded = true;
+      report.worker_errors = std::move(errors);
+    }
+    const std::vector<std::byte> report_bytes =
+        SnapshotCodec::encode_report(report);
+
+    const Section sections[] = {
+        {kShardSection, shard_bytes},
+        {kReportSection, report_bytes},
+    };
+    if (std::string error; !store_.save(week, sections, &error, hooks)) {
+      result.error = error;
+      return result;
+    }
+
+    outcome.resumed = false;
+    outcome.report = std::move(report);
+    ++result.weeks_computed;
+    result.weeks.push_back(std::move(outcome));
+  }
+
+  std::vector<core::WeeklyReport> reports;
+  reports.reserve(result.weeks.size());
+  for (const WeekOutcome& outcome : result.weeks)
+    reports.push_back(outcome.report);
+  result.longitudinal = analysis::summarize_longitudinal(reports);
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace ixp::store

@@ -1,0 +1,111 @@
+// summarize_longitudinal: the §4 fold over a run of weekly reports —
+// always-on core, mean weekly churn, per-week breakdowns — checked
+// against a hand-computed three-week scenario. Pure function: equal
+// inputs give equal summaries (what resume-parity rests on).
+#include "analysis/longitudinal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ixp::analysis {
+namespace {
+
+core::ServerObservation server(std::uint32_t last_octet, double bytes,
+                               char c0, char c1) {
+  core::ServerObservation s;
+  s.addr = net::Ipv4Addr{10, 0, 0, static_cast<std::uint8_t>(last_octet)};
+  s.bytes = bytes;
+  s.country = geo::CountryCode{c0, c1};
+  return s;
+}
+
+core::WeeklyReport week_of(int week,
+                           std::vector<core::ServerObservation> servers) {
+  core::WeeklyReport report;
+  report.week = week;
+  report.servers = std::move(servers);
+  return report;
+}
+
+TEST(Longitudinal, EmptyRunYieldsDefaultSummary) {
+  const auto summary = summarize_longitudinal({});
+  EXPECT_EQ(summary, LongitudinalSummary{});
+  EXPECT_EQ(summary.weeks, 0u);
+}
+
+TEST(Longitudinal, HandComputedThreeWeekScenario) {
+  // A: every week (the always-on core). B: weeks 1 and 3 (recurrent on
+  // return). C: first appears week 2 (fresh there, recurrent after...
+  // no — present in 2 and 3 of 3, so recurrent in week 3).
+  const std::vector<core::WeeklyReport> reports = {
+      week_of(1, {server(1, 100.0, 'D', 'E'), server(2, 50.0, 'U', 'S')}),
+      week_of(2, {server(1, 100.0, 'D', 'E'), server(3, 30.0, 'B', 'R')}),
+      week_of(3, {server(1, 100.0, 'D', 'E'), server(2, 50.0, 'U', 'S'),
+                  server(3, 30.0, 'B', 'R')}),
+  };
+  const auto summary = summarize_longitudinal(reports);
+
+  EXPECT_EQ(summary.first_week, 1);
+  EXPECT_EQ(summary.last_week, 3);
+  EXPECT_EQ(summary.weeks, 3u);
+  EXPECT_EQ(summary.server_universe, 3u);
+
+  // Only A was present in all three weeks.
+  EXPECT_EQ(summary.always_on_servers, 1u);
+  EXPECT_DOUBLE_EQ(summary.always_on_traffic_share, 100.0 / 180.0);
+
+  // Churn skips the first week: week 2 has 1 fresh of 2 active (C),
+  // week 3 has 0 fresh of 3 — mean (0.5 + 0) / 2.
+  EXPECT_DOUBLE_EQ(summary.mean_weekly_churn, 0.25);
+
+  ASSERT_EQ(summary.servers.size(), 3u);
+  const auto& w1 = summary.servers[0];
+  EXPECT_EQ(w1.week, 1);
+  EXPECT_EQ(w1.active, 2u);
+  EXPECT_EQ(w1.fresh, 0u);  // first week: everyone counts as stable
+  EXPECT_EQ(w1.stable, 2u);
+  const auto& w2 = summary.servers[1];
+  EXPECT_EQ(w2.active, 2u);
+  EXPECT_EQ(w2.stable, 1u);     // A
+  EXPECT_EQ(w2.fresh, 1u);      // C
+  EXPECT_EQ(w2.recurrent, 0u);
+  const auto& w3 = summary.servers[2];
+  EXPECT_EQ(w3.active, 3u);
+  EXPECT_EQ(w3.stable, 1u);      // A
+  EXPECT_EQ(w3.recurrent, 2u);   // B (skipped week 2), C (absent week 1)
+  EXPECT_EQ(w3.fresh, 0u);
+  EXPECT_DOUBLE_EQ(w3.active_bytes, 180.0);
+  EXPECT_DOUBLE_EQ(w3.stable_bytes, 100.0);
+
+  // Regions follow geo::region_of of each server's country.
+  EXPECT_EQ(w3.stable_by_region[static_cast<std::size_t>(geo::Region::kDE)],
+            1u);
+  EXPECT_EQ(
+      w3.recurrent_by_region[static_cast<std::size_t>(geo::Region::kUS)], 1u);
+  EXPECT_EQ(
+      w3.recurrent_by_region[static_cast<std::size_t>(geo::Region::kRoW)], 1u);
+}
+
+TEST(Longitudinal, PureFunctionEqualInputsEqualSummaries) {
+  const std::vector<core::WeeklyReport> reports = {
+      week_of(7, {server(1, 10.0, 'D', 'E')}),
+      week_of(8, {server(1, 10.0, 'D', 'E'), server(2, 5.0, 'C', 'N')}),
+  };
+  EXPECT_EQ(summarize_longitudinal(reports), summarize_longitudinal(reports));
+}
+
+TEST(Longitudinal, FinalWeekWithNoTrafficYieldsZeroShare) {
+  const std::vector<core::WeeklyReport> reports = {
+      week_of(1, {server(1, 10.0, 'D', 'E')}),
+      week_of(2, {}),
+  };
+  const auto summary = summarize_longitudinal(reports);
+  EXPECT_EQ(summary.always_on_servers, 0u);
+  EXPECT_DOUBLE_EQ(summary.always_on_traffic_share, 0.0);
+  // Week 2 had nothing active, so it contributes no churn sample.
+  EXPECT_DOUBLE_EQ(summary.mean_weekly_churn, 0.0);
+}
+
+}  // namespace
+}  // namespace ixp::analysis

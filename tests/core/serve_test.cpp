@@ -319,6 +319,97 @@ TEST_F(ServeTest, SlidingWindowCoversOnlyRecentEpochs) {
   expect_reports_equal(span_baseline(second_half), final_snap->report);
 }
 
+TEST_F(ServeTest, WindowLargerThanSealedEpochsFoldsWhatExists) {
+  // Regression: `serve --window K` with K beyond the sealed epoch count
+  // must fold the epochs that exist and say so — not misreport coverage.
+  const auto bytes = record_trace(*samples_);
+  const auto baseline = analyze_baseline(bytes);
+  const auto records = replay_records(bytes);
+  const std::size_t half = records.size() / 2;
+
+  std::vector<sflow::FlowSample> first_half;
+  for (std::size_t i = 0; i < half; ++i)
+    first_half.insert(first_half.end(), records[i].samples.begin(),
+                      records[i].samples.end());
+
+  auto vp = make_vantage();
+  ServeOptions options;
+  options.week = kWeek;
+  options.threads = 2;
+  options.window_epochs = 8;  // far more than will ever be sealed
+  ServeService service{vp, fetcher(), options};
+  service.start();
+
+  for (std::size_t i = 0; i < half; ++i)
+    ASSERT_TRUE(offer_record(service, records[i], 1, i));
+  wait_observed(service, half);
+  const auto first = service.snapshot();
+  EXPECT_EQ(first->window_epochs, 8u);
+  EXPECT_EQ(first->epochs_folded, 1u);  // only one epoch exists yet
+  expect_reports_equal(span_baseline(first_half), first->report);
+
+  for (std::size_t i = half; i < records.size(); ++i)
+    ASSERT_TRUE(offer_record(service, records[i], 1, i));
+  const auto final_snap = service.drain();
+  EXPECT_EQ(final_snap->window_epochs, 8u);
+  EXPECT_EQ(final_snap->epochs_folded, 2u);
+  // Both sealed epochs fit inside the window, so the under-filled window
+  // equals the cumulative analysis — nothing silently dropped or padded.
+  expect_reports_equal(baseline, final_snap->report);
+}
+
+TEST_F(ServeTest, CumulativeSnapshotsReportFoldedEpochCoverage) {
+  const auto bytes = record_trace(*samples_);
+  const auto records = replay_records(bytes);
+  ASSERT_GT(records.size(), 4u);
+
+  auto vp = make_vantage();
+  ServeOptions options;
+  options.week = kWeek;
+  options.threads = 1;
+  ServeService service{vp, fetcher(), options};  // window 0 = cumulative
+  service.start();
+  for (std::size_t i = 0; i < records.size(); ++i)
+    ASSERT_TRUE(offer_record(service, records[i], 1, i));
+  wait_observed(service, records.size());
+  const auto first = service.snapshot();
+  EXPECT_EQ(first->window_epochs, 0u);
+  EXPECT_EQ(first->epochs_folded, 1u);
+  const auto final_snap = service.drain();
+  EXPECT_EQ(final_snap->epochs_folded, 2u);  // every sealed interval
+}
+
+/// The SIGTERM race: drain() closing the queues and joining the workers
+/// while another thread is mid-snapshot(). Serialized by publish_mutex_;
+/// the tsan preset is the actual assertion here — plus the invariant that
+/// the drained result is still the full cumulative report.
+TEST_F(ServeTest, DrainRacingInFlightSnapshotsStaysCumulative) {
+  const auto bytes = record_trace(*samples_);
+  const auto baseline = analyze_baseline(bytes);
+  const auto records = replay_records(bytes);
+
+  auto vp = make_vantage();
+  ServeOptions options;
+  options.week = kWeek;
+  options.threads = 2;
+  ServeService service{vp, fetcher(), options};
+  service.start();
+  for (std::size_t i = 0; i < records.size(); ++i)
+    ASSERT_TRUE(offer_record(service, records[i], 1, i));
+
+  std::thread snapshotter{[&] {
+    for (int i = 0; i < 4; ++i) (void)service.snapshot();
+  }};
+  const auto final_snap = service.drain();  // races the snapshot loop
+  snapshotter.join();
+
+  ASSERT_TRUE(final_snap);
+  // However the epochs interleaved, cumulative mode folds all of them.
+  const auto settled = service.current();
+  expect_reports_equal(baseline, settled->report);
+  EXPECT_EQ(settled->accounting.intake.totals().received, records.size());
+}
+
 TEST_F(ServeTest, OverloadShedsFloodingAgentWithExactCounts) {
   const auto bytes = record_trace(*samples_);
   const auto records = replay_records(bytes);

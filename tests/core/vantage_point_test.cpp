@@ -184,20 +184,17 @@ TEST_F(VantagePointTest, ObserveBatchMatchesPerSampleObserve) {
   EXPECT_EQ(actual.servers.size(), expected.servers.size());
 }
 
-// The pre-session triple still works; new code should use open_week().
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST_F(VantagePointTest, DeprecatedWeekTripleStillWorks) {
+// The minimal one-sample week through the session API.
+TEST_F(VantagePointTest, SingleSampleWeekProducesReport) {
   auto vp = make();
-  vp.begin_week(45);
-  vp.observe(sample(Ipv4Addr{10, 0, 0, 1}, Ipv4Addr{20, 0, 0, 9}, 80, 40000,
-                    "HTTP/1.1 200 OK\r\n", 1000));
-  const auto report = vp.end_week(no_fetch);
+  WeekSession session = vp.open_week(45);
+  session.observe(sample(Ipv4Addr{10, 0, 0, 1}, Ipv4Addr{20, 0, 0, 9}, 80,
+                         40000, "HTTP/1.1 200 OK\r\n", 1000));
+  const auto report = session.finish(no_fetch);
   EXPECT_EQ(report.week, 45);
   EXPECT_EQ(report.peering_ips, 2u);
   EXPECT_EQ(report.server_ips, 1u);
 }
-#pragma GCC diagnostic pop
 
 TEST_F(VantagePointTest, UnroutedIpStillCountsAsPeeringIp) {
   auto vp = make();

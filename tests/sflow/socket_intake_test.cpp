@@ -198,6 +198,48 @@ TEST(AgentQueues, AgentRowEvictionFoldsCountersIntoTotals) {
   EXPECT_EQ(totals.dropped, 0u);
 }
 
+TEST(AgentQueues, FloodAcrossManyEvictionsKeepsExactAccounting) {
+  // Worst case for the accounting invariant: 12 agents hammering a table
+  // capped at 3 rows, every one flooding past its per-agent capacity, with
+  // a consumer interleaved so envelopes from long-evicted rows are still
+  // being taken. received == taken + dropped must hold to the datagram,
+  // and nothing may vanish into an evicted row.
+  constexpr std::uint32_t kCapacity = 4;
+  constexpr std::uint32_t kAgents = 12;
+  constexpr std::uint32_t kPerAgent = 10;  // > kCapacity: forced drops
+  AgentQueues queues{/*per_agent_capacity=*/kCapacity, /*max_agents=*/3};
+
+  DatagramEnvelope out;
+  std::uint64_t offered = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t taken = 0;
+  for (std::uint32_t a = 0; a < kAgents; ++a) {
+    const Ipv4Addr agent{10, 0, 0, static_cast<std::uint8_t>(a + 1)};
+    for (std::uint32_t i = 0; i < kPerAgent; ++i) {
+      ++offered;
+      accepted += queues.offer(envelope_for(agent, i)) ? 1 : 0;
+    }
+    // Drain one envelope per flooded agent: by the time later agents
+    // arrive, these came from rows the table has already evicted.
+    if (queues.try_take(out)) ++taken;
+  }
+  while (queues.try_take(out)) ++taken;
+
+  const auto stats = queues.stats();
+  EXPECT_GT(stats.evicted_agents, 0u);
+  EXPECT_LE(stats.rows.size(), 3u);
+  for (const auto& row : stats.rows) {
+    EXPECT_EQ(row.counters.received,
+              row.counters.taken + row.counters.dropped);
+  }
+  const auto totals = stats.totals();
+  EXPECT_EQ(totals.received, offered);
+  EXPECT_EQ(totals.taken, accepted);
+  EXPECT_EQ(totals.taken, taken);
+  EXPECT_EQ(totals.dropped, offered - accepted);
+  EXPECT_EQ(totals.received, totals.taken + totals.dropped);
+}
+
 std::string temp_socket_path(const char* tag) {
   return testing::TempDir() + "ixpscope_intake_" + tag + "_" +
          std::to_string(::getpid()) + ".sock";

@@ -1,0 +1,211 @@
+// The codec contract (DESIGN.md §13): canonical, byte-stable encoding of
+// WeekShard and WeeklyReport, lossless round trips, and — the property
+// resume rests on — a decoded shard that merges with live shards exactly
+// as the original would have. Decoders are strict: truncated or padded
+// bytes never decode.
+#include "store/snapshot_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/vantage_point.hpp"
+#include "core/week_shard.hpp"
+#include "gen/internet.hpp"
+#include "gen/workload.hpp"
+
+namespace ixp::store {
+namespace {
+
+constexpr int kWeek = 45;
+
+class SnapshotCodecTest : public ::testing::Test {
+ public:
+  static void SetUpTestSuite() {
+    model_ = new gen::InternetModel{gen::ScaleConfig::test()};
+    std::vector<net::Asn> members;
+    for (const auto* m : model_->ixp().members_at(kWeek))
+      members.push_back(m->asn);
+    locality_ = new std::unordered_map<net::Asn, net::Locality>(
+        model_->as_graph().classify(members));
+    samples_ = new std::vector<sflow::FlowSample>;
+    const gen::Workload workload{*model_};
+    workload.generate_week(
+        kWeek, [](const sflow::FlowSample& s) { samples_->push_back(s); });
+  }
+
+  static void TearDownTestSuite() {
+    delete samples_;
+    delete locality_;
+    delete model_;
+  }
+
+  static core::VantagePoint make_vantage() {
+    return core::VantagePoint{model_->ixp(),   model_->routing(),
+                              model_->geo_db(), *locality_,
+                              model_->dns_db(),
+                              dns::PublicSuffixList::builtin(),
+                              model_->root_store()};
+  }
+
+  static classify::ChainFetcher fetcher() {
+    return [](net::Ipv4Addr addr, int times) {
+      return model_->fetch_chains(addr, times, kWeek);
+    };
+  }
+
+  /// A shard that observed samples [begin, end) at their true stream
+  /// positions — the per-worker artifact the engine produces.
+  static core::WeekShard observe_range(const core::WeekSession& session,
+                                       std::size_t begin, std::size_t end) {
+    core::WeekShard shard = session.make_shard();
+    for (std::size_t i = begin; i < end; ++i)
+      shard.observe((*samples_)[i], static_cast<std::uint64_t>(i));
+    return shard;
+  }
+
+  static gen::InternetModel* model_;
+  static std::unordered_map<net::Asn, net::Locality>* locality_;
+  static std::vector<sflow::FlowSample>* samples_;
+};
+
+gen::InternetModel* SnapshotCodecTest::model_ = nullptr;
+std::unordered_map<net::Asn, net::Locality>* SnapshotCodecTest::locality_ =
+    nullptr;
+std::vector<sflow::FlowSample>* SnapshotCodecTest::samples_ = nullptr;
+
+TEST_F(SnapshotCodecTest, ShardRoundTripIsLosslessAndByteStable) {
+  auto vp = make_vantage();
+  const core::WeekSession session = vp.open_week(kWeek);
+  const core::WeekShard shard = observe_range(session, 0, samples_->size());
+  ASSERT_GT(shard.samples_observed(), 0u);
+
+  const auto bytes = SnapshotCodec::encode_shard(shard);
+  ASSERT_FALSE(bytes.empty());
+  // Canonical form: encoding the same state twice is byte-identical.
+  EXPECT_EQ(SnapshotCodec::encode_shard(shard), bytes);
+
+  const auto decoded = SnapshotCodec::decode_shard(bytes, model_->ixp());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->week(), kWeek);
+  EXPECT_EQ(decoded->samples_observed(), shard.samples_observed());
+  EXPECT_EQ(decoded->counters(), shard.counters());
+  // The round trip re-encodes to the exact same bytes.
+  EXPECT_EQ(SnapshotCodec::encode_shard(*decoded), bytes);
+}
+
+TEST_F(SnapshotCodecTest, DecodedShardMergesExactlyLikeTheLiveOne) {
+  auto vp = make_vantage();
+  const core::WeekSession session = vp.open_week(kWeek);
+  const std::size_t half = samples_->size() / 2;
+
+  const core::WeekShard a = observe_range(session, 0, half);
+  const core::WeekShard b = observe_range(session, half, samples_->size());
+
+  // Live path: merge the second worker shard directly.
+  core::WeekShard live = a;
+  {
+    core::WeekShard b_live = b;
+    live.merge(std::move(b_live));
+  }
+
+  // Persisted path: the second shard goes to bytes and back first.
+  core::WeekShard resumed = a;
+  {
+    const auto bytes = SnapshotCodec::encode_shard(b);
+    auto b_decoded = SnapshotCodec::decode_shard(bytes, model_->ixp());
+    ASSERT_TRUE(b_decoded.has_value());
+    resumed.merge(std::move(*b_decoded));
+  }
+
+  // The monoid survives persistence: merged states are byte-identical,
+  // and so are the reports they finish into.
+  EXPECT_EQ(SnapshotCodec::encode_shard(resumed),
+            SnapshotCodec::encode_shard(live));
+  const auto live_report = vp.finish_week(std::move(live), fetcher());
+  const auto resumed_report = vp.finish_week(std::move(resumed), fetcher());
+  EXPECT_EQ(SnapshotCodec::encode_report(resumed_report),
+            SnapshotCodec::encode_report(live_report));
+}
+
+TEST_F(SnapshotCodecTest, ReportRoundTripIsLosslessAndByteStable) {
+  auto vp = make_vantage();
+  core::WeekSession session = vp.open_week(kWeek);
+  session.observe_batch(*samples_);
+  const core::WeeklyReport report = session.finish(fetcher());
+  ASSERT_GT(report.server_ips, 0u);
+  ASSERT_FALSE(report.servers.empty());
+
+  const auto bytes = SnapshotCodec::encode_report(report);
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_EQ(SnapshotCodec::encode_report(report), bytes);
+
+  const auto decoded = SnapshotCodec::decode_report(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->week, report.week);
+  EXPECT_EQ(decoded->filters, report.filters);
+  EXPECT_EQ(decoded->dissection, report.dissection);
+  EXPECT_EQ(decoded->peering_ips, report.peering_ips);
+  EXPECT_EQ(decoded->server_ips, report.server_ips);
+  EXPECT_EQ(decoded->by_country, report.by_country);
+  EXPECT_EQ(decoded->by_as, report.by_as);
+  ASSERT_EQ(decoded->servers.size(), report.servers.size());
+  for (std::size_t i = 0; i < report.servers.size(); ++i) {
+    EXPECT_EQ(decoded->servers[i].addr, report.servers[i].addr);
+    EXPECT_EQ(decoded->servers[i].bytes, report.servers[i].bytes);
+    EXPECT_EQ(decoded->servers[i].country, report.servers[i].country);
+  }
+  // Full-fidelity check in one stroke: the decoded report re-encodes to
+  // the same bytes, so every encoded field survived.
+  EXPECT_EQ(SnapshotCodec::encode_report(*decoded), bytes);
+}
+
+TEST_F(SnapshotCodecTest, DegradedFlagAndWorkerErrorsSurviveTheRoundTrip) {
+  auto vp = make_vantage();
+  core::WeekSession session = vp.open_week(kWeek);
+  session.observe_batch(*samples_);
+  core::WeeklyReport report = session.finish(fetcher());
+  report.degraded = true;
+  report.worker_errors = {0, 3, 1};
+
+  const auto bytes = SnapshotCodec::encode_report(report);
+  const auto decoded = SnapshotCodec::decode_report(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->degraded);
+  EXPECT_EQ(decoded->worker_errors, report.worker_errors);
+}
+
+TEST_F(SnapshotCodecTest, StrictDecodersRejectTruncationAndPadding) {
+  auto vp = make_vantage();
+  const core::WeekSession session = vp.open_week(kWeek);
+  const core::WeekShard shard = observe_range(session, 0, 256);
+  const auto shard_bytes = SnapshotCodec::encode_shard(shard);
+
+  core::WeekSession full = vp.open_week(kWeek);
+  full.observe_batch(*samples_);
+  const auto report_bytes =
+      SnapshotCodec::encode_report(full.finish(fetcher()));
+
+  for (const auto* bytes : {&shard_bytes, &report_bytes}) {
+    auto truncated = *bytes;
+    truncated.resize(truncated.size() - 1);
+    auto padded = *bytes;
+    padded.push_back(std::byte{0});
+    if (bytes == &shard_bytes) {
+      EXPECT_FALSE(
+          SnapshotCodec::decode_shard(truncated, model_->ixp()).has_value());
+      EXPECT_FALSE(
+          SnapshotCodec::decode_shard(padded, model_->ixp()).has_value());
+      EXPECT_FALSE(SnapshotCodec::decode_shard({}, model_->ixp()).has_value());
+    } else {
+      EXPECT_FALSE(SnapshotCodec::decode_report(truncated).has_value());
+      EXPECT_FALSE(SnapshotCodec::decode_report(padded).has_value());
+      EXPECT_FALSE(SnapshotCodec::decode_report({}).has_value());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ixp::store

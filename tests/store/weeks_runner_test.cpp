@@ -1,0 +1,313 @@
+// The resumable longitudinal driver's acceptance contract: for every
+// injected crash point and every storage fault class, a re-run of
+// `weeks` resumes from the durable snapshots and produces a final
+// longitudinal report byte-identical to an uninterrupted run. Runs under
+// both sanitizer presets (faults + tsan labels) — the driver sits on top
+// of the parallel engine.
+#include "store/weeks_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/parallel_analyzer.hpp"
+#include "core/vantage_point.hpp"
+#include "gen/internet.hpp"
+#include "gen/workload.hpp"
+#include "ingest/ingest_source.hpp"
+#include "store/snapshot_codec.hpp"
+#include "store/store_fault.hpp"
+
+namespace ixp::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kFromWeek = 44;
+constexpr int kToWeek = 46;
+
+/// Owns one generated week's samples and batches them through a
+/// SpanSource — the same adapter shape `ixpscope weeks` uses.
+class OwnedWeekSource final : public ingest::IngestSource {
+ public:
+  explicit OwnedWeekSource(std::vector<sflow::FlowSample> samples)
+      : samples_(std::move(samples)), span_(samples_, 512) {}
+
+  ingest::SourceStatus next_batch(ingest::SampleBatch& out) override {
+    return span_.next_batch(out);
+  }
+  std::vector<std::unique_ptr<ingest::IngestSource>> split(
+      std::size_t want) override {
+    return span_.split(want);
+  }
+
+ private:
+  std::vector<sflow::FlowSample> samples_;
+  ingest::SpanSource span_;
+};
+
+class WeeksRunnerTest : public ::testing::Test {
+ public:
+  static void SetUpTestSuite() {
+    model_ = new gen::InternetModel{gen::ScaleConfig::test()};
+    std::vector<net::Asn> members;
+    for (const auto* m : model_->ixp().members_at(kToWeek))
+      members.push_back(m->asn);
+    locality_ = new std::unordered_map<net::Asn, net::Locality>(
+        model_->as_graph().classify(members));
+    week_samples_ = new std::map<int, std::vector<sflow::FlowSample>>;
+    const gen::Workload workload{*model_};
+    for (int week = kFromWeek; week <= kToWeek; ++week) {
+      auto& samples = (*week_samples_)[week];
+      workload.generate_week(
+          week, [&](const sflow::FlowSample& s) { samples.push_back(s); });
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete week_samples_;
+    delete locality_;
+    delete model_;
+  }
+
+  static core::VantagePoint make_vantage() {
+    return core::VantagePoint{model_->ixp(),   model_->routing(),
+                              model_->geo_db(), *locality_,
+                              model_->dns_db(),
+                              dns::PublicSuffixList::builtin(),
+                              model_->root_store()};
+  }
+
+  static WeeksRunner::SourceFactory source_factory() {
+    return [](int week) -> std::unique_ptr<ingest::IngestSource> {
+      return std::make_unique<OwnedWeekSource>(week_samples_->at(week));
+    };
+  }
+
+  static WeeksRunner::FetcherFactory fetcher_factory() {
+    return [](int week) -> classify::ChainFetcher {
+      return [week](net::Ipv4Addr addr, int times) {
+        return model_->fetch_chains(addr, times, week);
+      };
+    };
+  }
+
+  /// One full driver invocation against `dir`.
+  static WeeksResult run_weeks(const std::string& dir,
+                               const CommitHooks* hooks = nullptr,
+                               unsigned threads = 2) {
+    auto vp = make_vantage();
+    core::ParallelOptions popt;
+    popt.threads = threads;
+    core::ParallelAnalyzer analyzer{vp, popt};
+    WeeksRunner runner{vp, analyzer, SnapshotStore{dir}};
+    WeeksOptions options;
+    options.from_week = kFromWeek;
+    options.to_week = kToWeek;
+    return runner.run(options, source_factory(), fetcher_factory(), hooks);
+  }
+
+  static gen::InternetModel* model_;
+  static std::unordered_map<net::Asn, net::Locality>* locality_;
+  static std::map<int, std::vector<sflow::FlowSample>>* week_samples_;
+};
+
+gen::InternetModel* WeeksRunnerTest::model_ = nullptr;
+std::unordered_map<net::Asn, net::Locality>* WeeksRunnerTest::locality_ =
+    nullptr;
+std::map<int, std::vector<sflow::FlowSample>>* WeeksRunnerTest::week_samples_ =
+    nullptr;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(testing::TempDir() + "ixpscope_weeks_" + tag + "_" +
+              std::to_string(::getpid())) {
+    fs::remove_all(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Byte-level equality of two runs: every per-week report encodes to the
+/// same bytes and the longitudinal summaries are equal.
+void expect_runs_identical(const WeeksResult& a, const WeeksResult& b) {
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  ASSERT_EQ(a.weeks.size(), b.weeks.size());
+  for (std::size_t i = 0; i < a.weeks.size(); ++i) {
+    SCOPED_TRACE("week " + std::to_string(a.weeks[i].week));
+    EXPECT_EQ(a.weeks[i].week, b.weeks[i].week);
+    EXPECT_EQ(SnapshotCodec::encode_report(a.weeks[i].report),
+              SnapshotCodec::encode_report(b.weeks[i].report));
+  }
+  EXPECT_EQ(a.longitudinal, b.longitudinal);
+}
+
+std::vector<std::byte> read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in) << path;
+  std::vector<char> raw{std::istreambuf_iterator<char>{in},
+                        std::istreambuf_iterator<char>{}};
+  std::vector<std::byte> out(raw.size());
+  std::memcpy(out.data(), raw.data(), raw.size());
+  return out;
+}
+
+void write_file(const std::string& path, std::span<const std::byte> bytes) {
+  std::ofstream out{path, std::ios::binary};
+  ASSERT_TRUE(out) << path;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST_F(WeeksRunnerTest, FirstRunComputesSecondRunResumesByteIdentical) {
+  const TempDir dir{"resume"};
+  const auto first = run_weeks(dir.path());
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.weeks_computed, 3u);
+  EXPECT_EQ(first.weeks_resumed, 0u);
+  for (int week = kFromWeek; week <= kToWeek; ++week)
+    EXPECT_TRUE(fs::exists(SnapshotStore{dir.path()}.path_for(week)));
+
+  const auto second = run_weeks(dir.path(), nullptr, /*threads=*/4);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(second.weeks_computed, 0u);
+  EXPECT_EQ(second.weeks_resumed, 3u);
+  for (const auto& outcome : second.weeks) EXPECT_TRUE(outcome.resumed);
+  expect_runs_identical(first, second);
+
+  // The §4 summary is non-trivial at this scale, not a vacuous equality.
+  EXPECT_GT(second.longitudinal.server_universe, 0u);
+  EXPECT_GT(second.longitudinal.always_on_servers, 0u);
+  EXPECT_GT(second.longitudinal.mean_weekly_churn, 0.0);
+}
+
+TEST_F(WeeksRunnerTest, EveryCrashPointRecoversToByteIdenticalRun) {
+  const TempDir baseline_dir{"crash_baseline"};
+  const auto baseline = run_weeks(baseline_dir.path());
+  ASSERT_TRUE(baseline.ok) << baseline.error;
+
+  for (const CrashPoint point : kAllCrashPoints) {
+    SCOPED_TRACE(crash_point_name(point));
+    const TempDir dir{std::string{"crash_"} + crash_point_name(point)};
+
+    // First attempt dies at the injected point of week 44's commit.
+    const CommitHooks hooks = StoreFaultInjector::crash_at(point);
+    EXPECT_THROW((void)run_weeks(dir.path(), &hooks), InjectedCrash);
+
+    // The restart: sweeps any crash residue, resumes whatever is durable,
+    // recomputes the rest — and matches the uninterrupted run exactly.
+    const auto recovered = run_weeks(dir.path());
+    ASSERT_TRUE(recovered.ok) << recovered.error;
+    expect_runs_identical(baseline, recovered);
+    if (point == CrashPoint::kAfterRename) {
+      // The rename beat the crash: week 44 was durable, so the restart
+      // must not have recomputed it.
+      EXPECT_EQ(recovered.weeks_resumed, 1u);
+      EXPECT_EQ(recovered.weeks_computed, 2u);
+    } else {
+      EXPECT_EQ(recovered.weeks_resumed, 0u);
+      EXPECT_EQ(recovered.weeks_computed, 3u);
+      EXPECT_GE(recovered.stale_temps_removed,
+                point == CrashPoint::kMidTempWrite ? 1u : 0u);
+    }
+    EXPECT_TRUE(recovered.quarantined.empty());
+  }
+}
+
+TEST_F(WeeksRunnerTest, EveryStorageFaultIsQuarantinedAndRecomputed) {
+  const TempDir baseline_dir{"rot_baseline"};
+  const auto baseline = run_weeks(baseline_dir.path());
+  ASSERT_TRUE(baseline.ok) << baseline.error;
+
+  for (const StorageFault fault : kAllStorageFaults) {
+    SCOPED_TRACE(storage_fault_name(fault));
+    const TempDir dir{std::string{"rot_"} + storage_fault_name(fault)};
+    ASSERT_TRUE(run_weeks(dir.path()).ok);
+
+    // Rot the middle week's committed snapshot.
+    const SnapshotStore store{dir.path()};
+    const std::string victim = store.path_for(45);
+    auto image = read_file(victim);
+    StoreFaultInjector injector{11};
+    injector.apply(fault, image);
+    write_file(victim, image);
+
+    const auto recovered = run_weeks(dir.path());
+    ASSERT_TRUE(recovered.ok) << recovered.error;
+    // The rot was caught, moved aside, and only that week recomputed.
+    ASSERT_EQ(recovered.quarantined.size(), 1u);
+    EXPECT_EQ(recovered.quarantined[0].file, victim);
+    EXPECT_NE(recovered.quarantined[0].error, SnapshotError::kNone);
+    EXPECT_TRUE(fs::exists(recovered.quarantined[0].quarantined_as));
+    EXPECT_EQ(recovered.weeks_resumed, 2u);
+    EXPECT_EQ(recovered.weeks_computed, 1u);
+    expect_runs_identical(baseline, recovered);
+
+    // The recompute re-committed the week: a third run resumes everything.
+    const auto third = run_weeks(dir.path());
+    ASSERT_TRUE(third.ok) << third.error;
+    EXPECT_EQ(third.weeks_resumed, 3u);
+    expect_runs_identical(baseline, third);
+  }
+}
+
+TEST_F(WeeksRunnerTest, ThreadCountDoesNotChangeTheBytes) {
+  const TempDir dir1{"threads1"};
+  const TempDir dir4{"threads4"};
+  const auto serial = run_weeks(dir1.path(), nullptr, /*threads=*/1);
+  const auto parallel = run_weeks(dir4.path(), nullptr, /*threads=*/4);
+  expect_runs_identical(serial, parallel);
+  // The durable artifacts themselves are byte-identical too.
+  for (int week = kFromWeek; week <= kToWeek; ++week) {
+    SCOPED_TRACE("week " + std::to_string(week));
+    EXPECT_EQ(read_file(SnapshotStore{dir1.path()}.path_for(week)),
+              read_file(SnapshotStore{dir4.path()}.path_for(week)));
+  }
+}
+
+TEST_F(WeeksRunnerTest, EmptyRangeIsAPlainError) {
+  const TempDir dir{"empty"};
+  auto vp = make_vantage();
+  core::ParallelOptions popt;
+  core::ParallelAnalyzer analyzer{vp, popt};
+  WeeksRunner runner{vp, analyzer, SnapshotStore{dir.path()}};
+  WeeksOptions options;
+  options.from_week = 46;
+  options.to_week = 44;
+  const auto result =
+      runner.run(options, source_factory(), fetcher_factory());
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.store_unreadable);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST_F(WeeksRunnerTest, UnusableStoreDirectorySetsTheDistinctFlag) {
+  const TempDir dir{"blocked"};
+  fs::create_directories(dir.path());
+  const std::string occupied = dir.path() + "/occupied";
+  write_file(occupied, std::vector<std::byte>(1));
+  const auto result = run_weeks(occupied);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.store_unreadable);
+  EXPECT_FALSE(result.error.empty());
+}
+
+}  // namespace
+}  // namespace ixp::store

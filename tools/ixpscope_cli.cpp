@@ -7,6 +7,7 @@
 //   ixpscope serve --listen PATH       run the streaming collector service
 //   ixpscope replay --in F --connect P replay a trace into a running serve
 //   ixpscope diff --from A --to B      week-over-week change report (§4.2)
+//   ixpscope weeks --from A --to B --dir D  resumable longitudinal run (§4)
 //   ixpscope bgp-export --out F        dump the routing table (BGP text)
 //
 // Global flags: --volume <double> (default 1/256), --quick (test preset).
@@ -36,6 +37,7 @@
 #include <memory>
 #include <string>
 
+#include "analysis/longitudinal.hpp"
 #include "analysis/weekly_delta.hpp"
 #include "core/parallel_analyzer.hpp"
 #include "core/serve_service.hpp"
@@ -49,6 +51,8 @@
 #include "sflow/socket_intake.hpp"
 #include "sflow/trace.hpp"
 #include "sflow/trace_segment.hpp"
+#include "store/snapshot_store.hpp"
+#include "store/weeks_runner.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -81,6 +85,7 @@ struct Options {
   std::uint64_t seed = 1;
   std::string in_path;
   std::string out_path;
+  std::string dir;  // weeks --dir (snapshot store directory)
 
   // serve / replay
   std::string listen_path;             // --listen (unix socket)
@@ -114,6 +119,9 @@ int usage() {
       "  replay   --in FILE --connect PATH       replay a trace into serve\n"
       "           [--agents N]         spread records over N synthetic agents\n"
       "  diff     --from A --to B      week-over-week change report\n"
+      "  weeks    --from A --to B --dir PATH     resumable longitudinal run\n"
+      "                                one durable snapshot per week; re-runs\n"
+      "                                resume past completed weeks\n"
       "  bgp-export --out FILE         dump the routing table\n"
       "ingest flags (analyze/corrupt/serve, same semantics everywhere):\n"
       "  --threads N    shard the analysis over N workers\n"
@@ -122,7 +130,8 @@ int usage() {
       "  --mmap         map the trace; decode segments in parallel\n"
       "flags: --volume <0..1> (default 0.00390625), --quick\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 analysis completed degraded,\n"
-      "            4 input trace unreadable (missing or shorter than header)\n";
+      "            4 input trace unreadable (missing or shorter than header),\n"
+      "            5 snapshot directory unreadable (weeks --dir)\n";
   return 2;
 }
 
@@ -217,6 +226,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.listen_path = argv[++i];
     } else if (flag == "--connect" && need_value(i)) {
       opt.connect_path = argv[++i];
+    } else if (flag == "--dir" && need_value(i)) {
+      opt.dir = argv[++i];
     } else if (flag == "--in" && need_value(i)) {
       opt.in_path = argv[++i];
     } else if (flag == "--out" && need_value(i)) {
@@ -227,7 +238,7 @@ bool parse(int argc, char** argv, Options& opt) {
                flag == "--window" || flag == "--snapshot-every" ||
                flag == "--queue-cap" || flag == "--max-agents" ||
                flag == "--max-datagrams" || flag == "--agents" ||
-               flag == "--listen" || flag == "--connect") {
+               flag == "--listen" || flag == "--connect" || flag == "--dir") {
       std::cerr << "missing value for " << flag << "\n";
       return false;
     } else {
@@ -590,7 +601,12 @@ int cmd_serve(const Options& opt) {
         received - last_snapshot_at >= opt.snapshot_every) {
       last_snapshot_at = received;
       const auto snap = service.snapshot();
-      std::cout << "epoch " << snap->epoch << ": "
+      std::cout << "epoch " << snap->epoch << " [folds "
+                << snap->epochs_folded << " of "
+                << (snap->window_epochs == 0 ? std::string{"all"}
+                                             : std::to_string(
+                                                   snap->window_epochs))
+                << " epochs]: "
                 << util::with_thousands(snap->report.peering_ips)
                 << " peering IPs, "
                 << util::with_thousands(snap->report.server_ips)
@@ -610,7 +626,9 @@ int cmd_serve(const Options& opt) {
   std::cout << "drained after "
             << util::with_thousands(
                    final_snapshot->accounting.intake.totals().received)
-            << " datagrams (final epoch " << final_snapshot->epoch << ")\n";
+            << " datagrams (final epoch " << final_snapshot->epoch
+            << ", report folds " << final_snapshot->epochs_folded
+            << " sealed epochs)\n";
   print_report(final_snapshot->report);
   print_serve_accounting(final_snapshot->accounting);
   return 0;
@@ -716,6 +734,116 @@ int cmd_diff(const Options& opt) {
   return 0;
 }
 
+/// An owning ingest::IngestSource over one generated week: holds the
+/// samples and delegates batching/splitting to a SpanSource, so the
+/// parallel engine consumes a synthetic week exactly like a trace.
+class GeneratedWeekSource final : public ingest::IngestSource {
+ public:
+  GeneratedWeekSource(std::vector<sflow::FlowSample> samples,
+                      std::size_t batch_size)
+      : samples_(std::move(samples)), span_(samples_, batch_size) {}
+
+  ingest::SourceStatus next_batch(ingest::SampleBatch& out) override {
+    return span_.next_batch(out);
+  }
+  [[nodiscard]] sflow::ReaderStats stats() const override {
+    return span_.stats();
+  }
+  [[nodiscard]] bool ok() const override { return span_.ok(); }
+  std::vector<std::unique_ptr<ingest::IngestSource>> split(
+      std::size_t want) override {
+    return span_.split(want);
+  }
+
+ private:
+  std::vector<sflow::FlowSample> samples_;
+  ingest::SpanSource span_;
+};
+
+int cmd_weeks(const Options& opt) {
+  if (opt.dir.empty()) {
+    std::cerr << "weeks needs --dir PATH\n";
+    return usage();
+  }
+  if (opt.to_week < opt.from_week) {
+    std::cerr << "weeks: --from must not exceed --to\n";
+    return 2;
+  }
+
+  const auto world = build_world(opt);
+  core::VantagePoint vantage = make_vantage(world);
+  core::ParallelOptions popt;
+  popt.threads = static_cast<unsigned>(opt.ingest.threads);
+  core::ParallelAnalyzer analyzer{vantage, popt};
+  store::WeeksRunner runner{vantage, analyzer, store::SnapshotStore{opt.dir}};
+
+  const auto make_source =
+      [&](int week) -> std::unique_ptr<ingest::IngestSource> {
+    std::vector<sflow::FlowSample> samples;
+    world.workload->generate_week(
+        week, [&](const sflow::FlowSample& s) { samples.push_back(s); });
+    return std::make_unique<GeneratedWeekSource>(std::move(samples), 512);
+  };
+  const auto fetcher_for = [&](int week) { return make_fetcher(world, week); };
+
+  store::WeeksOptions wopt;
+  wopt.from_week = opt.from_week;
+  wopt.to_week = opt.to_week;
+  const auto result = runner.run(wopt, make_source, fetcher_for);
+
+  for (const auto& event : result.quarantined) {
+    std::cerr << "weeks: quarantined " << event.file << " -> "
+              << event.quarantined_as << " ("
+              << store::error_name(event.error) << ")\n";
+  }
+  if (result.stale_temps_removed != 0) {
+    std::cerr << "weeks: removed " << result.stale_temps_removed
+              << " stale temp file(s) from an interrupted run\n";
+  }
+  if (result.store_unreadable) {
+    std::cerr << "weeks: snapshot directory unusable: " << result.error
+              << "\n";
+    return 5;
+  }
+  if (!result.ok) {
+    std::cerr << "weeks: " << result.error << "\n";
+    return 1;
+  }
+
+  util::Table table{"weeks " + std::to_string(opt.from_week) + ".." +
+                    std::to_string(opt.to_week) + " (" + opt.dir + ")"};
+  table.header({"week", "source", "peering IPs", "server IPs", "volume"});
+  bool degraded = false;
+  for (const auto& outcome : result.weeks) {
+    degraded = degraded || outcome.report.degraded;
+    table.row({std::to_string(outcome.week),
+               outcome.resumed ? "snapshot" : "computed",
+               util::with_thousands(outcome.report.peering_ips),
+               util::with_thousands(outcome.report.server_ips),
+               util::bytes(outcome.report.peering_bytes())});
+  }
+  table.print(std::cout);
+  std::cout << result.weeks_resumed << " week(s) resumed from snapshots, "
+            << result.weeks_computed << " computed\n";
+
+  const auto& lon = result.longitudinal;
+  std::cout << "longitudinal (weeks " << lon.first_week << ".."
+            << lon.last_week << "):\n"
+            << "  server universe: "
+            << util::with_thousands(lon.server_universe) << " IPs\n"
+            << "  always-on servers: "
+            << util::with_thousands(lon.always_on_servers) << " ("
+            << util::percent(lon.always_on_traffic_share, 2)
+            << " of final-week traffic)\n"
+            << "  mean weekly churn: " << util::percent(lon.mean_weekly_churn, 2)
+            << "\n";
+  if (degraded) {
+    std::cerr << "warning: at least one computed week was degraded\n";
+    return 3;
+  }
+  return 0;
+}
+
 int cmd_bgp_export(const Options& opt) {
   if (opt.out_path.empty()) return usage();
   const auto world = build_world(opt);
@@ -742,6 +870,7 @@ int main(int argc, char** argv) {
   if (opt.command == "serve") return cmd_serve(opt);
   if (opt.command == "replay") return cmd_replay(opt);
   if (opt.command == "diff") return cmd_diff(opt);
+  if (opt.command == "weeks") return cmd_weeks(opt);
   if (opt.command == "bgp-export") return cmd_bgp_export(opt);
   return usage();
 }
