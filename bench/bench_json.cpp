@@ -9,6 +9,8 @@
 #include <iostream>
 #include <new>
 
+#include "util/cpu_features.hpp"
+
 // ---------------------------------------------------------------------
 // Allocation counting: interpose the global allocation functions. Every
 // bench binary links this translation unit (via the bench harness), so
@@ -160,7 +162,8 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
 Suite::Suite(std::string name, BenchArgs args)
     : name_(std::move(name)), args_(std::move(args)) {
   std::cout << "suite " << name_ << " (rev " << git_rev() << ", threads "
-            << args_.threads << ")\n";
+            << args_.threads << ", simd "
+            << util::CpuFeatures::name(util::CpuFeatures::active()) << ")\n";
 }
 
 Suite::~Suite() { flush(); }
@@ -217,6 +220,13 @@ void Suite::flush() {
       << "  \"schema\": \"ixpscope-bench-v1\",\n"
       << "  \"suite\": \"" << json_escape(name_) << "\",\n"
       << "  \"git_rev\": \"" << json_escape(git_rev()) << "\",\n"
+      // CPU identity of the run: bench_diff refuses to gate ns/item
+      // across machines (or SIMD tiers) whose stamps differ.
+      << "  \"cpu_flags\": \""
+      << json_escape(util::CpuFeatures::flags_string()) << "\",\n"
+      << "  \"simd_level\": \""
+      << json_escape(util::CpuFeatures::name(util::CpuFeatures::active()))
+      << "\",\n"
       << "  \"threads\": " << args_.threads << ",\n"
       << "  \"results\": [";
   for (std::size_t i = 0; i < results_.size(); ++i) {

@@ -128,6 +128,7 @@ int main(int argc, char** argv) {
   suite.run_case("flat_lpm_build/445000", 3, [&](std::uint64_t iters, int) {
     for (std::uint64_t it = 0; it < iters; ++it) {
       net::FlatLpm<std::uint32_t> flat;
+      flat.reserve(full.size());
       for (std::size_t i = 0; i < full.size(); ++i)
         flat.insert(full[i], static_cast<std::uint32_t>(i));
       bench::keep(flat.size());
@@ -183,6 +184,33 @@ int main(int argc, char** argv) {
                    });
   }
 
+  // Cold batched form: 64 distinct 4096-address batches cycled in turn —
+  // 262K uniform addresses against 32K cache slots, so nearly every probe
+  // misses and the chunked table walk (prefetched top loads + spill
+  // pipeline) plus the per-miss cache refill carry the cost. This is the
+  // adversarial upper bound; sampled traffic is zipf-skewed and tracks
+  // the hot case above.
+  {
+    constexpr std::size_t kBatch = 4096;
+    constexpr std::size_t kBatchSets = 64;
+    util::Rng rng{9};
+    std::vector<std::vector<net::Ipv4Addr>> sets(kBatchSets);
+    for (auto& set : sets) {
+      set.reserve(kBatch);
+      for (std::size_t i = 0; i < kBatch; ++i)
+        set.emplace_back(static_cast<std::uint32_t>(rng()));
+    }
+    std::vector<const std::uint32_t*> out(kBatch);
+    suite.run_case("flat_lpm_lookup_batch_cold/445000", 2000,
+                   [&](std::uint64_t iters, int) {
+                     for (std::uint64_t it = 0; it < iters; ++it) {
+                       flat.lookup_batch(sets[it % kBatchSets], out);
+                       bench::keep(out[kBatch - 1]);
+                     }
+                     return iters * kBatch;
+                   });
+  }
+
   // The production wrapper (FlatLpm<Route> behind the lookup API).
   {
     net::RoutingTable table;
@@ -202,15 +230,29 @@ int main(int argc, char** argv) {
   double trie_ns = 0.0;
   double flat_ns = 0.0;
   double batch_ns = 0.0;
+  double build_allocs = 0.0;
   for (const auto& result : results) {
     if (result.name == "trie_lookup/445000") trie_ns = result.ns_per_item();
     if (result.name == "flat_lpm_lookup/445000") flat_ns = result.ns_per_item();
     if (result.name == "flat_lpm_lookup_batch/445000")
       batch_ns = result.ns_per_item();
+    if (result.name == "flat_lpm_build/445000")
+      build_allocs = result.allocs_per_item();
   }
   if (flat_ns > 0.0 && batch_ns > 0.0)
     std::printf(
         "445K-prefix lookup: flat vs trie %.2fx, batched vs trie %.2fx\n",
         trie_ns / flat_ns, trie_ns / batch_ns);
+  // Guard the build-allocation fix: with reserve() and the flat exact-
+  // match index, a 445K-prefix build performs a few dozen allocations
+  // total (~0.0001/item). The node-per-insert regression this replaced
+  // sat at ~0.77/item, so any drift past 0.01 is a structural relapse.
+  if (build_allocs > 0.01) {
+    std::fprintf(stderr,
+                 "FAIL: flat_lpm_build/445000 at %.4f allocs/item "
+                 "(expected < 0.01; node-per-insert regression?)\n",
+                 build_allocs);
+    return 1;
+  }
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "classify/dissector.hpp"
 
+#include "classify/lane_flags.hpp"
+
 #include <algorithm>
 #include <tuple>
 
@@ -78,6 +80,10 @@ void TrafficDissector::ingest_fields(net::Ipv4Addr src, net::Ipv4Addr dst,
   if (!host.empty())
     hosts_.prefetch(indication == HttpIndication::kRequest ? dst : src);
 
+  // Up to two inserts follow; grow first so the second operator[] can
+  // never rehash out from under the first reference (src_info would
+  // dangle into the freed slot array — caught by ASan at bench scale).
+  activity_.reserve(activity_.size() + 2);
   IpActivity& src_info = activity_[src];
   IpActivity& dst_info = activity_[dst];
   src_info.samples += 1;
@@ -140,7 +146,7 @@ void TrafficDissector::ingest_fields(net::Ipv4Addr src, net::Ipv4Addr dst,
 void TrafficDissector::ingest(std::span<const PeeringSample> batch) {
   // Far enough ahead that the prefetched lines arrive before use, close
   // enough that they are not evicted again in between.
-  constexpr std::size_t kLookahead = 4;
+  constexpr std::size_t kLookahead = 8;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (i + kLookahead < batch.size()) {
       const sflow::ParsedFrame& ahead = batch[i + kLookahead].frame;
@@ -155,27 +161,57 @@ void TrafficDissector::ingest(const FrameBatch& batch) {
   const std::size_t n = batch.size();
   const net::Ipv4Addr* src = batch.src();
   const net::Ipv4Addr* dst = batch.dst();
-  const std::uint16_t* src_port = batch.src_port();
-  const std::uint16_t* dst_port = batch.dst_port();
-  const std::uint8_t* tcp = batch.tcp();
   const std::uint64_t* bytes = batch.bytes();
   const std::uint64_t* seq = batch.seq();
   const std::uint8_t* indication = batch.indication();
   const std::string_view* host = batch.host();
 
-  // The address arrays are contiguous, so the lookahead reads cost a
-  // fraction of a cache line each; a deeper distance than the AoS path
-  // keeps more probe lines in flight without thrashing.
+  // Phase-split form (DESIGN.md §14), equivalent to per-sample
+  // ingest_fields in index order because every per-IP update is an OR
+  // or an add (both commute) and the host pass preserves sample order:
+  //   A. lane-wise evidence bytes out of the SoA port/transport/
+  //      indication arrays (LaneFlags, SIMD-dispatched) — all of the
+  //      sample's data-dependent branching, hoisted out of the loop
+  //      that touches the tables;
+  //   B. one branchless interleaved probe stream over the activity
+  //      table, src and dst per sample, prefetched kLookahead ahead;
+  //   C. Host-header evidence in sample order (note_host's bounded-set
+  //      eviction is order-sensitive, so this order is the contract).
+  constexpr std::size_t kChunk = 512;
   constexpr std::size_t kLookahead = 8;
-  const std::size_t fetchable = n > kLookahead ? n - kLookahead : 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (i < fetchable) {
-      activity_.prefetch(src[i + kLookahead]);
-      activity_.prefetch(dst[i + kLookahead]);
+  std::uint8_t src_flags[kChunk];
+  std::uint8_t dst_flags[kChunk];
+
+  for (std::size_t base = 0; base < n; base += kChunk) {
+    const std::size_t m = std::min(kChunk, n - base);
+    LaneFlags::compute(batch.src_port() + base, batch.dst_port() + base,
+                       batch.tcp() + base, indication + base, m, src_flags,
+                       dst_flags);
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t ahead = base + i + kLookahead;
+      if (ahead < n) {
+        activity_.prefetch(src[ahead]);
+        activity_.prefetch(dst[ahead]);
+      }
+      const std::size_t at = base + i;
+      IpActivity& src_info = activity_[src[at]];
+      src_info.samples += 1;
+      src_info.bytes += bytes[at];
+      src_info.flags |= src_flags[i];
+      IpActivity& dst_info = activity_[dst[at]];
+      dst_info.samples += 1;
+      dst_info.bytes += bytes[at];
+      dst_info.flags |= dst_flags[i];
+      total_bytes_ += bytes[at];
     }
-    ingest_fields(src[i], dst[i], src_port[i], dst_port[i], tcp[i] != 0,
-                  static_cast<HttpIndication>(indication[i]), host[i],
-                  bytes[i], seq[i]);
+    for (std::size_t i = base; i < base + m; ++i) {
+      if (host[i].empty()) continue;
+      const auto ind = static_cast<HttpIndication>(indication[i]);
+      if (ind == HttpIndication::kRequest)
+        note_host(dst[i], host[i], seq[i]);
+      else if (ind == HttpIndication::kResponse)
+        note_host(src[i], host[i], seq[i]);
+    }
   }
 }
 

@@ -100,8 +100,11 @@ class TrafficDissector {
   /// sample in order, but the per-sample fields were derived once at
   /// filter time and stream out of FrameBatch's parallel arrays, and
   /// the address arrays drive the prefetch lookahead directly. This is
-  /// the production shard path (WeekShard::observe_batch).
-  void ingest(const FrameBatch& batch);
+  /// the production shard path (WeekShard::observe_batch). Placed in
+  /// .text.hot: the table-update loop is front-end sensitive, and
+  /// grouping it with the other hot kernels keeps its placement stable
+  /// as unrelated TUs move around the image.
+  [[gnu::hot]] void ingest(const FrameBatch& batch);
 
   /// Marks an IP as a confirmed HTTPS server (prober feedback).
   void confirm_https(net::Ipv4Addr addr);

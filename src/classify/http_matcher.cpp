@@ -1,132 +1,31 @@
 #include "classify/http_matcher.hpp"
 
-#include <array>
-#include <cctype>
+#include "classify/http_match_impl.hpp"
+#include "util/cpu_features.hpp"
 
 namespace ixp::classify {
 
-namespace {
-
-constexpr std::array<std::string_view, 8> kMethods{
-    "GET ", "HEAD ", "POST ", "PUT ", "DELETE ", "OPTIONS ", "TRACE ", "CONNECT "};
-
-// Header field words per the RFCs / W3C specs the paper cites.
-constexpr std::array<std::string_view, 10> kHeaderFields{
-    "Host:", "Server:", "Content-Type:", "Content-Length:", "User-Agent:",
-    "Accept:", "Set-Cookie:", "Cache-Control:", "Location:",
-    "Access-Control-Allow-Methods:"};
-
-bool starts_with(std::string_view text, std::string_view prefix) {
-  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
-}
-
-/// True at byte `b` for every byte that starts one of `words`. Each
-/// starts_with probe costs a library memcmp; on the per-sample hot path
-/// that is the dominant cost for non-HTTP payloads, so gate the whole
-/// probe loop behind a single table lookup on the first byte.
-template <std::size_t N>
-constexpr std::array<bool, 256> first_byte_table(
-    const std::array<std::string_view, N>& words) {
-  std::array<bool, 256> table{};
-  for (const std::string_view word : words)
-    table[static_cast<unsigned char>(word.front())] = true;
-  return table;
-}
-
-constexpr auto kMethodFirst = first_byte_table(kMethods);
-constexpr auto kFieldFirst = first_byte_table(kHeaderFields);
-
-/// True when `line` (a request's first line) ends in HTTP/1.0 or HTTP/1.1.
-bool request_line_has_version(std::string_view line) {
-  const std::size_t at = line.rfind("HTTP/1.");
-  if (at == std::string_view::npos) return false;
-  if (at + 8 > line.size()) return false;
-  const char minor = line[at + 7];
-  return minor == '0' || minor == '1';
-}
-
-std::string_view first_line(std::string_view text) {
-  const std::size_t eol = text.find("\r\n");
-  return eol == std::string_view::npos ? text : text.substr(0, eol);
-}
-
-/// Extracts the value following "Host:" up to CRLF (trimmed). Returns a
-/// view into `text` — no allocation; empty view when the field is absent
-/// or its value empty.
-std::string_view extract_header(std::string_view text, std::string_view field) {
-  const std::size_t at = text.find(field);
-  if (at == std::string_view::npos) return {};
-  std::size_t begin = at + field.size();
-  while (begin < text.size() && text[begin] == ' ') ++begin;
-  std::size_t end = begin;
-  while (end < text.size() && text[end] != '\r' && text[end] != '\n') ++end;
-  // A value truncated by the capture boundary is unusable only if empty.
-  return text.substr(begin, end - begin);
-}
-
-}  // namespace
-
 HttpMatch HttpMatcher::match(std::string_view payload) {
-  HttpMatch result;
-  if (payload.empty()) return result;
+#ifdef IXPSCOPE_HTTP_X86
+  const util::SimdLevel level = util::CpuFeatures::active();
+  if (level >= util::SimdLevel::kAvx2) return detail::match_avx2(payload);
+  if (level >= util::SimdLevel::kSse2)
+    return detail::match_impl<detail::Sse2Policy>(payload);
+#endif
+  return detail::match_impl<detail::ScalarPolicy>(payload);
+}
 
-  const std::string_view line = first_line(payload);
-
-  // Pattern 1a: request line "METHOD SP path SP HTTP/1.x". (line[0], when
-  // it exists, equals payload[0]; an empty line can't start a method.)
-  if (kMethodFirst[static_cast<unsigned char>(payload[0])]) {
-    for (const std::string_view method : kMethods) {
-      if (!starts_with(line, method)) continue;
-      if (!request_line_has_version(line)) break;  // e.g. RTSP or truncated
-      result.indication = HttpIndication::kRequest;
-      const std::size_t path_begin = method.size();
-      const std::size_t path_end = line.find(' ', path_begin);
-      if (path_end != std::string_view::npos && path_end > path_begin)
-        result.path = line.substr(path_begin, path_end - path_begin);
-      result.host = extract_header(payload, "Host:");
-      return result;
-    }
-  }
-
-  // Pattern 1b: response status line "HTTP/1.x NNN".
-  if (starts_with(line, "HTTP/1.") && line.size() >= 12 &&
-      (line[7] == '0' || line[7] == '1') && line[8] == ' ' &&
-      std::isdigit(static_cast<unsigned char>(line[9])) &&
-      std::isdigit(static_cast<unsigned char>(line[10])) &&
-      std::isdigit(static_cast<unsigned char>(line[11]))) {
-    result.indication = HttpIndication::kResponse;
-    result.host = extract_header(payload, "Host:");
-    return result;
-  }
-
-  // Pattern 2: header field words at the start of a line, anywhere in the
-  // snippet (mid-connection packets of a header that spans frames; the
-  // begin-of-line anchor avoids matching random payload bytes). One walk
-  // over line starts rather than one substring search per field word: a
-  // non-HTTP capture has almost no '\n' bytes, so this decides "miss" in
-  // a handful of prefix probes instead of ten scans of the payload.
-  std::size_t pos = 0;
-  while (true) {
-    if (pos < payload.size() &&
-        kFieldFirst[static_cast<unsigned char>(payload[pos])]) {
-      const std::string_view rest = payload.substr(pos);
-      for (const std::string_view field : kHeaderFields) {
-        if (starts_with(rest, field)) {
-          result.indication = HttpIndication::kHeaderOnly;
-          result.host = extract_header(payload, "Host:");
-          return result;
-        }
-      }
-    }
-    const std::size_t nl = payload.find('\n', pos);
-    if (nl == std::string_view::npos) break;
-    pos = nl + 1;
-  }
-  return result;
+HttpMatch HttpMatcher::match_scalar(std::string_view payload) {
+  return detail::match_impl<detail::ScalarPolicy>(payload);
 }
 
 HttpMatch HttpMatcher::match(std::span<const std::byte> payload) {
   return match(std::string_view{
+      reinterpret_cast<const char*>(payload.data()), payload.size()});
+}
+
+HttpMatch HttpMatcher::match_scalar(std::span<const std::byte> payload) {
+  return match_scalar(std::string_view{
       reinterpret_cast<const char*>(payload.data()), payload.size()});
 }
 

@@ -41,11 +41,18 @@ class HttpMatcher {
  public:
   /// Scans a captured payload snippet. The snippet may be truncated
   /// mid-line (sFlow capture boundary) — partial trailing tokens are
-  /// ignored rather than misparsed.
+  /// ignored rather than misparsed. Dispatches to the widest vector
+  /// tier util::CpuFeatures reports (DESIGN.md §14); every tier is held
+  /// byte-identical to match_scalar by the differential fuzz suite.
   [[nodiscard]] static HttpMatch match(std::span<const std::byte> payload);
 
   /// Convenience overload for text.
   [[nodiscard]] static HttpMatch match(std::string_view payload);
+
+  /// The scalar reference implementation — the oracle the SIMD tiers
+  /// are differentially tested against. Same contract as match().
+  [[nodiscard]] static HttpMatch match_scalar(std::span<const std::byte> payload);
+  [[nodiscard]] static HttpMatch match_scalar(std::string_view payload);
 };
 
 }  // namespace ixp::classify

@@ -1,0 +1,93 @@
+// The 32-byte matcher policy. This TU is compiled with -mavx2 (see
+// src/classify/CMakeLists.txt) so the intrinsics inline into
+// match_impl; HttpMatcher::match only routes here after
+// util::CpuFeatures reported a CPU and OS that support AVX2. If the
+// toolchain builds this file without AVX2 (non-x86, or a compiler
+// without -mavx2), match_avx2 degrades to the SSE2 form so the symbol
+// always exists.
+#include "classify/http_match_impl.hpp"
+
+#ifdef IXPSCOPE_HTTP_X86
+
+#ifdef __AVX2__
+#include <immintrin.h>
+
+namespace ixp::classify::detail {
+
+namespace {
+
+struct Avx2Policy {
+  static std::size_t find_lf(std::string_view text, std::size_t from) noexcept {
+    const char* p = text.data();
+    const std::size_t n = text.size();
+    const __m256i lf = _mm256_set1_epi8('\n');
+    std::size_t i = from;
+    for (; i + 32 <= n; i += 32) {
+      const unsigned found =
+          static_cast<unsigned>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i)),
+              lf)));
+      if (found != 0)
+        return i + static_cast<std::size_t>(__builtin_ctz(found));
+    }
+    if (i < n) return Sse2Policy::find_lf(text, i);
+    return std::string_view::npos;
+  }
+
+  static std::size_t find_crlf(std::string_view text) noexcept {
+    const char* p = text.data();
+    const std::size_t n = text.size();
+    const __m256i cr = _mm256_set1_epi8('\r');
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+      unsigned found =
+          static_cast<unsigned>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i)),
+              cr)));
+      while (found != 0) {
+        const std::size_t at =
+            i + static_cast<std::size_t>(__builtin_ctz(found));
+        if (at + 1 < n && p[at + 1] == '\n') return at;
+        found &= found - 1;
+      }
+    }
+    for (; i + 1 < n; ++i)
+      if (p[i] == '\r' && p[i + 1] == '\n') return i;
+    return std::string_view::npos;
+  }
+
+  static bool token_at(std::string_view text, std::size_t pos,
+                       const PaddedToken& token) noexcept {
+    if (pos + token.len > text.size()) return false;
+    if (pos + 32 > text.size())  // near the payload end: 16-byte/scalar form
+      return Sse2Policy::token_at(text, pos, token);
+    const unsigned eq =
+        static_cast<unsigned>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(text.data() + pos)),
+            _mm256_load_si256(
+                reinterpret_cast<const __m256i*>(token.bytes)))));
+    return (eq & token.mask) == token.mask;
+  }
+};
+
+}  // namespace
+
+HttpMatch match_avx2(std::string_view payload) noexcept {
+  return match_impl<Avx2Policy>(payload);
+}
+
+}  // namespace ixp::classify::detail
+
+#else  // !__AVX2__
+
+namespace ixp::classify::detail {
+
+HttpMatch match_avx2(std::string_view payload) noexcept {
+  return match_impl<Sse2Policy>(payload);
+}
+
+}  // namespace ixp::classify::detail
+
+#endif  // __AVX2__
+#endif  // IXPSCOPE_HTTP_X86

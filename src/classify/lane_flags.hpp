@@ -1,0 +1,46 @@
+// LaneFlags — lane-wise evidence-bit extraction from FrameBatch arrays.
+//
+// The dissector's per-sample switch (request/response/header-only ×
+// port tests) costs more in branch mispredicts than in arithmetic: a
+// realistic traffic mix keeps every branch unpredictable. This kernel
+// re-states the whole decision as bitwise algebra over the SoA port /
+// transport / indication arrays and evaluates it 8–16 samples per step
+// (SSE2 / AVX2, dispatched via util::CpuFeatures), writing one evidence
+// byte per endpoint. The dissector's table-update pass then runs with
+// no data-dependent branches at all (DESIGN.md §14).
+//
+// compute_scalar is the oracle: the dispatched form is held byte-
+// identical to it by the differential fuzz suite
+// (tests/classify/simd_differential_test.cpp) on arbitrary inputs,
+// including non-TCP samples and every indication value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ixp::classify {
+
+class LaneFlags {
+ public:
+  /// Computes the per-sample evidence bytes the dissector ORs into the
+  /// source and destination IpActivity entries: candidate-443 / RTMP
+  /// port evidence (TCP only) plus the HTTP server/client/port bits
+  /// implied by the sample's HttpIndication. All arrays hold `n`
+  /// index-aligned entries; `src_flags`/`dst_flags` are fully written.
+  [[gnu::hot]] static void compute(const std::uint16_t* src_port,
+                                   const std::uint16_t* dst_port,
+                                   const std::uint8_t* tcp,
+                                   const std::uint8_t* indication,
+                                   std::size_t n, std::uint8_t* src_flags,
+                                   std::uint8_t* dst_flags) noexcept;
+
+  /// The scalar reference the SIMD paths are tested against.
+  static void compute_scalar(const std::uint16_t* src_port,
+                             const std::uint16_t* dst_port,
+                             const std::uint8_t* tcp,
+                             const std::uint8_t* indication, std::size_t n,
+                             std::uint8_t* src_flags,
+                             std::uint8_t* dst_flags) noexcept;
+};
+
+}  // namespace ixp::classify

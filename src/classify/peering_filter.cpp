@@ -1,5 +1,7 @@
 #include "classify/peering_filter.hpp"
 
+#include "sflow/fast_parse.hpp"
+
 namespace ixp::classify {
 
 std::optional<PeeringSample> PeeringFilter::filter(
@@ -12,7 +14,7 @@ std::optional<PeeringSample> PeeringFilter::filter(
     counters.bytes[static_cast<std::size_t>(c)] += expanded;
   };
 
-  const auto parsed = sflow::parse_frame(sample.frame);
+  const auto parsed = sflow::parse_frame_fast(sample.frame);
   if (!parsed) {
     // Unparsable captures are treated as non-IPv4 junk.
     account(TrafficClass::kNonIpv4);

@@ -1,0 +1,26 @@
+// Lane-wise fast decode of sampled frames (DESIGN.md §14).
+//
+// parse_frame() recovers the layered view one header at a time through
+// per-field optional parsing — the right shape for correctness, but on
+// the peering hot path >98% of captures share a single layout:
+// Ethernet + IPv4 with ihl=5 + TCP or UDP. parse_frame_fast() decodes
+// that layout with wide loads: the IPv4 checksum as five 32-bit lane
+// sums folded once (an RFC 1071 ones-complement sum is byte-order
+// independent for the ==0 validity check), ports and lengths as direct
+// big-endian loads at fixed offsets. Any frame outside the fast shape —
+// short capture, non-IPv4 EtherType, IP options, bad checksum — is
+// handed to parse_frame() unchanged, so the two entry points are
+// byte-identical by construction on the slow lane and held identical on
+// the fast lane by a differential fuzz suite (frame_test.cpp) over
+// clean and fault-injected captures.
+#pragma once
+
+#include "sflow/frame.hpp"
+
+namespace ixp::sflow {
+
+/// Drop-in replacement for parse_frame(); same contract, same results.
+[[nodiscard]] std::optional<ParsedFrame> parse_frame_fast(
+    const SampledFrame& frame);
+
+}  // namespace ixp::sflow

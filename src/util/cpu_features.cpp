@@ -1,0 +1,111 @@
+#include "util/cpu_features.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define IXPSCOPE_X86 1
+#endif
+
+namespace ixp::util {
+
+namespace {
+
+CpuFeatures probe() noexcept {
+  CpuFeatures features;
+#ifdef IXPSCOPE_X86
+  unsigned eax = 0;
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+  unsigned edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) != 0) {
+    features.sse2 = (edx & (1u << 26)) != 0;
+    features.sse42 = (ecx & (1u << 20)) != 0;
+    // AVX2 requires the OS to save YMM state: OSXSAVE + XCR0 bits 1..2,
+    // then the AVX2 bit in leaf 7. Checking only leaf 7 would dispatch
+    // AVX2 code on kernels that never restore the upper lanes.
+    const bool osxsave = (ecx & (1u << 27)) != 0;
+    const bool avx = (ecx & (1u << 28)) != 0;
+    if (osxsave && avx) {
+      // xgetbv via inline asm: the builtin needs -mxsave, which the
+      // baseline build deliberately does not pass.
+      unsigned xcr0_lo = 0;
+      unsigned xcr0_hi = 0;
+      asm volatile("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0));
+      const unsigned xcr0 = xcr0_lo;
+      if ((xcr0 & 0x6u) == 0x6u &&
+          __get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0)
+        features.avx2 = (ebx & (1u << 5)) != 0;
+    }
+  }
+#endif
+  return features;
+}
+
+SimdLevel hardware_level(const CpuFeatures& features) noexcept {
+  if (features.avx2) return SimdLevel::kAvx2;
+  if (features.sse2) return SimdLevel::kSse2;
+  return SimdLevel::kScalar;
+}
+
+SimdLevel resolve_active() noexcept {
+#ifdef IXPSCOPE_DISABLE_SIMD
+  return SimdLevel::kScalar;
+#else
+  SimdLevel level = hardware_level(CpuFeatures::detect());
+  if (const char* env = std::getenv("IXPSCOPE_SIMD")) {
+    // The override clamps downward only — requesting a level the CPU
+    // lacks silently keeps the detected one.
+    if (std::strcmp(env, "scalar") == 0 || std::strcmp(env, "swar") == 0)
+      level = SimdLevel::kScalar;
+    else if (std::strcmp(env, "sse2") == 0 && level > SimdLevel::kSse2)
+      level = SimdLevel::kSse2;
+  }
+  return level;
+#endif
+}
+
+}  // namespace
+
+const CpuFeatures& CpuFeatures::detect() noexcept {
+  static const CpuFeatures cached = probe();
+  return cached;
+}
+
+SimdLevel CpuFeatures::active() noexcept {
+  static const SimdLevel cached = resolve_active();
+  return cached;
+}
+
+std::string_view CpuFeatures::name(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kSse2: return "sse2";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "scalar";
+}
+
+std::string_view CpuFeatures::flags_string() noexcept {
+  static const std::string_view cached = [] {
+    const CpuFeatures& features = detect();
+    static char buffer[32];
+    char* at = buffer;
+    const auto append = [&](const char* flag) {
+      if (at != buffer) *at++ = ',';
+      const std::size_t len = std::strlen(flag);
+      std::memcpy(at, flag, len);
+      at += len;
+    };
+    if (features.sse2) append("sse2");
+    if (features.sse42) append("sse4.2");
+    if (features.avx2) append("avx2");
+    if (at == buffer) append("none");
+    *at = '\0';
+    return std::string_view{buffer, static_cast<std::size_t>(at - buffer)};
+  }();
+  return cached;
+}
+
+}  // namespace ixp::util

@@ -1,0 +1,98 @@
+#include "util/huge_array.hpp"
+
+#include <atomic>
+#include <new>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define IXPSCOPE_HAVE_MMAP 1
+#endif
+
+namespace ixp::util {
+
+namespace {
+
+constexpr std::size_t kHugePage = 2u << 20;  // x86-64 2 MiB
+
+std::atomic<bool> g_force_small{false};
+
+}  // namespace
+
+std::string_view to_string(PageBacking backing) noexcept {
+  switch (backing) {
+    case PageBacking::kUnmapped: return "unmapped";
+    case PageBacking::kHugeExplicit: return "huge-explicit";
+    case PageBacking::kHugeTransparent: return "huge-transparent";
+    case PageBacking::kSmall: return "small-pages";
+    case PageBacking::kHeap: return "heap";
+  }
+  return "unmapped";
+}
+
+void force_small_pages(bool force) noexcept {
+  g_force_small.store(force, std::memory_order_relaxed);
+}
+
+bool small_pages_forced() noexcept {
+  return g_force_small.load(std::memory_order_relaxed);
+}
+
+HugeBuffer::HugeBuffer(std::size_t bytes) : bytes_(bytes) {
+  if (bytes == 0) return;
+#ifdef IXPSCOPE_HAVE_MMAP
+  const bool forced_small = small_pages_forced();
+#if defined(MAP_HUGETLB)
+  if (!forced_small) {
+    // Explicit huge pages: size must be huge-page aligned; fails cleanly
+    // (ENOMEM) when the hugetlb pool is empty or unconfigured.
+    const std::size_t rounded = (bytes + kHugePage - 1) & ~(kHugePage - 1);
+    void* mapped = ::mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                          MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+    if (mapped != MAP_FAILED) {
+      data_ = mapped;
+      mapped_ = rounded;
+      backing_ = PageBacking::kHugeExplicit;
+      return;
+    }
+  }
+#endif
+  void* mapped = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mapped != MAP_FAILED) {
+    data_ = mapped;
+    mapped_ = bytes;
+    backing_ = PageBacking::kSmall;
+#if defined(MADV_HUGEPAGE)
+    // Transparent huge pages are advisory: an accepted madvise means the
+    // kernel MAY assemble 2 MiB pages here, not that it did (on many VMs
+    // it never does). Report kHugeTransparent for "advice accepted" and
+    // let callers measure rather than trust.
+    if (!forced_small && ::madvise(mapped, bytes, MADV_HUGEPAGE) == 0)
+      backing_ = PageBacking::kHugeTransparent;
+#endif
+    return;
+  }
+#endif  // IXPSCOPE_HAVE_MMAP
+  data_ = ::operator new(bytes);
+  mapped_ = bytes;
+  backing_ = PageBacking::kHeap;
+}
+
+HugeBuffer::~HugeBuffer() { release(); }
+
+void HugeBuffer::release() noexcept {
+  if (data_ == nullptr) return;
+#ifdef IXPSCOPE_HAVE_MMAP
+  if (backing_ != PageBacking::kHeap) {
+    ::munmap(data_, mapped_);
+    data_ = nullptr;
+    backing_ = PageBacking::kUnmapped;
+    return;
+  }
+#endif
+  ::operator delete(data_);
+  data_ = nullptr;
+  backing_ = PageBacking::kUnmapped;
+}
+
+}  // namespace ixp::util

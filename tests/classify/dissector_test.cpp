@@ -178,5 +178,29 @@ TEST(TrafficDissector, SummaryCounts) {
   EXPECT_EQ(summary.https_server_ips, 0u);
 }
 
+// Regression: ingest takes references into the activity table for BOTH
+// endpoints; if inserting the second endpoint rehashed the table, the
+// first reference dangled into the freed slot array and the update was
+// lost (or crashed). Growing the map one fresh address per sample walks
+// every rehash boundary up to 1024 slots, so the fixed-src counter must
+// come out exact — any boundary miss shows up as a short count.
+TEST(TrafficDissector, CounterSurvivesEveryRehashBoundary) {
+  TrafficDissector d;
+  constexpr int kSamples = 600;
+  for (int i = 0; i < kSamples; ++i) {
+    const Ipv4Addr fresh{10, 1, static_cast<std::uint8_t>(i >> 8),
+                         static_cast<std::uint8_t>(i & 0xFF)};
+    ingest(d, kClient, fresh, 40000, 9999, "x", 10);
+  }
+  ASSERT_TRUE(d.activity().contains(kClient));
+  EXPECT_EQ(d.activity().at(kClient).samples, static_cast<std::uint64_t>(kSamples));
+  EXPECT_EQ(d.activity().at(kClient).bytes, 10u * kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    const Ipv4Addr fresh{10, 1, static_cast<std::uint8_t>(i >> 8),
+                         static_cast<std::uint8_t>(i & 0xFF)};
+    EXPECT_EQ(d.activity().at(fresh).samples, 1u) << i;
+  }
+}
+
 }  // namespace
 }  // namespace ixp::classify

@@ -10,6 +10,14 @@
 // fail the diff (benches come and go across PRs). Exit codes: 0 no
 // regressions, 1 regression found, 2 usage or unreadable input.
 //
+// Like-for-like gating: when BOTH documents carry the cpu_flags /
+// simd_level stamps (bench_json writes them) and the stamps differ, the
+// runs executed on different hardware or different SIMD tiers and
+// ns/item is not comparable — the table is still printed, but no
+// regression is flagged and the exit code is 0. Stamps missing on either
+// side (pre-stamp baselines) gate as before: within one repo checkout a
+// baseline refresh and its PR run share a machine.
+//
 // The parser is deliberately minimal: it understands exactly the flat
 // document bench_json.cpp writes (one "results" array of one-line
 // objects with string/number fields), not general JSON.
@@ -103,14 +111,30 @@ std::vector<CaseResult> parse_results(const std::string& text) {
   return results;
 }
 
-std::optional<std::vector<CaseResult>> load(const std::string& path) {
+struct BenchDoc {
+  std::vector<CaseResult> results;
+  std::optional<std::string> cpu_flags;
+  std::optional<std::string> simd_level;
+};
+
+std::optional<BenchDoc> load(const std::string& path) {
   std::ifstream in{path};
   if (!in) return std::nullopt;
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  auto results = parse_results(buffer.str());
-  if (results.empty()) return std::nullopt;
-  return results;
+  const std::string text = buffer.str();
+  BenchDoc doc;
+  doc.results = parse_results(text);
+  if (doc.results.empty()) return std::nullopt;
+  // Top-level stamps precede the results array; restrict the search to
+  // the document head so a case could never alias them.
+  const std::size_t head_end = text.find("\"results\"");
+  const std::string_view head{text.data(),
+                              head_end == std::string::npos ? text.size()
+                                                            : head_end};
+  doc.cpu_flags = find_string(head, "cpu_flags");
+  doc.simd_level = find_string(head, "simd_level");
+  return doc;
 }
 
 const CaseResult* find_case(const std::vector<CaseResult>& results,
@@ -163,11 +187,24 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Unlike hardware or SIMD tier: report, but do not gate.
+  bool like_for_like = true;
+  if (base->cpu_flags && current->cpu_flags &&
+      (*base->cpu_flags != *current->cpu_flags ||
+       base->simd_level.value_or("") != current->simd_level.value_or(""))) {
+    like_for_like = false;
+    std::printf(
+        "note: baseline (cpu %s, simd %s) and current (cpu %s, simd %s) "
+        "are not like-for-like; differences are informational only\n",
+        base->cpu_flags->c_str(), base->simd_level.value_or("?").c_str(),
+        current->cpu_flags->c_str(), current->simd_level.value_or("?").c_str());
+  }
+
   int regressions = 0;
   std::printf("%-28s %12s %12s %9s\n", "case", "base ns/it", "now ns/it",
               "delta");
-  for (const auto& now : *current) {
-    const CaseResult* was = find_case(*base, now.name);
+  for (const auto& now : current->results) {
+    const CaseResult* was = find_case(base->results, now.name);
     if (was == nullptr) {
       std::printf("%-28s %12s %12.1f %9s  (new case)\n", now.name.c_str(), "-",
                   now.ns_per_item, "-");
@@ -188,12 +225,18 @@ int main(int argc, char** argv) {
                 allocs ? "  ALLOCS-REGRESSION" : "");
     if (slower || allocs) ++regressions;
   }
-  for (const auto& was : *base) {
-    if (find_case(*current, was.name) == nullptr)
+  for (const auto& was : base->results) {
+    if (find_case(current->results, was.name) == nullptr)
       std::printf("%-28s %12.1f %12s %9s  (removed)\n", was.name.c_str(),
                   was.ns_per_item, "-", "-");
   }
 
+  if (regressions > 0 && !like_for_like) {
+    std::printf(
+        "%d difference%s beyond %.0f%% NOT gated (unlike hardware)\n",
+        regressions, regressions == 1 ? "" : "s", tolerance);
+    return 0;
+  }
   if (regressions > 0) {
     std::printf("%d regression%s beyond %.0f%%\n", regressions,
                 regressions == 1 ? "" : "s", tolerance);
