@@ -22,6 +22,8 @@
 #include "bench_json.hpp"
 #include "classify/dissector.hpp"
 #include "classify/http_matcher.hpp"
+#include "classify/lane_flags.hpp"
+#include "util/cpu_features.hpp"
 #include "classify/peering_filter.hpp"
 #include "fabric/ixp.hpp"
 #include "sflow/frame.hpp"
@@ -348,6 +350,39 @@ int main(int argc, char** argv) {
           return iters * batch.size();
         });
     bench::keep(dissector.summarize());
+  }
+
+  // LaneFlags tier A/B: the evidence-bit kernel swept over the staged
+  // batch arrays with each implementation pinned directly — scalar
+  // branch form, the shipped SSE2 16-wide form, and the 32-wide AVX2
+  // form — so the dispatch decision in DESIGN.md §14.3 stays tied to
+  // measured numbers from this machine. The AVX2 case only runs (and
+  // only lands in the JSON) where the hardware can execute it; the
+  // stamped cpu_flags keep bench_diff from gating unlike machines
+  // against each other.
+  {
+    classify::FrameBatch batch;
+    batch.reserve(peering.size());
+    for (const classify::PeeringSample& sample : peering) batch.push(sample);
+    std::vector<std::uint8_t> src_flags(batch.size());
+    std::vector<std::uint8_t> dst_flags(batch.size());
+    const auto sweep = [&](auto kernel) {
+      return [&, kernel](std::uint64_t iters, int) {
+        for (std::uint64_t it = 0; it < iters; ++it)
+          kernel(batch.src_port(), batch.dst_port(), batch.tcp(),
+                 batch.indication(), batch.size(), src_flags.data(),
+                 dst_flags.data());
+        bench::keep(src_flags.empty() ? 0 : src_flags[0] ^ dst_flags[0]);
+        return iters * batch.size();
+      };
+    };
+    suite.run_case("lane_flags_scalar", 4000,
+                   sweep(classify::LaneFlags::compute_scalar));
+    suite.run_case("lane_flags_sse2", 20000,
+                   sweep(classify::detail::lane_flags_sse2));
+    if (util::CpuFeatures::detect().avx2)
+      suite.run_case("lane_flags_avx2", 20000,
+                     sweep(classify::detail::lane_flags_avx2));
   }
 
   // Pre-optimization baseline replica (see above).

@@ -2,17 +2,39 @@
 
 namespace ixp::classify {
 
-bool HttpsProber::probe_one(net::Ipv4Addr addr,
-                            const ChainFetcher& fetch) const {
-  const std::vector<x509::CertificateChain> fetched = fetch(addr, fetches_);
-  if (fetched.empty()) return false;
-  // Spread the fetch timestamps across the probing window ("we perform
-  // the active measurements several times and check for changes").
+namespace {
+
+/// The full stability sweep for one responder. `fetched` holds
+/// `fetches_per_ip` chains; timestamps spread across the probing window
+/// ("we perform the active measurements several times and check for
+/// changes").
+bool sweep_confirms(const x509::ChainValidator& validator,
+                    std::span<const x509::CertificateChain> fetched) {
   std::vector<x509::Timestamp> times;
   times.reserve(fetched.size());
   for (std::size_t i = 0; i < fetched.size(); ++i)
     times.push_back(static_cast<x509::Timestamp>(100 + 50 * i));
-  return validator_.validate_stable(fetched, times).ok;
+  return validator.validate_stable(fetched, times).ok;
+}
+
+}  // namespace
+
+bool HttpsProber::probe_one(net::Ipv4Addr addr,
+                            const ChainFetcher& fetch) const {
+  // Liveness short-circuit: one cheap fetch decides whether anything
+  // listens before the full stability sweep is paid. ~2/3 of candidate
+  // IPs are dead, so this saves fetches_per_ip - 1 fetches on most of
+  // the population.
+  std::vector<x509::CertificateChain> fetched = fetch(addr, 1);
+  if (fetched.empty()) return false;
+  if (fetches_ > 1) {
+    // Full sweep, refetched from scratch: verdicts must not depend on
+    // whether the liveness probe ran (flaky fetchers may answer
+    // differently per call).
+    fetched = fetch(addr, fetches_);
+    if (fetched.empty()) return false;
+  }
+  return sweep_confirms(validator_, fetched);
 }
 
 std::vector<net::Ipv4Addr> HttpsProber::probe(
@@ -21,14 +43,18 @@ std::vector<net::Ipv4Addr> HttpsProber::probe(
   std::vector<net::Ipv4Addr> confirmed;
   funnel.candidates += candidates.size();
   for (const net::Ipv4Addr addr : candidates) {
-    const std::vector<x509::CertificateChain> fetched = fetch(addr, fetches_);
-    if (fetched.empty()) continue;
+    std::vector<x509::CertificateChain> fetched = fetch(addr, 1);
+    if (fetched.empty()) {
+      // Nothing listened: early exit before the stability sweep.
+      ++funnel.early_exits;
+      continue;
+    }
+    if (fetches_ > 1) {
+      fetched = fetch(addr, fetches_);
+      if (fetched.empty()) continue;  // vanished mid-probe: not a responder
+    }
     ++funnel.responded;
-    std::vector<x509::Timestamp> times;
-    times.reserve(fetched.size());
-    for (std::size_t i = 0; i < fetched.size(); ++i)
-      times.push_back(static_cast<x509::Timestamp>(100 + 50 * i));
-    if (validator_.validate_stable(fetched, times).ok) {
+    if (sweep_confirms(validator_, fetched)) {
       ++funnel.confirmed;
       confirmed.push_back(addr);
     }

@@ -23,11 +23,15 @@ using ChainFetcher = std::function<std::vector<x509::CertificateChain>(
     net::Ipv4Addr addr, int times)>;
 
 /// The paper's identification funnel: ~1.5M candidates -> ~500K respond
-/// -> ~250K pass all checks (week 45).
+/// -> ~250K pass all checks (week 45). `early_exits` counts candidates
+/// dismissed by the cheap liveness fetch before the full stability sweep
+/// (the ~1M dead candidates dominate the crawl, so this is the population
+/// the short-circuit saves fetches on).
 struct ProbeFunnel {
   std::size_t candidates = 0;
   std::size_t responded = 0;
   std::size_t confirmed = 0;
+  std::size_t early_exits = 0;
 };
 
 class HttpsProber {
@@ -44,6 +48,12 @@ class HttpsProber {
   /// Single-IP variant; returns true when confirmed.
   [[nodiscard]] bool probe_one(net::Ipv4Addr addr,
                                const ChainFetcher& fetch) const;
+
+  /// Attaches a registrable-domain memo shared across the probe run (see
+  /// x509::DomainCache). Non-owning.
+  void set_domain_cache(x509::DomainCache* cache) noexcept {
+    validator_.set_domain_cache(cache);
+  }
 
  private:
   x509::ChainValidator validator_;

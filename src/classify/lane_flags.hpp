@@ -4,7 +4,7 @@
 // port tests) costs more in branch mispredicts than in arithmetic: a
 // realistic traffic mix keeps every branch unpredictable. This kernel
 // re-states the whole decision as bitwise algebra over the SoA port /
-// transport / indication arrays and evaluates it 8–16 samples per step
+// transport / indication arrays and evaluates it 16–32 samples per step
 // (SSE2 / AVX2, dispatched via util::CpuFeatures), writing one evidence
 // byte per endpoint. The dissector's table-update pass then runs with
 // no data-dependent branches at all (DESIGN.md §14).
@@ -42,5 +42,26 @@ class LaneFlags {
                              std::uint8_t* src_flags,
                              std::uint8_t* dst_flags) noexcept;
 };
+
+namespace detail {
+
+/// The fixed-width kernels behind LaneFlags::compute, exposed so the
+/// micro_hotpath A/B and the differential suite can pin each tier
+/// directly. On non-x86 builds lane_flags_sse2 degrades to the scalar
+/// form; lane_flags_avx2 (its own TU, compiled with -mavx2) degrades to
+/// the SSE2 form when the toolchain can't build it. Callers of the AVX2
+/// form must still gate on util::CpuFeatures — the symbol always links,
+/// but executing it needs hardware+OS support.
+void lane_flags_sse2(const std::uint16_t* src_port,
+                     const std::uint16_t* dst_port, const std::uint8_t* tcp,
+                     const std::uint8_t* indication, std::size_t n,
+                     std::uint8_t* src_flags, std::uint8_t* dst_flags) noexcept;
+
+void lane_flags_avx2(const std::uint16_t* src_port,
+                     const std::uint16_t* dst_port, const std::uint8_t* tcp,
+                     const std::uint8_t* indication, std::size_t n,
+                     std::uint8_t* src_flags, std::uint8_t* dst_flags) noexcept;
+
+}  // namespace detail
 
 }  // namespace ixp::classify

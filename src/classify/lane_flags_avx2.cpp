@@ -1,0 +1,156 @@
+// The 32-wide LaneFlags tier. This TU is compiled with -mavx2 (see
+// src/classify/CMakeLists.txt) so the 256-bit forms inline;
+// LaneFlags::compute only routes here after util::CpuFeatures reported
+// a CPU and OS that support AVX2. If the toolchain builds this file
+// without AVX2 (non-x86, or a compiler without -mavx2), lane_flags_avx2
+// degrades to the SSE2 form so the symbol always links.
+#include "classify/lane_flags.hpp"
+
+#include "classify/dissector.hpp"
+#include "classify/http_matcher.hpp"
+
+#ifdef __AVX2__
+
+#include <immintrin.h>
+
+namespace ixp::classify::detail {
+namespace {
+
+constexpr std::uint8_t kReq = static_cast<std::uint8_t>(HttpIndication::kRequest);
+constexpr std::uint8_t kResp =
+    static_cast<std::uint8_t>(HttpIndication::kResponse);
+constexpr std::uint8_t kHdr =
+    static_cast<std::uint8_t>(HttpIndication::kHeaderOnly);
+
+/// The lane algebra of lane_flags.cpp's lane_half_sse2, verbatim in
+/// 256-bit form: one 16-wide half, everything in 16-bit lanes. `t`,
+/// `req`, `resp`, `hdr` are 0/0xFFFF lane masks; ports are raw.
+struct LaneHalf256 {
+  __m256i s;
+  __m256i d;
+};
+
+inline LaneHalf256 lane_half_avx2(__m256i sp, __m256i dp, __m256i t,
+                                  __m256i req, __m256i resp,
+                                  __m256i hdr) noexcept {
+  const __m256i e443s = _mm256_cmpeq_epi16(sp, _mm256_set1_epi16(443));
+  const __m256i e443d = _mm256_cmpeq_epi16(dp, _mm256_set1_epi16(443));
+  const __m256i e1935s = _mm256_cmpeq_epi16(sp, _mm256_set1_epi16(1935));
+  const __m256i e1935d = _mm256_cmpeq_epi16(dp, _mm256_set1_epi16(1935));
+  const __m256i e80s = _mm256_cmpeq_epi16(sp, _mm256_set1_epi16(80));
+  const __m256i e80d = _mm256_cmpeq_epi16(dp, _mm256_set1_epi16(80));
+  const __m256i e8080s = _mm256_cmpeq_epi16(sp, _mm256_set1_epi16(8080));
+  const __m256i e8080d = _mm256_cmpeq_epi16(dp, _mm256_set1_epi16(8080));
+
+  const __m256i ssrvish =
+      _mm256_or_si256(_mm256_or_si256(e80s, e8080s), e443s);
+  const __m256i dsrvish =
+      _mm256_or_si256(_mm256_or_si256(e80d, e8080d), e443d);
+  const __m256i hdr_s =
+      _mm256_andnot_si256(dsrvish, _mm256_and_si256(hdr, ssrvish));
+  const __m256i hdr_d =
+      _mm256_andnot_si256(ssrvish, _mm256_and_si256(hdr, dsrvish));
+
+  const __m256i ssrv80 = _mm256_or_si256(
+      _mm256_and_si256(e8080s, _mm256_set1_epi16(kSeenPort8080)),
+      _mm256_andnot_si256(e8080s, _mm256_set1_epi16(kSeenPort80)));
+  const __m256i dsrv80 = _mm256_or_si256(
+      _mm256_and_si256(e8080d, _mm256_set1_epi16(kSeenPort8080)),
+      _mm256_andnot_si256(e8080d, _mm256_set1_epi16(kSeenPort80)));
+
+  const __m256i port_s = _mm256_and_si256(
+      t,
+      _mm256_or_si256(_mm256_and_si256(e443s, _mm256_set1_epi16(kCandidate443)),
+                      _mm256_and_si256(e1935s,
+                                       _mm256_set1_epi16(kSeenRtmp1935))));
+  const __m256i port_d = _mm256_and_si256(
+      t,
+      _mm256_or_si256(_mm256_and_si256(e443d, _mm256_set1_epi16(kCandidate443)),
+                      _mm256_and_si256(e1935d,
+                                       _mm256_set1_epi16(kSeenRtmp1935))));
+
+  const __m256i server_s = _mm256_and_si256(
+      _mm256_or_si256(resp, hdr_s),
+      _mm256_or_si256(_mm256_set1_epi16(kSeenHttpServer), ssrv80));
+  const __m256i server_d = _mm256_and_si256(
+      _mm256_or_si256(req, hdr_d),
+      _mm256_or_si256(_mm256_set1_epi16(kSeenHttpServer), dsrv80));
+  const __m256i client_s = _mm256_and_si256(
+      _mm256_or_si256(req, hdr_d), _mm256_set1_epi16(kSeenHttpClient));
+  const __m256i client_d = _mm256_and_si256(
+      _mm256_or_si256(resp, hdr_s), _mm256_set1_epi16(kSeenHttpClient));
+
+  return {_mm256_or_si256(port_s, _mm256_or_si256(server_s, client_s)),
+          _mm256_or_si256(port_d, _mm256_or_si256(server_d, client_d))};
+}
+
+/// One 16-sample half: byte inputs widened to 0/0xFFFF word masks with
+/// cvtepi8_epi16 (the compares produce 0/0xFF, which sign-extends to the
+/// full-lane mask), ports loaded as raw 16-wide words.
+inline LaneHalf256 load_half(const std::uint16_t* sp, const std::uint16_t* dp,
+                             const std::uint8_t* tcp,
+                             const std::uint8_t* ind) noexcept {
+  const __m128i tcp8 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tcp));
+  const __m128i ind8 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(ind));
+  const __m128i t8 = _mm_xor_si128(_mm_cmpeq_epi8(tcp8, _mm_setzero_si128()),
+                                   _mm_set1_epi8(-1));
+  const __m128i req8 = _mm_cmpeq_epi8(ind8, _mm_set1_epi8(kReq));
+  const __m128i resp8 = _mm_cmpeq_epi8(ind8, _mm_set1_epi8(kResp));
+  const __m128i hdr8 = _mm_cmpeq_epi8(ind8, _mm_set1_epi8(kHdr));
+  return lane_half_avx2(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sp)),
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dp)),
+      _mm256_cvtepi8_epi16(t8), _mm256_cvtepi8_epi16(req8),
+      _mm256_cvtepi8_epi16(resp8), _mm256_cvtepi8_epi16(hdr8));
+}
+
+/// packus_epi16 packs per 128-bit lane, so pack(half0, half1) lands the
+/// 8-byte chunks as [0..7, 16..23, 8..15, 24..31]; permute4x64 with
+/// control (0,2,1,3) = 0xD8 restores sample order. Lanes only carry
+/// bits <= 0x31, so unsigned saturation is exact.
+inline __m256i pack_flags(__m256i lo, __m256i hi) noexcept {
+  return _mm256_permute4x64_epi64(_mm256_packus_epi16(lo, hi), 0xD8);
+}
+
+}  // namespace
+
+void lane_flags_avx2(const std::uint16_t* src_port,
+                     const std::uint16_t* dst_port, const std::uint8_t* tcp,
+                     const std::uint8_t* indication, std::size_t n,
+                     std::uint8_t* src_flags,
+                     std::uint8_t* dst_flags) noexcept {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const LaneHalf256 lo =
+        load_half(src_port + i, dst_port + i, tcp + i, indication + i);
+    const LaneHalf256 hi = load_half(src_port + i + 16, dst_port + i + 16,
+                                     tcp + i + 16, indication + i + 16);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(src_flags + i),
+                        pack_flags(lo.s, hi.s));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst_flags + i),
+                        pack_flags(lo.d, hi.d));
+  }
+  if (i < n)
+    lane_flags_sse2(src_port + i, dst_port + i, tcp + i, indication + i, n - i,
+                    src_flags + i, dst_flags + i);
+}
+
+}  // namespace ixp::classify::detail
+
+#else  // !__AVX2__
+
+namespace ixp::classify::detail {
+
+void lane_flags_avx2(const std::uint16_t* src_port,
+                     const std::uint16_t* dst_port, const std::uint8_t* tcp,
+                     const std::uint8_t* indication, std::size_t n,
+                     std::uint8_t* src_flags,
+                     std::uint8_t* dst_flags) noexcept {
+  lane_flags_sse2(src_port, dst_port, tcp, indication, n, src_flags, dst_flags);
+}
+
+}  // namespace ixp::classify::detail
+
+#endif  // __AVX2__

@@ -1,6 +1,10 @@
 #include "core/vantage_point.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "probe/metadata_pass.hpp"
+#include "probe/sweeps.hpp"
 
 namespace ixp::core {
 
@@ -39,11 +43,15 @@ WeeklyReport VantagePoint::finish_week(WeekShard&& shard,
 
   // ---- HTTPS probing -------------------------------------------------------
   // Candidates arrive sorted by address, so the funnel and the fetches
-  // happen in canonical order no matter how the week was sharded.
+  // happen in canonical order no matter how the week was sharded. The
+  // sweep runs the crawl through the probe engine (lossless model), whose
+  // funnel and confirmed set are identical to the synchronous prober's.
   const std::vector<net::Ipv4Addr> candidates = dissector.https_candidates();
-  classify::HttpsProber prober{*roots_, *psl_, options_.fetches_per_ip};
-  const std::vector<net::Ipv4Addr> confirmed =
-      prober.probe(candidates, fetch, report.https_funnel);
+  probe::HttpsSweep sweep{*roots_, *psl_, options_.fetches_per_ip};
+  probe::HttpsSweepResult sweep_result =
+      sweep.run_with_fetcher(candidates, fetch);
+  report.https_funnel = sweep_result.funnel;
+  const std::vector<net::Ipv4Addr>& confirmed = sweep_result.confirmed;
   std::unordered_map<net::Ipv4Addr, x509::CertificateChain> confirmed_chains;
   for (const net::Ipv4Addr addr : confirmed) {
     dissector.confirm_https(addr);
@@ -70,8 +78,6 @@ WeeklyReport VantagePoint::finish_week(WeekShard&& shard,
   std::unordered_set<net::Asn> server_ases;
   std::unordered_set<geo::CountryCode> server_countries;
 
-  classify::MetadataHarvester harvester{*dns_, *psl_};
-
   // Canonical iteration order: sorted by address. Hash-map iteration order
   // depends on insertion history, which differs between shard splits; the
   // sort (plus exact integer byte tallies upstream) is what makes the
@@ -89,6 +95,10 @@ WeeklyReport VantagePoint::finish_week(WeekShard&& shard,
   std::vector<const geo::CountryCode*> countries(addrs.size());
   routing_->routes_of(addrs, routes);
   geo_->countries_of(addrs, countries);
+
+  // Host headers per server, collected during aggregation and borrowed by
+  // the metadata items below (parallel to report.servers).
+  std::vector<std::vector<std::string>> server_hosts;
 
   for (std::size_t i = 0; i < addrs.size(); ++i) {
     const net::Ipv4Addr addr = addrs[i];
@@ -145,17 +155,37 @@ WeeklyReport VantagePoint::finish_week(WeekShard&& shard,
     if (route) obs.asn = route->origin;
     if (country) obs.country = *country;
 
-    const std::vector<std::string> hosts = dissector.hosts_of(addr);
+    server_hosts.push_back(dissector.hosts_of(addr));
+    report.servers.push_back(std::move(obs));
+  }
+
+  // ---- metadata harvest ----------------------------------------------------
+  // One batched pass over all servers instead of a per-server harvester
+  // loop: PTR/SOA lookups ride the probe engine with a shared resolver
+  // cache. The pass is lossless here, so each server's metadata is exactly
+  // what MetadataHarvester::harvest would have produced.
+  std::vector<probe::MetadataItem> items;
+  items.reserve(report.servers.size());
+  for (std::size_t i = 0; i < report.servers.size(); ++i) {
+    const net::Ipv4Addr addr = report.servers[i].addr;
     const auto chain_it = confirmed_chains.find(addr);
-    obs.metadata = harvester.harvest(
-        addr, hosts,
-        chain_it == confirmed_chains.end() ? nullptr : &chain_it->second);
+    items.push_back(probe::MetadataItem{
+        addr, server_hosts[i],
+        chain_it == confirmed_chains.end() ? nullptr : &chain_it->second});
+  }
+  probe::MetadataPass pass{*dns_, *psl_};
+  probe::MetadataPassResult harvested = pass.run(items);
+  for (std::size_t i = 0; i < report.servers.size(); ++i) {
+    ServerObservation& obs = report.servers[i];
+    obs.metadata = std::move(harvested.metadata[i]);
     // §2.4 cleaning: a server whose metadata was entirely cleaned away
     // drops out of the §5 analyses (but still counts as a server IP).
-    if (!obs.metadata.has_any() && (!hosts.empty() || dns_->reverse(addr)))
+    // (With no metadata at all, hostname is necessarily absent too, so
+    // testing it matches the old direct reverse-lookup check.)
+    if (!obs.metadata.has_any() &&
+        (!server_hosts[i].empty() || obs.metadata.hostname))
       ++report.metadata_cleaned_out;
     report.metadata_coverage.add(obs.metadata);
-    report.servers.push_back(std::move(obs));
   }
 
   report.peering_prefixes = peering_prefixes.size();

@@ -8,11 +8,14 @@
 
 #include <compare>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/rng.hpp"
 
 namespace ixp::dns {
 
@@ -54,6 +57,104 @@ class DnsName {
 
   std::string text_;
   std::size_t labels_ = 0;
+};
+
+/// A borrowed name (or name suffix) paired with its precomputed NameHash
+/// value. Hierarchy walks probe hash maps once per ancestor zone; passing
+/// a HashedName lets the map skip rehashing the text it was handed.
+struct HashedName {
+  std::string_view text;
+  std::size_t hash = 0;
+};
+
+/// Transparent hasher for DnsName-keyed maps: a DnsName, its presentation
+/// text, and a pre-hashed suffix view all hash to the same value, so
+/// lookups during suffix walks need no DnsName materialization.
+struct NameHash {
+  using is_transparent = void;
+
+  /// Multiplier of the positional polynomial sum(c_j * kMul^(n-1-j)) —
+  /// chosen so SuffixWalk can extend hashes right-to-left while plain
+  /// lookups fold left-to-right (Horner) to the identical value.
+  static constexpr std::uint64_t kMul = 0x100000001b3ULL;
+
+  [[nodiscard]] static std::size_t finalize(std::uint64_t poly,
+                                            std::size_t len) noexcept {
+    return static_cast<std::size_t>(
+        util::mix64(poly ^ (static_cast<std::uint64_t>(len) << 1) ^
+                    0x9e3779b97f4a7c15ULL));
+  }
+
+  [[nodiscard]] std::size_t operator()(std::string_view text) const noexcept {
+    std::uint64_t h = 0;
+    for (const char c : text) h = h * kMul + static_cast<unsigned char>(c);
+    return finalize(h, text.size());
+  }
+  [[nodiscard]] std::size_t operator()(const DnsName& name) const noexcept {
+    return (*this)(std::string_view{name.text()});
+  }
+  [[nodiscard]] std::size_t operator()(const HashedName& h) const noexcept {
+    return h.hash;
+  }
+};
+
+/// Transparent equality to pair with NameHash.
+struct NameEq {
+  using is_transparent = void;
+  [[nodiscard]] bool operator()(const DnsName& a,
+                                const DnsName& b) const noexcept {
+    return a.text() == b.text();
+  }
+  [[nodiscard]] bool operator()(const DnsName& a,
+                                std::string_view b) const noexcept {
+    return a.text() == b;
+  }
+  [[nodiscard]] bool operator()(const DnsName& a,
+                                const HashedName& b) const noexcept {
+    return a.text() == b.text;
+  }
+};
+
+/// One backward pass over a presentation-form name that records, at every
+/// label start, the hash NameHash would compute for the suffix beginning
+/// there. soa_of-style walks then probe a map per ancestor zone without
+/// allocating a DnsName per step (the satellite fix for the old
+/// parent()-chain walk, which copied the tail of the name at every level).
+class SuffixWalk {
+ public:
+  /// DnsName text is <= 253 chars, so at most 127 labels.
+  static constexpr std::size_t kMaxLabels = 128;
+
+  explicit SuffixWalk(std::string_view text) noexcept : text_(text) {
+    std::uint64_t poly = 0;
+    std::uint64_t pw = 1;
+    for (std::size_t j = text.size(); j-- > 0;) {
+      poly += static_cast<std::uint64_t>(static_cast<unsigned char>(text[j])) *
+              pw;
+      pw *= NameHash::kMul;
+      if ((j == 0 || text[j - 1] == '.') && count_ < kMaxLabels) {
+        starts_[count_] = static_cast<std::uint16_t>(j);
+        polys_[count_] = poly;
+        ++count_;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t label_count() const noexcept { return count_; }
+
+  /// The suffix made of the trailing `label_count() - i` labels (i == 0 is
+  /// the whole name), with its hash precomputed.
+  [[nodiscard]] HashedName suffix(std::size_t i) const noexcept {
+    const std::size_t k = count_ - 1 - i;  // recorded shortest-first
+    const std::string_view text = text_.substr(starts_[k]);
+    return HashedName{text, NameHash::finalize(polys_[k], text.size())};
+  }
+
+ private:
+  std::string_view text_;
+  std::uint16_t starts_[kMaxLabels];
+  std::uint64_t polys_[kMaxLabels];
+  std::size_t count_ = 0;
 };
 
 }  // namespace ixp::dns

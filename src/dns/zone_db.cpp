@@ -12,7 +12,7 @@ void ZoneDatabase::add_ptr(net::Ipv4Addr addr, const DnsName& hostname) {
 }
 
 void ZoneDatabase::add_soa(const DnsName& zone, const DnsName& authority) {
-  soa_.insert_or_assign(zone, authority);
+  soa_[zone] = authority;
 }
 
 void ZoneDatabase::add_cname(const DnsName& alias, const DnsName& canonical) {
@@ -26,21 +26,28 @@ std::optional<DnsName> ZoneDatabase::cname(const DnsName& alias) const {
 }
 
 std::optional<DnsName> ZoneDatabase::canonicalize(const DnsName& name) const {
-  DnsName current = name;
+  // Chase the chain by pointer; the single copy happens at the return.
+  const DnsName* current = &name;
   // RFC-ish chain bound; also breaks loops.
   for (int depth = 0; depth < 8; ++depth) {
-    const auto it = cname_.find(current);
-    if (it == cname_.end()) return current;
-    current = it->second;
+    const auto it = cname_.find(*current);
+    if (it == cname_.end()) return *current;
+    current = &it->second;
   }
   return std::nullopt;
 }
 
 std::vector<net::Ipv4Addr> ZoneDatabase::resolve(const DnsName& name) const {
-  const auto canonical = canonicalize(name);
-  if (!canonical) return {};
-  const auto it = a_.find(*canonical);
-  return it == a_.end() ? std::vector<net::Ipv4Addr>{} : it->second;
+  const DnsName* current = &name;
+  for (int depth = 0; depth < 8; ++depth) {
+    const auto cn = cname_.find(*current);
+    if (cn == cname_.end()) {
+      const auto it = a_.find(*current);
+      return it == a_.end() ? std::vector<net::Ipv4Addr>{} : it->second;
+    }
+    current = &cn->second;
+  }
+  return {};  // CNAME loop / over-long chain
 }
 
 std::optional<DnsName> ZoneDatabase::reverse(net::Ipv4Addr addr) const {
@@ -50,17 +57,30 @@ std::optional<DnsName> ZoneDatabase::reverse(net::Ipv4Addr addr) const {
 }
 
 std::optional<SoaRecord> ZoneDatabase::soa_of(const DnsName& name) const {
-  std::optional<DnsName> current = name;
-  while (current) {
-    const auto it = soa_.find(*current);
-    if (it != soa_.end()) return SoaRecord{*current, it->second};
-    current = current->parent();
+  if (name.empty() || soa_.empty()) return std::nullopt;
+  // One backward pass precomputes every suffix hash; the walk then probes
+  // the flat map per ancestor zone without materializing a DnsName.
+  const SuffixWalk walk{name.text()};
+  for (std::size_t i = 0; i < walk.label_count(); ++i) {
+    if (const DnsName* authority = soa_at(walk.suffix(i))) {
+      return SoaRecord{name.suffix(walk.label_count() - i), *authority};
+    }
   }
   return std::nullopt;
 }
 
+const DnsName* ZoneDatabase::soa_at(const HashedName& zone) const {
+  const auto it = soa_.find(zone);
+  return it == soa_.end() ? nullptr : &it->second;
+}
+
 void ZoneDatabase::add_reverse_soa(net::Ipv4Addr addr, const DnsName& authority) {
   reverse_soa_.insert_or_assign(addr, authority);
+}
+
+const DnsName* ZoneDatabase::reverse_soa_at(net::Ipv4Addr addr) const {
+  const auto it = reverse_soa_.find(addr);
+  return it == reverse_soa_.end() ? nullptr : &it->second;
 }
 
 std::optional<DnsName> ZoneDatabase::reverse_soa(net::Ipv4Addr addr) const {

@@ -15,6 +15,7 @@
 
 #include "dns/name.hpp"
 #include "net/ipv4.hpp"
+#include "util/flat_hash_map.hpp"
 
 namespace ixp::dns {
 
@@ -64,11 +65,21 @@ class ZoneDatabase {
   /// schema".
   [[nodiscard]] std::optional<SoaRecord> soa_of(const DnsName& name) const;
 
+  /// Exact-zone SOA lookup (no hierarchy walk): the authority installed at
+  /// `zone`, or nullptr. Takes a pre-hashed suffix view so CachingResolver
+  /// and soa_of can probe once per ancestor without allocating.
+  [[nodiscard]] const DnsName* soa_at(const HashedName& zone) const;
+
   /// SOA of the *reverse* name of an address: the paper notes the SOA is
   /// often present "even when there is no hostname record available".
   /// We model this as a per-address authority installed by the hoster.
   void add_reverse_soa(net::Ipv4Addr addr, const DnsName& authority);
   [[nodiscard]] std::optional<DnsName> reverse_soa(net::Ipv4Addr addr) const;
+
+  /// Exact lookup of the per-address reverse SOA (no PTR-hostname
+  /// fallback); nullptr when none is installed. CachingResolver composes
+  /// this with its cached reverse()/soa_of() to replicate reverse_soa().
+  [[nodiscard]] const DnsName* reverse_soa_at(net::Ipv4Addr addr) const;
 
   [[nodiscard]] std::size_t a_record_count() const noexcept { return a_count_; }
   [[nodiscard]] std::size_t ptr_record_count() const noexcept {
@@ -85,7 +96,9 @@ class ZoneDatabase {
   std::unordered_map<DnsName, std::vector<net::Ipv4Addr>> a_;
   std::unordered_map<DnsName, DnsName> cname_;
   std::unordered_map<net::Ipv4Addr, DnsName> ptr_;
-  std::unordered_map<DnsName, DnsName> soa_;  // zone -> authority
+  // zone -> authority; flat with transparent hashing so suffix walks can
+  // probe by view instead of materializing a DnsName per level.
+  util::FlatHashMap<DnsName, DnsName, NameHash, NameEq> soa_;
   std::unordered_map<net::Ipv4Addr, DnsName> reverse_soa_;
   std::size_t a_count_ = 0;
 };

@@ -221,6 +221,16 @@ class InternetModel {
   [[nodiscard]] std::vector<x509::CertificateChain> fetch_chains(
       net::Ipv4Addr addr, int times, int week) const;
 
+  /// Zero-copy form of fetch_chains for the probe engine: the chain the
+  /// `fetch_index`-th crawl of `addr` would deliver this `week`, or nullptr
+  /// when nothing answers. Stable/invalid servers alias model-owned
+  /// storage; unstable tenants materialize into `scratch`; squatters point
+  /// at an empty chain in `scratch`. For any f < times,
+  /// `fetch_chains(addr, times, week)[f]` equals the pointed-to chain.
+  [[nodiscard]] const x509::CertificateChain* fetch_chain_view(
+      net::Ipv4Addr addr, int fetch_index, int week,
+      x509::CertificateChain& scratch) const;
+
   /// The reseller member AS index (§4.2's reseller case study).
   [[nodiscard]] std::uint32_t reseller_as() const noexcept { return reseller_as_; }
 
@@ -273,6 +283,12 @@ class InternetModel {
   /// Picks a host AS for a server of `org_index` (used during build).
   [[nodiscard]] net::Ipv4Addr allocate_server_addr(std::uint32_t as_index,
                                                    util::Rng& rng);
+
+  /// The tenant chain a kUnstable server delivers on fetch `f` of `week` —
+  /// shared by fetch_chains and fetch_chain_view so both stay identical.
+  [[nodiscard]] x509::CertificateChain make_unstable_chain(net::Ipv4Addr addr,
+                                                           int week,
+                                                           int f) const;
 
   ScaleConfig cfg_;
   std::vector<AsRecord> ases_;

@@ -726,29 +726,8 @@ std::vector<x509::CertificateChain> InternetModel::fetch_chains(
     case TlsBehavior::kUnstable: {
       // Cloud churn: a different tenant answers every fetch.
       std::vector<x509::CertificateChain> fetches;
-      for (int f = 0; f < times; ++f) {
-        x509::Certificate leaf;
-        const std::uint64_t tenant =
-            util::mix64(cfg_.seed ^ addr.value() ^
-                        (static_cast<std::uint64_t>(week) << 8) ^
-                        static_cast<std::uint64_t>(f)) % 100000;
-        leaf.subject = name_of("vm" + std::to_string(tenant) + ".cloudsites.com");
-        leaf.alt_names.push_back(*leaf.subject.parent());
-        leaf.key_usages = {x509::KeyUsage::kServerAuth};
-        leaf.subject_key = "vm-key-" + std::to_string(tenant);
-        leaf.issuer_key = "ca-int-0";
-        leaf.not_before = 0;
-        leaf.not_after = 1'000'000;
-        x509::Certificate intermediate;
-        intermediate.subject = name_of("ca0.trust-services.net");
-        intermediate.key_usages = {x509::KeyUsage::kServerAuth};
-        intermediate.subject_key = "ca-int-0";
-        intermediate.issuer_key = "root-ca-0";
-        intermediate.not_before = 0;
-        intermediate.not_after = 1'000'000;
-        fetches.push_back(
-            x509::CertificateChain{{std::move(leaf), std::move(intermediate)}});
-      }
+      for (int f = 0; f < times; ++f)
+        fetches.push_back(make_unstable_chain(addr, week, f));
       return fetches;
     }
     case TlsBehavior::kSquatter:
@@ -757,6 +736,58 @@ std::vector<x509::CertificateChain> InternetModel::fetch_chains(
           static_cast<std::size_t>(times), x509::CertificateChain{});
   }
   return {};
+}
+
+x509::CertificateChain InternetModel::make_unstable_chain(net::Ipv4Addr addr,
+                                                          int week,
+                                                          int f) const {
+  x509::Certificate leaf;
+  const std::uint64_t tenant =
+      util::mix64(cfg_.seed ^ addr.value() ^
+                  (static_cast<std::uint64_t>(week) << 8) ^
+                  static_cast<std::uint64_t>(f)) % 100000;
+  leaf.subject = name_of("vm" + std::to_string(tenant) + ".cloudsites.com");
+  leaf.alt_names.push_back(*leaf.subject.parent());
+  leaf.key_usages = {x509::KeyUsage::kServerAuth};
+  leaf.subject_key = "vm-key-" + std::to_string(tenant);
+  leaf.issuer_key = "ca-int-0";
+  leaf.not_before = 0;
+  leaf.not_after = 1'000'000;
+  x509::Certificate intermediate;
+  intermediate.subject = name_of("ca0.trust-services.net");
+  intermediate.key_usages = {x509::KeyUsage::kServerAuth};
+  intermediate.subject_key = "ca-int-0";
+  intermediate.issuer_key = "root-ca-0";
+  intermediate.not_before = 0;
+  intermediate.not_after = 1'000'000;
+  return x509::CertificateChain{{std::move(leaf), std::move(intermediate)}};
+}
+
+const x509::CertificateChain* InternetModel::fetch_chain_view(
+    net::Ipv4Addr addr, int fetch_index, int week,
+    x509::CertificateChain& scratch) const {
+  const auto index = server_by_addr(addr);
+  if (!index || fetch_index < 0) return nullptr;
+  const ServerRecord& server = servers_[*index];
+  switch (server.tls) {
+    case TlsBehavior::kNoResponse:
+      return nullptr;
+    case TlsBehavior::kValidStable:
+    case TlsBehavior::kInvalidCert: {
+      // Aliases model-owned storage: no copy per fetch.
+      const auto it = cert_chains_.find(*index);
+      return it == cert_chains_.end() ? nullptr : &it->second;
+    }
+    case TlsBehavior::kUnstable:
+      scratch = make_unstable_chain(addr, week, fetch_index);
+      return &scratch;
+    case TlsBehavior::kSquatter:
+      // Answers without X.509 material: a non-null pointer to an empty
+      // chain, exactly like fetch_chains' empty-chain entries.
+      scratch = x509::CertificateChain{};
+      return &scratch;
+  }
+  return nullptr;
 }
 
 // ---------------------------------------------------------------------------

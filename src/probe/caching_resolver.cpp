@@ -1,0 +1,115 @@
+#include "probe/caching_resolver.hpp"
+
+namespace ixp::probe {
+
+const std::vector<net::Ipv4Addr>& CachingResolver::resolve(
+    const dns::DnsName& name, std::uint64_t now_us) {
+  if (const auto* cached = a_cache_.find(name, now_us, stats_)) {
+    if (cached->empty()) {
+      ++stats_.negative_hits;
+    } else {
+      ++stats_.hits;
+    }
+    return *cached;
+  }
+  ++stats_.misses;
+  std::vector<net::Ipv4Addr> answer = db_->resolve(name);
+  const bool positive = !answer.empty();
+  return a_cache_.put(name, std::move(answer), expiry(positive, now_us),
+                      stats_);
+}
+
+std::optional<dns::SoaRecord> CachingResolver::soa_of(const dns::DnsName& name,
+                                                      std::uint64_t now_us) {
+  if (name.empty()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  const dns::SuffixWalk walk{name.text()};
+  const std::size_t count = walk.label_count();
+  std::optional<dns::SoaRecord> result;
+  // Levels 0..fill-1 get written below; a level terminated by a cache hit
+  // is already stored (and was touched to most-recently-used).
+  std::size_t fill = count;
+  bool from_cache = false;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (const auto* cached = soa_cache_.find(walk.suffix(i), now_us, stats_)) {
+      // A cached soa_of(suffix) answers the whole query: the walk just
+      // verified against the authoritative map that no zone cut sits
+      // between `name` and this suffix.
+      result = *cached;
+      fill = i;
+      from_cache = true;
+      break;
+    }
+    if (const dns::DnsName* authority = db_->soa_at(walk.suffix(i))) {
+      result = dns::SoaRecord{name.suffix(count - i), *authority};
+      fill = i + 1;
+      break;
+    }
+  }
+  // One logical query, one count — however many levels the walk touched.
+  if (from_cache) {
+    if (result) {
+      ++stats_.hits;
+    } else {
+      ++stats_.negative_hits;
+    }
+  } else {
+    ++stats_.misses;
+  }
+  // Backfill proper suffixes only, never the query name itself: the
+  // cache answers at the zone level, so an exact-repeat query still hits
+  // (one level higher, after a db miss at its own leaf), while sweeps
+  // over per-host-unique names — the dominant workload — stop inserting
+  // a never-read-again leaf entry per query.
+  const std::uint64_t expires = expiry(result.has_value(), now_us);
+  for (std::size_t j = 1; j < fill; ++j) {
+    soa_cache_.put(name.suffix(count - j), result, expires, stats_);
+  }
+  return result;
+}
+
+std::optional<dns::DnsName> CachingResolver::reverse(net::Ipv4Addr addr,
+                                                     std::uint64_t now_us) {
+  if (const auto* cached = ptr_cache_.find(addr, now_us, stats_)) {
+    if (cached->has_value()) {
+      ++stats_.hits;
+    } else {
+      ++stats_.negative_hits;
+    }
+    return *cached;
+  }
+  ++stats_.misses;
+  std::optional<dns::DnsName> answer = db_->reverse(addr);
+  const bool positive = answer.has_value();
+  return ptr_cache_.put(addr, std::move(answer), expiry(positive, now_us),
+                        stats_);
+}
+
+std::optional<dns::DnsName> CachingResolver::reverse_soa(net::Ipv4Addr addr,
+                                                         std::uint64_t now_us) {
+  if (const auto* cached = rsoa_cache_.find(addr, now_us, stats_)) {
+    if (cached->has_value()) {
+      ++stats_.hits;
+    } else {
+      ++stats_.negative_hits;
+    }
+    return *cached;
+  }
+  ++stats_.misses;
+  // Compose from the cached primitives so the PTR and SOA sub-queries
+  // (each a logical query with its own hit/miss count) warm their caches
+  // for the metadata pass. Value-identical to ZoneDatabase::reverse_soa.
+  std::optional<dns::DnsName> answer;
+  if (const dns::DnsName* direct = db_->reverse_soa_at(addr)) {
+    answer = *direct;
+  } else if (const auto hostname = reverse(addr, now_us)) {
+    if (const auto soa = soa_of(*hostname, now_us)) answer = soa->authority;
+  }
+  const bool positive = answer.has_value();
+  return rsoa_cache_.put(addr, std::move(answer), expiry(positive, now_us),
+                         stats_);
+}
+
+}  // namespace ixp::probe

@@ -1,0 +1,246 @@
+// CachingResolver — positive/negative caching in front of ZoneDatabase
+// (DESIGN.md §15).
+//
+// The probe engine issues millions of DNS lookups that concentrate on a
+// few shapes: the same probe name queried through 280K resolvers, SOA
+// hierarchy walks that share zone suffixes across a hoster's servers,
+// repeated PTR/reverse-SOA lookups. The resolver memoizes all four query
+// types with TTL handling (positive and negative TTLs), an LRU bound per
+// cache, and exact hit/miss/negative-hit statistics.
+//
+// Transparency invariant: the zone database is immutable during a probe
+// run, so a cached answer — while its TTL holds and modulo eviction — is
+// exactly what ZoneDatabase would return. Results therefore never depend
+// on cache state; only the stats do. The differential suite leans on
+// this: engine results must be byte-identical to the uncached synchronous
+// oracles.
+//
+// Clocking: callers pass the engine's virtual time; TTLs expire in
+// virtual microseconds. Not thread-safe — each worker chunk owns one.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "dns/zone_db.hpp"
+#include "net/ipv4.hpp"
+#include "util/flat_hash_map.hpp"
+
+namespace ixp::probe {
+
+struct CacheStats {
+  std::uint64_t hits = 0;           // answers served from a positive entry
+  std::uint64_t negative_hits = 0;  // cached NXDOMAIN/no-record answers
+  std::uint64_t misses = 0;         // authoritative lookups performed
+  std::uint64_t insertions = 0;     // entries written
+  std::uint64_t evictions = 0;      // LRU displacements at capacity
+  std::uint64_t expired = 0;        // entries dropped on TTL expiry
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + negative_hits + misses;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(hits + negative_hits) /
+                     static_cast<double>(total);
+  }
+  void merge(const CacheStats& other) noexcept {
+    hits += other.hits;
+    negative_hits += other.negative_hits;
+    misses += other.misses;
+    insertions += other.insertions;
+    evictions += other.evictions;
+    expired += other.expired;
+  }
+};
+
+/// Fixed-capacity LRU map with per-entry expiry, used for each of the
+/// resolver's caches. Entries live in a slot vector threaded as a doubly
+/// linked recency list; the index is a FlatHashMap from key to slot.
+template <class K, class V, class Hash = std::hash<K>,
+          class Eq = std::equal_to<>>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    slots_.reserve(std::min<std::size_t>(capacity_, 1024));
+    index_.reserve(std::min<std::size_t>(capacity_, 1024));
+  }
+
+  /// Looks `key` up at virtual time `now_us`. Expired entries are erased
+  /// (counted in `stats.expired`) and read as absent. A present entry is
+  /// touched to most-recently-used.
+  template <class Key>
+  [[nodiscard]] const V* find(const Key& key, std::uint64_t now_us,
+                              CacheStats& stats) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    const std::uint32_t slot = it->second;
+    if (slots_[slot].expires_us <= now_us) {
+      ++stats.expired;
+      erase_slot(slot);
+      return nullptr;
+    }
+    touch(slot);
+    return &slots_[slot].value;
+  }
+
+  /// Inserts or overwrites; evicts the least-recently-used entry at
+  /// capacity. `expires_us` is an absolute virtual time. Returns the
+  /// stored value (valid until the next mutating call).
+  const V& put(K key, V value, std::uint64_t expires_us, CacheStats& stats) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      Entry& entry = slots_[it->second];
+      entry.value = std::move(value);
+      entry.expires_us = expires_us;
+      touch(it->second);
+      ++stats.insertions;
+      return entry.value;
+    }
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else if (slots_.size() < capacity_) {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    } else {
+      slot = tail_;
+      ++stats.evictions;
+      index_.erase(slots_[slot].key);
+      unlink(slot);
+    }
+    Entry& entry = slots_[slot];
+    entry.key = std::move(key);
+    entry.value = std::move(value);
+    entry.expires_us = expires_us;
+    link_front(slot);
+    index_[entry.key] = slot;
+    ++stats.insertions;
+    return entry.value;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
+
+ private:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  struct Entry {
+    K key{};
+    V value{};
+    std::uint64_t expires_us = 0;
+    std::uint32_t prev = kNone;
+    std::uint32_t next = kNone;
+    bool linked = false;
+  };
+
+  void unlink(std::uint32_t slot) {
+    Entry& entry = slots_[slot];
+    if (!entry.linked) return;
+    if (entry.prev != kNone) slots_[entry.prev].next = entry.next;
+    if (entry.next != kNone) slots_[entry.next].prev = entry.prev;
+    if (head_ == slot) head_ = entry.next;
+    if (tail_ == slot) tail_ = entry.prev;
+    entry.prev = entry.next = kNone;
+    entry.linked = false;
+  }
+
+  void link_front(std::uint32_t slot) {
+    Entry& entry = slots_[slot];
+    entry.prev = kNone;
+    entry.next = head_;
+    entry.linked = true;
+    if (head_ != kNone) slots_[head_].prev = slot;
+    head_ = slot;
+    if (tail_ == kNone) tail_ = slot;
+  }
+
+  void touch(std::uint32_t slot) {
+    if (head_ == slot) return;
+    unlink(slot);
+    link_front(slot);
+  }
+
+  void erase_slot(std::uint32_t slot) {
+    index_.erase(slots_[slot].key);
+    unlink(slot);
+    free_.push_back(slot);
+  }
+
+  std::size_t capacity_;
+  std::vector<Entry> slots_;
+  std::vector<std::uint32_t> free_;
+  util::FlatHashMap<K, std::uint32_t, Hash, Eq> index_;
+  std::uint32_t head_ = kNone;
+  std::uint32_t tail_ = kNone;
+};
+
+class CachingResolver {
+ public:
+  struct Options {
+    std::size_t capacity = std::size_t{1} << 16;  // per cache
+    std::uint64_t positive_ttl_us = 300'000'000;  // 5 virtual minutes
+    std::uint64_t negative_ttl_us = 60'000'000;   // 1 virtual minute
+  };
+
+  explicit CachingResolver(const dns::ZoneDatabase& db)
+      : CachingResolver(db, Options{}) {}
+  CachingResolver(const dns::ZoneDatabase& db, Options options)
+      : db_(&db),
+        options_(options),
+        a_cache_(options.capacity),
+        soa_cache_(options.capacity),
+        ptr_cache_(options.capacity),
+        rsoa_cache_(options.capacity) {}
+
+  /// Forward resolution (CNAME chase + A records) through the cache. The
+  /// returned reference is the cached answer (empty = NXDOMAIN / no
+  /// records); valid until the next mutating call.
+  [[nodiscard]] const std::vector<net::Ipv4Addr>& resolve(
+      const dns::DnsName& name, std::uint64_t now_us);
+
+  /// Iterative SOA walk with per-suffix caching: every level probed on
+  /// the way to an answer is filled, so sibling names under the same zone
+  /// hit after one authoritative walk.
+  [[nodiscard]] std::optional<dns::SoaRecord> soa_of(const dns::DnsName& name,
+                                                     std::uint64_t now_us);
+
+  [[nodiscard]] std::optional<dns::DnsName> reverse(net::Ipv4Addr addr,
+                                                    std::uint64_t now_us);
+
+  /// Reverse SOA: the explicit per-address authority when installed, else
+  /// the SOA walk of the PTR hostname — composed from the cached
+  /// primitives, value-identical to ZoneDatabase::reverse_soa.
+  [[nodiscard]] std::optional<dns::DnsName> reverse_soa(net::Ipv4Addr addr,
+                                                        std::uint64_t now_us);
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const dns::ZoneDatabase& db() const noexcept { return *db_; }
+
+ private:
+  [[nodiscard]] std::uint64_t expiry(bool positive,
+                                     std::uint64_t now_us) const noexcept {
+    return now_us +
+           (positive ? options_.positive_ttl_us : options_.negative_ttl_us);
+  }
+
+  const dns::ZoneDatabase* db_;
+  Options options_;
+  CacheStats stats_;
+  LruCache<dns::DnsName, std::vector<net::Ipv4Addr>, dns::NameHash,
+           dns::NameEq>
+      a_cache_;
+  LruCache<dns::DnsName, std::optional<dns::SoaRecord>, dns::NameHash,
+           dns::NameEq>
+      soa_cache_;
+  LruCache<net::Ipv4Addr, std::optional<dns::DnsName>> ptr_cache_;
+  LruCache<net::Ipv4Addr, std::optional<dns::DnsName>> rsoa_cache_;
+};
+
+}  // namespace ixp::probe

@@ -1,0 +1,260 @@
+#include "probe/engine.hpp"
+
+#include <algorithm>
+
+namespace ixp::probe {
+
+namespace {
+
+// Timer payload layout: item | exchange | attempt | answers | response.
+constexpr std::uint64_t kExchangeShift = 32;
+constexpr std::uint64_t kAttemptShift = 40;
+constexpr std::uint64_t kAnswersBit = std::uint64_t{1} << 48;
+constexpr std::uint64_t kResponseBit = std::uint64_t{1} << 49;
+
+}  // namespace
+
+void EngineStats::merge(const EngineStats& other) noexcept {
+  issued += other.issued;
+  completed += other.completed;
+  timed_out += other.timed_out;
+  cancelled += other.cancelled;
+  unissued += other.unissued;
+  attempts += other.attempts;
+  retries += other.retries;
+  responses += other.responses;
+  losses += other.losses;
+  virtual_us = std::max(virtual_us, other.virtual_us);
+}
+
+std::uint64_t ProbeEngine::exchange_timeout_total() const {
+  std::uint64_t total = 0;
+  for (std::uint32_t a = 0; a < config_.max_attempts; ++a)
+    total += attempt_timeout(a);
+  return total;
+}
+
+EngineStats ProbeEngine::run(std::uint32_t item_count, ProbeHandler& handler) {
+  stats_ = EngineStats{};
+  horizon_us_ = 0;
+  handler_ = &handler;
+
+  if (model_.lossless() && config_.run_deadline_us == 0) {
+    // Lossless linear pass: with no loss and no deadline, an item's whole
+    // trajectory is a pure function of its own draws — no attempt can be
+    // lost, so nothing ever waits on a timer and items cannot interact
+    // through the concurrency cap. Each item runs start-to-finish
+    // synchronously: no wheel, no per-item state, no in-flight
+    // bookkeeping. Counters match the wheel path exactly; the handler
+    // clock is the item's serial virtual time (the wheel quantizes it to
+    // ticks, this path does not — protocols only use it as a cache/TTL
+    // clock, never as a result).
+    for (std::uint32_t item = 0; item < item_count; ++item) {
+      ++stats_.issued;
+      run_item_linear(item, handler);
+    }
+    stats_.virtual_us = horizon_us_;
+    handler_ = nullptr;
+    return stats_;
+  }
+
+  wheel_.reset();
+  state_.assign(item_count, ItemState::kIdle);
+  in_flight_ = 0;
+
+  std::uint32_t next = 0;
+  const std::uint64_t deadline = config_.run_deadline_us;
+  bool expired = false;
+
+  for (;;) {
+    // Top up to the concurrency cap. Issuing is instantaneous in virtual
+    // time; dead-target fast paths may resolve items synchronously here.
+    while (!expired && in_flight_ < config_.max_in_flight &&
+           next < item_count) {
+      const std::uint32_t item = next++;
+      ++stats_.issued;
+      ++in_flight_;
+      state_[item] = ItemState::kInFlight;
+      start_exchange(item, 0, wheel_.now_us(), handler);
+    }
+    if (in_flight_ == 0) {
+      if (expired || next >= item_count) break;
+      continue;  // everything issued so far resolved synchronously
+    }
+    if (!wheel_.fire_next(
+            [&](std::uint64_t payload) { fire(payload, handler); })) {
+      break;  // invariant: one timer per in-flight item; defensive only
+    }
+    if (deadline != 0 && wheel_.now_us() >= deadline) {
+      // Budget exhausted: cancel everything still in flight. Items never
+      // issued are counted separately so the balance identity stays over
+      // the items actually started.
+      expired = true;
+      for (std::uint32_t item = 0; item < next; ++item) {
+        if (state_[item] == ItemState::kInFlight)
+          finalize(item, Outcome::kCancelled, wheel_.now_us(), handler);
+      }
+      stats_.unissued += item_count - next;
+      break;
+    }
+  }
+  horizon_us_ = std::max(horizon_us_, wheel_.now_us());
+  stats_.virtual_us = horizon_us_;
+  handler_ = nullptr;
+  return stats_;
+}
+
+void ProbeEngine::run_item_linear(std::uint32_t item, ProbeHandler& handler) {
+  std::uint64_t now = 0;
+  std::uint32_t exchange = 0;
+  for (;;) {
+    Step step;
+    bool from_timeout;
+    if (!handler.exchange_answers(item, exchange)) {
+      // Dead target: every attempt deterministically times out.
+      stats_.attempts += config_.max_attempts;
+      stats_.retries += config_.max_attempts - 1;
+      now += exchange_timeout_total();
+      step = handler.on_timeout(item, exchange, now);
+      from_timeout = true;
+    } else {
+      // Answering target: the first attempt whose RTT beats its timeout
+      // responds (nothing is lost); slower draws burn the attempt budget
+      // exactly as the wheel path counts them.
+      bool responded = false;
+      for (std::uint32_t attempt = 0; attempt < config_.max_attempts;
+           ++attempt) {
+        ++stats_.attempts;
+        if (attempt > 0) ++stats_.retries;
+        const NetModel::Draw draw =
+            model_.draw(handler.item_key(item), exchange, attempt);
+        if (draw.rtt_us < attempt_timeout(attempt)) {
+          now += draw.rtt_us;
+          ++stats_.responses;
+          responded = true;
+          break;
+        }
+        ++stats_.losses;
+        now += attempt_timeout(attempt);
+      }
+      step = responded ? handler.on_response(item, exchange, now)
+                       : handler.on_timeout(item, exchange, now);
+      from_timeout = !responded;
+    }
+    if (step == Step::kNextExchange) {
+      ++exchange;
+      continue;
+    }
+    const Outcome outcome = (from_timeout && step == Step::kAbort)
+                                ? Outcome::kTimedOut
+                                : Outcome::kCompleted;
+    switch (outcome) {
+      case Outcome::kCompleted: ++stats_.completed; break;
+      case Outcome::kTimedOut: ++stats_.timed_out; break;
+      case Outcome::kCancelled: break;  // unreachable: no deadline here
+    }
+    horizon_us_ = std::max(horizon_us_, now);
+    handler.on_outcome(item, outcome, now);
+    return;
+  }
+}
+
+void ProbeEngine::start_exchange(std::uint32_t item, std::uint32_t exchange,
+                                 std::uint64_t now_us, ProbeHandler& handler) {
+  for (;;) {
+    const bool answers = handler.exchange_answers(item, exchange);
+    if (!answers && model_.lossless()) {
+      // Dead-target fast path: with no loss every attempt deterministically
+      // times out, so resolve the exchange synchronously instead of
+      // walking the wheel through max_attempts timers. Accounting matches
+      // the slow path exactly.
+      stats_.attempts += config_.max_attempts;
+      stats_.retries += config_.max_attempts - 1;
+      const std::uint64_t end = now_us + exchange_timeout_total();
+      const Step step = handler.on_timeout(item, exchange, end);
+      if (step == Step::kNextExchange) {
+        now_us = end;
+        ++exchange;
+        continue;
+      }
+      finalize(item,
+               step == Step::kAbort ? Outcome::kTimedOut : Outcome::kCompleted,
+               end, handler);
+      return;
+    }
+    issue_attempt(item, exchange, 0, answers, now_us);
+    return;
+  }
+}
+
+void ProbeEngine::issue_attempt(std::uint32_t item, std::uint32_t exchange,
+                                std::uint32_t attempt, bool answers,
+                                std::uint64_t now_us) {
+  ++stats_.attempts;
+  if (attempt > 0) ++stats_.retries;
+  const std::uint64_t timeout = attempt_timeout(attempt);
+  const std::uint64_t base =
+      std::uint64_t{item} | (std::uint64_t{exchange} << kExchangeShift) |
+      (std::uint64_t{attempt} << kAttemptShift) | (answers ? kAnswersBit : 0);
+  if (answers) {
+    const NetModel::Draw draw =
+        model_.draw(handler_->item_key(item), exchange, attempt);
+    if (!draw.lost && draw.rtt_us < timeout) {
+      wheel_.schedule(now_us + draw.rtt_us, base | kResponseBit);
+      return;
+    }
+    ++stats_.losses;
+  }
+  wheel_.schedule(now_us + timeout, base);
+}
+
+void ProbeEngine::fire(std::uint64_t payload, ProbeHandler& handler) {
+  const auto item = static_cast<std::uint32_t>(payload);
+  const auto exchange =
+      static_cast<std::uint32_t>((payload >> kExchangeShift) & 0xff);
+  const auto attempt =
+      static_cast<std::uint32_t>((payload >> kAttemptShift) & 0xff);
+  const bool answers = (payload & kAnswersBit) != 0;
+  const std::uint64_t now = wheel_.now_us();
+  if (state_[item] != ItemState::kInFlight) return;  // defensive
+  if ((payload & kResponseBit) != 0) {
+    ++stats_.responses;
+    apply_step(handler.on_response(item, exchange, now), /*from_timeout=*/false,
+               item, exchange, now, handler);
+    return;
+  }
+  if (attempt + 1 < config_.max_attempts) {
+    issue_attempt(item, exchange, attempt + 1, answers, now);
+    return;
+  }
+  apply_step(handler.on_timeout(item, exchange, now), /*from_timeout=*/true,
+             item, exchange, now, handler);
+}
+
+void ProbeEngine::apply_step(Step step, bool from_timeout, std::uint32_t item,
+                             std::uint32_t exchange, std::uint64_t now_us,
+                             ProbeHandler& handler) {
+  if (step == Step::kNextExchange) {
+    start_exchange(item, exchange + 1, now_us, handler);
+    return;
+  }
+  const Outcome outcome = (from_timeout && step == Step::kAbort)
+                              ? Outcome::kTimedOut
+                              : Outcome::kCompleted;
+  finalize(item, outcome, now_us, handler);
+}
+
+void ProbeEngine::finalize(std::uint32_t item, Outcome outcome,
+                           std::uint64_t now_us, ProbeHandler& handler) {
+  state_[item] = ItemState::kFinal;
+  --in_flight_;
+  switch (outcome) {
+    case Outcome::kCompleted: ++stats_.completed; break;
+    case Outcome::kTimedOut: ++stats_.timed_out; break;
+    case Outcome::kCancelled: ++stats_.cancelled; break;
+  }
+  horizon_us_ = std::max(horizon_us_, now_us);
+  handler.on_outcome(item, outcome, now_us);
+}
+
+}  // namespace ixp::probe

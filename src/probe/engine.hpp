@@ -1,0 +1,143 @@
+// ProbeEngine — the discrete-event heart of the async measurement path
+// (DESIGN.md §15).
+//
+// The engine drives thousands of concurrent in-flight measurements over
+// the synthetic network as a simulation: per-attempt latency/loss come
+// from the seeded NetModel, timeouts ride a TimerWheel, and budgets bound
+// the work (attempts per exchange with exponential backoff, a global
+// in-flight cap, an optional run deadline). A measurement ("item") is a
+// short protocol of numbered exchanges — a resolver probe is one
+// exchange, a certificate sweep is one per fetch, the metadata harvest is
+// PTR then SOA — described to the engine through a ProbeHandler.
+//
+// Determinism: handler callbacks fire in virtual-time order, virtual time
+// is quantized to wheel ticks, and every attempt's fate is a pure
+// function of (seed, item key, exchange, attempt). Outcomes therefore
+// never depend on the concurrency cap or host scheduling, which is what
+// the differential suite exploits: the synchronous oracle replays the
+// same draws and must reach byte-identical results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "probe/net_model.hpp"
+#include "probe/timer_wheel.hpp"
+
+namespace ixp::probe {
+
+struct EngineConfig {
+  /// Global concurrency cap: items in flight at once.
+  std::uint32_t max_in_flight = 4096;
+  /// Attempts per exchange before the exchange times out.
+  std::uint32_t max_attempts = 3;
+  /// Timeout of attempt 0; doubles per retry (exponential backoff).
+  std::uint32_t timeout_us = 250'000;
+  /// Virtual-time budget for the whole run; 0 = unbounded. Work still in
+  /// flight when the clock passes the deadline is cancelled.
+  std::uint64_t run_deadline_us = 0;
+};
+
+/// Final fate of one item.
+enum class Outcome : std::uint8_t { kCompleted, kTimedOut, kCancelled };
+
+/// Handler verdict after a response or an exhausted exchange.
+enum class Step : std::uint8_t {
+  kDone,          // item finished (normally or with partial data)
+  kNextExchange,  // advance to exchange + 1
+  kAbort,         // give up; from on_timeout this marks the item timed out
+};
+
+/// Counters the engine maintains; `balanced()` is the exact identity the
+/// tests assert. merge() composes per-chunk stats (sums; virtual_us takes
+/// the max, like wall-clock under parallel composition).
+struct EngineStats {
+  std::uint64_t issued = 0;     // items started
+  std::uint64_t completed = 0;  // finished via a handler kDone
+  std::uint64_t timed_out = 0;  // aborted on an exhausted exchange
+  std::uint64_t cancelled = 0;  // in flight when the run deadline hit
+  std::uint64_t unissued = 0;   // never started (deadline before issue)
+  std::uint64_t attempts = 0;   // queries put on the wire
+  std::uint64_t retries = 0;    // attempts beyond the first per exchange
+  std::uint64_t responses = 0;  // attempts answered in time
+  std::uint64_t losses = 0;     // attempts lost or too slow
+  std::uint64_t virtual_us = 0; // virtual clock at the end of the run
+
+  [[nodiscard]] bool balanced() const noexcept {
+    return issued == completed + timed_out + cancelled;
+  }
+  void merge(const EngineStats& other) noexcept;
+};
+
+/// One measurement protocol, described to the engine. The engine calls
+/// exchange_answers() exactly once per (item, exchange) — it must be a
+/// pure predicate of those two (this is where handlers perform the actual
+/// lookup/fetch and stash its result). on_response/on_timeout decide how
+/// the protocol proceeds; on_outcome reports the item's final fate.
+class ProbeHandler {
+ public:
+  virtual ~ProbeHandler() = default;
+
+  /// Key mixed into every NetModel draw for this item (e.g. its address).
+  [[nodiscard]] virtual std::uint64_t item_key(std::uint32_t item) const = 0;
+
+  /// Whether the target answers this exchange at all (behavior-level:
+  /// a closed resolver or dead IP never answers; loss is layered on top
+  /// by the NetModel).
+  virtual bool exchange_answers(std::uint32_t item, std::uint32_t exchange) = 0;
+
+  virtual Step on_response(std::uint32_t item, std::uint32_t exchange,
+                           std::uint64_t now_us) = 0;
+
+  /// All attempts of `exchange` timed out. kAbort marks the item timed
+  /// out; kDone completes it with whatever was gathered; kNextExchange
+  /// degrades and moves on.
+  virtual Step on_timeout(std::uint32_t item, std::uint32_t exchange,
+                          std::uint64_t now_us) = 0;
+
+  virtual void on_outcome(std::uint32_t /*item*/, Outcome /*outcome*/,
+                          std::uint64_t /*now_us*/) {}
+};
+
+class ProbeEngine {
+ public:
+  explicit ProbeEngine(EngineConfig config = {}, NetModel model = {})
+      : config_(config), model_(model) {}
+
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const NetModel& model() const noexcept { return model_; }
+
+  /// Runs items 0..item_count-1 through the handler's protocol. Reusable;
+  /// each run starts a fresh virtual clock.
+  EngineStats run(std::uint32_t item_count, ProbeHandler& handler);
+
+ private:
+  enum class ItemState : std::uint8_t { kIdle, kInFlight, kFinal };
+
+  void run_item_linear(std::uint32_t item, ProbeHandler& handler);
+  void start_exchange(std::uint32_t item, std::uint32_t exchange,
+                      std::uint64_t now_us, ProbeHandler& handler);
+  void issue_attempt(std::uint32_t item, std::uint32_t exchange,
+                     std::uint32_t attempt, bool answers, std::uint64_t now_us);
+  void apply_step(Step step, bool from_timeout, std::uint32_t item,
+                  std::uint32_t exchange, std::uint64_t now_us,
+                  ProbeHandler& handler);
+  void finalize(std::uint32_t item, Outcome outcome, std::uint64_t now_us,
+                ProbeHandler& handler);
+  void fire(std::uint64_t payload, ProbeHandler& handler);
+  [[nodiscard]] std::uint64_t attempt_timeout(std::uint32_t attempt) const {
+    return static_cast<std::uint64_t>(config_.timeout_us) << attempt;
+  }
+  [[nodiscard]] std::uint64_t exchange_timeout_total() const;
+
+  EngineConfig config_;
+  NetModel model_;
+  TimerWheel wheel_;
+  EngineStats stats_;
+  std::vector<ItemState> state_;
+  ProbeHandler* handler_ = nullptr;  // valid during run() only
+  std::uint32_t in_flight_ = 0;
+  std::uint64_t horizon_us_ = 0;  // latest item-final virtual time
+};
+
+}  // namespace ixp::probe

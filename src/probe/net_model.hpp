@@ -1,0 +1,51 @@
+// Deterministic network model for the probe engine (DESIGN.md §15).
+//
+// Every attempt's latency and loss are pure functions of
+// (seed, item key, exchange, attempt) via a stateless mixer. Because no
+// RNG state is shared between in-flight measurements, an attempt's
+// outcome cannot depend on scheduling: the engine produces byte-identical
+// results for any concurrency cap, issue order, or thread count. That
+// purity is the whole determinism argument of the differential suite —
+// the synchronous oracle replays the same draws and must land on the
+// same confirmed sets and funnels.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace ixp::probe {
+
+struct NetModel {
+  std::uint64_t seed = 0;
+  /// Per-attempt loss probability in permille (0 = lossless).
+  std::uint32_t loss_permille = 0;
+  /// RTT for an answered attempt: base + uniform jitter.
+  std::uint32_t rtt_base_us = 200;
+  std::uint32_t rtt_jitter_us = 19'800;
+
+  struct Draw {
+    bool lost = false;
+    std::uint32_t rtt_us = 0;
+  };
+
+  [[nodiscard]] bool lossless() const noexcept { return loss_permille == 0; }
+
+  /// The fate of one attempt. Pure: the same (item_key, exchange, attempt)
+  /// always draws the same outcome, regardless of when or where it runs.
+  [[nodiscard]] Draw draw(std::uint64_t item_key, std::uint32_t exchange,
+                          std::uint32_t attempt) const noexcept {
+    const std::uint64_t h = util::mix64(
+        seed ^ util::mix64(item_key + 0x9e3779b97f4a7c15ULL) ^
+        (static_cast<std::uint64_t>(exchange) << 48) ^
+        (static_cast<std::uint64_t>(attempt) << 40));
+    Draw d;
+    d.lost = (h % 1000) < loss_permille;
+    d.rtt_us = rtt_base_us +
+               static_cast<std::uint32_t>(
+                   (h >> 10) % (static_cast<std::uint64_t>(rtt_jitter_us) + 1));
+    return d;
+  }
+};
+
+}  // namespace ixp::probe

@@ -1,0 +1,92 @@
+// Timer wheel for the probe engine's virtual clock.
+//
+// A classic hashed wheel: a power-of-two ring of slots, each holding the
+// timers whose due tick hashes there. The engine schedules one timer per
+// in-flight attempt (either the expected response or its timeout), so the
+// wheel holds at most `max_in_flight` entries and advancing is O(ticks
+// scanned + timers fired). Entries due in a later revolution stay in
+// their slot and are skipped until their tick comes around.
+//
+// Virtual time is quantized to ticks: a timer scheduled for the current
+// tick (or the past) fires at the next tick boundary. Within one tick,
+// timers fire in schedule order — together with the pure NetModel draws
+// this makes the whole simulation deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ixp::probe {
+
+class TimerWheel {
+ public:
+  /// `slots_log2` ring slots of `tick_us` virtual microseconds each.
+  explicit TimerWheel(std::uint32_t slots_log2 = 10,
+                      std::uint32_t tick_us = 1024)
+      : slots_(std::size_t{1} << slots_log2),
+        mask_((std::size_t{1} << slots_log2) - 1),
+        tick_us_(tick_us) {}
+
+  void reset() {
+    for (auto& slot : slots_) slot.clear();
+    tick_ = 0;
+    pending_ = 0;
+  }
+
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+  [[nodiscard]] std::uint64_t now_us() const noexcept {
+    return tick_ * tick_us_;
+  }
+
+  void schedule(std::uint64_t due_us, std::uint64_t payload) {
+    std::uint64_t due_tick = due_us / tick_us_;
+    if (due_tick <= tick_) due_tick = tick_ + 1;
+    slots_[due_tick & mask_].push_back(Timer{due_tick, payload});
+    ++pending_;
+  }
+
+  /// Advances to the next tick holding due timers and invokes
+  /// `fire(payload)` for each, in schedule order. Returns false when no
+  /// timers remain (the clock does not move).
+  template <class F>
+  bool fire_next(F&& fire) {
+    if (pending_ == 0) return false;
+    for (;;) {
+      ++tick_;
+      auto& slot = slots_[tick_ & mask_];
+      if (slot.empty()) continue;
+      // Split due entries from future-revolution ones, preserving order.
+      due_.clear();
+      std::size_t kept = 0;
+      for (Timer& timer : slot) {
+        if (timer.due_tick == tick_) {
+          due_.push_back(timer.payload);
+        } else {
+          slot[kept++] = timer;
+        }
+      }
+      slot.resize(kept);
+      if (due_.empty()) continue;
+      pending_ -= due_.size();
+      for (const std::uint64_t payload : due_) fire(payload);
+      return true;
+    }
+  }
+
+ private:
+  struct Timer {
+    std::uint64_t due_tick;
+    std::uint64_t payload;
+  };
+
+  std::vector<std::vector<Timer>> slots_;
+  std::size_t mask_;
+  std::uint32_t tick_us_;
+  std::uint64_t tick_ = 0;
+  std::size_t pending_ = 0;
+  std::vector<std::uint64_t> due_;
+};
+
+}  // namespace ixp::probe

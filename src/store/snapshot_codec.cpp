@@ -215,6 +215,7 @@ std::vector<std::byte> SnapshotCodec::encode_report(
   out.u64(report.https_funnel.candidates);
   out.u64(report.https_funnel.responded);
   out.u64(report.https_funnel.confirmed);
+  out.u64(report.https_funnel.early_exits);
 
   const classify::MetadataCoverage& mc = report.metadata_coverage;
   out.u64(mc.servers);
@@ -322,6 +323,7 @@ std::optional<core::WeeklyReport> SnapshotCodec::decode_report(
   report.https_funnel.candidates = in.u64();
   report.https_funnel.responded = in.u64();
   report.https_funnel.confirmed = in.u64();
+  report.https_funnel.early_exits = in.u64();
 
   classify::MetadataCoverage& mc = report.metadata_coverage;
   mc.servers = in.u64();

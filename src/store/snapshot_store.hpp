@@ -42,7 +42,9 @@ namespace ixp::store {
 
 inline constexpr char kSnapshotMagic[8] = {'I', 'X', 'P', 'S', 'N', 'A', 'P', '\0'};
 inline constexpr char kFooterMagic[8] = {'I', 'X', 'P', 'S', 'E', 'A', 'L', '\0'};
-inline constexpr std::uint32_t kFormatVersion = 1;
+// v2: ProbeFunnel gained early_exits (PR 9). Old files decode as
+// kBadVersion and take the quarantine-and-recompute path by design.
+inline constexpr std::uint32_t kFormatVersion = 2;
 inline constexpr std::size_t kSnapshotHeaderBytes = 24;
 inline constexpr std::size_t kSnapshotFooterBytes = 24;
 inline constexpr std::size_t kSectionHeaderBytes = 16;

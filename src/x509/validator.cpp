@@ -1,6 +1,7 @@
 #include "x509/validator.hpp"
 
 #include <algorithm>
+#include <array>
 
 namespace ixp::x509 {
 
@@ -31,6 +32,8 @@ bool ValidationResult::failed_check(Check check) const {
 bool ChainValidator::name_has_valid_domain(const dns::DnsName& name) const {
   // A usable name must have a registrable domain under the public-suffix
   // list — this is the paper's "valid domains and also valid ccSLDs".
+  if (domain_cache_ != nullptr)
+    return domain_cache_->has_valid_domain(name, *psl_);
   return psl_->registrable_domain(name).has_value();
 }
 
@@ -117,6 +120,52 @@ ValidationResult ChainValidator::validate_stable(
   // any flip disqualifies the IP.
   for (std::size_t i = 1; i < fetches.size(); ++i) {
     if (!same_stable_properties(fetches[0].leaf(), fetches[i].leaf())) {
+      result.fail(Check::kStability);
+      return result;
+    }
+  }
+  return result;
+}
+
+ValidationResult ChainValidator::validate_stable(
+    std::span<const CertificateChain* const> fetches,
+    std::span<const Timestamp> fetch_times) const {
+  ValidationResult result;
+  if (fetches.empty() || fetches.size() != fetch_times.size()) {
+    result.fail(Check::kStability);
+    return result;
+  }
+  // Chains that already passed (a)-(d) at an earlier fetch; validity (e)
+  // is the only time-dependent check, so an aliased pointer re-checks just
+  // that and yields the exact verdict the value form would.
+  std::array<const CertificateChain*, 16> passed{};
+  std::size_t passed_n = 0;
+  for (std::size_t i = 0; i < fetches.size(); ++i) {
+    const CertificateChain* chain = fetches[i];
+    if (chain == nullptr) {
+      result.fail(Check::kStability);
+      return result;
+    }
+    bool seen = false;
+    for (std::size_t k = 0; k < passed_n; ++k) seen |= passed[k] == chain;
+    if (seen) {
+      for (const Certificate& cert : chain->certs) {
+        if (!cert.valid_at(fetch_times[i])) {
+          ValidationResult single;
+          single.fail(Check::kValidity);
+          return single;
+        }
+      }
+      continue;
+    }
+    const ValidationResult single = validate(*chain, fetch_times[i]);
+    if (!single.ok) return single;
+    if (passed_n < passed.size()) passed[passed_n++] = chain;
+  }
+  // (f) stability: identical pointers agree by construction.
+  for (std::size_t i = 1; i < fetches.size(); ++i) {
+    if (fetches[i] == fetches[0]) continue;
+    if (!same_stable_properties(fetches[0]->leaf(), fetches[i]->leaf())) {
       result.fail(Check::kStability);
       return result;
     }

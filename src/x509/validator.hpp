@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dns/public_suffix.hpp"
+#include "util/flat_hash_map.hpp"
 #include "x509/certificate.hpp"
 
 namespace ixp::x509 {
@@ -36,10 +37,43 @@ struct ValidationResult {
   [[nodiscard]] bool failed_check(Check check) const;
 };
 
+/// Memoized registrable-domain verdicts, shared across one probe run.
+/// Checks (a)/(b) consult the public-suffix list once per SAN per fetch;
+/// hosting farms repeat a handful of names across millions of fetches, so
+/// a memo turns the PSL suffix search into a single hash probe.
+class DomainCache {
+ public:
+  [[nodiscard]] bool has_valid_domain(const dns::DnsName& name,
+                                      const dns::PublicSuffixList& psl) {
+    const auto it = verdicts_.find(name);
+    if (it != verdicts_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+    const bool ok = psl.registrable_domain(name).has_value();
+    verdicts_.try_emplace(name, ok);
+    return ok;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t size() const noexcept { return verdicts_.size(); }
+
+ private:
+  util::FlatHashMap<dns::DnsName, bool, dns::NameHash, dns::NameEq> verdicts_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
 class ChainValidator {
  public:
   ChainValidator(const RootStore& roots, const dns::PublicSuffixList& psl)
       : roots_(&roots), psl_(&psl) {}
+
+  /// Attaches a memo for registrable-domain lookups. Non-owning; the cache
+  /// is thread-confined and must outlive the validator's use of it.
+  void set_domain_cache(DomainCache* cache) noexcept { domain_cache_ = cache; }
 
   /// Runs checks (a)-(e) on one fetched chain.
   [[nodiscard]] ValidationResult validate(const CertificateChain& chain,
@@ -52,11 +86,21 @@ class ChainValidator {
       std::span<const CertificateChain> fetches,
       std::span<const Timestamp> fetch_times) const;
 
+  /// Pointer form for the probe engine: entries may alias one chain object
+  /// when the server is stable. An aliased chain that already passed
+  /// (a)-(d) re-checks only time-dependent validity (e), and identical
+  /// pointers trivially satisfy stability (f). Verdicts match the value
+  /// form exactly (the differential suite holds it to that).
+  [[nodiscard]] ValidationResult validate_stable(
+      std::span<const CertificateChain* const> fetches,
+      std::span<const Timestamp> fetch_times) const;
+
  private:
   [[nodiscard]] bool name_has_valid_domain(const dns::DnsName& name) const;
 
   const RootStore* roots_;
   const dns::PublicSuffixList* psl_;
+  DomainCache* domain_cache_ = nullptr;
 };
 
 }  // namespace ixp::x509

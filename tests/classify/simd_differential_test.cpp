@@ -4,7 +4,8 @@
 //
 //   - HttpMatcher::match (runtime-dispatched) and the SSE2/AVX2 policies
 //     directly vs match_scalar;
-//   - LaneFlags::compute (dispatched) vs LaneFlags::compute_scalar.
+//   - LaneFlags::compute (dispatched) plus the pinned SSE2/AVX2 lane
+//     kernels vs LaneFlags::compute_scalar.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -14,6 +15,7 @@
 #include "classify/http_match_impl.hpp"
 #include "classify/http_matcher.hpp"
 #include "classify/lane_flags.hpp"
+#include "util/cpu_features.hpp"
 #include "util/rng.hpp"
 
 namespace ixp::classify {
@@ -168,6 +170,28 @@ TEST(HostAnchoring, LineStartPositionsStillMatch) {
 
 // ---- LaneFlags -----------------------------------------------------------
 
+/// Checks every lane tier — the dispatched form, the pinned SSE2 form,
+/// and (when the hardware can execute it) the pinned AVX2 form —
+/// against compute_scalar on the same arrays.
+void expect_lane_tiers_agree(const std::uint16_t* src_port,
+                             const std::uint16_t* dst_port,
+                             const std::uint8_t* tcp, const std::uint8_t* ind,
+                             std::size_t n, int trial) {
+  std::vector<std::uint8_t> ref_src(n), ref_dst(n);
+  LaneFlags::compute_scalar(src_port, dst_port, tcp, ind, n, ref_src.data(),
+                            ref_dst.data());
+  const auto check = [&](auto&& tier_fn, const char* tier) {
+    std::vector<std::uint8_t> got_src(n), got_dst(n);
+    tier_fn(src_port, dst_port, tcp, ind, n, got_src.data(), got_dst.data());
+    ASSERT_EQ(got_src, ref_src) << tier << " trial " << trial << " n=" << n;
+    ASSERT_EQ(got_dst, ref_dst) << tier << " trial " << trial << " n=" << n;
+  };
+  check(LaneFlags::compute, "dispatched");
+  check(detail::lane_flags_sse2, "sse2");
+  if (util::CpuFeatures::detect().avx2)
+    check(detail::lane_flags_avx2, "avx2");
+}
+
 TEST(LaneFlagsDifferential, RandomizedLanes) {
   util::Rng rng{23};
   // Interesting ports dominate so the lane masks actually fire.
@@ -184,21 +208,17 @@ TEST(LaneFlagsDifferential, RandomizedLanes) {
       tcp[i] = static_cast<std::uint8_t>(rng.next_below(2));
       indication[i] = static_cast<std::uint8_t>(rng.next_below(4));
     }
-    std::vector<std::uint8_t> simd_src(n), simd_dst(n), ref_src(n), ref_dst(n);
-    LaneFlags::compute(src_port.data(), dst_port.data(), tcp.data(),
-                       indication.data(), n, simd_src.data(), simd_dst.data());
-    LaneFlags::compute_scalar(src_port.data(), dst_port.data(), tcp.data(),
-                              indication.data(), n, ref_src.data(),
-                              ref_dst.data());
-    ASSERT_EQ(simd_src, ref_src) << "trial " << trial;
-    ASSERT_EQ(simd_dst, ref_dst) << "trial " << trial;
+    expect_lane_tiers_agree(src_port.data(), dst_port.data(), tcp.data(),
+                            indication.data(), n, trial);
   }
 }
 
 TEST(LaneFlagsDifferential, TailLengthsBelowOneVector) {
-  // Every length 0..47 crosses the 16-lane step boundary at least once.
+  // Every length 0..95 crosses both the 16-lane and the 32-lane step
+  // boundaries at least once, including the AVX2 32-wide step followed
+  // by an SSE2 16-wide step followed by a scalar tail.
   util::Rng rng{24};
-  for (std::size_t n = 0; n < 48; ++n) {
+  for (std::size_t n = 0; n < 96; ++n) {
     std::vector<std::uint16_t> src_port(n), dst_port(n);
     std::vector<std::uint8_t> tcp(n), indication(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -207,14 +227,8 @@ TEST(LaneFlagsDifferential, TailLengthsBelowOneVector) {
       tcp[i] = static_cast<std::uint8_t>(rng.next_below(2));
       indication[i] = static_cast<std::uint8_t>(rng.next_below(4));
     }
-    std::vector<std::uint8_t> simd_src(n), simd_dst(n), ref_src(n), ref_dst(n);
-    LaneFlags::compute(src_port.data(), dst_port.data(), tcp.data(),
-                       indication.data(), n, simd_src.data(), simd_dst.data());
-    LaneFlags::compute_scalar(src_port.data(), dst_port.data(), tcp.data(),
-                              indication.data(), n, ref_src.data(),
-                              ref_dst.data());
-    ASSERT_EQ(simd_src, ref_src) << "n=" << n;
-    ASSERT_EQ(simd_dst, ref_dst) << "n=" << n;
+    expect_lane_tiers_agree(src_port.data(), dst_port.data(), tcp.data(),
+                            indication.data(), n, -1);
   }
 }
 

@@ -1,0 +1,166 @@
+// CachingResolver (DESIGN.md §15): TTL expiry on the positive and
+// negative paths, LRU eviction at capacity, zone-level SOA caching, and
+// the transparency invariant — cached answers are exactly what the
+// ZoneDatabase returns, with every hit/miss/eviction counted exactly.
+#include "probe/caching_resolver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "dns/name.hpp"
+#include "dns/zone_db.hpp"
+#include "net/ipv4.hpp"
+
+namespace ixp::probe {
+namespace {
+
+dns::DnsName name(const char* text) { return *dns::DnsName::parse(text); }
+
+class CachingResolverTest : public ::testing::Test {
+ protected:
+  CachingResolverTest() {
+    db_.add_a(name("www.example.com"), net::Ipv4Addr{192, 0, 2, 10});
+    db_.add_soa(name("org5.probe-bench.com"), name("ns.org5.probe-bench.com"));
+    db_.add_ptr(net::Ipv4Addr{10, 0, 0, 1},
+                name("h1.dc0.org5.probe-bench.com"));
+    db_.add_reverse_soa(net::Ipv4Addr{10, 0, 0, 2},
+                        name("rir-free.example.net"));
+  }
+
+  dns::ZoneDatabase db_;
+};
+
+TEST_F(CachingResolverTest, PositiveTtlServesThenExpires) {
+  CachingResolver::Options options;
+  options.positive_ttl_us = 1'000;
+  CachingResolver resolver{db_, options};
+  const dns::DnsName query = name("www.example.com");
+
+  EXPECT_EQ(resolver.resolve(query, 0), db_.resolve(query));
+  EXPECT_EQ(resolver.stats().misses, 1u);
+  EXPECT_EQ(resolver.stats().insertions, 1u);
+
+  EXPECT_EQ(resolver.resolve(query, 999), db_.resolve(query));
+  EXPECT_EQ(resolver.stats().hits, 1u);
+  EXPECT_EQ(resolver.stats().expired, 0u);
+
+  // The entry expires at exactly insert-time + TTL; the re-query is an
+  // authoritative miss that reinstalls it.
+  EXPECT_EQ(resolver.resolve(query, 1'000), db_.resolve(query));
+  EXPECT_EQ(resolver.stats().expired, 1u);
+  EXPECT_EQ(resolver.stats().misses, 2u);
+  EXPECT_EQ(resolver.stats().insertions, 2u);
+  EXPECT_EQ(resolver.stats().hits, 1u);
+}
+
+TEST_F(CachingResolverTest, NegativeAnswersAreCachedWithTheirOwnTtl) {
+  CachingResolver::Options options;
+  options.negative_ttl_us = 500;
+  CachingResolver resolver{db_, options};
+  const dns::DnsName query = name("nx.example.com");
+
+  EXPECT_TRUE(resolver.resolve(query, 0).empty());
+  EXPECT_EQ(resolver.stats().misses, 1u);
+
+  EXPECT_TRUE(resolver.resolve(query, 499).empty());
+  EXPECT_EQ(resolver.stats().negative_hits, 1u);
+  EXPECT_EQ(resolver.stats().misses, 1u);
+
+  EXPECT_TRUE(resolver.resolve(query, 500).empty());
+  EXPECT_EQ(resolver.stats().expired, 1u);
+  EXPECT_EQ(resolver.stats().negative_hits, 1u);
+  EXPECT_EQ(resolver.stats().misses, 2u);
+}
+
+TEST_F(CachingResolverTest, LruEvictsColdestEntryAtCapacity) {
+  db_.add_a(name("a.example.com"), net::Ipv4Addr{192, 0, 2, 1});
+  db_.add_a(name("b.example.com"), net::Ipv4Addr{192, 0, 2, 2});
+  db_.add_a(name("c.example.com"), net::Ipv4Addr{192, 0, 2, 3});
+  CachingResolver::Options options;
+  options.capacity = 2;
+  CachingResolver resolver{db_, options};
+
+  (void)resolver.resolve(name("a.example.com"), 0);  // miss, install a
+  (void)resolver.resolve(name("b.example.com"), 0);  // miss, install b
+  (void)resolver.resolve(name("a.example.com"), 0);  // hit, touch a to MRU
+  (void)resolver.resolve(name("c.example.com"), 0);  // miss, evicts b
+  EXPECT_EQ(resolver.stats().evictions, 1u);
+
+  (void)resolver.resolve(name("b.example.com"), 0);  // evicted: miss again
+  EXPECT_EQ(resolver.stats().misses, 4u);
+  (void)resolver.resolve(name("a.example.com"), 0);  // survived the sweep?
+  // a was evicted by b's reinstall (c was MRU): the LRU order is what
+  // decides, not insertion order.
+  EXPECT_EQ(resolver.stats().hits, 1u);
+  EXPECT_EQ(resolver.stats().misses, 5u);
+  EXPECT_EQ(resolver.stats().evictions, 3u);
+}
+
+TEST_F(CachingResolverTest, SoaWalkCachesZonesNotLeafNames) {
+  CachingResolver resolver{db_};
+  const auto first = resolver.soa_of(name("h1.dc0.org5.probe-bench.com"), 0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->zone, name("org5.probe-bench.com"));
+  EXPECT_EQ(first->authority, name("ns.org5.probe-bench.com"));
+  EXPECT_EQ(resolver.stats().misses, 1u);
+  // The walk probed host, dc and org levels; only the two proper
+  // suffixes are backfilled — the per-host leaf name would never be read
+  // again in a sweep over distinct hostnames.
+  EXPECT_EQ(resolver.stats().insertions, 2u);
+
+  // A sibling under the same data center shares the cached suffix.
+  const auto sibling = resolver.soa_of(name("h2.dc0.org5.probe-bench.com"), 0);
+  ASSERT_TRUE(sibling.has_value());
+  EXPECT_EQ(*sibling, *first);
+  EXPECT_EQ(resolver.stats().hits, 1u);
+  EXPECT_EQ(resolver.stats().insertions, 2u);
+
+  // An exact repeat answers from the zone level too: no leaf entry was
+  // ever written, yet the query still counts as a hit.
+  const auto repeat = resolver.soa_of(name("h1.dc0.org5.probe-bench.com"), 0);
+  ASSERT_TRUE(repeat.has_value());
+  EXPECT_EQ(*repeat, *first);
+  EXPECT_EQ(resolver.stats().hits, 2u);
+  EXPECT_EQ(resolver.stats().insertions, 2u);
+
+  // Names under no zone cache a negative answer at the parent levels.
+  EXPECT_FALSE(resolver.soa_of(name("h.nowhere.test"), 0).has_value());
+  EXPECT_EQ(resolver.stats().misses, 2u);
+  EXPECT_FALSE(resolver.soa_of(name("g.nowhere.test"), 0).has_value());
+  EXPECT_EQ(resolver.stats().negative_hits, 1u);
+}
+
+TEST_F(CachingResolverTest, ReverseAndReverseSoaMatchZoneDatabase) {
+  CachingResolver resolver{db_};
+  const net::Ipv4Addr with_ptr{10, 0, 0, 1};
+  const net::Ipv4Addr with_rsoa{10, 0, 0, 2};
+  const net::Ipv4Addr absent{10, 0, 0, 3};
+
+  EXPECT_EQ(resolver.reverse(with_ptr, 0), db_.reverse(with_ptr));
+  EXPECT_EQ(resolver.reverse(absent, 0), std::nullopt);
+  EXPECT_EQ(resolver.reverse_soa(with_ptr, 0), db_.reverse_soa(with_ptr));
+  EXPECT_EQ(resolver.reverse_soa(with_rsoa, 0), db_.reverse_soa(with_rsoa));
+  EXPECT_EQ(resolver.reverse_soa(absent, 0), db_.reverse_soa(absent));
+
+  // Second round: every answer now comes from cache, and is still
+  // exactly the authoritative one.
+  const CacheStats before = resolver.stats();
+  EXPECT_EQ(resolver.reverse(with_ptr, 0), db_.reverse(with_ptr));
+  EXPECT_EQ(resolver.reverse_soa(with_rsoa, 0), db_.reverse_soa(with_rsoa));
+  EXPECT_EQ(resolver.stats().misses, before.misses);
+  EXPECT_EQ(resolver.stats().hits, before.hits + 2);
+}
+
+TEST_F(CachingResolverTest, HitRateIsExact) {
+  CachingResolver resolver{db_};
+  const dns::DnsName query = name("www.example.com");
+  (void)resolver.resolve(query, 0);  // miss
+  (void)resolver.resolve(query, 1);  // hit
+  (void)resolver.resolve(query, 2);  // hit
+  (void)resolver.resolve(query, 3);  // hit
+  EXPECT_DOUBLE_EQ(resolver.stats().hit_rate(), 0.75);
+}
+
+}  // namespace
+}  // namespace ixp::probe

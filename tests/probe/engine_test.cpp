@@ -1,0 +1,215 @@
+// ProbeEngine accounting (DESIGN.md §15): the exact counter identities on
+// both execution paths — the lossless linear pass and the timer-wheel
+// simulation — plus deadline cancellation and retry/backoff bookkeeping.
+#include "probe/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ixp::probe {
+namespace {
+
+/// Scripted protocol: every `dead_modulus`-th item never answers; the
+/// rest run `exchanges` exchanges and complete. Outcomes are recorded so
+/// two runs can be compared item by item.
+class ScriptHandler final : public ProbeHandler {
+ public:
+  ScriptHandler(std::uint32_t exchanges, std::uint32_t dead_modulus)
+      : exchanges_(exchanges), dead_modulus_(dead_modulus) {}
+
+  [[nodiscard]] std::uint64_t item_key(std::uint32_t item) const override {
+    return std::uint64_t{item} * 7919 + 17;
+  }
+
+  [[nodiscard]] bool dead(std::uint32_t item) const {
+    return dead_modulus_ != 0 && item % dead_modulus_ == 0;
+  }
+
+  bool exchange_answers(std::uint32_t item, std::uint32_t) override {
+    return !dead(item);
+  }
+
+  Step on_response(std::uint32_t, std::uint32_t exchange,
+                   std::uint64_t) override {
+    return exchange + 1 < exchanges_ ? Step::kNextExchange : Step::kDone;
+  }
+
+  Step on_timeout(std::uint32_t, std::uint32_t, std::uint64_t) override {
+    return Step::kAbort;
+  }
+
+  void on_outcome(std::uint32_t item, Outcome outcome,
+                  std::uint64_t) override {
+    outcomes.push_back({item, outcome});
+  }
+
+  std::vector<std::pair<std::uint32_t, Outcome>> outcomes;
+
+ private:
+  std::uint32_t exchanges_;
+  std::uint32_t dead_modulus_;
+};
+
+std::vector<std::pair<std::uint32_t, Outcome>> sorted(
+    std::vector<std::pair<std::uint32_t, Outcome>> outcomes) {
+  std::sort(outcomes.begin(), outcomes.end());
+  return outcomes;
+}
+
+TEST(ProbeEngineTest, LosslessLinearPathExactCounters) {
+  // 100 items, every 4th dead: 25 dead, 75 completing two exchanges.
+  // Default RTT draws (max ~20ms) always beat the 250ms first-attempt
+  // timeout, so live items respond on attempt 0 of every exchange.
+  ScriptHandler handler{/*exchanges=*/2, /*dead_modulus=*/4};
+  ProbeEngine engine{EngineConfig{}, NetModel{.seed = 42}};
+  const EngineStats stats = engine.run(100, handler);
+
+  EXPECT_EQ(stats.issued, 100u);
+  EXPECT_EQ(stats.completed, 75u);
+  EXPECT_EQ(stats.timed_out, 25u);
+  EXPECT_EQ(stats.cancelled, 0u);
+  EXPECT_EQ(stats.unissued, 0u);
+  EXPECT_TRUE(stats.balanced());
+  // Live: one answered attempt per exchange. Dead: the full attempt
+  // budget on exchange 0.
+  EXPECT_EQ(stats.attempts, 75u * 2 + 25u * 3);
+  EXPECT_EQ(stats.retries, 25u * 2);
+  EXPECT_EQ(stats.responses, 75u * 2);
+  EXPECT_EQ(stats.losses, 0u);
+  // The horizon is the dead items' exhausted backoff ladder:
+  // 250ms + 500ms + 1000ms.
+  EXPECT_EQ(stats.virtual_us, 1'750'000u);
+  EXPECT_EQ(handler.outcomes.size(), 100u);
+}
+
+TEST(ProbeEngineTest, WheelPathMatchesLinearPath) {
+  // A far-future deadline forces the wheel even though the model is
+  // lossless; every counter except the tick-quantized clock must agree
+  // with the linear pass, as must each item's outcome.
+  ScriptHandler linear_handler{2, 4};
+  ProbeEngine linear{EngineConfig{}, NetModel{.seed = 42}};
+  const EngineStats linear_stats = linear.run(100, linear_handler);
+
+  EngineConfig wheel_config;
+  wheel_config.run_deadline_us = std::uint64_t{1} << 60;
+  ScriptHandler wheel_handler{2, 4};
+  ProbeEngine wheel{wheel_config, NetModel{.seed = 42}};
+  const EngineStats wheel_stats = wheel.run(100, wheel_handler);
+
+  EXPECT_EQ(wheel_stats.issued, linear_stats.issued);
+  EXPECT_EQ(wheel_stats.completed, linear_stats.completed);
+  EXPECT_EQ(wheel_stats.timed_out, linear_stats.timed_out);
+  EXPECT_EQ(wheel_stats.cancelled, linear_stats.cancelled);
+  EXPECT_EQ(wheel_stats.attempts, linear_stats.attempts);
+  EXPECT_EQ(wheel_stats.retries, linear_stats.retries);
+  EXPECT_EQ(wheel_stats.responses, linear_stats.responses);
+  EXPECT_EQ(wheel_stats.losses, linear_stats.losses);
+  EXPECT_EQ(sorted(wheel_handler.outcomes), sorted(linear_handler.outcomes));
+}
+
+TEST(ProbeEngineTest, TotalLossExhaustsEveryAttempt) {
+  // loss_permille = 1000: every attempt is lost, so every item burns the
+  // whole backoff ladder and times out through the wheel.
+  NetModel model;
+  model.seed = 7;
+  model.loss_permille = 1000;
+  ScriptHandler handler{1, 0};
+  ProbeEngine engine{EngineConfig{}, model};
+  const EngineStats stats = engine.run(50, handler);
+
+  EXPECT_EQ(stats.issued, 50u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.timed_out, 50u);
+  EXPECT_TRUE(stats.balanced());
+  EXPECT_EQ(stats.attempts, 150u);
+  EXPECT_EQ(stats.retries, 100u);
+  EXPECT_EQ(stats.losses, 150u);
+  EXPECT_EQ(stats.responses, 0u);
+}
+
+TEST(ProbeEngineTest, DeadlineCancelsInFlightAndCountsUnissued) {
+  // With everything lost and a deadline inside the first retry window,
+  // the 8 items the concurrency cap admitted are cancelled and the other
+  // 92 are never issued; the balance identity holds over the issued set.
+  NetModel model;
+  model.seed = 11;
+  model.loss_permille = 1000;
+  EngineConfig config;
+  config.max_in_flight = 8;
+  config.run_deadline_us = 300'000;
+  ScriptHandler handler{1, 0};
+  ProbeEngine engine{config, model};
+  const EngineStats stats = engine.run(100, handler);
+
+  EXPECT_EQ(stats.issued, 8u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.timed_out, 0u);
+  EXPECT_EQ(stats.cancelled, 8u);
+  EXPECT_EQ(stats.unissued, 92u);
+  EXPECT_TRUE(stats.balanced());
+  EXPECT_EQ(stats.issued + stats.unissued, 100u);
+  EXPECT_EQ(stats.responses, 0u);
+  EXPECT_EQ(stats.losses, stats.attempts);
+  EXPECT_GE(stats.virtual_us, config.run_deadline_us);
+  EXPECT_EQ(handler.outcomes.size(), 8u);
+  for (const auto& [item, outcome] : handler.outcomes)
+    EXPECT_EQ(outcome, Outcome::kCancelled) << "item " << item;
+}
+
+TEST(ProbeEngineTest, ConcurrencyCapNeverChangesOutcomesOrCounters) {
+  // Under partial loss the wheel interleaves items differently for every
+  // cap, but each attempt's fate is a pure per-item draw: outcomes and
+  // all counters except the (cap-dependent) virtual clock must agree.
+  NetModel model;
+  model.seed = 1234;
+  model.loss_permille = 137;
+  std::vector<EngineStats> stats;
+  std::vector<std::vector<std::pair<std::uint32_t, Outcome>>> outcomes;
+  for (const std::uint32_t cap : {1u, 3u, 4096u}) {
+    EngineConfig config;
+    config.max_in_flight = cap;
+    ScriptHandler handler{2, 5};
+    ProbeEngine engine{config, model};
+    stats.push_back(engine.run(300, handler));
+    outcomes.push_back(sorted(std::move(handler.outcomes)));
+    EXPECT_TRUE(stats.back().balanced());
+  }
+  for (std::size_t i = 1; i < stats.size(); ++i) {
+    EXPECT_EQ(stats[i].issued, stats[0].issued);
+    EXPECT_EQ(stats[i].completed, stats[0].completed);
+    EXPECT_EQ(stats[i].timed_out, stats[0].timed_out);
+    EXPECT_EQ(stats[i].attempts, stats[0].attempts);
+    EXPECT_EQ(stats[i].retries, stats[0].retries);
+    EXPECT_EQ(stats[i].responses, stats[0].responses);
+    EXPECT_EQ(stats[i].losses, stats[0].losses);
+    EXPECT_EQ(outcomes[i], outcomes[0]);
+  }
+}
+
+TEST(ProbeEngineTest, StatsMergeSumsCountersAndMaxesClock) {
+  EngineStats a;
+  a.issued = 3;
+  a.completed = 2;
+  a.timed_out = 1;
+  a.attempts = 9;
+  a.virtual_us = 500;
+  EngineStats b;
+  b.issued = 4;
+  b.completed = 4;
+  b.attempts = 5;
+  b.virtual_us = 200;
+  a.merge(b);
+  EXPECT_EQ(a.issued, 7u);
+  EXPECT_EQ(a.completed, 6u);
+  EXPECT_EQ(a.timed_out, 1u);
+  EXPECT_EQ(a.attempts, 14u);
+  EXPECT_EQ(a.virtual_us, 500u);
+  EXPECT_TRUE(a.balanced());
+}
+
+}  // namespace
+}  // namespace ixp::probe

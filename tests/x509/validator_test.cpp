@@ -175,7 +175,8 @@ TEST_F(ValidatorTest, CheckF_AnyBadFetchFails) {
 }
 
 TEST_F(ValidatorTest, CheckF_NoFetchesFails) {
-  const auto result = validator_.validate_stable({}, {});
+  const auto result = validator_.validate_stable(
+      std::span<const CertificateChain>{}, std::span<const Timestamp>{});
   EXPECT_TRUE(result.failed_check(Check::kStability));
 }
 

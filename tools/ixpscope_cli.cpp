@@ -8,6 +8,7 @@
 //   ixpscope replay --in F --connect P replay a trace into a running serve
 //   ixpscope diff --from A --to B      week-over-week change report (§4.2)
 //   ixpscope weeks --from A --to B --dir D  resumable longitudinal run (§4)
+//   ixpscope probe --week N            run the async measurement sweeps
 //   ixpscope bgp-export --out F        dump the routing table (BGP text)
 //
 // Global flags: --volume <double> (default 1/256), --quick (test preset).
@@ -26,6 +27,7 @@
 // each record's original offset framed in, which makes the service's
 // final cumulative snapshot byte-identical to `ixpscope analyze` of the
 // same file.
+#include <algorithm>
 #include <charconv>
 #include <csignal>
 #include <cstdint>
@@ -46,6 +48,8 @@
 #include "gen/workload.hpp"
 #include "ingest/ingest_source.hpp"
 #include "net/bgp_dump.hpp"
+#include "probe/metadata_pass.hpp"
+#include "probe/sweeps.hpp"
 #include "sflow/fault_injector.hpp"
 #include "sflow/mapped_trace.hpp"
 #include "sflow/socket_intake.hpp"
@@ -87,6 +91,12 @@ struct Options {
   std::string out_path;
   std::string dir;  // weeks --dir (snapshot store directory)
 
+  // probe (async measurement engine knobs)
+  int loss_permille = 0;               // --loss (per-attempt, permille)
+  int concurrency = 4096;              // --concurrency (in-flight cap)
+  int attempts = 3;                    // --attempts (per exchange)
+  std::uint64_t timeout_us = 250'000;  // --timeout-us (attempt 0; doubles)
+
   // serve / replay
   std::string listen_path;             // --listen (unix socket)
   bool udp = false;                    // --udp given
@@ -122,6 +132,12 @@ int usage() {
       "  weeks    --from A --to B --dir PATH     resumable longitudinal run\n"
       "                                one durable snapshot per week; re-runs\n"
       "                                resume past completed weeks\n"
+      "  probe    [--week N]           run the async measurement sweeps\n"
+      "           [--loss P]           per-attempt loss in permille\n"
+      "           [--concurrency C]    in-flight cap (default 4096)\n"
+      "           [--attempts A]       attempts per exchange (default 3)\n"
+      "           [--timeout-us T]     attempt-0 timeout; doubles per retry\n"
+      "           [--threads N]        metadata-pass worker threads\n"
       "  bgp-export --out FILE         dump the routing table\n"
       "ingest flags (analyze/corrupt/serve, same semantics everywhere):\n"
       "  --threads N    shard the analysis over N workers\n"
@@ -222,6 +238,20 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (flag == "--agents" && need_value(i)) {
       if (!parse_int(argv[++i], opt.agents) || opt.agents < 1)
         return bad_number(argv[i]);
+    } else if (flag == "--loss" && need_value(i)) {
+      if (!parse_int(argv[++i], opt.loss_permille) || opt.loss_permille < 0 ||
+          opt.loss_permille > 1000)
+        return bad_number(argv[i]);
+    } else if (flag == "--concurrency" && need_value(i)) {
+      if (!parse_int(argv[++i], opt.concurrency) || opt.concurrency < 1)
+        return bad_number(argv[i]);
+    } else if (flag == "--attempts" && need_value(i)) {
+      if (!parse_int(argv[++i], opt.attempts) || opt.attempts < 1 ||
+          opt.attempts > 8)
+        return bad_number(argv[i]);
+    } else if (flag == "--timeout-us" && need_value(i)) {
+      if (!parse_u64(argv[++i], opt.timeout_us) || opt.timeout_us == 0)
+        return bad_number(argv[i]);
     } else if (flag == "--listen" && need_value(i)) {
       opt.listen_path = argv[++i];
     } else if (flag == "--connect" && need_value(i)) {
@@ -238,7 +268,9 @@ bool parse(int argc, char** argv, Options& opt) {
                flag == "--window" || flag == "--snapshot-every" ||
                flag == "--queue-cap" || flag == "--max-agents" ||
                flag == "--max-datagrams" || flag == "--agents" ||
-               flag == "--listen" || flag == "--connect" || flag == "--dir") {
+               flag == "--listen" || flag == "--connect" || flag == "--dir" ||
+               flag == "--loss" || flag == "--concurrency" ||
+               flag == "--attempts" || flag == "--timeout-us") {
       std::cerr << "missing value for " << flag << "\n";
       return false;
     } else {
@@ -844,6 +876,122 @@ int cmd_weeks(const Options& opt) {
   return 0;
 }
 
+/// `ixpscope probe` — the three engine-backed sweeps of DESIGN.md §15 run
+/// against the model: resolver filtering (§2.3), the certificate crawl
+/// (§2.2.2, zero-copy chain views) and the metadata harvest (§2.4), with
+/// engine accounting and cache hit rates printed for each.
+int cmd_probe(const Options& opt) {
+  const auto world = build_world(opt);
+  const auto& model = *world.model;
+
+  probe::EngineConfig config;
+  config.max_in_flight = static_cast<std::uint32_t>(opt.concurrency);
+  config.max_attempts = static_cast<std::uint32_t>(opt.attempts);
+  config.timeout_us = static_cast<std::uint32_t>(opt.timeout_us);
+  probe::NetModel net;
+  net.seed = opt.seed;
+  net.loss_permille = static_cast<std::uint32_t>(opt.loss_permille);
+
+  const auto print_engine = [](const probe::EngineStats& stats) {
+    std::cout << "  engine: " << util::with_thousands(stats.issued)
+              << " issued = " << util::with_thousands(stats.completed)
+              << " completed + " << util::with_thousands(stats.timed_out)
+              << " timed out + " << util::with_thousands(stats.cancelled)
+              << " cancelled (" << (stats.balanced() ? "balanced" : "IMBALANCED")
+              << "); " << util::with_thousands(stats.attempts) << " attempts, "
+              << util::with_thousands(stats.retries) << " retries, "
+              << util::with_thousands(stats.losses) << " losses; virtual time "
+              << util::with_thousands(stats.virtual_us) << " us\n";
+  };
+  const auto print_cache = [](const probe::CacheStats& stats) {
+    std::cout << "  resolver cache: " << util::with_thousands(stats.hits)
+              << " hits + " << util::with_thousands(stats.negative_hits)
+              << " negative hits / " << util::with_thousands(stats.misses)
+              << " misses (" << util::percent(stats.hit_rate(), 1)
+              << " hit rate), " << util::with_thousands(stats.evictions)
+              << " evictions, " << util::with_thousands(stats.expired)
+              << " expired\n";
+  };
+
+  // ---- §2.3: resolver filtering -------------------------------------------
+  dns::ZoneDatabase probe_db;
+  const auto probe_name = *dns::DnsName::parse("probe.ixpscope.test");
+  probe_db.add_a(probe_name, net::Ipv4Addr{192, 0, 2, 1});
+  const probe::ResolverSweep resolver_sweep{config, net};
+  const auto resolver_result =
+      resolver_sweep.run(model.resolvers().all(), probe_db, probe_name);
+  std::cout << "resolver sweep: "
+            << util::with_thousands(model.resolvers().size())
+            << " candidates -> "
+            << util::with_thousands(resolver_result.usable.size())
+            << " usable across "
+            << util::with_thousands(
+                   dns::ResolverPopulation::distinct_ases(
+                       resolver_result.usable))
+            << " ASes\n";
+  print_engine(resolver_result.engine);
+  print_cache(resolver_result.cache);
+
+  // ---- §2.2.2: certificate crawl ------------------------------------------
+  std::vector<net::Ipv4Addr> candidates;
+  candidates.reserve(model.servers().size());
+  for (const auto& server : model.servers()) candidates.push_back(server.addr);
+  std::sort(candidates.begin(), candidates.end());
+  probe::HttpsSweep https_sweep{model.root_store(),
+                                dns::PublicSuffixList::builtin(), 3, config,
+                                net};
+  const int week = opt.week;
+  const auto https_result = https_sweep.run(
+      candidates,
+      [&](net::Ipv4Addr addr, int fetch_index, x509::CertificateChain& scratch) {
+        return model.fetch_chain_view(addr, fetch_index, week, scratch);
+      });
+  std::cout << "https sweep (week " << week << "): "
+            << util::with_thousands(https_result.funnel.candidates)
+            << " candidates -> "
+            << util::with_thousands(https_result.funnel.responded)
+            << " responded -> "
+            << util::with_thousands(https_result.funnel.confirmed)
+            << " confirmed ("
+            << util::with_thousands(https_result.funnel.early_exits)
+            << " early exits)\n";
+  print_engine(https_result.engine);
+  std::cout << "  domain cache: "
+            << util::with_thousands(https_result.domain_cache_hits)
+            << " hits / "
+            << util::with_thousands(https_result.domain_cache_misses)
+            << " misses\n";
+
+  // ---- §2.4: metadata harvest ---------------------------------------------
+  std::vector<probe::MetadataItem> items;
+  items.reserve(https_result.confirmed.size());
+  for (const net::Ipv4Addr addr : https_result.confirmed)
+    items.push_back(probe::MetadataItem{addr, {}, nullptr});
+  probe::MetadataPass::Options popt;
+  popt.threads = static_cast<unsigned>(opt.ingest.threads);
+  popt.engine = config;
+  popt.net = net;
+  const probe::MetadataPass pass{model.dns_db(),
+                                 dns::PublicSuffixList::builtin(), popt};
+  const auto harvested = pass.run(items);
+  std::cout << "metadata pass: "
+            << util::with_thousands(harvested.shard.coverage.servers)
+            << " servers, "
+            << util::with_thousands(harvested.shard.coverage.with_dns)
+            << " with DNS metadata\n";
+  print_engine(harvested.shard.engine);
+  print_cache(harvested.shard.cache);
+
+  const bool balanced = resolver_result.engine.balanced() &&
+                        https_result.engine.balanced() &&
+                        harvested.shard.engine.balanced();
+  if (!balanced) {
+    std::cerr << "probe: engine accounting is not balanced\n";
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_bgp_export(const Options& opt) {
   if (opt.out_path.empty()) return usage();
   const auto world = build_world(opt);
@@ -871,6 +1019,7 @@ int main(int argc, char** argv) {
   if (opt.command == "replay") return cmd_replay(opt);
   if (opt.command == "diff") return cmd_diff(opt);
   if (opt.command == "weeks") return cmd_weeks(opt);
+  if (opt.command == "probe") return cmd_probe(opt);
   if (opt.command == "bgp-export") return cmd_bgp_export(opt);
   return usage();
 }
