@@ -12,10 +12,17 @@
 //                          framing walk + every section CRC
 //   commit_open_roundtrip  the whole durable cycle against a real
 //                          filesystem: temp write + fsync + rename, then
-//                          mmap + validate (fsync-bound, so iters are low)
+//                          mmap + validate via a reused SnapshotFile
+//                          handle (fsync-bound, so iters are low)
 //
 // Items/sec means bytes for the first three cases and completed
 // round-trip cycles for the last.
+//
+// The binary exits nonzero when the store's allocation budget regresses:
+// encode_snapshot must build the sealed image in a single reserve (the
+// pre-fix encoder reallocated its way to ~1800 allocations per image),
+// validate_image must be allocation-free once its scratch is warm, and
+// the roundtrip must stay under the pre-fix 3 allocations per cycle.
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -73,9 +80,13 @@ int main(int argc, char** argv) {
     return bytes;
   });
 
+  // The scratch lives outside the case and is warmed by one untimed call,
+  // so the allocation gate holds even at --iters 1 (the smoke run), where
+  // the harness's proportional warmup pass rounds down to zero.
+  std::vector<store::SectionView> views;
+  bench::keep(static_cast<int>(store::validate_image(image, &views)));
   suite.run_case("validate_image", 200, [&](std::uint64_t iters, int) {
     std::uint64_t bytes = 0;
-    std::vector<store::SectionView> views;
     for (std::uint64_t it = 0; it < iters; ++it) {
       const auto error = store::validate_image(image, &views);
       bench::keep(static_cast<int>(error));
@@ -88,6 +99,7 @@ int main(int argc, char** argv) {
     const auto path = (std::filesystem::temp_directory_path() /
                        "ixpscope_micro_store.snap")
                           .string();
+    store::SnapshotFile file;  // reused across cycles: scratch stays warm
     suite.run_case("commit_open_roundtrip", 8, [&](std::uint64_t iters, int) {
       std::uint64_t cycles = 0;
       std::string error;
@@ -96,8 +108,7 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "commit failed: %s\n", error.c_str());
           break;
         }
-        const auto file = store::SnapshotFile::open(path);
-        bench::keep(file.ok());
+        bench::keep(file.reopen(path));
         if (!file.ok()) break;
         ++cycles;
       }
@@ -108,5 +119,48 @@ int main(int argc, char** argv) {
   }
 
   suite.flush();
-  return 0;
+
+  // Allocation-budget gates (items are bytes for encode/validate, so the
+  // per-run counts come from allocs/iters rather than allocs/item).
+  double encode_allocs_per_run = -1.0;
+  double validate_allocs_per_run = -1.0;
+  double roundtrip_allocs = -1.0;
+  for (const auto& result : suite.results()) {
+    const double per_run =
+        result.iters > 0 ? static_cast<double>(result.allocs) /
+                               static_cast<double>(result.iters)
+                         : 0.0;
+    if (result.name == "encode_snapshot") encode_allocs_per_run = per_run;
+    if (result.name == "validate_image") validate_allocs_per_run = per_run;
+    if (result.name == "commit_open_roundtrip")
+      roundtrip_allocs = result.allocs_per_item();
+  }
+  int failures = 0;
+  // One reserve for the whole image; anything past 1.5 means the encoder
+  // is growing the buffer again.
+  if (encode_allocs_per_run > 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: encode_snapshot at %.2f allocs/run "
+                 "(expected 1: single pre-sized reserve)\n",
+                 encode_allocs_per_run);
+    ++failures;
+  }
+  // The section-table scratch is reused across runs after warmup.
+  if (validate_allocs_per_run > 0.5) {
+    std::fprintf(stderr,
+                 "FAIL: validate_image at %.2f allocs/run "
+                 "(expected 0: reused scratch)\n",
+                 validate_allocs_per_run);
+    ++failures;
+  }
+  // Pre-fix budget was 3/cycle (fresh SnapshotFile per open); the reused
+  // handle leaves only the commit's temp-path string.
+  if (roundtrip_allocs < 0.0 || roundtrip_allocs > 2.5) {
+    std::fprintf(stderr,
+                 "FAIL: commit_open_roundtrip at %.2f allocs/cycle "
+                 "(expected < 2.5 with a reused SnapshotFile)\n",
+                 roundtrip_allocs);
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
 }

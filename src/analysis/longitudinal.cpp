@@ -2,25 +2,24 @@
 
 namespace ixp::analysis {
 
-LongitudinalSummary summarize_longitudinal(
-    std::span<const core::WeeklyReport> reports) {
-  LongitudinalSummary summary;
-  if (reports.empty()) return summary;
-
-  summary.first_week = reports.front().week;
-  summary.last_week = reports.back().week;
-  summary.weeks = reports.size();
-
-  ChurnTracker servers{summary.first_week, summary.last_week};
-  for (const core::WeeklyReport& report : reports) {
-    for (const core::ServerObservation& server : report.servers) {
-      servers.observe(server.addr.value(), report.week,
-                      geo::region_of(server.country), server.bytes);
-    }
+void LongitudinalFolder::observe(const core::WeeklyReport& report) {
+  ++weeks_;
+  for (const core::ServerObservation& server : report.servers) {
+    servers_.observe(server.addr.value(), report.week,
+                     geo::region_of(server.country), server.bytes);
   }
+}
 
-  summary.server_universe = servers.universe();
-  summary.servers = servers.breakdown();
+LongitudinalSummary LongitudinalFolder::finish() {
+  LongitudinalSummary summary;
+  if (weeks_ == 0) return summary;
+
+  summary.first_week = first_week_;
+  summary.last_week = last_week_;
+  summary.weeks = weeks_;
+
+  summary.server_universe = servers_.universe();
+  summary.servers = servers_.breakdown();
 
   if (!summary.servers.empty()) {
     const auto& final_week = summary.servers.back();
@@ -43,6 +42,14 @@ LongitudinalSummary summarize_longitudinal(
     summary.mean_weekly_churn = churn_sum / static_cast<double>(churn_weeks);
 
   return summary;
+}
+
+LongitudinalSummary summarize_longitudinal(
+    std::span<const core::WeeklyReport> reports) {
+  if (reports.empty()) return {};
+  LongitudinalFolder folder{reports.front().week, reports.back().week};
+  for (const core::WeeklyReport& report : reports) folder.observe(report);
+  return folder.finish();
 }
 
 }  // namespace ixp::analysis

@@ -43,6 +43,35 @@ struct LongitudinalSummary {
                          const LongitudinalSummary&) = default;
 };
 
+/// Streaming fold of the §4 summary: feed weekly reports one at a time in
+/// ascending week order, then finish(). This is what lets a merged or
+/// distributed run fold the summary straight off the snapshot store —
+/// one decoded report in memory at a time — and is exactly equivalent to
+/// summarize_longitudinal over the same sequence (which is implemented on
+/// it). The week range is fixed up front because the churn classification
+/// needs to know which week is final.
+class LongitudinalFolder {
+ public:
+  LongitudinalFolder(int first_week, int last_week)
+      : first_week_(first_week),
+        last_week_(last_week),
+        servers_(first_week, last_week) {}
+
+  /// Reports must arrive in ascending week order within [first, last].
+  void observe(const core::WeeklyReport& report);
+
+  [[nodiscard]] std::size_t weeks_observed() const noexcept { return weeks_; }
+
+  /// Folds what was observed into the summary. May be called once.
+  [[nodiscard]] LongitudinalSummary finish();
+
+ private:
+  int first_week_;
+  int last_week_;
+  std::size_t weeks_ = 0;
+  ChurnTracker servers_;
+};
+
 /// Folds contiguous weekly reports (ascending week order) into the §4
 /// summary. Reports must cover consecutive weeks; an empty span yields a
 /// default summary.

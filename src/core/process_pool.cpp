@@ -1,0 +1,87 @@
+#include "core/process_pool.hpp"
+
+#include <cerrno>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define IXPSCOPE_HAVE_FORK 1
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define IXPSCOPE_HAVE_FORK 0
+#endif
+
+namespace ixp::core {
+
+std::vector<ProcessStatus> ProcessPool::run(int count, const Job& job) {
+  std::vector<ProcessStatus> statuses(static_cast<std::size_t>(count < 0 ? 0 : count));
+  for (int i = 0; i < count; ++i) statuses[static_cast<std::size_t>(i)].worker = i;
+
+#if IXPSCOPE_HAVE_FORK
+  // Flush inherited stdio before forking: anything buffered here would
+  // otherwise be written once per child as well as by the parent.
+  std::fflush(stdout);
+  std::fflush(stderr);
+
+  for (int i = 0; i < count; ++i) {
+    ProcessStatus& status = statuses[static_cast<std::size_t>(i)];
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      // Spawn failure is not fatal to the batch: the caller's fold pass
+      // recomputes whatever this worker would have produced.
+      status.spawn_failed = true;
+      continue;
+    }
+    if (pid == 0) {
+      // Child. Run the job and leave via _exit: no unwinding into the
+      // parent's stack frames, no double-flush of inherited buffers.
+      int code = 1;
+      try {
+        code = job(i);
+      } catch (...) {
+        code = 1;
+      }
+      std::fflush(stdout);
+      std::fflush(stderr);
+      ::_exit(code);
+    }
+    status.pid = static_cast<long>(pid);
+  }
+
+  for (ProcessStatus& status : statuses) {
+    if (status.spawn_failed || status.pid == 0) continue;
+    int wait_status = 0;
+    pid_t waited;
+    do {
+      waited = ::waitpid(static_cast<pid_t>(status.pid), &wait_status, 0);
+    } while (waited < 0 && errno == EINTR);
+    if (waited < 0) {
+      status.spawn_failed = true;  // lost track of the child entirely
+      continue;
+    }
+    if (WIFEXITED(wait_status)) {
+      status.exited = true;
+      status.exit_code = WEXITSTATUS(wait_status);
+    } else if (WIFSIGNALED(wait_status)) {
+      status.signaled = true;
+      status.term_signal = WTERMSIG(wait_status);
+    }
+  }
+#else
+  // No fork(): run the jobs one after another in this process. Results
+  // are identical — the jobs are deterministic and partition the work.
+  for (int i = 0; i < count; ++i) {
+    ProcessStatus& status = statuses[static_cast<std::size_t>(i)];
+    status.ran_inline = true;
+    status.exited = true;
+    try {
+      status.exit_code = job(i);
+    } catch (...) {
+      status.exit_code = 1;
+    }
+  }
+#endif
+  return statuses;
+}
+
+}  // namespace ixp::core

@@ -1,0 +1,60 @@
+// ProcessPool — fork/waitpid worker supervision for the distributed
+// week map-reduce (DESIGN.md §16).
+//
+// The pool forks N workers *after* the caller has built whatever heavy
+// shared state the job closes over (the InternetModel, the vantage
+// point): fork() makes that state copy-on-write-shared, so N processes
+// cost one world build. Each child runs job(worker_index) and _exit()s
+// with its return value — never unwinding back into the caller's stack,
+// never flushing inherited stdio buffers twice (the parent flushes
+// before forking). The parent waitpid()s every child and reports, per
+// worker, exactly how it ended: clean exit code, or the signal that
+// killed it.
+//
+// Containment is the caller's contract, not the pool's: a worker dying
+// (crash, kill, nonzero exit) is an *observation* in the returned status
+// table, not an error — the weeks map-reduce recovers by recomputing
+// whatever the dead worker didn't durably commit.
+//
+// Workers must not spawn threads before fork (fork() only carries the
+// calling thread into the child). The analysis engine is safe: its
+// worker threads live only inside a reduce() call, and the pool is
+// entered between calls. On non-POSIX hosts the pool degrades to running
+// each job serially in-process (ran_inline), preserving results exactly
+// — parallelism is an optimization, never a semantic.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace ixp::core {
+
+/// How one worker ended.
+struct ProcessStatus {
+  int worker = 0;       ///< worker index, 0..count-1
+  long pid = 0;         ///< child pid; 0 when ran_inline
+  bool ran_inline = false;  ///< non-POSIX fallback: ran in this process
+  bool exited = false;  ///< terminated normally (exit_code is valid)
+  int exit_code = 0;
+  bool signaled = false;  ///< killed by a signal (term_signal is valid)
+  int term_signal = 0;
+  bool spawn_failed = false;  ///< fork() itself failed; nothing ran
+
+  [[nodiscard]] bool ok() const noexcept {
+    return exited && exit_code == 0 && !spawn_failed;
+  }
+};
+
+class ProcessPool {
+ public:
+  /// The work one child runs; its return value becomes the exit code.
+  using Job = std::function<int(int worker)>;
+
+  /// Forks `count` workers, runs job(i) in worker i, waits for all of
+  /// them, and returns one status per worker in index order. Exceptions
+  /// escaping a job are contained in the child (exit code 1).
+  [[nodiscard]] static std::vector<ProcessStatus> run(int count,
+                                                      const Job& job);
+};
+
+}  // namespace ixp::core

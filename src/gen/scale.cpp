@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/fnv.hpp"
+
 namespace ixp::gen {
 
 namespace {
@@ -40,6 +42,26 @@ ScaleConfig ScaleConfig::bench(double volume) {
       scaled(cfg.weekly_background_samples, volume, 50'000);
   cfg.weekly_server_flows = scaled(cfg.weekly_server_flows, volume, 20'000);
   return cfg;
+}
+
+std::uint64_t ScaleConfig::fingerprint() const noexcept {
+  util::Fnv1a h;
+  h.mix(seed);
+  h.mix(std::uint64_t{as_count});
+  h.mix(std::uint64_t{prefix_count});
+  h.mix(std::uint64_t{member_count});
+  h.mix(std::uint64_t{member_joins});
+  h.mix(std::uint64_t{org_count});
+  h.mix(std::uint64_t{site_count});
+  h.mix(std::uint64_t{resolver_candidates});
+  h.mix(std::uint64_t{weekly_server_ips});
+  h.mix(std::uint64_t{client_pool});
+  h.mix(std::uint64_t{background_ip_pool});
+  h.mix(weekly_background_samples);
+  h.mix(weekly_server_flows);
+  h.mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(first_week)));
+  h.mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(last_week)));
+  return h.value();
 }
 
 ScaleConfig ScaleConfig::test() {

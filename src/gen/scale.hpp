@@ -60,6 +60,13 @@ struct ScaleConfig {
   [[nodiscard]] int week_count() const noexcept {
     return last_week - first_week + 1;
   }
+
+  /// Order-sensitive FNV-1a digest of every knob above (seed included).
+  /// This is the model half of a snapshot's provenance: any change to any
+  /// field — however small — yields a different fingerprint, so a re-run
+  /// under a tweaked model recomputes exactly the weeks the tweak
+  /// invalidates (DESIGN.md §16). Stable across hosts and compilers.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 };
 
 }  // namespace ixp::gen

@@ -421,4 +421,31 @@ std::optional<core::WeeklyReport> SnapshotCodec::decode_report(
   return report;
 }
 
+std::vector<std::byte> SnapshotCodec::encode_provenance(
+    const Provenance& provenance) {
+  wire::Writer out;
+  out.reserve(4 + 4 + 1 + 8 + 8);
+  out.u32(provenance.format_version);
+  out.u32(static_cast<std::uint32_t>(provenance.week));
+  out.u8(provenance.partial ? 1 : 0);
+  out.u64(provenance.model_fingerprint);
+  out.u64(provenance.ingest_fingerprint);
+  return out.take();
+}
+
+std::optional<Provenance> SnapshotCodec::decode_provenance(
+    std::span<const std::byte> bytes) {
+  wire::Reader in{bytes};
+  Provenance provenance;
+  provenance.format_version = in.u32();
+  provenance.week = static_cast<std::int32_t>(in.u32());
+  const std::uint8_t partial = in.u8();
+  if (partial > 1) return std::nullopt;
+  provenance.partial = partial != 0;
+  provenance.model_fingerprint = in.u64();
+  provenance.ingest_fingerprint = in.u64();
+  if (!in.ok() || !in.at_end()) return std::nullopt;
+  return provenance;
+}
+
 }  // namespace ixp::store

@@ -29,6 +29,7 @@
 
 #include "core/vantage_point.hpp"
 #include "core/week_shard.hpp"
+#include "store/provenance.hpp"
 
 namespace ixp::store {
 
@@ -50,6 +51,15 @@ class SnapshotCodec {
 
   /// Returns nullopt on malformed bytes.
   [[nodiscard]] static std::optional<core::WeeklyReport> decode_report(
+      std::span<const std::byte> bytes);
+
+  /// Serializes the provenance record (DESIGN.md §16) — the fingerprint
+  /// of everything the week's output is a pure function of.
+  [[nodiscard]] static std::vector<std::byte> encode_provenance(
+      const Provenance& provenance);
+
+  /// Returns nullopt on malformed bytes.
+  [[nodiscard]] static std::optional<Provenance> decode_provenance(
       std::span<const std::byte> bytes);
 };
 

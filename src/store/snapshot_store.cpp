@@ -15,6 +15,7 @@
 #if defined(__unix__) || defined(__APPLE__)
 #define IXPSCOPE_HAVE_POSIX_IO 1
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -36,6 +37,16 @@ std::uint32_t load_le32(const std::byte* p) noexcept {
 std::uint64_t load_le64(const std::byte* p) noexcept {
   return static_cast<std::uint64_t>(load_le32(p)) |
          (static_cast<std::uint64_t>(load_le32(p + 4)) << 32);
+}
+
+void store_le32(std::byte* p, std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i)
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+}
+
+void store_le64(std::byte* p, std::uint64_t v) noexcept {
+  store_le32(p, static_cast<std::uint32_t>(v));
+  store_le32(p + 4, static_cast<std::uint32_t>(v >> 32));
 }
 
 /// Per-section checksum. Covers the section's own id and length fields
@@ -65,6 +76,8 @@ const char* error_name(SnapshotError error) noexcept {
     case SnapshotError::kBadCrc: return "snapshot checksum mismatch";
     case SnapshotError::kTruncatedSection:
       return "snapshot framing torn (truncated or trailing bytes)";
+    case SnapshotError::kStaleProvenance:
+      return "snapshot provenance does not match this run's inputs";
   }
   return "unknown error";
 }
@@ -78,6 +91,7 @@ const char* error_tag(SnapshotError error) noexcept {
     case SnapshotError::kBadVersion: return "bad-version";
     case SnapshotError::kBadCrc: return "bad-crc";
     case SnapshotError::kTruncatedSection: return "truncated-section";
+    case SnapshotError::kStaleProvenance: return "stale-provenance";
   }
   return "unknown";
 }
@@ -86,12 +100,24 @@ std::vector<std::byte> encode_snapshot(std::span<const Section> sections) {
   std::uint64_t payload_bytes = 0;
   for (const Section& s : sections)
     payload_bytes += kSectionHeaderBytes + s.payload.size();
+  const std::size_t total =
+      kSnapshotHeaderBytes + payload_bytes + kSnapshotFooterBytes;
+
+  // Every header field is known before a byte is written, so the header
+  // CRC the footer seals can be computed up front from a stack copy and
+  // the whole image laid down in one exactly-sized buffer — encoding a
+  // snapshot is a single allocation regardless of section count or size.
+  std::byte head[kSnapshotHeaderBytes];
+  std::memcpy(head, kSnapshotMagic, sizeof kSnapshotMagic);
+  store_le32(head + 8, kFormatVersion);
+  store_le32(head + 12, static_cast<std::uint32_t>(sections.size()));
+  store_le64(head + 16, payload_bytes);
+  const std::uint32_t header_crc =
+      crc32c(std::span<const std::byte>{head, kSnapshotHeaderBytes});
 
   wire::Writer out;
-  out.bytes(std::as_bytes(std::span<const char>{kSnapshotMagic}));
-  out.u32(kFormatVersion);
-  out.u32(static_cast<std::uint32_t>(sections.size()));
-  out.u64(payload_bytes);
+  out.reserve(total);
+  out.bytes(std::span<const std::byte>{head, kSnapshotHeaderBytes});
 
   for (const Section& s : sections) {
     out.u32(s.id);
@@ -100,18 +126,11 @@ std::vector<std::byte> encode_snapshot(std::span<const Section> sections) {
     out.bytes(s.payload);
   }
 
-  std::vector<std::byte> image = out.take();
-  const std::uint32_t header_crc =
-      crc32c(std::span<const std::byte>{image.data(), kSnapshotHeaderBytes});
-
-  wire::Writer footer;
-  footer.bytes(std::as_bytes(std::span<const char>{kFooterMagic}));
-  footer.u32(kFormatVersion);
-  footer.u32(header_crc);
-  footer.u64(image.size() + kSnapshotFooterBytes);
-  const std::vector<std::byte> tail = footer.take();
-  image.insert(image.end(), tail.begin(), tail.end());
-  return image;
+  out.bytes(std::as_bytes(std::span<const char>{kFooterMagic}));
+  out.u32(kFormatVersion);
+  out.u32(header_crc);
+  out.u64(total);
+  return out.take();
 }
 
 SnapshotError validate_image(std::span<const std::byte> image,
@@ -141,8 +160,20 @@ SnapshotError validate_image(std::span<const std::byte> image,
       image.size() - kSnapshotHeaderBytes - kSnapshotFooterBytes)
     return SnapshotError::kTruncatedSection;
 
-  std::vector<SectionView> sections;
-  sections.reserve(section_count);
+  // The section table is written straight into the caller's vector:
+  // clear() keeps capacity, so a reused handle (SnapshotFile::reopen, the
+  // store scan loop) validates without allocating, and a caller that only
+  // wants the verdict pays for no table at all. On failure the partially
+  // filled table is meaningless — callers must ignore it, as SnapshotFile
+  // does by releasing on any error.
+  if (sections_out != nullptr) {
+    sections_out->clear();
+    // Clamp the hint: a corrupt count field must not drive a huge reserve
+    // before the walk below rejects it (each section costs ≥ 16 bytes of
+    // payload area, so the quotient bounds any count a valid file can hold).
+    sections_out->reserve(std::min<std::uint64_t>(
+        section_count, payload_bytes / kSectionHeaderBytes));
+  }
   std::size_t at = kSnapshotHeaderBytes;
   const std::size_t payload_end = kSnapshotHeaderBytes + payload_bytes;
   for (std::uint32_t i = 0; i < section_count; ++i) {
@@ -155,19 +186,26 @@ SnapshotError validate_image(std::span<const std::byte> image,
     if (payload_end - at < length) return SnapshotError::kTruncatedSection;
     if (section_crc(id, length, image.subspan(at, length)) != crc)
       return SnapshotError::kBadCrc;
-    sections.push_back({id, at, static_cast<std::size_t>(length)});
+    if (sections_out != nullptr)
+      sections_out->push_back({id, at, static_cast<std::size_t>(length)});
     at += length;
   }
   if (at != payload_end) return SnapshotError::kTruncatedSection;
-
-  if (sections_out != nullptr) *sections_out = std::move(sections);
   return SnapshotError::kNone;
 }
 
 bool commit_snapshot(const std::string& path,
                      std::span<const std::byte> image, std::string* error,
                      const CommitHooks* hooks) {
+#if IXPSCOPE_HAVE_POSIX_IO
+  // The temp name carries the writer's pid so concurrent processes
+  // committing the same week never collide on the temp itself; both
+  // renames then install byte-identical images (the pipeline is
+  // deterministic), so a double-commit converges instead of tearing.
+  const std::string temp = path + ".tmp." + std::to_string(::getpid());
+#else
   const std::string temp = path + ".tmp";
+#endif
   const auto fail = [&](const std::string& what) {
     if (error != nullptr) *error = what + ": " + std::strerror(errno);
     return false;
@@ -176,6 +214,14 @@ bool commit_snapshot(const std::string& path,
 #if IXPSCOPE_HAVE_POSIX_IO
   const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return fail("cannot create " + temp);
+
+  // Ownership mark for concurrent scanners: while this lock is held, the
+  // temp belongs to a live commit and scan() leaves it alone. The lock
+  // dies with the descriptor — on any exit, including a crash mid-write
+  // (a real kill drops the whole process; the simulated InjectedCrash
+  // path closes the fd below) — at which point the orphan becomes
+  // sweepable. Advisory is enough: every accessor is this codebase.
+  (void)::flock(fd, LOCK_EX | LOCK_NB);
 
   const auto write_all = [&](std::span<const std::byte> bytes) {
     std::size_t done = 0;
@@ -212,22 +258,31 @@ bool commit_snapshot(const std::string& path,
     if (hooks != nullptr && hooks->after_temp_sync) hooks->after_temp_sync(temp);
   } catch (...) {
     ::close(fd);
-    throw;  // the simulated crash: temp left exactly as it was
+    throw;  // the simulated crash: temp left exactly as it was, lock dropped
+  }
+
+  // The descriptor (and with it the ownership lock) stays open across the
+  // rename: a concurrent scanner must never sweep the temp in the gap
+  // between "fully written" and "renamed away".
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    ::close(fd);
+    return fail("rename " + temp + " -> " + path);
   }
   ::close(fd);
-
-  if (::rename(temp.c_str(), path.c_str()) != 0)
-    return fail("rename " + temp + " -> " + path);
   if (hooks != nullptr && hooks->after_rename) hooks->after_rename(path);
 
   // Seal the rename itself: the directory entry must be durable before
-  // the caller treats the week as finished.
-  const std::string dir = [&] {
-    const auto slash = path.find_last_of('/');
-    return slash == std::string::npos ? std::string{"."}
-                                      : path.substr(0, slash);
-  }();
-  const int dir_fd = ::open(dir.c_str(), O_RDONLY);
+  // the caller treats the week as finished. The directory name is carved
+  // on the stack — the commit hot path allocates for the temp name only.
+  char dirbuf[4096];
+  const auto slash = path.find_last_of('/');
+  const char* dirpath = ".";
+  if (slash != std::string::npos && slash > 0 && slash < sizeof dirbuf) {
+    std::memcpy(dirbuf, path.data(), slash);
+    dirbuf[slash] = '\0';
+    dirpath = dirbuf;
+  }
+  const int dir_fd = ::open(dirpath, O_RDONLY);
   if (dir_fd >= 0) {
     (void)::fsync(dir_fd);  // best effort: some filesystems refuse dir fsync
     ::close(dir_fd);
@@ -322,55 +377,67 @@ void SnapshotFile::validate() noexcept {
 
 SnapshotFile SnapshotFile::open(const std::string& path) {
   SnapshotFile file;
+  (void)file.reopen(path);
+  return file;
+}
+
+bool SnapshotFile::reopen(const std::string& path) {
+  // Let go of the previous image but keep the scratch: the section table
+  // (and the read buffer on the non-mmap path) retain their capacity, so
+  // a loop reopening snapshots — the store scan, the merge walk, the
+  // roundtrip bench — validates without per-file allocation.
+#if IXPSCOPE_HAVE_POSIX_IO
+  if (mapped_ && data_ != nullptr)
+    ::munmap(const_cast<std::byte*>(data_), size_);
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  error_ = SnapshotError::kOpenFailed;
+
 #if IXPSCOPE_HAVE_POSIX_IO
   const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    file.error_ = SnapshotError::kOpenFailed;
-    return file;
-  }
+  if (fd < 0) return false;
   struct stat st{};
   if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
     ::close(fd);
-    file.error_ = SnapshotError::kOpenFailed;
-    return file;
+    return false;
   }
   const auto size = static_cast<std::size_t>(st.st_size);
   if (size < kSnapshotHeaderBytes + kSnapshotFooterBytes) {
     ::close(fd);
-    file.error_ = SnapshotError::kTooShort;
-    return file;
+    error_ = SnapshotError::kTooShort;
+    return false;
   }
   void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
   ::close(fd);
   if (map != MAP_FAILED) {
-    file.data_ = static_cast<const std::byte*>(map);
-    file.size_ = size;
-    file.mapped_ = true;
-    file.validate();
-    return file;
+    data_ = static_cast<const std::byte*>(map);
+    size_ = size;
+    mapped_ = true;
+    validate();
+    return ok();
   }
   // mmap refused: fall through to the portable read path.
 #endif
   std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    file.error_ = SnapshotError::kOpenFailed;
-    return file;
-  }
+  if (!in) return false;
   in.seekg(0, std::ios::end);
   const auto end = in.tellg();
-  if (end < 0) {
-    file.error_ = SnapshotError::kOpenFailed;
-    return file;
-  }
+  if (end < 0) return false;
   in.seekg(0);
-  std::vector<std::byte> bytes(static_cast<std::size_t>(end));
-  if (!bytes.empty() &&
-      !in.read(reinterpret_cast<char*>(bytes.data()),
-               static_cast<std::streamsize>(bytes.size()))) {
-    file.error_ = SnapshotError::kOpenFailed;
-    return file;
+  owned_.resize(static_cast<std::size_t>(end));
+  if (!owned_.empty() &&
+      !in.read(reinterpret_cast<char*>(owned_.data()),
+               static_cast<std::streamsize>(owned_.size()))) {
+    owned_.clear();
+    return false;
   }
-  return adopt(std::move(bytes));
+  data_ = owned_.data();
+  size_ = owned_.size();
+  mapped_ = false;
+  validate();
+  return ok();
 }
 
 SnapshotFile SnapshotFile::adopt(std::vector<std::byte> bytes) {
@@ -449,13 +516,33 @@ SnapshotStore::ScanResult SnapshotStore::scan() const {
     result.error = dir_ + ": " + ec.message();
     return result;
   }
+  SnapshotFile file;  // one handle, revalidated per entry (scratch reuse)
   for (const auto& entry : it) {
     const std::string name = entry.path().filename().string();
-    if (name.starts_with("week_") && name.ends_with(".snap.tmp")) {
-      // A crash between write and rename: never committed, safe to drop.
+    if (name.starts_with("week_") &&
+        name.find(".snap.tmp") != std::string::npos) {
+      // A temp is either a live commit's work-in-progress (its writer
+      // holds the ownership flock) or the residue of a crash between
+      // write and rename. Only the orphan may be dropped: probe the lock
+      // non-blocking, and sweep while holding it so two scanners never
+      // race each other either. Matches both the portable `.snap.tmp`
+      // and the pid-suffixed `.snap.tmp.<pid>` spelling.
+      const std::string temp_path = entry.path().string();
+#if IXPSCOPE_HAVE_POSIX_IO
+      const int fd = ::open(temp_path.c_str(), O_RDONLY);
+      if (fd >= 0) {
+        if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+          ::close(fd);  // a live commit owns it — not ours to sweep
+          continue;
+        }
+        if (::unlink(temp_path.c_str()) == 0) ++result.stale_temps_removed;
+        ::close(fd);
+      }
+#else
       std::error_code rm_ec;
       if (std::filesystem::remove(entry.path(), rm_ec))
         ++result.stale_temps_removed;
+#endif
       continue;
     }
     if (!name.starts_with("week_") || !name.ends_with(".snap")) continue;
@@ -466,8 +553,7 @@ SnapshotStore::ScanResult SnapshotStore::scan() const {
     if (parse_ec != std::errc{} || ptr != digits.data() + digits.size())
       continue;
     const std::string path = entry.path().string();
-    const SnapshotFile file = SnapshotFile::open(path);
-    if (file.ok()) {
+    if (file.reopen(path)) {
       result.weeks.push_back(week);
     } else {
       result.quarantined.push_back(quarantine(path, file.error()));

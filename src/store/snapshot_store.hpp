@@ -22,12 +22,18 @@
 // flip inside a CRC word fails it too, by mismatching an intact input).
 //
 // Commit is the classic crash-consistent dance (DESIGN.md §13): write
-// `<path>.tmp`, fsync it, rename() over the destination, fsync the
+// `<path>.tmp.<pid>`, fsync it, rename() over the destination, fsync the
 // directory. A crash at any point leaves either the old file, no file,
-// or a `.tmp` that open() never considers — never a half-written
-// snapshot under the committed name. Files that fail validation are
-// quarantined (renamed aside with the error class in the name) rather
-// than deleted, so an operator can inspect what the fault matrix chewed.
+// or a temp that open() never considers — never a half-written snapshot
+// under the committed name. The writer holds an flock on the temp for
+// the duration of the write, which is what makes the store safe to share
+// between concurrent `weeks` processes (DESIGN.md §16): a scanner sweeps
+// only temps whose lock it can take (the owner died), never a live
+// commit's, and double-commits of the same week converge because the
+// pipeline is deterministic — both renames install byte-identical
+// images. Files that fail validation are quarantined (renamed aside with
+// the error class in the name) rather than deleted, so an operator can
+// inspect what the fault matrix chewed.
 #pragma once
 
 #include <cstddef>
@@ -42,9 +48,11 @@ namespace ixp::store {
 
 inline constexpr char kSnapshotMagic[8] = {'I', 'X', 'P', 'S', 'N', 'A', 'P', '\0'};
 inline constexpr char kFooterMagic[8] = {'I', 'X', 'P', 'S', 'E', 'A', 'L', '\0'};
-// v2: ProbeFunnel gained early_exits (PR 9). Old files decode as
-// kBadVersion and take the quarantine-and-recompute path by design.
-inline constexpr std::uint32_t kFormatVersion = 2;
+// v2: ProbeFunnel gained early_exits (PR 9). v3: snapshots carry a
+// provenance section (model/ingest fingerprints, partial-shard flag —
+// DESIGN.md §16). Old files decode as kBadVersion and take the
+// quarantine-and-recompute path by design.
+inline constexpr std::uint32_t kFormatVersion = 3;
 inline constexpr std::size_t kSnapshotHeaderBytes = 24;
 inline constexpr std::size_t kSnapshotFooterBytes = 24;
 inline constexpr std::size_t kSectionHeaderBytes = 16;
@@ -52,6 +60,7 @@ inline constexpr std::size_t kSectionHeaderBytes = 16;
 /// Section ids (u32, format-stable).
 inline constexpr std::uint32_t kShardSection = 1;
 inline constexpr std::uint32_t kReportSection = 2;
+inline constexpr std::uint32_t kProvenanceSection = 3;
 
 /// Why a snapshot failed to open — the distinct taxonomy the quarantine
 /// path and the CLI report (mirrors sflow::MappedTrace::Error in spirit).
@@ -64,6 +73,10 @@ enum class SnapshotError : std::uint8_t {
   kBadCrc,            ///< a section payload or the header failed its CRC
   kTruncatedSection,  ///< framing does not tile the file (torn/duplicated
                       ///< tail, section running past the seal, missing seal)
+  kStaleProvenance,   ///< intact file, but its provenance no longer matches
+                      ///< what the run would compute (model/policy changed);
+                      ///< never produced by validate_image — the runner
+                      ///< classifies it after decoding the provenance section
 };
 
 /// Human-readable name for CLI diagnostics and quarantine suffixes.
@@ -132,6 +145,13 @@ class SnapshotFile {
 
   /// Maps (or reads) and fully validates the snapshot at `path`.
   [[nodiscard]] static SnapshotFile open(const std::string& path);
+
+  /// Re-points this handle at `path`, releasing the previous image and
+  /// revalidating in place. Equivalent to `*this = open(path)` but reuses
+  /// the section-table (and, on the non-mmap path, the read-buffer)
+  /// capacity across opens — the decode-side half of the store bench's
+  /// allocation budget. Returns ok().
+  bool reopen(const std::string& path);
 
   /// Wraps an in-memory image (tests, benchmarks); validates identically.
   [[nodiscard]] static SnapshotFile adopt(std::vector<std::byte> bytes);
@@ -209,16 +229,20 @@ class SnapshotStore {
   };
 
   /// Walks the directory: validates every `week_*.snap` (quarantining the
-  /// corrupt ones), removes stale `.tmp` leftovers, and returns the weeks
-  /// that are durably on disk.
+  /// corrupt ones), removes stale `.tmp` leftovers that no live commit
+  /// still owns (ownership = an flock held for the duration of the
+  /// write — a racing process's in-flight temp is left alone), and
+  /// returns the weeks that are durably on disk.
   [[nodiscard]] ScanResult scan() const;
 
- private:
-  /// Moves a corrupt snapshot aside; returns the event (quarantined_as
-  /// empty when the rename itself failed).
+  /// Moves a snapshot aside with the error class in the name; returns the
+  /// event (quarantined_as empty when the rename itself failed). The
+  /// runner calls this directly for kStaleProvenance — a file validate()
+  /// accepts but whose recorded inputs no longer match the run's.
   [[nodiscard]] QuarantineEvent quarantine(const std::string& path,
                                            SnapshotError error) const;
 
+ private:
   std::string dir_;
 };
 

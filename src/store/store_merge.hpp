@@ -1,0 +1,88 @@
+// Store merge — fold snapshot stores from separate machines or processes
+// into one (DESIGN.md §16).
+//
+// `ixpscope weeks` runs on machine A for weeks 35..43 and on machine B
+// for 44..51; each leaves a directory of sealed snapshots. merge_stores
+// walks every input store and produces one output store covering the
+// union, equal to what a single machine running the whole range would
+// have written:
+//
+//   - A week present in exactly one input as a *complete* snapshot is
+//     copied through byte-for-byte (revalidated, then re-committed
+//     atomically into the output).
+//   - A week present in several inputs as complete snapshots is a
+//     duplicate: the pipeline is deterministic, so the copies are
+//     byte-identical and the first valid one is copied. Copies are
+//     counted, not errors — overlapping ranges are a legitimate way to
+//     run redundant machines.
+//   - A week present as *partial* shards (provenance.partial — each
+//     holds one worker's share of the week's samples) is folded through
+//     the WeekShard monoid: decode every shard, merge, absorb into a
+//     fresh session, and re-derive the report with the week's fetcher.
+//     The monoid contract makes the result byte-identical to analyzing
+//     the whole week in one process — provided the partial shards
+//     together partition the week, which is the caller's contract.
+//     A complete copy of the same week supersedes any partial shards
+//     (they are its subsets; folding them in would double-count).
+//   - A snapshot whose provenance does not match the expected
+//     fingerprints (a different model or ingest policy) is skipped and
+//     counted — merging across models would manufacture a week nobody
+//     measured. Corrupt inputs are quarantined in place, as ever.
+//
+// The output store is written with the same atomic commit as the weeks
+// driver, so a merge interrupted at any point leaves a valid (possibly
+// incomplete) output that a re-run completes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/longitudinal.hpp"
+#include "store/snapshot_store.hpp"
+#include "store/weeks_runner.hpp"
+
+namespace ixp::store {
+
+struct MergeOptions {
+  std::vector<std::string> inputs;  ///< input store directories
+  std::string out;                  ///< output store directory
+
+  /// Expected provenance inputs — snapshots recording anything else are
+  /// skipped as stale rather than merged (see file comment).
+  std::uint64_t model_fingerprint = 0;
+  std::uint64_t ingest_fingerprint = 0;
+};
+
+/// How one output week was produced.
+struct MergedWeek {
+  int week = 0;
+  std::size_t copies = 0;   ///< valid input snapshots consulted
+  bool rederived = false;   ///< folded from partial shards (vs copied)
+  core::WeeklyReport report;
+};
+
+struct MergeResult {
+  bool ok = false;
+  /// An input directory was unreadable or the output directory unusable.
+  bool store_unreadable = false;
+  std::string error;
+
+  std::vector<MergedWeek> weeks;  ///< ascending week order
+  std::size_t weeks_copied = 0;
+  std::size_t weeks_rederived = 0;
+  std::size_t snapshots_skipped_stale = 0;
+  std::vector<QuarantineEvent> quarantined;  ///< rot found in the inputs
+
+  /// §4 over the merged union.
+  analysis::LongitudinalSummary longitudinal;
+};
+
+/// Folds every input store into `options.out`. `vantage` and
+/// `make_fetcher` are needed only when partial shards must be re-derived;
+/// complete-copy merges never invoke them.
+[[nodiscard]] MergeResult merge_stores(
+    core::VantagePoint& vantage, const MergeOptions& options,
+    const WeeksRunner::FetcherFactory& make_fetcher);
+
+}  // namespace ixp::store

@@ -1,0 +1,79 @@
+// Weeks map-reduce — the longitudinal run scaled out over processes.
+//
+// `run_weeks_mapreduce` is `WeeksRunner::run` with a fork stage in front
+// (DESIGN.md §16). Weeks are dealt to N workers round-robin (worker i
+// takes from+i, from+i+N, …); each worker is a forked child sharing the
+// already-built world copy-on-write and running its weeks through its
+// own WeeksRunner into the *shared* snapshot store. Durability is the
+// only coordination channel: the store's atomic commit means a worker's
+// week is either fully on disk or cleanly absent, never torn, and the
+// pid-suffixed flock-owned temp names make concurrent commits and scans
+// safe against each other.
+//
+// After every child is reaped, the parent runs one ordinary full-range
+// WeeksRunner pass over the store. That pass *is* the reduce and the
+// crash recovery in one move: durable weeks are resumed (decode, not
+// recompute), and any week a crashed/killed worker failed to commit is
+// simply computed — so the final reports and §4 summary are byte-
+// identical to a single-process run for any job count and any crash
+// pattern. Worker failures are contained, not fatal: they are reported
+// per worker in the result (the CLI maps them to its own exit code) while
+// the fold still completes.
+//
+// jobs <= 1 never forks — it is exactly a plain WeeksRunner::run.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/process_pool.hpp"
+#include "store/weeks_runner.hpp"
+
+namespace ixp::store {
+
+struct MapReduceOptions {
+  WeeksOptions weeks;
+  int jobs = 1;  ///< worker process count; clamped to the week count
+
+  /// Test hook, invoked in the *child* before each assigned week is run:
+  /// (worker index, week). The crash harness raises SIGKILL here to
+  /// simulate a worker dying at a chosen point; production passes
+  /// nothing.
+  std::function<void(int worker, int week)> before_week;
+};
+
+/// One worker's slice and how its process ended.
+struct WorkerOutcome {
+  core::ProcessStatus status;
+  std::vector<int> weeks;  ///< the weeks this worker was dealt
+
+  [[nodiscard]] bool ok() const noexcept { return status.ok(); }
+};
+
+struct MapReduceResult {
+  /// False only when the parent's fold pass failed (same contract as
+  /// WeeksResult::ok); worker deaths do NOT clear it — they are contained
+  /// and reported in `workers`.
+  bool ok = false;
+  bool store_unreadable = false;
+  std::string error;
+
+  /// Per-worker status, index order. Empty when jobs <= 1 (no forking).
+  std::vector<WorkerOutcome> workers;
+  /// True when any worker exited nonzero, died on a signal, or failed to
+  /// spawn. The fold below still covers that worker's weeks.
+  bool worker_failed = false;
+
+  /// The parent's full-range pass: resumed + computed weeks, quarantine
+  /// log, and the §4 longitudinal summary.
+  WeeksResult fold;
+};
+
+/// Runs the week range of `options.weeks` across `options.jobs` forked
+/// workers sharing `runner`'s store, then folds. See file comment.
+[[nodiscard]] MapReduceResult run_weeks_mapreduce(
+    WeeksRunner& runner, const MapReduceOptions& options,
+    const WeeksRunner::SourceFactory& make_source,
+    const WeeksRunner::FetcherFactory& make_fetcher);
+
+}  // namespace ixp::store

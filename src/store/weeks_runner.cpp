@@ -41,26 +41,48 @@ WeeksResult WeeksRunner::run(const WeeksOptions& options,
     WeekOutcome outcome;
     outcome.week = week;
 
+    // What this run would stamp into the week's snapshot — and therefore
+    // what a durable snapshot must carry to be reusable.
+    Provenance expected;
+    expected.format_version = kFormatVersion;
+    expected.week = week;
+    expected.partial = false;
+    expected.model_fingerprint = options.model_fingerprint;
+    expected.ingest_fingerprint = options.ingest_fingerprint;
+
     if (durable) {
       std::optional<QuarantineEvent> quarantined;
       const SnapshotFile file = store_.load(week, &quarantined);
       if (quarantined) result.quarantined.push_back(*quarantined);
       if (file.ok()) {
-        auto report = SnapshotCodec::decode_report(file.section(kReportSection));
-        if (!report) {
-          result.error = store_.path_for(week) +
-                         ": snapshot validated but report section does not "
-                         "decode (format bug)";
-          return result;
+        const auto provenance =
+            SnapshotCodec::decode_provenance(file.section(kProvenanceSection));
+        if (!provenance || !(*provenance == expected)) {
+          // Intact file, wrong inputs: the model or ingest policy changed
+          // since this week was computed (or the snapshot is a partial
+          // shard that never represented the whole week). Same never-
+          // delete path as storage rot — move it aside, recompute.
+          result.quarantined.push_back(store_.quarantine(
+              store_.path_for(week), SnapshotError::kStaleProvenance));
+          ++result.weeks_stale;
+        } else {
+          auto report =
+              SnapshotCodec::decode_report(file.section(kReportSection));
+          if (!report) {
+            result.error = store_.path_for(week) +
+                           ": snapshot validated but report section does not "
+                           "decode (format bug)";
+            return result;
+          }
+          outcome.resumed = true;
+          outcome.report = std::move(*report);
+          ++result.weeks_resumed;
+          result.weeks.push_back(std::move(outcome));
+          continue;
         }
-        outcome.resumed = true;
-        outcome.report = std::move(*report);
-        ++result.weeks_resumed;
-        result.weeks.push_back(std::move(outcome));
-        continue;
       }
       // The file rotted between scan and load (or scan raced another
-      // process): fall through and recompute the week.
+      // process), or carried stale provenance: recompute the week.
     }
 
     std::unique_ptr<ingest::IngestSource> source = make_source(week);
@@ -81,10 +103,13 @@ WeeksResult WeeksRunner::run(const WeeksOptions& options,
     }
     const std::vector<std::byte> report_bytes =
         SnapshotCodec::encode_report(report);
+    const std::vector<std::byte> provenance_bytes =
+        SnapshotCodec::encode_provenance(expected);
 
     const Section sections[] = {
         {kShardSection, shard_bytes},
         {kReportSection, report_bytes},
+        {kProvenanceSection, provenance_bytes},
     };
     if (std::string error; !store_.save(week, sections, &error, hooks)) {
       result.error = error;

@@ -42,6 +42,17 @@ namespace ixp::store {
 struct WeeksOptions {
   int from_week = 0;
   int to_week = 0;  ///< inclusive
+
+  /// The inputs half of each snapshot's provenance record (DESIGN.md
+  /// §16): the model fingerprint (gen::ScaleConfig::fingerprint()) and
+  /// the ingest-policy fingerprint. Stamped into every snapshot written
+  /// and checked on every snapshot resumed — a durable week whose stored
+  /// provenance differs is stale (the model or policy changed since it
+  /// was computed) and is quarantined-and-recomputed, exactly like
+  /// storage rot. Thread/job counts are deliberately absent: reports are
+  /// byte-identical across parallelism, so it never invalidates.
+  std::uint64_t model_fingerprint = 0;
+  std::uint64_t ingest_fingerprint = 0;
 };
 
 /// How one week of the range was satisfied.
@@ -62,6 +73,10 @@ struct WeeksResult {
   std::vector<WeekOutcome> weeks;  ///< ascending week order
   std::size_t weeks_resumed = 0;
   std::size_t weeks_computed = 0;
+  /// Durable snapshots whose provenance no longer matched this run's
+  /// inputs: quarantined (`stale-provenance`) and recomputed. Always
+  /// counted inside weeks_computed as well.
+  std::size_t weeks_stale = 0;
 
   /// What the pre-run scan found and did.
   std::vector<QuarantineEvent> quarantined;

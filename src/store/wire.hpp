@@ -22,6 +22,10 @@ namespace ixp::store::wire {
 
 class Writer {
  public:
+  /// Pre-sizes the buffer. Encoders that can total their output up front
+  /// (the snapshot image can, exactly) write with zero reallocation.
+  void reserve(std::size_t n) { out_.reserve(n); }
+
   void u8(std::uint8_t v) { out_.push_back(static_cast<std::byte>(v)); }
   void u16(std::uint16_t v) {
     u8(static_cast<std::uint8_t>(v));

@@ -1,0 +1,48 @@
+// FNV-1a 64-bit — the provenance fingerprint hash.
+//
+// Snapshot provenance (DESIGN.md §16) needs a stable, order-sensitive
+// digest of "everything a week's output is a pure function of": model
+// scale knobs, seeds, format version, ingest policy. FNV-1a is enough —
+// the fingerprint guards against *configuration drift between runs*, not
+// adversarial collisions (the store's CRCs already guard the bytes), and
+// its fixed fold order makes the digest identical across hosts and
+// compilers, which is what lets two machines agree that a snapshot is
+// current.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ixp::util {
+
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf2'9ce4'8422'2325ull;
+  static constexpr std::uint64_t kPrime = 0x0000'0100'0000'01b3ull;
+
+  constexpr void mix_byte(std::uint8_t b) noexcept {
+    hash_ ^= b;
+    hash_ *= kPrime;
+  }
+
+  /// Folds the value little-endian, all 8 bytes — mixing a u64 is always
+  /// an 8-byte event regardless of magnitude, so field boundaries cannot
+  /// alias (mix(1), mix(2) never collides with mix(0x0201), mix(0)).
+  constexpr void mix(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  /// Length-prefixed so adjacent strings cannot shift bytes across their
+  /// boundary ("ab","c" vs "a","bc").
+  constexpr void mix(std::string_view v) noexcept {
+    mix(static_cast<std::uint64_t>(v.size()));
+    for (const char c : v) mix_byte(static_cast<std::uint8_t>(c));
+  }
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+}  // namespace ixp::util

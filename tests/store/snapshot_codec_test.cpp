@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -15,6 +17,7 @@
 #include "core/week_shard.hpp"
 #include "gen/internet.hpp"
 #include "gen/workload.hpp"
+#include "store/snapshot_store.hpp"
 
 namespace ixp::store {
 namespace {
@@ -205,6 +208,67 @@ TEST_F(SnapshotCodecTest, StrictDecodersRejectTruncationAndPadding) {
       EXPECT_FALSE(SnapshotCodec::decode_report({}).has_value());
     }
   }
+}
+
+TEST(ProvenanceCodec, RoundTripPreservesEveryField) {
+  Provenance provenance;
+  provenance.format_version = kFormatVersion;
+  provenance.week = 45;
+  provenance.partial = true;
+  provenance.model_fingerprint = 0xdead'beef'cafe'f00dull;
+  provenance.ingest_fingerprint = 0x0123'4567'89ab'cdefull;
+
+  const auto bytes = SnapshotCodec::encode_provenance(provenance);
+  const auto decoded = SnapshotCodec::decode_provenance(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, provenance);
+
+  // Byte-stable: re-encoding the decoded record reproduces the bytes.
+  EXPECT_EQ(SnapshotCodec::encode_provenance(*decoded), bytes);
+}
+
+TEST(ProvenanceCodec, StrictDecodeRejectsDamage) {
+  Provenance provenance;
+  provenance.format_version = kFormatVersion;
+  provenance.week = 45;
+  const auto bytes = SnapshotCodec::encode_provenance(provenance);
+
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 1);
+  EXPECT_FALSE(SnapshotCodec::decode_provenance(truncated).has_value());
+
+  auto padded = bytes;
+  padded.push_back(std::byte{0});
+  EXPECT_FALSE(SnapshotCodec::decode_provenance(padded).has_value());
+
+  EXPECT_FALSE(SnapshotCodec::decode_provenance({}).has_value());
+
+  // The partial flag is a strict bool on the wire: any byte past 1 is a
+  // format violation, not a truthy value.
+  auto bad_flag = bytes;
+  bad_flag[8] = std::byte{2};  // u32 version + u32 week precede the flag
+  EXPECT_FALSE(SnapshotCodec::decode_provenance(bad_flag).has_value());
+}
+
+TEST(ProvenanceCodec, CombinedFingerprintSeparatesEveryField) {
+  // combined() must react to each field independently — a fingerprint
+  // that aliases (week=1,partial=0) with (week=0,partial=1) would let a
+  // stale snapshot masquerade as fresh.
+  const Provenance base{kFormatVersion, 45, false, 7, 9};
+  std::vector<Provenance> variants{base};
+  for (int field = 0; field < 5; ++field) {
+    Provenance p = base;
+    if (field == 0) p.format_version += 1;
+    if (field == 1) p.week += 1;
+    if (field == 2) p.partial = !p.partial;
+    if (field == 3) p.model_fingerprint += 1;
+    if (field == 4) p.ingest_fingerprint += 1;
+    variants.push_back(p);
+  }
+  std::vector<std::uint64_t> hashes;
+  for (const auto& p : variants) hashes.push_back(p.combined());
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(std::adjacent_find(hashes.begin(), hashes.end()), hashes.end());
 }
 
 }  // namespace

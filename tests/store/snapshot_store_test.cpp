@@ -156,6 +156,7 @@ TEST(SnapshotImage, ErrorNamesAndTagsAreDistinct) {
       SnapshotError::kTooShort,   SnapshotError::kBadMagic,
       SnapshotError::kBadVersion, SnapshotError::kBadCrc,
       SnapshotError::kTruncatedSection,
+      SnapshotError::kStaleProvenance,
   };
   std::vector<std::string> names;
   std::vector<std::string> tags;

@@ -101,10 +101,14 @@ class WeeksRunnerTest : public ::testing::Test {
     };
   }
 
-  /// One full driver invocation against `dir`.
+  /// One full driver invocation against `dir`. The fingerprints default
+  /// to 0 = "unchanged inputs" — tests that exercise the provenance check
+  /// pass distinct values across runs.
   static WeeksResult run_weeks(const std::string& dir,
                                const CommitHooks* hooks = nullptr,
-                               unsigned threads = 2) {
+                               unsigned threads = 2,
+                               std::uint64_t model_fingerprint = 0,
+                               std::uint64_t ingest_fingerprint = 0) {
     auto vp = make_vantage();
     core::ParallelOptions popt;
     popt.threads = threads;
@@ -113,6 +117,8 @@ class WeeksRunnerTest : public ::testing::Test {
     WeeksOptions options;
     options.from_week = kFromWeek;
     options.to_week = kToWeek;
+    options.model_fingerprint = model_fingerprint;
+    options.ingest_fingerprint = ingest_fingerprint;
     return runner.run(options, source_factory(), fetcher_factory(), hooks);
   }
 
@@ -266,6 +272,61 @@ TEST_F(WeeksRunnerTest, EveryStorageFaultIsQuarantinedAndRecomputed) {
     EXPECT_EQ(third.weeks_resumed, 3u);
     expect_runs_identical(baseline, third);
   }
+}
+
+TEST_F(WeeksRunnerTest, MatchingProvenanceSkipsStaleProvenanceRecomputes) {
+  const TempDir dir{"provenance"};
+
+  // Cold run stamps fingerprint A into every snapshot.
+  const auto cold =
+      run_weeks(dir.path(), nullptr, 2, /*model=*/0xAAAA, /*ingest=*/0x1111);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_EQ(cold.weeks_computed, 3u);
+  EXPECT_EQ(cold.weeks_stale, 0u);
+
+  // Same fingerprints: a pure resume — the incremental no-op re-run.
+  const auto resumed =
+      run_weeks(dir.path(), nullptr, 2, 0xAAAA, 0x1111);
+  ASSERT_TRUE(resumed.ok) << resumed.error;
+  EXPECT_EQ(resumed.weeks_resumed, 3u);
+  EXPECT_EQ(resumed.weeks_computed, 0u);
+  EXPECT_EQ(resumed.weeks_stale, 0u);
+  expect_runs_identical(cold, resumed);
+
+  // Model fingerprint changed: every durable week is stale — quarantined
+  // with the provenance error class (not deleted) and recomputed.
+  const auto stale =
+      run_weeks(dir.path(), nullptr, 2, /*model=*/0xBBBB, 0x1111);
+  ASSERT_TRUE(stale.ok) << stale.error;
+  EXPECT_EQ(stale.weeks_stale, 3u);
+  EXPECT_EQ(stale.weeks_computed, 3u);
+  EXPECT_EQ(stale.weeks_resumed, 0u);
+  ASSERT_EQ(stale.quarantined.size(), 3u);
+  for (const auto& event : stale.quarantined) {
+    EXPECT_EQ(event.error, SnapshotError::kStaleProvenance);
+    EXPECT_TRUE(fs::exists(event.quarantined_as)) << event.quarantined_as;
+    EXPECT_NE(event.quarantined_as.find("stale-provenance"),
+              std::string::npos);
+  }
+  // The fingerprint gates reuse, not the computation itself: the recomputed
+  // reports are byte-identical to the original run's.
+  expect_runs_identical(cold, stale);
+
+  // And the recompute re-stamped the new fingerprint: next run resumes.
+  const auto warm = run_weeks(dir.path(), nullptr, 2, 0xBBBB, 0x1111);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_EQ(warm.weeks_resumed, 3u);
+  EXPECT_EQ(warm.weeks_stale, 0u);
+}
+
+TEST_F(WeeksRunnerTest, IngestFingerprintChangeAlsoInvalidates) {
+  const TempDir dir{"ingest_provenance"};
+  ASSERT_TRUE(run_weeks(dir.path(), nullptr, 2, 0xAAAA, 0x1111).ok);
+  const auto stale =
+      run_weeks(dir.path(), nullptr, 2, 0xAAAA, /*ingest=*/0x2222);
+  ASSERT_TRUE(stale.ok) << stale.error;
+  EXPECT_EQ(stale.weeks_stale, 3u);
+  EXPECT_EQ(stale.weeks_resumed, 0u);
 }
 
 TEST_F(WeeksRunnerTest, ThreadCountDoesNotChangeTheBytes) {

@@ -7,7 +7,9 @@
 //   ixpscope serve --listen PATH       run the streaming collector service
 //   ixpscope replay --in F --connect P replay a trace into a running serve
 //   ixpscope diff --from A --to B      week-over-week change report (§4.2)
-//   ixpscope weeks --from A --to B --dir D  resumable longitudinal run (§4)
+//   ixpscope weeks --from A --to B --dir D  resumable longitudinal run (§4);
+//                                      --jobs N forks N worker processes
+//   ixpscope merge --dir A --dir B --out D  fold snapshot stores into one
 //   ixpscope probe --week N            run the async measurement sweeps
 //   ixpscope bgp-export --out F        dump the routing table (BGP text)
 //
@@ -56,7 +58,10 @@
 #include "sflow/trace.hpp"
 #include "sflow/trace_segment.hpp"
 #include "store/snapshot_store.hpp"
+#include "store/store_merge.hpp"
+#include "store/weeks_mapreduce.hpp"
 #include "store/weeks_runner.hpp"
+#include "util/fnv.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -89,7 +94,9 @@ struct Options {
   std::uint64_t seed = 1;
   std::string in_path;
   std::string out_path;
-  std::string dir;  // weeks --dir (snapshot store directory)
+  std::vector<std::string> dirs;  // --dir (repeatable; weeks takes one,
+                                  // merge folds all of them)
+  int jobs = 1;                   // weeks --jobs (worker processes)
 
   // probe (async measurement engine knobs)
   int loss_permille = 0;               // --loss (per-attempt, permille)
@@ -132,6 +139,10 @@ int usage() {
       "  weeks    --from A --to B --dir PATH     resumable longitudinal run\n"
       "                                one durable snapshot per week; re-runs\n"
       "                                resume past completed weeks\n"
+      "           [--jobs N]           fork N worker processes over the range\n"
+      "                                (reports byte-identical for any N)\n"
+      "  merge    --dir A [--dir B ...] --out D   fold snapshot stores into\n"
+      "                                one store covering the union of weeks\n"
       "  probe    [--week N]           run the async measurement sweeps\n"
       "           [--loss P]           per-attempt loss in permille\n"
       "           [--concurrency C]    in-flight cap (default 4096)\n"
@@ -147,7 +158,9 @@ int usage() {
       "flags: --volume <0..1> (default 0.00390625), --quick\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 analysis completed degraded,\n"
       "            4 input trace unreadable (missing or shorter than header),\n"
-      "            5 snapshot directory unreadable (weeks --dir)\n";
+      "            5 snapshot directory unreadable (weeks/merge --dir, --out),\n"
+      "            6 a weeks --jobs worker process failed (results are still\n"
+      "              complete — the parent recomputed that worker's weeks)\n";
   return 2;
 }
 
@@ -257,7 +270,10 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (flag == "--connect" && need_value(i)) {
       opt.connect_path = argv[++i];
     } else if (flag == "--dir" && need_value(i)) {
-      opt.dir = argv[++i];
+      opt.dirs.emplace_back(argv[++i]);
+    } else if (flag == "--jobs" && need_value(i)) {
+      if (!parse_int(argv[++i], opt.jobs) || opt.jobs < 1)
+        return bad_number(argv[i]);
     } else if (flag == "--in" && need_value(i)) {
       opt.in_path = argv[++i];
     } else if (flag == "--out" && need_value(i)) {
@@ -269,7 +285,7 @@ bool parse(int argc, char** argv, Options& opt) {
                flag == "--queue-cap" || flag == "--max-agents" ||
                flag == "--max-datagrams" || flag == "--agents" ||
                flag == "--listen" || flag == "--connect" || flag == "--dir" ||
-               flag == "--loss" || flag == "--concurrency" ||
+               flag == "--jobs" || flag == "--loss" || flag == "--concurrency" ||
                flag == "--attempts" || flag == "--timeout-us") {
       std::cerr << "missing value for " << flag << "\n";
       return false;
@@ -792,11 +808,46 @@ class GeneratedWeekSource final : public ingest::IngestSource {
   ingest::SpanSource span_;
 };
 
+/// The ingest-policy half of a snapshot's provenance record: the weeks
+/// pipeline consumes seeded generated weeks in fixed 512-sample batches,
+/// so the fingerprint names exactly that. Changing how weeks are fed
+/// (source kind, batching) must change this value — that is what forces
+/// old snapshots onto the quarantine-and-recompute path.
+std::uint64_t weeks_ingest_fingerprint() {
+  util::Fnv1a hash;
+  hash.mix(std::string_view{"generated-week-source"});
+  hash.mix(std::uint64_t{512});  // batch size
+  return hash.value();
+}
+
+void print_longitudinal(const analysis::LongitudinalSummary& lon) {
+  std::cout << "longitudinal (weeks " << lon.first_week << ".."
+            << lon.last_week << "):\n"
+            << "  server universe: "
+            << util::with_thousands(lon.server_universe) << " IPs\n"
+            << "  always-on servers: "
+            << util::with_thousands(lon.always_on_servers) << " ("
+            << util::percent(lon.always_on_traffic_share, 2)
+            << " of final-week traffic)\n"
+            << "  mean weekly churn: " << util::percent(lon.mean_weekly_churn, 2)
+            << "\n";
+}
+
+void print_quarantines(const char* command,
+                       const std::vector<store::QuarantineEvent>& events) {
+  for (const auto& event : events) {
+    std::cerr << command << ": quarantined " << event.file << " -> "
+              << event.quarantined_as << " ("
+              << store::error_name(event.error) << ")\n";
+  }
+}
+
 int cmd_weeks(const Options& opt) {
-  if (opt.dir.empty()) {
-    std::cerr << "weeks needs --dir PATH\n";
+  if (opt.dirs.size() != 1) {
+    std::cerr << "weeks needs exactly one --dir PATH\n";
     return usage();
   }
+  const std::string& dir = opt.dirs.front();
   if (opt.to_week < opt.from_week) {
     std::cerr << "weeks: --from must not exceed --to\n";
     return 2;
@@ -807,7 +858,7 @@ int cmd_weeks(const Options& opt) {
   core::ParallelOptions popt;
   popt.threads = static_cast<unsigned>(opt.ingest.threads);
   core::ParallelAnalyzer analyzer{vantage, popt};
-  store::WeeksRunner runner{vantage, analyzer, store::SnapshotStore{opt.dir}};
+  store::WeeksRunner runner{vantage, analyzer, store::SnapshotStore{dir}};
 
   const auto make_source =
       [&](int week) -> std::unique_ptr<ingest::IngestSource> {
@@ -818,32 +869,58 @@ int cmd_weeks(const Options& opt) {
   };
   const auto fetcher_for = [&](int week) { return make_fetcher(world, week); };
 
-  store::WeeksOptions wopt;
-  wopt.from_week = opt.from_week;
-  wopt.to_week = opt.to_week;
-  const auto result = runner.run(wopt, make_source, fetcher_for);
+  store::MapReduceOptions mopt;
+  mopt.weeks.from_week = opt.from_week;
+  mopt.weeks.to_week = opt.to_week;
+  mopt.weeks.model_fingerprint = world.model->config().fingerprint();
+  mopt.weeks.ingest_fingerprint = weeks_ingest_fingerprint();
+  mopt.jobs = opt.jobs;
+  const auto mr =
+      store::run_weeks_mapreduce(runner, mopt, make_source, fetcher_for);
+  const store::WeeksResult& result = mr.fold;
 
-  for (const auto& event : result.quarantined) {
-    std::cerr << "weeks: quarantined " << event.file << " -> "
-              << event.quarantined_as << " ("
-              << store::error_name(event.error) << ")\n";
-  }
+  print_quarantines("weeks", result.quarantined);
   if (result.stale_temps_removed != 0) {
     std::cerr << "weeks: removed " << result.stale_temps_removed
               << " stale temp file(s) from an interrupted run\n";
   }
-  if (result.store_unreadable) {
-    std::cerr << "weeks: snapshot directory unusable: " << result.error
-              << "\n";
+  if (mr.store_unreadable) {
+    std::cerr << "weeks: snapshot directory unusable: " << mr.error << "\n";
     return 5;
   }
-  if (!result.ok) {
-    std::cerr << "weeks: " << result.error << "\n";
+  if (!mr.ok) {
+    std::cerr << "weeks: " << mr.error << "\n";
     return 1;
   }
 
+  // Per-worker accounting, printed whenever work was actually forked. A
+  // dead worker is contained, not fatal: its weeks were recomputed by the
+  // fold below, so the data is complete — but the run still exits 6 so
+  // scripts notice the lost capacity.
+  if (!mr.workers.empty()) {
+    util::Table workers{"workers (--jobs " + std::to_string(opt.jobs) + ")"};
+    workers.header({"worker", "pid", "weeks", "status"});
+    for (const auto& outcome : mr.workers) {
+      std::string status;
+      if (outcome.status.spawn_failed) {
+        status = "spawn failed";
+      } else if (outcome.status.signaled) {
+        status = "killed by signal " +
+                 std::to_string(outcome.status.term_signal);
+      } else if (outcome.status.exit_code != 0) {
+        status = "exit " + std::to_string(outcome.status.exit_code);
+      } else {
+        status = outcome.status.ran_inline ? "ok (inline)" : "ok";
+      }
+      workers.row({std::to_string(outcome.status.worker),
+                   std::to_string(outcome.status.pid),
+                   std::to_string(outcome.weeks.size()), status});
+    }
+    workers.print(std::cout);
+  }
+
   util::Table table{"weeks " + std::to_string(opt.from_week) + ".." +
-                    std::to_string(opt.to_week) + " (" + opt.dir + ")"};
+                    std::to_string(opt.to_week) + " (" + dir + ")"};
   table.header({"week", "source", "peering IPs", "server IPs", "volume"});
   bool degraded = false;
   for (const auto& outcome : result.weeks) {
@@ -856,23 +933,71 @@ int cmd_weeks(const Options& opt) {
   }
   table.print(std::cout);
   std::cout << result.weeks_resumed << " week(s) resumed from snapshots, "
-            << result.weeks_computed << " computed\n";
+            << result.weeks_computed << " computed";
+  if (result.weeks_stale != 0)
+    std::cout << " (" << result.weeks_stale
+              << " recomputed: stale provenance)";
+  std::cout << "\n";
 
-  const auto& lon = result.longitudinal;
-  std::cout << "longitudinal (weeks " << lon.first_week << ".."
-            << lon.last_week << "):\n"
-            << "  server universe: "
-            << util::with_thousands(lon.server_universe) << " IPs\n"
-            << "  always-on servers: "
-            << util::with_thousands(lon.always_on_servers) << " ("
-            << util::percent(lon.always_on_traffic_share, 2)
-            << " of final-week traffic)\n"
-            << "  mean weekly churn: " << util::percent(lon.mean_weekly_churn, 2)
-            << "\n";
+  print_longitudinal(result.longitudinal);
+  if (mr.worker_failed) {
+    std::cerr << "warning: at least one worker process failed; its weeks "
+                 "were recomputed by the parent\n";
+    return 6;
+  }
   if (degraded) {
     std::cerr << "warning: at least one computed week was degraded\n";
     return 3;
   }
+  return 0;
+}
+
+int cmd_merge(const Options& opt) {
+  if (opt.dirs.empty() || opt.out_path.empty()) {
+    std::cerr << "merge needs --dir PATH (repeatable) and --out PATH\n";
+    return usage();
+  }
+
+  const auto world = build_world(opt);
+  core::VantagePoint vantage = make_vantage(world);
+  const auto fetcher_for = [&](int week) { return make_fetcher(world, week); };
+
+  store::MergeOptions mopt;
+  mopt.inputs = opt.dirs;
+  mopt.out = opt.out_path;
+  mopt.model_fingerprint = world.model->config().fingerprint();
+  mopt.ingest_fingerprint = weeks_ingest_fingerprint();
+  const auto result = store::merge_stores(vantage, mopt, fetcher_for);
+
+  print_quarantines("merge", result.quarantined);
+  if (result.snapshots_skipped_stale != 0) {
+    std::cerr << "merge: skipped " << result.snapshots_skipped_stale
+              << " snapshot(s) with stale provenance (different model or "
+                 "ingest policy)\n";
+  }
+  if (result.store_unreadable) {
+    std::cerr << "merge: store directory unusable: " << result.error << "\n";
+    return 5;
+  }
+  if (!result.ok) {
+    std::cerr << "merge: " << result.error << "\n";
+    return 1;
+  }
+
+  util::Table table{"merged " + std::to_string(opt.dirs.size()) +
+                    " store(s) -> " + opt.out_path};
+  table.header({"week", "source", "copies", "peering IPs", "server IPs"});
+  for (const auto& week : result.weeks) {
+    table.row({std::to_string(week.week),
+               week.rederived ? "re-derived" : "copied",
+               std::to_string(week.copies),
+               util::with_thousands(week.report.peering_ips),
+               util::with_thousands(week.report.server_ips)});
+  }
+  table.print(std::cout);
+  std::cout << result.weeks_copied << " week(s) copied through, "
+            << result.weeks_rederived << " re-derived from partial shards\n";
+  if (!result.weeks.empty()) print_longitudinal(result.longitudinal);
   return 0;
 }
 
@@ -1019,6 +1144,7 @@ int main(int argc, char** argv) {
   if (opt.command == "replay") return cmd_replay(opt);
   if (opt.command == "diff") return cmd_diff(opt);
   if (opt.command == "weeks") return cmd_weeks(opt);
+  if (opt.command == "merge") return cmd_merge(opt);
   if (opt.command == "probe") return cmd_probe(opt);
   if (opt.command == "bgp-export") return cmd_bgp_export(opt);
   return usage();
